@@ -1,0 +1,38 @@
+// Ablation: number of occupancy-indexed lists L in the central free list.
+//
+// Paper (Section 4.3): "Our experiments show that L = 8 lists are
+// sufficient to differentiate spans." This ablation sweeps L and reports
+// the memory footprint relative to the single-list baseline.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace wsc;
+
+int main() {
+  PrintBanner("Ablation: central-free-list occupancy lists (L)");
+
+  tcmalloc::AllocatorConfig control;  // L = 1 (no prioritization)
+  workload::WorkloadSpec spec = bench::PackingStressSpec();
+
+  // Packing effects need several load cycles to develop, so these runs are
+  // longer than the standard benchmark A/B.
+  TablePrinter table({"L", "memory vs baseline", "throughput vs baseline"});
+  for (int lists : {2, 8, 32}) {
+    tcmalloc::AllocatorConfig experiment;
+    experiment.span_prioritization = true;
+    experiment.cfl_num_lists = lists;
+    fleet::AbDelta delta = fleet::RunBenchmarkAb(
+        spec, hw::PlatformSpecFor(hw::PlatformGeneration::kGenD), control,
+        experiment, 8100, Seconds(30), 400000);
+    table.AddRow({std::to_string(lists),
+                  FormatSignedPercent(delta.MemoryChangePct()),
+                  FormatSignedPercent(delta.ThroughputChangePct())});
+  }
+  table.Print();
+  std::printf(
+      "\nexpected: gains saturate around L = 8 — more lists only split\n"
+      "high-occupancy spans the allocator already treats identically.\n");
+  return 0;
+}

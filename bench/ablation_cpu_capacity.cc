@@ -1,0 +1,49 @@
+// Ablation: static vs dynamic per-CPU caches at 3 MiB and 1.5 MiB
+// capacity.
+//
+// Paper (Section 4.1): dynamic resizing improves utilization enough that
+// the default capacity can be halved from 3 MiB to 1.5 MiB with no
+// performance impact — the halving is where the memory saving comes from,
+// and the dynamic scheme is what makes it safe.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace wsc;
+
+int main() {
+  PrintBanner("Ablation: per-CPU cache capacity x sizing policy");
+
+  tcmalloc::AllocatorConfig control;  // static 3 MiB (baseline)
+  workload::WorkloadSpec spec = workload::BigtableProfile();
+
+  TablePrinter table({"configuration", "memory vs static-3MiB",
+                      "throughput vs static-3MiB"});
+  struct Setting {
+    const char* label;
+    bool dynamic;
+    size_t capacity;
+  };
+  const Setting settings[] = {
+      {"static 1.5 MiB", false, 1536 * 1024},
+      {"dynamic 3 MiB", true, 3 * 1024 * 1024},
+      {"dynamic 1.5 MiB (paper)", true, 1536 * 1024},
+      {"dynamic 0.75 MiB", true, 768 * 1024},
+  };
+  for (const Setting& s : settings) {
+    tcmalloc::AllocatorConfig experiment;
+    experiment.dynamic_cpu_caches = s.dynamic;
+    experiment.per_cpu_cache_bytes = s.capacity;
+    fleet::AbDelta delta =
+        bench::BenchmarkAb(spec, control, experiment, 8400);
+    table.AddRow({s.label, FormatSignedPercent(delta.MemoryChangePct()),
+                  FormatSignedPercent(delta.ThroughputChangePct())});
+  }
+  table.Print();
+  std::printf(
+      "\nexpected: halving without dynamic sizing starves hot vCPUs;\n"
+      "dynamic sizing at 1.5 MiB keeps throughput while saving memory;\n"
+      "shrinking much further starts costing misses.\n");
+  return 0;
+}

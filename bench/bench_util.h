@@ -1,0 +1,101 @@
+// Shared helpers for the bench binaries.
+//
+// Every bench regenerates one table or figure from the paper and prints
+// the paper-reported value next to the measured value; EXPERIMENTS.md
+// records the comparison. Fleet sizes here are chosen so each bench
+// finishes in about a minute on one core.
+
+#ifndef WSC_BENCH_BENCH_UTIL_H_
+#define WSC_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "fleet/experiment.h"
+#include "workload/profiles.h"
+
+namespace wsc::bench {
+
+// Standard fleet shape used by the fleet-wide benches.
+inline fleet::FleetConfig DefaultFleet() {
+  fleet::FleetConfig config;
+  config.num_machines = 6;
+  config.num_binaries = 40;
+  config.min_colocated = 1;
+  config.max_colocated = 2;
+  config.duration = Seconds(18);
+  config.max_requests_per_process = 110000;
+  return config;
+}
+
+// Chiplet-only fleet (for the NUCA experiments, which the paper runs on
+// platforms with multiple LLC domains).
+inline fleet::FleetConfig ChipletFleet() {
+  fleet::FleetConfig config = DefaultFleet();
+  config.platform_mix = {0.0, 0.0, 0.4, 0.35, 0.25};
+  return config;
+}
+
+// Dedicated-server benchmark runs (Section 2.3): one workload per machine.
+inline fleet::AbDelta BenchmarkAb(const workload::WorkloadSpec& spec,
+                                  const tcmalloc::AllocatorConfig& control,
+                                  const tcmalloc::AllocatorConfig& experiment,
+                                  uint64_t seed) {
+  return fleet::RunBenchmarkAb(
+      spec, hw::PlatformSpecFor(hw::PlatformGeneration::kGenD), control,
+      experiment, seed, Seconds(18), 150000);
+}
+
+// A packing-stress workload: load waves plus mixed lifetimes *within* size
+// classes, so spans get pinned and drained — the regime where the central
+// free list and hugepage filler policies matter.
+inline workload::WorkloadSpec PackingStressSpec() {
+  using namespace workload;
+  WorkloadSpec spec;
+  spec.name = "packing-stress";
+  spec.behaviors = {
+      MakeBehavior(0.55, SizeLognormal(64, 2.5),
+                   LifetimeLognormal(Microseconds(300), 4.0)),
+      MakeBehavior(0.05, SizeLognormal(256, 3.0),
+                   LifetimeLognormal(Seconds(5), 4.0)),
+      MakeBehavior(0.25, SizeLognormal(4096, 2.0),
+                   LifetimeLognormal(Milliseconds(30), 4.0)),
+      MakeBehavior(0.05, SizeLognormal(4096, 2.0),
+                   LifetimeLognormal(Seconds(4), 3.0)),
+      MakeBehavior(0.08, SizeLognormal(64 * 1024, 2.0),
+                   LifetimeLognormal(Milliseconds(60), 3.0)),
+      MakeBehavior(0.02, SizeLognormal(512 * 1024, 1.5),
+                   LifetimeLognormal(Milliseconds(100), 2.0)),
+  };
+  spec.allocs_per_request = 10;
+  spec.request_work_ns = 4000;
+  spec.request_interval_ns = Milliseconds(1);
+  spec.touches_per_alloc = 2;
+  spec.reuse_touches_per_request = 10;
+  spec.min_threads = 2;
+  spec.max_threads = 24;
+  spec.thread_period = Seconds(8);
+  spec.startup_bytes = 50e6;
+  spec.startup_object_size = SizeLognormal(256, 2.0);
+  return spec;
+}
+
+// Renders one A/B delta row: app, throughput, memory, CPI changes.
+inline std::vector<std::string> DeltaRow(const fleet::AbDelta& delta) {
+  return {delta.label, FormatSignedPercent(delta.ThroughputChangePct()),
+          FormatSignedPercent(delta.MemoryChangePct()),
+          FormatSignedPercent(delta.CpiChangePct())};
+}
+
+// Prints the standard "paper vs measured" line.
+inline void PaperVsMeasured(const char* what, const char* paper,
+                            const std::string& measured) {
+  std::printf("  %-46s paper: %-14s measured: %s\n", what, paper,
+              measured.c_str());
+}
+
+}  // namespace wsc::bench
+
+#endif  // WSC_BENCH_BENCH_UTIL_H_

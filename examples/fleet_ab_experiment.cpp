@@ -1,0 +1,62 @@
+// Fleet A/B experiment: evaluate an allocator change the way the paper
+// does (Section 2.2) — apply it to an experiment group of machines, keep a
+// control group, and compare productivity metrics per application and
+// fleet-wide.
+//
+// This example rolls out the full warehouse-scale redesign (all four
+// optimizations) to a small simulated fleet and prints the Section 4.5
+// style results.
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "fleet/experiment.h"
+
+using namespace wsc;
+
+int main(int argc, char** argv) {
+  // Fleet size is adjustable: ./fleet_ab_experiment [machines]
+  fleet::FleetConfig config;
+  config.num_machines = argc > 1 ? std::atoi(argv[1]) : 6;
+  config.num_binaries = 30;
+  config.duration = Seconds(12);
+  config.max_requests_per_process = 100000;
+
+  tcmalloc::AllocatorConfig control;  // baseline TCMalloc
+  tcmalloc::AllocatorConfig experiment =
+      tcmalloc::AllocatorConfig::AllOptimizations(control);
+
+  std::printf("running paired A/B: %d machines x 2 arms...\n",
+              config.num_machines);
+  fleet::AbResult result =
+      fleet::RunFleetAb(config, control, experiment, /*seed=*/7);
+
+  PrintBanner("fleet A/B: all four warehouse-scale optimizations");
+  TablePrinter table({"slice", "processes", "throughput", "memory", "CPI",
+                      "dTLB walk", "LLC MPKI"});
+  auto add_row = [&table](const fleet::AbDelta& delta) {
+    table.AddRow(
+        {delta.label, std::to_string(delta.control.processes),
+         FormatSignedPercent(delta.ThroughputChangePct()),
+         FormatSignedPercent(delta.MemoryChangePct()),
+         FormatSignedPercent(delta.CpiChangePct()),
+         FormatDouble(100.0 * delta.control.DtlbWalkFraction(), 2) + "% -> " +
+             FormatDouble(100.0 * delta.experiment.DtlbWalkFraction(), 2) +
+             "%",
+         FormatDouble(delta.control.LlcMpki(), 2) + " -> " +
+             FormatDouble(delta.experiment.LlcMpki(), 2)});
+  };
+  add_row(result.fleet);
+  for (const auto& delta : result.per_app) {
+    if (delta.control.processes > 0) add_row(delta);
+  }
+  table.Print();
+
+  std::printf(
+      "\npaper reference (Section 4.5): +1.4%% fleet throughput,\n"
+      "-3.4%% fleet memory; top-5 apps up to +8.1%% / -6.3%%.\n"
+      "\nthe experiment and control fleets share identical composition and\n"
+      "workload randomness (paired seeds), so even sub-percent deltas are\n"
+      "measurable with a handful of machines.\n");
+  return 0;
+}

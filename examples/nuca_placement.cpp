@@ -1,0 +1,65 @@
+// NUCA placement: visualize how the transfer-cache design interacts with
+// a chiplet platform's cache topology (Sections 4.2 and 5 of the paper).
+//
+// Runs the same multi-threaded workload on every platform generation with
+// the legacy centralized transfer cache and with NUCA-aware shards, and
+// reports cross-domain object flow and the resulting LLC behavior.
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "fleet/machine.h"
+#include "hw/latency_model.h"
+#include "workload/profiles.h"
+
+using namespace wsc;
+
+int main() {
+  PrintBanner("platform topologies in the simulated fleet");
+  TablePrinter topo_table({"platform", "sockets", "LLC domains", "cores",
+                           "logical CPUs", "inter/intra latency"});
+  for (auto gen : hw::AllPlatformGenerations()) {
+    hw::CpuTopology topo(hw::PlatformSpecFor(gen));
+    hw::CoreToCoreLatency lat = hw::MeasureCoreToCore(topo);
+    topo_table.AddRow(
+        {topo.spec().name, std::to_string(topo.spec().sockets),
+         std::to_string(topo.num_domains()), std::to_string(topo.num_cores()),
+         std::to_string(topo.num_cpus()),
+         lat.inter_domain_ns > 0 ? FormatDouble(lat.InterToIntraRatio(), 2)
+                                 : std::string("uniform")});
+  }
+  topo_table.Print();
+
+  PrintBanner("transfer-cache behavior per platform");
+  workload::WorkloadSpec spec = workload::F1QueryProfile();
+  TablePrinter table({"platform", "tc mode", "shard hits", "central hits",
+                      "LLC MPKI", "throughput (req/cpu-s)"});
+  for (auto gen : {hw::PlatformGeneration::kGenB,
+                   hw::PlatformGeneration::kGenC,
+                   hw::PlatformGeneration::kGenE}) {
+    for (bool nuca : {false, true}) {
+      tcmalloc::AllocatorConfig config;
+      config.nuca_transfer_cache = nuca;
+      fleet::Machine machine(hw::PlatformSpecFor(gen), {spec}, config,
+                             /*seed=*/31);
+      machine.Run(Seconds(10), 80000);
+      const fleet::ProcessResult& r = machine.results()[0];
+      const auto& tc = machine.allocator(0).transfer_cache().stats();
+      table.AddRow(
+          {hw::PlatformSpecFor(gen).name,
+           machine.allocator(0).transfer_cache().nuca_enabled()
+               ? "NUCA shards"
+               : "centralized",
+           std::to_string(tc.shard_hits), std::to_string(tc.central_hits),
+           FormatDouble(r.LlcMpki(), 2),
+           FormatDouble(r.driver.Throughput(), 0)});
+    }
+  }
+  table.Print();
+
+  std::printf(
+      "\nreading the table: on monolithic platforms (gen-b) the NUCA mode\n"
+      "degenerates to the centralized cache; on chiplet platforms the\n"
+      "shards serve domain-local requests and the LLC miss rate drops.\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Quickstart: allocate and free through the warehouse-scale allocator and
+// inspect its statistics.
+//
+// Build and run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.h"
+#include "tcmalloc/allocator.h"
+
+using namespace wsc;
+using namespace wsc::tcmalloc;
+
+int main() {
+  // 1. Configure the allocator. The defaults reproduce the paper's
+  //    baseline TCMalloc; AllocatorConfig::AllOptimizations() enables the
+  //    four warehouse-scale redesigns.
+  AllocatorConfig config;
+  config.num_vcpus = 4;  // dense virtual-CPU id space
+
+  Allocator allocator(config);
+
+  // 2. Allocate and free. Each operation names the virtual CPU performing
+  //    it and the current (simulated) time, which the sampler uses for
+  //    lifetime profiles.
+  SimTime now = 0;
+  std::vector<uintptr_t> objects;
+  Rng rng(42);
+  for (int i = 0; i < 100000; ++i) {
+    now += Microseconds(1);
+    size_t size = 1 + rng.UniformInt(rng.Bernoulli(0.02) ? 1048576 : 2048);
+    int vcpu = static_cast<int>(rng.UniformInt(4));
+    objects.push_back(allocator.Allocate(size, vcpu, now));
+    if (objects.size() > 20000) {
+      // Free from a different vCPU: the object flows back through the
+      // transfer cache, as on a real multi-core server.
+      size_t victim = rng.UniformInt(objects.size());
+      allocator.Free(objects[victim], static_cast<int>(rng.UniformInt(4)),
+                     now);
+      objects[victim] = objects.back();
+      objects.pop_back();
+    }
+    if (i % 10000 == 0) allocator.Maintain(now);
+  }
+
+  // 3. Inspect the cache hierarchy (Fig. 1 of the paper).
+  const TierHitCounts& hits = allocator.alloc_tier_hits();
+  std::printf("allocation tier hits:\n");
+  std::printf("  per-CPU cache:     %llu\n",
+              static_cast<unsigned long long>(hits.cpu_cache));
+  std::printf("  transfer cache:    %llu\n",
+              static_cast<unsigned long long>(hits.transfer_cache));
+  std::printf("  central free list: %llu\n",
+              static_cast<unsigned long long>(hits.central_free_list));
+  std::printf("  page heap:         %llu (of which %llu grew the arena)\n",
+              static_cast<unsigned long long>(hits.page_heap),
+              static_cast<unsigned long long>(hits.mmap));
+
+  // 4. Heap statistics: live memory and fragmentation per tier (the
+  //    Fig. 5b / 6b decomposition).
+  HeapStats stats = allocator.CollectStats();
+  auto mb = [](size_t bytes) { return bytes / (1024.0 * 1024.0); };
+  std::printf("\nheap statistics:\n");
+  std::printf("  live:                  %8.2f MiB\n", mb(stats.live_bytes));
+  std::printf("  per-CPU cache free:    %8.2f MiB\n",
+              mb(stats.cpu_cache_free));
+  std::printf("  transfer cache free:   %8.2f MiB\n",
+              mb(stats.transfer_cache_free));
+  std::printf("  central free list:     %8.2f MiB\n",
+              mb(stats.central_free_list_free));
+  std::printf("  page heap free:        %8.2f MiB\n",
+              mb(stats.page_heap_free));
+  std::printf("  released to OS:        %8.2f MiB\n",
+              mb(stats.released_bytes));
+  std::printf("  fragmentation ratio:   %8.2f %%\n",
+              100.0 * stats.FragmentationRatio());
+  std::printf("  hugepage coverage:     %8.2f %%\n",
+              100.0 * allocator.HugepageCoverage());
+
+  // 5. Simulated malloc-cycle accounting (Fig. 6a).
+  const MallocCycleBreakdown& cycles = allocator.cycle_breakdown();
+  std::printf("\nmalloc cycles by component (%% of %.1f us total):\n",
+              cycles.Total() / 1000.0);
+  auto pct = [&](double v) { return 100.0 * v / cycles.Total(); };
+  std::printf("  per-CPU cache %.1f%%, transfer %.1f%%, CFL %.1f%%, "
+              "pageheap %.1f%%, mmap %.1f%%, sampled %.1f%%, "
+              "prefetch %.1f%%, other %.1f%%\n",
+              pct(cycles.cpu_cache_ns), pct(cycles.transfer_cache_ns),
+              pct(cycles.central_free_list_ns), pct(cycles.page_heap_ns),
+              pct(cycles.mmap_ns), pct(cycles.sampled_ns),
+              pct(cycles.prefetch_ns), pct(cycles.other_ns));
+
+  // 6. Clean up.
+  for (uintptr_t addr : objects) allocator.Free(addr, 0, now);
+  std::printf("\nall objects freed; live = %zu bytes\n",
+              allocator.CollectStats().live_bytes);
+  return 0;
+}

@@ -1,0 +1,156 @@
+#include "common/distribution.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace wsc {
+
+PointDistribution::PointDistribution(double value) : value_(value) {}
+
+double PointDistribution::Sample(Rng& rng) const {
+  (void)rng;
+  return value_;
+}
+
+UniformDistribution::UniformDistribution(double lo, double hi)
+    : lo_(lo), hi_(hi) {
+  WSC_CHECK_LE(lo, hi);
+}
+
+double UniformDistribution::Sample(Rng& rng) const {
+  return lo_ + (hi_ - lo_) * rng.UniformDouble();
+}
+
+LognormalDistribution::LognormalDistribution(double mu, double sigma)
+    : mu_(mu), sigma_(sigma) {
+  WSC_CHECK_GE(sigma, 0.0);
+}
+
+LognormalDistribution LognormalDistribution::FromMedian(double median,
+                                                        double spread) {
+  WSC_CHECK_GT(median, 0.0);
+  WSC_CHECK_GE(spread, 1.0);
+  return LognormalDistribution(std::log(median), std::log(spread));
+}
+
+double LognormalDistribution::Sample(Rng& rng) const {
+  // Box-Muller transform; one normal draw per sample keeps the stream
+  // deterministic regardless of call interleaving.
+  double u1 = rng.UniformDouble();
+  double u2 = rng.UniformDouble();
+  // Guard the log against a zero draw.
+  u1 = std::max(u1, 1e-300);
+  double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  return std::exp(mu_ + sigma_ * z);
+}
+
+ParetoDistribution::ParetoDistribution(double scale, double alpha, double cap)
+    : scale_(scale), alpha_(alpha), cap_(cap) {
+  WSC_CHECK_GT(scale, 0.0);
+  WSC_CHECK_GT(alpha, 0.0);
+}
+
+double ParetoDistribution::Sample(Rng& rng) const {
+  double u = std::max(rng.UniformDouble(), 1e-300);
+  double x = scale_ / std::pow(u, 1.0 / alpha_);
+  if (cap_ > 0.0) x = std::min(x, cap_);
+  return x;
+}
+
+ExponentialDistribution::ExponentialDistribution(double mean) : mean_(mean) {
+  WSC_CHECK_GT(mean, 0.0);
+}
+
+double ExponentialDistribution::Sample(Rng& rng) const {
+  double u = std::max(rng.UniformDouble(), 1e-300);
+  return -mean_ * std::log(u);
+}
+
+MixtureDistribution::MixtureDistribution(std::vector<Component> components)
+    : components_(std::move(components)) {
+  WSC_CHECK(!components_.empty());
+  double total = 0.0;
+  for (const Component& c : components_) {
+    WSC_CHECK_GE(c.weight, 0.0);
+    WSC_CHECK(c.dist != nullptr);
+    total += c.weight;
+  }
+  WSC_CHECK_GT(total, 0.0);
+  double acc = 0.0;
+  cumulative_.reserve(components_.size());
+  for (const Component& c : components_) {
+    acc += c.weight / total;
+    cumulative_.push_back(acc);
+  }
+  cumulative_.back() = 1.0;  // Guard against rounding.
+}
+
+size_t MixtureDistribution::PickComponent(Rng& rng) const {
+  double u = rng.UniformDouble();
+  auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+  if (it == cumulative_.end()) --it;
+  return static_cast<size_t>(it - cumulative_.begin());
+}
+
+const Distribution& MixtureDistribution::component(size_t i) const {
+  WSC_CHECK_LT(i, components_.size());
+  return *components_[i].dist;
+}
+
+double MixtureDistribution::Sample(Rng& rng) const {
+  return components_[PickComponent(rng)].dist->Sample(rng);
+}
+
+EmpiricalDistribution::EmpiricalDistribution(std::vector<Bin> bins)
+    : bins_(std::move(bins)) {
+  WSC_CHECK(!bins_.empty());
+  double total = 0.0;
+  for (const Bin& b : bins_) {
+    WSC_CHECK_GE(b.weight, 0.0);
+    total += b.weight;
+  }
+  WSC_CHECK_GT(total, 0.0);
+  double acc = 0.0;
+  cumulative_.reserve(bins_.size());
+  for (const Bin& b : bins_) {
+    acc += b.weight / total;
+    cumulative_.push_back(acc);
+  }
+  cumulative_.back() = 1.0;
+}
+
+double EmpiricalDistribution::Sample(Rng& rng) const {
+  double u = rng.UniformDouble();
+  auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+  if (it == cumulative_.end()) --it;
+  return bins_[static_cast<size_t>(it - cumulative_.begin())].value;
+}
+
+ZipfDistribution::ZipfDistribution(size_t n, double s) {
+  WSC_CHECK_GT(n, 0u);
+  probs_.resize(n);
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    probs_[i] = 1.0 / std::pow(static_cast<double>(i + 1), s);
+    total += probs_[i];
+  }
+  cumulative_.resize(n);
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    probs_[i] /= total;
+    acc += probs_[i];
+    cumulative_[i] = acc;
+  }
+  cumulative_.back() = 1.0;
+}
+
+double ZipfDistribution::Sample(Rng& rng) const {
+  double u = rng.UniformDouble();
+  auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+  if (it == cumulative_.end()) --it;
+  return static_cast<double>(it - cumulative_.begin()) + 1.0;
+}
+
+}  // namespace wsc

@@ -1,0 +1,145 @@
+// Random-variate samplers used to model workload allocation behavior.
+//
+// Warehouse-scale allocation behavior (Figs. 7 and 8 of the paper) is highly
+// skewed: object sizes span 8 B to >1 GB and lifetimes span <1 ms to >7 days.
+// We model these with mixtures of lognormal / Pareto / point-mass components
+// and with Zipf popularity for fleet binary mixes (Fig. 3).
+
+#ifndef WSC_COMMON_DISTRIBUTION_H_
+#define WSC_COMMON_DISTRIBUTION_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace wsc {
+
+// Abstract sampler of a non-negative real-valued random variable.
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+
+  // Draws one sample using the caller's RNG stream.
+  virtual double Sample(Rng& rng) const = 0;
+};
+
+// Always returns the same value. Used for point masses (e.g., a workload
+// that allocates a single dominant object size).
+class PointDistribution : public Distribution {
+ public:
+  explicit PointDistribution(double value);
+  double Sample(Rng& rng) const override;
+
+ private:
+  double value_;
+};
+
+// Uniform over [lo, hi).
+class UniformDistribution : public Distribution {
+ public:
+  UniformDistribution(double lo, double hi);
+  double Sample(Rng& rng) const override;
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+// Lognormal with the given parameters of the underlying normal. Sizes of
+// small heap objects in server workloads are classically lognormal-ish.
+class LognormalDistribution : public Distribution {
+ public:
+  LognormalDistribution(double mu, double sigma);
+  double Sample(Rng& rng) const override;
+
+  // Convenience: builds a lognormal whose median is `median` and whose
+  // spread multiplier (one sigma in log-space) is `spread`.
+  static LognormalDistribution FromMedian(double median, double spread);
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+// Pareto (power-law) with scale x_m and shape alpha, optionally capped.
+// Captures the heavy tail of large allocations.
+class ParetoDistribution : public Distribution {
+ public:
+  ParetoDistribution(double scale, double alpha, double cap = 0.0);
+  double Sample(Rng& rng) const override;
+
+ private:
+  double scale_;
+  double alpha_;
+  double cap_;  // 0 means uncapped.
+};
+
+// Exponential with the given mean. Used for inter-arrival gaps.
+class ExponentialDistribution : public Distribution {
+ public:
+  explicit ExponentialDistribution(double mean);
+  double Sample(Rng& rng) const override;
+
+ private:
+  double mean_;
+};
+
+// A weighted mixture of component distributions.
+class MixtureDistribution : public Distribution {
+ public:
+  struct Component {
+    double weight;
+    std::shared_ptr<const Distribution> dist;
+  };
+
+  explicit MixtureDistribution(std::vector<Component> components);
+  double Sample(Rng& rng) const override;
+
+  // Index of the component that would be chosen for a given uniform draw;
+  // exposed for correlated sampling (size and lifetime drawn from the same
+  // mixture component, see workload/workload.h).
+  size_t PickComponent(Rng& rng) const;
+  size_t num_components() const { return components_.size(); }
+  const Distribution& component(size_t i) const;
+
+ private:
+  std::vector<Component> components_;
+  std::vector<double> cumulative_;
+};
+
+// Discrete empirical distribution over explicit (value, weight) pairs.
+class EmpiricalDistribution : public Distribution {
+ public:
+  struct Bin {
+    double value;
+    double weight;
+  };
+
+  explicit EmpiricalDistribution(std::vector<Bin> bins);
+  double Sample(Rng& rng) const override;
+
+ private:
+  std::vector<Bin> bins_;
+  std::vector<double> cumulative_;
+};
+
+// Zipf popularity over ranks 1..n with exponent s. Returns the rank as a
+// double in [1, n]. Fleet binary popularity (Fig. 3) follows this shape.
+class ZipfDistribution : public Distribution {
+ public:
+  ZipfDistribution(size_t n, double s);
+  double Sample(Rng& rng) const override;
+
+  // Rank probabilities, normalized.
+  const std::vector<double>& probabilities() const { return probs_; }
+
+ private:
+  std::vector<double> probs_;
+  std::vector<double> cumulative_;
+};
+
+}  // namespace wsc
+
+#endif  // WSC_COMMON_DISTRIBUTION_H_

@@ -1,0 +1,74 @@
+// Log-bucketed histogram used for sizes, lifetimes, and latencies.
+//
+// Paper figures 7 and 8 present object size and lifetime distributions over
+// many orders of magnitude; a power-of-two-bucketed histogram captures them
+// compactly and lets benches print CDFs in the same shape.
+
+#ifndef WSC_COMMON_HISTOGRAM_H_
+#define WSC_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wsc {
+
+// Histogram over non-negative values with power-of-two buckets.
+// Bucket b covers [2^b, 2^(b+1)); values of 0 land in bucket 0.
+class LogHistogram {
+ public:
+  LogHistogram();
+
+  // Records `value` with the given weight (default 1).
+  void Add(double value, double weight = 1.0);
+
+  // Merges another histogram into this one.
+  void Merge(const LogHistogram& other);
+
+  // Total recorded weight.
+  double total_weight() const { return total_weight_; }
+
+  // Number of Add() calls (unweighted).
+  uint64_t count() const { return count_; }
+
+  // Weighted mean of recorded values.
+  double Mean() const;
+
+  // Approximate quantile (q in [0,1]) computed by linear interpolation
+  // within the containing bucket.
+  double Quantile(double q) const;
+
+  // Fraction of recorded weight at values strictly below `threshold`.
+  double FractionBelow(double threshold) const;
+
+  // Fraction of recorded weight at values >= `threshold`.
+  double FractionAtLeast(double threshold) const {
+    return 1.0 - FractionBelow(threshold);
+  }
+
+  // One CDF point per non-empty bucket: (bucket upper bound, cumulative
+  // fraction). Suitable for printing paper-style CDFs.
+  struct CdfPoint {
+    double upper_bound;
+    double cumulative_fraction;
+  };
+  std::vector<CdfPoint> Cdf() const;
+
+  // Renders a human-readable multi-line summary (for examples/debugging).
+  std::string ToString(const char* unit = "") const;
+
+ private:
+  static constexpr int kNumBuckets = 64;
+
+  static int BucketFor(double value);
+
+  double buckets_[kNumBuckets];
+  double bucket_value_sum_[kNumBuckets];  // For exact means per bucket.
+  double total_weight_ = 0.0;
+  double weighted_value_sum_ = 0.0;
+  uint64_t count_ = 0;
+};
+
+}  // namespace wsc
+
+#endif  // WSC_COMMON_HISTOGRAM_H_

@@ -1,0 +1,55 @@
+// Lightweight assertion and logging macros used throughout wsc-malloc.
+//
+// CHECK* macros are always on (they guard allocator invariants whose
+// violation would silently corrupt bookkeeping); DCHECK* compile away in
+// NDEBUG builds and are used on hot simulator paths.
+
+#ifndef WSC_COMMON_LOGGING_H_
+#define WSC_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace wsc {
+
+// Prints a formatted fatal error and aborts. Used when an internal invariant
+// is violated (a bug in this library, never a user error).
+[[noreturn]] inline void FatalError(const char* file, int line,
+                                    const char* expr) {
+  std::fprintf(stderr, "FATAL %s:%d: CHECK failed: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace wsc
+
+#define WSC_CHECK(expr)                              \
+  do {                                               \
+    if (!(expr)) {                                   \
+      ::wsc::FatalError(__FILE__, __LINE__, #expr);  \
+    }                                                \
+  } while (0)
+
+#define WSC_CHECK_OP(a, op, b) WSC_CHECK((a)op(b))
+#define WSC_CHECK_EQ(a, b) WSC_CHECK_OP(a, ==, b)
+#define WSC_CHECK_NE(a, b) WSC_CHECK_OP(a, !=, b)
+#define WSC_CHECK_LT(a, b) WSC_CHECK_OP(a, <, b)
+#define WSC_CHECK_LE(a, b) WSC_CHECK_OP(a, <=, b)
+#define WSC_CHECK_GT(a, b) WSC_CHECK_OP(a, >, b)
+#define WSC_CHECK_GE(a, b) WSC_CHECK_OP(a, >=, b)
+
+#ifdef NDEBUG
+#define WSC_DCHECK(expr) \
+  do {                   \
+  } while (0)
+#else
+#define WSC_DCHECK(expr) WSC_CHECK(expr)
+#endif
+
+#define WSC_DCHECK_EQ(a, b) WSC_DCHECK((a) == (b))
+#define WSC_DCHECK_NE(a, b) WSC_DCHECK((a) != (b))
+#define WSC_DCHECK_LT(a, b) WSC_DCHECK((a) < (b))
+#define WSC_DCHECK_LE(a, b) WSC_DCHECK((a) <= (b))
+#define WSC_DCHECK_GT(a, b) WSC_DCHECK((a) > (b))
+#define WSC_DCHECK_GE(a, b) WSC_DCHECK((a) >= (b))
+
+#endif  // WSC_COMMON_LOGGING_H_

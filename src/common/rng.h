@@ -1,0 +1,98 @@
+// Deterministic pseudo-random number generator.
+//
+// Everything in wsc-malloc that needs randomness (workload sampling, fleet
+// machine seeding, scheduler jitter) draws from an explicitly-seeded Rng so
+// that simulations are exactly reproducible. The engine is xoshiro256++,
+// seeded through SplitMix64, which is fast and has no observable bias for
+// our use cases.
+
+#ifndef WSC_COMMON_RNG_H_
+#define WSC_COMMON_RNG_H_
+
+#include <cstdint>
+
+#include "common/logging.h"
+
+namespace wsc {
+
+// A small, fast, deterministic random number generator (xoshiro256++).
+class Rng {
+ public:
+  // Seeds the generator. Two Rng instances constructed with the same seed
+  // produce identical streams.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
+
+  // Re-seeds the generator in place.
+  void Seed(uint64_t seed) {
+    // SplitMix64 expansion of the single-word seed into 256 bits of state.
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  // Returns the next 64 uniformly distributed bits.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Returns a uniform integer in [0, bound). bound must be positive.
+  uint64_t UniformInt(uint64_t bound) {
+    WSC_DCHECK_GT(bound, 0u);
+    // Lemire's multiply-shift rejection method.
+    uint64_t x = Next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    uint64_t low = static_cast<uint64_t>(m);
+    if (low < bound) {
+      uint64_t threshold = -bound % bound;
+      while (low < threshold) {
+        x = Next();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  // Returns a uniform integer in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    WSC_DCHECK_LE(lo, hi);
+    return lo + static_cast<int64_t>(
+                    UniformInt(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  // Returns a uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  // Returns true with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  // Derives a child seed; used to give each fleet machine / workload its own
+  // independent deterministic stream.
+  uint64_t Fork() { return Next() ^ 0xd1b54a32d192ed03ULL; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace wsc
+
+#endif  // WSC_COMMON_RNG_H_

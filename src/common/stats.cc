@@ -1,0 +1,87 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace wsc {
+
+void RunningStat::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::Variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::StdDev() const { return std::sqrt(Variance()); }
+
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  WSC_CHECK_EQ(x.size(), y.size());
+  size_t n = x.size();
+  if (n < 2) return 0.0;
+  double mx = std::accumulate(x.begin(), x.end(), 0.0) / n;
+  double my = std::accumulate(y.begin(), y.end(), 0.0) / n;
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double dx = x[i] - mx;
+    double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+namespace {
+
+// Average ranks with tie handling (ranks start at 1).
+std::vector<double> Ranks(const std::vector<double>& v) {
+  size_t n = v.size();
+  std::vector<size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0u);
+  std::sort(idx.begin(), idx.end(),
+            [&v](size_t a, size_t b) { return v[a] < v[b]; });
+  std::vector<double> ranks(n);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && v[idx[j + 1]] == v[idx[i]]) ++j;
+    double avg_rank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0
+                      + 1.0;
+    for (size_t k = i; k <= j; ++k) ranks[idx[k]] = avg_rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+double SpearmanCorrelation(const std::vector<double>& x,
+                           const std::vector<double>& y) {
+  WSC_CHECK_EQ(x.size(), y.size());
+  if (x.size() < 2) return 0.0;
+  return PearsonCorrelation(Ranks(x), Ranks(y));
+}
+
+double PercentChange(double a, double b) {
+  if (a == 0.0) return 0.0;
+  return (b - a) / a * 100.0;
+}
+
+}  // namespace wsc

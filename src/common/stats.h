@@ -1,0 +1,50 @@
+// Small statistics helpers: running moments and rank correlation.
+//
+// Spearman's rank correlation is used to reproduce the paper's Fig. 16
+// finding of a -0.75 correlation between span capacity and span return rate.
+
+#ifndef WSC_COMMON_STATS_H_
+#define WSC_COMMON_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace wsc {
+
+// Online mean / variance accumulator (Welford).
+class RunningStat {
+ public:
+  void Add(double x);
+
+  uint64_t count() const { return count_; }
+  double Mean() const { return count_ ? mean_ : 0.0; }
+  double Variance() const;
+  double StdDev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double Sum() const { return sum_; }
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Pearson correlation of two equal-length series.
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+// Spearman rank correlation of two equal-length series. Ties receive
+// fractional (average) ranks.
+double SpearmanCorrelation(const std::vector<double>& x,
+                           const std::vector<double>& y);
+
+// Relative change (b - a) / a in percent; returns 0 when a == 0.
+double PercentChange(double a, double b);
+
+}  // namespace wsc
+
+#endif  // WSC_COMMON_STATS_H_

@@ -1,0 +1,54 @@
+// ASCII table/series printers for bench output.
+//
+// Every bench binary regenerates one paper table or figure; these helpers
+// render rows/series in a uniform, diff-friendly layout and can print the
+// paper's reported value next to the measured value.
+
+#ifndef WSC_COMMON_TABLE_H_
+#define WSC_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace wsc {
+
+// Columnar table with a header row; column widths auto-fit.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  // Adds one row; must match the header arity.
+  void AddRow(std::vector<std::string> row);
+
+  // Renders the table.
+  std::string ToString() const;
+
+  // Renders and writes to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with the given number of decimals.
+std::string FormatDouble(double v, int decimals = 2);
+
+// Formats a byte count with binary-unit suffix (KiB/MiB/GiB).
+std::string FormatBytes(double bytes);
+
+// Formats a percentage with sign, e.g. "+1.40%" / "-3.40%".
+std::string FormatSignedPercent(double v, int decimals = 2);
+
+// Prints a section banner for bench output.
+void PrintBanner(const std::string& title);
+
+// Prints an x/y series (one "x y" pair per line) with a label, matching how
+// paper figures are plotted.
+void PrintSeries(const std::string& label,
+                 const std::vector<std::pair<double, double>>& points,
+                 int decimals = 3);
+
+}  // namespace wsc
+
+#endif  // WSC_COMMON_TABLE_H_

@@ -1,0 +1,80 @@
+#include "fleet/fleet.h"
+
+#include "common/distribution.h"
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace wsc::fleet {
+
+Fleet::Fleet(const FleetConfig& config,
+             const tcmalloc::AllocatorConfig& allocator, uint64_t seed)
+    : config_(config), allocator_config_(allocator), seed_(seed) {
+  WSC_CHECK_GT(config.num_machines, 0);
+  WSC_CHECK_GT(config.num_binaries, 0);
+  WSC_CHECK_GE(config.max_colocated, config.min_colocated);
+  WSC_CHECK_EQ(config.platform_mix.size(),
+               hw::AllPlatformGenerations().size());
+}
+
+workload::WorkloadSpec Fleet::BinarySpec(int rank) const {
+  if (config_.include_top_five && rank < 5) {
+    return workload::TopFiveProfiles()[rank];
+  }
+  return workload::SyntheticBinary(rank, seed_ ^ 0xF1EE7ULL);
+}
+
+void Fleet::Run() {
+  observations_.clear();
+  ZipfDistribution zipf(config_.num_binaries, config_.zipf_exponent);
+  auto generations = hw::AllPlatformGenerations();
+
+  for (int m = 0; m < config_.num_machines; ++m) {
+    // Machine composition derives only from (seed_, m).
+    Rng rng(seed_ + 0x1000003 * static_cast<uint64_t>(m));
+
+    // Platform generation by configured mix.
+    double u = rng.UniformDouble();
+    size_t gen = 0;
+    double acc = 0;
+    for (size_t g = 0; g < config_.platform_mix.size(); ++g) {
+      acc += config_.platform_mix[g];
+      if (u < acc) {
+        gen = g;
+        break;
+      }
+      gen = g;
+    }
+    hw::PlatformSpec platform = hw::PlatformSpecFor(generations[gen]);
+
+    // Co-located binaries by Zipf popularity. The first five machines
+    // each host one of the top-5 production binaries so per-application
+    // telemetry (the paper's per-app tables) always has observations.
+    int n = config_.min_colocated +
+            static_cast<int>(rng.UniformInt(
+                config_.max_colocated - config_.min_colocated + 1));
+    std::vector<workload::WorkloadSpec> workloads;
+    std::vector<int> ranks;
+    for (int i = 0; i < n; ++i) {
+      int rank;
+      if (config_.include_top_five && m < 5 && i == 0) {
+        rank = m;
+      } else {
+        rank = static_cast<int>(zipf.Sample(rng)) - 1;
+      }
+      workloads.push_back(BinarySpec(rank));
+      ranks.push_back(rank);
+    }
+
+    Machine machine(platform, workloads, allocator_config_, rng.Fork());
+    machine.Run(config_.duration, config_.max_requests_per_process);
+    for (size_t i = 0; i < machine.results().size(); ++i) {
+      FleetObservation obs;
+      obs.machine = m;
+      obs.binary_rank = ranks[i];
+      obs.result = machine.results()[i];
+      observations_.push_back(std::move(obs));
+    }
+  }
+}
+
+}  // namespace wsc::fleet

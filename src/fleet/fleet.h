@@ -1,0 +1,79 @@
+// Fleet model: a population of machines running a Zipf-weighted binary mix.
+//
+// Section 2.2: there is no killer app — the top 50 binaries cover only
+// ~50% of fleet malloc cycles and ~65% of allocated memory (Fig. 3). The
+// fleet samples binaries by Zipf popularity onto machines of mixed platform
+// generations, with 1-3 co-located processes per machine, and aggregates
+// telemetry across all of them.
+
+#ifndef WSC_FLEET_FLEET_H_
+#define WSC_FLEET_FLEET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fleet/machine.h"
+#include "hw/topology.h"
+#include "tcmalloc/config.h"
+#include "workload/profiles.h"
+
+namespace wsc::fleet {
+
+// Fleet shape and run-length parameters.
+struct FleetConfig {
+  int num_machines = 16;
+  int num_binaries = 50;
+  double zipf_exponent = 1.1;  // binary popularity skew
+  int min_colocated = 1;
+  int max_colocated = 3;
+
+  // Per-process run bounds.
+  SimTime duration = Minutes(5);
+  uint64_t max_requests_per_process = 120000;
+
+  // Fraction of machines per platform generation (kGenA..kGenE); chiplet
+  // platforms are generations C-E.
+  std::vector<double> platform_mix = {0.10, 0.20, 0.30, 0.25, 0.15};
+
+  // Ranks 0-4 are the exact top-5 production profiles (they are also the
+  // most popular by Zipf weight); higher ranks are jittered variants.
+  bool include_top_five = true;
+};
+
+// One process observation, tagged with provenance.
+struct FleetObservation {
+  int machine = 0;
+  int binary_rank = 0;
+  ProcessResult result;
+};
+
+// A runnable fleet. Machine composition (platforms, binary placement,
+// seeds) is a pure function of (config, seed) and never depends on the
+// allocator configuration — this is what makes paired A/B runs
+// low-variance.
+class Fleet {
+ public:
+  Fleet(const FleetConfig& config, const tcmalloc::AllocatorConfig& allocator,
+        uint64_t seed);
+
+  // Runs every machine and collects observations.
+  void Run();
+
+  const std::vector<FleetObservation>& observations() const {
+    return observations_;
+  }
+
+  // The workload spec for a binary rank under this fleet's seed.
+  workload::WorkloadSpec BinarySpec(int rank) const;
+
+ private:
+  FleetConfig config_;
+  tcmalloc::AllocatorConfig allocator_config_;
+  uint64_t seed_;
+  std::vector<FleetObservation> observations_;
+};
+
+}  // namespace wsc::fleet
+
+#endif  // WSC_FLEET_FLEET_H_

@@ -1,0 +1,149 @@
+#include "fleet/machine.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace wsc::fleet {
+
+namespace {
+
+// LLC model resident-line budget per domain: 256 Ki modeled lines
+// (16 MiB) per domain, large enough that an object freed on one domain and
+// re-allocated on another still has resident lines — the cross-domain
+// transfer the NUCA transfer cache eliminates (Section 4.2).
+constexpr size_t kLlcLinesPerDomain = 256 * 1024;
+
+// Footprint sampling cadence: fine enough that time-averaged memory
+// metrics resolve sub-percent A/B deltas on runs of tens of seconds.
+constexpr SimTime kSamplePeriod = Milliseconds(500);
+
+}  // namespace
+
+Machine::Machine(const hw::PlatformSpec& platform,
+                 std::vector<workload::WorkloadSpec> workloads,
+                 const tcmalloc::AllocatorConfig& base_config, uint64_t seed)
+    : topology_(platform) {
+  WSC_CHECK(!workloads.empty());
+  Rng rng(seed);
+
+  // Partition the machine's logical CPUs into contiguous blocks, one per
+  // co-located process (the control-plane CPU mask).
+  int total_cpus = topology_.num_cpus();
+  int n = static_cast<int>(workloads.size());
+  int per_process = std::max(1, total_cpus / n);
+
+  for (int i = 0; i < n; ++i) {
+    auto process = std::make_unique<Process>();
+    process->spec = workloads[i];
+
+    std::vector<int> cpus;
+    int first = (i * per_process) % total_cpus;
+    for (int c = 0; c < per_process; ++c) {
+      cpus.push_back((first + c) % total_cpus);
+    }
+
+    tcmalloc::AllocatorConfig config = base_config;
+    config.num_llc_domains = topology_.num_domains();
+    if (config.numa_aware) {
+      config.num_numa_nodes = topology_.spec().sockets;
+    }
+    if (config.per_thread_front_end) {
+      // Legacy per-thread caches: one front-end cache per thread.
+      config.num_vcpus = std::max(1, process->spec.max_threads);
+    } else {
+      // Dense vCPU ids: populate only as many caches as the process can
+      // use (bounded by its CPU mask).
+      config.num_vcpus =
+          std::max(1, std::min<int>(process->spec.max_threads,
+                                    static_cast<int>(cpus.size())));
+    }
+    // Disjoint arenas per process on the same machine (16 TiB stride,
+    // larger than any arena).
+    config.arena_base = (uintptr_t{1} << 44) * (1 + static_cast<uintptr_t>(i));
+
+    process->allocator = std::make_unique<tcmalloc::Allocator>(config);
+    process->tlb = std::make_unique<hw::TlbSimulator>();
+    process->llc = std::make_unique<hw::LlcModel>(
+        &topology_, kLlcLinesPerDomain, rng.Fork());
+    process->driver = std::make_unique<workload::Driver>(
+        process->spec, process->allocator.get(), &topology_, cpus,
+        process->llc.get(), process->tlb.get(), rng.Fork());
+    processes_.push_back(std::move(process));
+  }
+}
+
+void Machine::SampleFootprint(Process& p) {
+  SimTime now = p.driver->now();
+  SimTime dt = now - p.last_sample;
+  if (dt <= 0) return;
+  tcmalloc::HeapStats heap = p.allocator->CollectStats();
+  p.heap_byte_seconds +=
+      static_cast<double>(heap.HeapBytes()) * static_cast<double>(dt);
+  p.live_byte_seconds +=
+      static_cast<double>(heap.live_bytes) * static_cast<double>(dt);
+  p.last_sample = now;
+}
+
+void Machine::Run(SimTime duration, uint64_t max_requests) {
+  // Interleave processes by next-event order so co-located workloads share
+  // the timeline.
+  bool any_active = true;
+  std::vector<SimTime> next_sample(processes_.size(), kSamplePeriod);
+  while (any_active) {
+    any_active = false;
+    // Step the process with the smallest local clock.
+    Process* lowest = nullptr;
+    size_t lowest_idx = 0;
+    for (size_t i = 0; i < processes_.size(); ++i) {
+      Process& p = *processes_[i];
+      if (p.done) continue;
+      if (lowest == nullptr || p.driver->now() < lowest->driver->now()) {
+        lowest = &p;
+        lowest_idx = i;
+      }
+    }
+    if (lowest == nullptr) break;
+    lowest->driver->Step();
+    if (lowest->driver->now() >= next_sample[lowest_idx]) {
+      SampleFootprint(*lowest);
+      next_sample[lowest_idx] = lowest->driver->now() + kSamplePeriod;
+    }
+    if (lowest->driver->now() >= duration ||
+        lowest->driver->metrics().requests >= max_requests) {
+      SampleFootprint(*lowest);
+      lowest->done = true;
+    }
+    for (const auto& p : processes_) {
+      if (!p->done) {
+        any_active = true;
+        break;
+      }
+    }
+  }
+
+  // Finalize results.
+  results_.clear();
+  for (const auto& p : processes_) {
+    ProcessResult r;
+    r.workload_name = p->spec.name;
+    r.driver = p->driver->metrics();
+    r.heap = p->allocator->CollectStats();
+    SimTime elapsed = std::max<SimTime>(p->driver->now(), 1);
+    r.avg_heap_bytes = p->heap_byte_seconds / static_cast<double>(elapsed);
+    r.avg_live_bytes = p->live_byte_seconds / static_cast<double>(elapsed);
+    if (r.avg_heap_bytes == 0) {
+      r.avg_heap_bytes = static_cast<double>(r.heap.HeapBytes());
+      r.avg_live_bytes = static_cast<double>(r.heap.live_bytes);
+    }
+    r.hugepage_coverage = p->allocator->HugepageCoverage();
+    r.tlb = p->tlb->stats();
+    r.llc = p->llc->stats();
+    r.malloc_cycles = p->allocator->cycle_breakdown();
+    r.tier_hits = p->allocator->alloc_tier_hits();
+    r.ghz = topology_.spec().ghz;
+    results_.push_back(r);
+  }
+}
+
+}  // namespace wsc::fleet

@@ -1,0 +1,93 @@
+// Machine model: one server running co-located workloads.
+//
+// WSC applications are co-located and constrained to CPU subsets by the
+// control plane (Section 4.1). A Machine owns a platform topology and one
+// simulated process per workload: each process has its own allocator
+// instance (as in production, where every binary links its own TCMalloc),
+// its own dTLB model, and its own LLC locality model (cross-process LLC
+// interference is out of scope; the NUCA effects the paper studies are
+// within-process object flows). Processes are interleaved on a shared
+// timeline by next-event order.
+
+#ifndef WSC_FLEET_MACHINE_H_
+#define WSC_FLEET_MACHINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hw/llc_model.h"
+#include "hw/tlb.h"
+#include "hw/topology.h"
+#include "tcmalloc/allocator.h"
+#include "workload/driver.h"
+#include "workload/profiles.h"
+
+namespace wsc::fleet {
+
+// Final metrics of one process after a machine run.
+struct ProcessResult {
+  std::string workload_name;
+  workload::DriverMetrics driver;
+  tcmalloc::HeapStats heap;            // final heap snapshot
+  double avg_heap_bytes = 0;           // time-averaged footprint
+  double avg_live_bytes = 0;
+  double hugepage_coverage = 0;        // page-heap coverage at end
+  hw::TlbStats tlb;
+  hw::LlcStats llc;
+  tcmalloc::MallocCycleBreakdown malloc_cycles;
+  tcmalloc::TierHitCounts tier_hits;
+  double ghz = 2.4;
+
+  double LlcMpki() const {
+    return llc.Mpki(driver.Instructions(ghz));
+  }
+  // Fraction of cycles spent walking the page table on dTLB misses.
+  double DtlbWalkFraction() const {
+    return driver.cpu_ns > 0 ? driver.tlb_stall_ns / driver.cpu_ns : 0.0;
+  }
+};
+
+// One simulated server.
+class Machine {
+ public:
+  Machine(const hw::PlatformSpec& platform,
+          std::vector<workload::WorkloadSpec> workloads,
+          const tcmalloc::AllocatorConfig& base_config, uint64_t seed);
+
+  // Runs every process until its local clock reaches `duration` or it has
+  // executed `max_requests` requests, whichever comes first, then drains.
+  void Run(SimTime duration, uint64_t max_requests);
+
+  // Results are valid after Run().
+  const std::vector<ProcessResult>& results() const { return results_; }
+
+  const hw::CpuTopology& topology() const { return topology_; }
+  int num_processes() const { return static_cast<int>(processes_.size()); }
+  workload::Driver& driver(int i) { return *processes_[i]->driver; }
+  tcmalloc::Allocator& allocator(int i) { return *processes_[i]->allocator; }
+
+ private:
+  struct Process {
+    workload::WorkloadSpec spec;
+    std::unique_ptr<tcmalloc::Allocator> allocator;
+    std::unique_ptr<hw::TlbSimulator> tlb;
+    std::unique_ptr<hw::LlcModel> llc;
+    std::unique_ptr<workload::Driver> driver;
+    // Time-weighted footprint accumulators.
+    double heap_byte_seconds = 0;
+    double live_byte_seconds = 0;
+    SimTime last_sample = 0;
+    bool done = false;
+  };
+
+  void SampleFootprint(Process& p);
+
+  hw::CpuTopology topology_;
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::vector<ProcessResult> results_;
+};
+
+}  // namespace wsc::fleet
+
+#endif  // WSC_FLEET_MACHINE_H_

@@ -1,0 +1,30 @@
+#include "hw/latency_model.h"
+
+#include "common/stats.h"
+
+namespace wsc::hw {
+
+CoreToCoreLatency MeasureCoreToCore(const CpuTopology& topology) {
+  RunningStat intra, inter, socket;
+  int n = topology.num_cpus();
+  for (int a = 0; a < n; ++a) {
+    for (int b = 0; b < n; ++b) {
+      if (a == b) continue;
+      double ns = topology.TransferLatencyNs(a, b);
+      if (topology.DomainOfCpu(a) == topology.DomainOfCpu(b)) {
+        intra.Add(ns);
+      } else if (topology.SocketOfCpu(a) == topology.SocketOfCpu(b)) {
+        inter.Add(ns);
+      } else {
+        socket.Add(ns);
+      }
+    }
+  }
+  CoreToCoreLatency result;
+  result.intra_domain_ns = intra.Mean();
+  result.inter_domain_ns = inter.Mean();
+  result.inter_socket_ns = socket.Mean();
+  return result;
+}
+
+}  // namespace wsc::hw

@@ -1,0 +1,31 @@
+// Core-to-core latency measurement harness over the topology model.
+//
+// Reproduces the paper's Fig. 11 experiment (Intel MLC core-to-core
+// latencies on a chiplet platform): producer core writes a line, consumer
+// core on the same / a different LLC domain reads it.
+
+#ifndef WSC_HW_LATENCY_MODEL_H_
+#define WSC_HW_LATENCY_MODEL_H_
+
+#include "hw/topology.h"
+
+namespace wsc::hw {
+
+// Results of a core-to-core latency sweep on one platform.
+struct CoreToCoreLatency {
+  double intra_domain_ns = 0.0;
+  double inter_domain_ns = 0.0;
+  double inter_socket_ns = 0.0;  // 0 when single-socket
+
+  double InterToIntraRatio() const {
+    return intra_domain_ns > 0 ? inter_domain_ns / intra_domain_ns : 0.0;
+  }
+};
+
+// Sweeps all (producer, consumer) core pairs of the topology and averages
+// transfer latency per relationship class.
+CoreToCoreLatency MeasureCoreToCore(const CpuTopology& topology);
+
+}  // namespace wsc::hw
+
+#endif  // WSC_HW_LATENCY_MODEL_H_

@@ -1,0 +1,117 @@
+#include "hw/llc_model.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace wsc::hw {
+
+namespace {
+
+constexpr int kLineShift = 6;  // 64 B cache lines
+constexpr size_t kWays = 8;    // associativity of the model
+
+uint64_t HashLine(uint64_t line) {
+  // Fibonacci hashing; good dispersion for sequential lines.
+  return line * 0x9e3779b97f4a7c15ULL;
+}
+
+size_t RoundUpPow2(size_t v) {
+  size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+LlcModel::LlcModel(const CpuTopology* topology, size_t lines_per_domain,
+                   uint64_t seed)
+    : topology_(topology), rng_(seed) {
+  WSC_CHECK(topology != nullptr);
+  WSC_CHECK_GE(lines_per_domain, kWays);
+  size_t sets = RoundUpPow2(lines_per_domain / kWays);
+  domains_.resize(topology->num_domains());
+  for (DomainSet& d : domains_) {
+    d.slots.assign(sets * kWays, 0);
+    d.mask = sets - 1;
+    d.capacity = sets * kWays;
+    d.size = 0;
+  }
+}
+
+bool LlcModel::Lookup(const DomainSet& set, uint64_t line) const {
+  size_t base = (HashLine(line) & set.mask) * kWays;
+  uint64_t key = line + 1;
+  for (size_t w = 0; w < kWays; ++w) {
+    if (set.slots[base + w] == key) return true;
+  }
+  return false;
+}
+
+void LlcModel::Insert(DomainSet& set, uint64_t line) {
+  size_t base = (HashLine(line) & set.mask) * kWays;
+  uint64_t key = line + 1;
+  // Prefer an empty way; otherwise evict a random way.
+  for (size_t w = 0; w < kWays; ++w) {
+    if (set.slots[base + w] == key) return;
+    if (set.slots[base + w] == 0) {
+      set.slots[base + w] = key;
+      ++set.size;
+      return;
+    }
+  }
+  size_t victim = rng_.UniformInt(kWays);
+  set.slots[base + victim] = key;
+}
+
+void LlcModel::Erase(DomainSet& set, uint64_t line) {
+  size_t base = (HashLine(line) & set.mask) * kWays;
+  uint64_t key = line + 1;
+  for (size_t w = 0; w < kWays; ++w) {
+    if (set.slots[base + w] == key) {
+      set.slots[base + w] = 0;
+      --set.size;
+      return;
+    }
+  }
+}
+
+double LlcModel::AccessNs(int cpu, uint64_t addr) {
+  ++stats_.accesses;
+  int home = topology_->DomainOfCpu(cpu);
+  uint64_t line = addr >> kLineShift;
+
+  if (Lookup(domains_[home], line)) {
+    ++stats_.local_hits;
+    return 0.0;
+  }
+  // Search remote domains (nearest first would require distance ordering;
+  // with a flat interconnect the order does not affect the outcome).
+  for (int d = 0; d < static_cast<int>(domains_.size()); ++d) {
+    if (d == home) continue;
+    if (Lookup(domains_[d], line)) {
+      ++stats_.remote_hits;
+      // Line migrates to the consumer's domain (MESI forward + invalidate).
+      Erase(domains_[d], line);
+      Insert(domains_[home], line);
+      double ns = topology_->DomainTransferLatencyNs(d, home);
+      stats_.stall_ns += ns;
+      return ns;
+    }
+  }
+  ++stats_.memory_misses;
+  Insert(domains_[home], line);
+  double ns = topology_->spec().memory_latency_ns;
+  stats_.stall_ns += ns;
+  return ns;
+}
+
+void LlcModel::EvictRange(uint64_t addr, uint64_t size) {
+  uint64_t first = addr >> kLineShift;
+  uint64_t last = (addr + size - 1) >> kLineShift;
+  for (DomainSet& d : domains_) {
+    for (uint64_t line = first; line <= last; ++line) Erase(d, line);
+  }
+}
+
+}  // namespace wsc::hw

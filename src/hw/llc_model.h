@@ -1,0 +1,80 @@
+// Last-level-cache locality model for NUCA (chiplet) platforms.
+//
+// Section 4.2 shows that on chiplet platforms the legacy centralized
+// transfer cache moves free objects between LLC domains, so a consumer core
+// must fetch the object's cache lines from a remote LLC (2.07x the local
+// latency) or from memory. We model each LLC domain as a set of resident
+// cache lines with random replacement; an access that hits a *remote*
+// domain's set counts as a local-LLC load miss served by a cache-to-cache
+// transfer, and an access resident nowhere is a memory miss. Table 1's
+// LLC-MPKI deltas are produced by this model.
+
+#ifndef WSC_HW_LLC_MODEL_H_
+#define WSC_HW_LLC_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "hw/topology.h"
+
+namespace wsc::hw {
+
+// Aggregate LLC statistics.
+struct LlcStats {
+  uint64_t accesses = 0;
+  uint64_t local_hits = 0;
+  uint64_t remote_hits = 0;     // cache-to-cache, counts as local-LLC miss
+  uint64_t memory_misses = 0;   // served from DRAM
+  double stall_ns = 0.0;
+
+  // Local-LLC load misses per kilo-instruction.
+  double Mpki(uint64_t instructions) const {
+    if (instructions == 0) return 0.0;
+    return static_cast<double>(remote_hits + memory_misses) /
+           (static_cast<double>(instructions) / 1000.0);
+  }
+};
+
+// Per-domain resident-line sets with random replacement. The set is an
+// open-addressed hash table of line addresses; random replacement is a
+// standard approximation of LRU at LLC associativities.
+class LlcModel {
+ public:
+  // `lines_per_domain` bounds each domain's resident set (capacity / 64B,
+  // possibly scaled down when the driver samples accesses).
+  LlcModel(const CpuTopology* topology, size_t lines_per_domain,
+           uint64_t seed);
+
+  // Simulates a load from `cpu` to `addr`. Returns the stall nanoseconds
+  // beyond an L1/L2 hit (0 for a local LLC hit).
+  double AccessNs(int cpu, uint64_t addr);
+
+  // Removes all lines covering [addr, addr+size) from every domain
+  // (used when memory is released to the OS).
+  void EvictRange(uint64_t addr, uint64_t size);
+
+  const LlcStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = LlcStats(); }
+
+ private:
+  struct DomainSet {
+    std::vector<uint64_t> slots;  // line address + 1, 0 = empty
+    size_t mask = 0;
+    size_t size = 0;
+    size_t capacity = 0;
+  };
+
+  bool Lookup(const DomainSet& set, uint64_t line) const;
+  void Insert(DomainSet& set, uint64_t line);
+  void Erase(DomainSet& set, uint64_t line);
+
+  const CpuTopology* topology_;
+  std::vector<DomainSet> domains_;
+  Rng rng_;
+  LlcStats stats_;
+};
+
+}  // namespace wsc::hw
+
+#endif  // WSC_HW_LLC_MODEL_H_

@@ -1,0 +1,96 @@
+#include "hw/topology.h"
+
+#include "common/logging.h"
+
+namespace wsc::hw {
+
+CpuTopology::CpuTopology(PlatformSpec spec) : spec_(std::move(spec)) {
+  WSC_CHECK_GT(spec_.sockets, 0);
+  WSC_CHECK_GT(spec_.llc_domains_per_socket, 0);
+  WSC_CHECK_GT(spec_.cores_per_domain, 0);
+  WSC_CHECK_GT(spec_.threads_per_core, 0);
+}
+
+// Logical CPUs are numbered so that consecutive ids fill a core's SMT
+// siblings, then the next core in the same domain, then the next domain.
+int CpuTopology::CoreOfCpu(int cpu) const {
+  WSC_DCHECK_GE(cpu, 0);
+  WSC_DCHECK_LT(cpu, num_cpus());
+  return cpu / spec_.threads_per_core;
+}
+
+int CpuTopology::DomainOfCpu(int cpu) const {
+  return CoreOfCpu(cpu) / spec_.cores_per_domain;
+}
+
+int CpuTopology::SocketOfCpu(int cpu) const {
+  return DomainOfCpu(cpu) / spec_.llc_domains_per_socket;
+}
+
+double CpuTopology::TransferLatencyNs(int cpu_from, int cpu_to) const {
+  return DomainTransferLatencyNs(DomainOfCpu(cpu_from), DomainOfCpu(cpu_to));
+}
+
+double CpuTopology::DomainTransferLatencyNs(int domain_from,
+                                            int domain_to) const {
+  if (domain_from == domain_to) return spec_.intra_domain_latency_ns;
+  int socket_from = domain_from / spec_.llc_domains_per_socket;
+  int socket_to = domain_to / spec_.llc_domains_per_socket;
+  if (socket_from == socket_to) return spec_.inter_domain_latency_ns;
+  return spec_.inter_socket_latency_ns;
+}
+
+PlatformSpec PlatformSpecFor(PlatformGeneration gen) {
+  PlatformSpec spec;
+  switch (gen) {
+    case PlatformGeneration::kGenA:
+      spec.name = "gen-a-monolithic";
+      spec.sockets = 1;
+      spec.llc_domains_per_socket = 1;
+      spec.cores_per_domain = 28;
+      spec.threads_per_core = 2;
+      spec.ghz = 2.0;
+      break;
+    case PlatformGeneration::kGenB:
+      spec.name = "gen-b-monolithic";
+      spec.sockets = 1;
+      spec.llc_domains_per_socket = 1;
+      spec.cores_per_domain = 36;
+      spec.threads_per_core = 2;
+      spec.ghz = 2.2;
+      break;
+    case PlatformGeneration::kGenC:
+      spec.name = "gen-c-chiplet";
+      spec.sockets = 1;
+      spec.llc_domains_per_socket = 4;
+      spec.cores_per_domain = 8;
+      spec.threads_per_core = 2;
+      spec.ghz = 2.4;
+      break;
+    case PlatformGeneration::kGenD:
+      spec.name = "gen-d-chiplet";
+      spec.sockets = 2;
+      spec.llc_domains_per_socket = 4;
+      spec.cores_per_domain = 8;
+      spec.threads_per_core = 2;
+      spec.ghz = 2.6;
+      break;
+    case PlatformGeneration::kGenE:
+      spec.name = "gen-e-chiplet";
+      spec.sockets = 2;
+      spec.llc_domains_per_socket = 8;
+      spec.cores_per_domain = 8;
+      spec.threads_per_core = 2;
+      spec.ghz = 2.8;
+      break;
+  }
+  return spec;
+}
+
+std::vector<PlatformGeneration> AllPlatformGenerations() {
+  return {PlatformGeneration::kGenA, PlatformGeneration::kGenB,
+          PlatformGeneration::kGenC, PlatformGeneration::kGenD,
+          PlatformGeneration::kGenE};
+}
+
+}  // namespace wsc::hw

@@ -1,0 +1,93 @@
+// Hardware platform model: sockets, LLC (NUCA) domains, cores, hyperthreads.
+//
+// Section 4.2 of the paper observes that a significant fraction of the fleet
+// uses chiplet-based CPUs with multiple last-level-cache domains per socket
+// (NUCA), and Section 4.1 notes a 4x growth in hyperthreads per server over
+// five platform generations. This module models both dimensions so the
+// allocator and the fleet simulator can react to them.
+
+#ifndef WSC_HW_TOPOLOGY_H_
+#define WSC_HW_TOPOLOGY_H_
+
+#include <string>
+#include <vector>
+
+namespace wsc::hw {
+
+// Static description of one server platform generation.
+struct PlatformSpec {
+  std::string name;
+  int sockets = 1;
+  int llc_domains_per_socket = 1;  // >1 => chiplet/NUCA platform
+  int cores_per_domain = 8;
+  int threads_per_core = 2;  // SMT width
+
+  // Core-to-core cache transfer latencies (ns), calibrated against the
+  // paper's Fig. 11 measurement (inter-domain = 2.07x intra-domain).
+  double intra_domain_latency_ns = 21.0;
+  double inter_domain_latency_ns = 43.5;
+  double inter_socket_latency_ns = 62.0;
+  double memory_latency_ns = 98.0;
+
+  // Nominal core frequency used to convert cycles <-> ns.
+  double ghz = 2.4;
+
+  int num_domains() const { return sockets * llc_domains_per_socket; }
+  int num_cores() const { return num_domains() * cores_per_domain; }
+  int num_cpus() const { return num_cores() * threads_per_core; }
+  bool is_nuca() const { return llc_domains_per_socket > 1; }
+};
+
+// A concrete machine topology: maps logical CPU ids to cores, LLC domains
+// and sockets, and answers transfer-latency queries.
+class CpuTopology {
+ public:
+  explicit CpuTopology(PlatformSpec spec);
+
+  const PlatformSpec& spec() const { return spec_; }
+  int num_cpus() const { return spec_.num_cpus(); }
+  int num_cores() const { return spec_.num_cores(); }
+  int num_domains() const { return spec_.num_domains(); }
+
+  // Logical CPU -> physical core (SMT siblings share a core).
+  int CoreOfCpu(int cpu) const;
+
+  // Logical CPU -> LLC domain (global index across sockets).
+  int DomainOfCpu(int cpu) const;
+
+  // Logical CPU -> socket.
+  int SocketOfCpu(int cpu) const;
+
+  // Latency (ns) for a cache line produced on cpu_from to be consumed on
+  // cpu_to. Same domain -> intra-domain latency; same socket, different
+  // domain -> inter-domain; different socket -> inter-socket.
+  double TransferLatencyNs(int cpu_from, int cpu_to) const;
+
+  // Latency (ns) between two LLC domains.
+  double DomainTransferLatencyNs(int domain_from, int domain_to) const;
+
+ private:
+  PlatformSpec spec_;
+};
+
+// Named platform generations available in the simulated fleet. Generation 0
+// is a small monolithic-LLC part; later generations adopt chiplets and grow
+// the hyperthread count ~4x from first to last, mirroring the fleet trend
+// described in Section 4.1.
+enum class PlatformGeneration {
+  kGenA = 0,  // monolithic, 28 cores x 2 SMT
+  kGenB,      // monolithic, 36 cores x 2 SMT
+  kGenC,      // chiplet, 4 domains x 8 cores x 2 SMT
+  kGenD,      // chiplet, 2 sockets x 4 domains x 8 cores x 2 SMT
+  kGenE,      // chiplet, 2 sockets x 8 domains x 8 cores x 2 SMT
+};
+
+// Returns the spec for a platform generation.
+PlatformSpec PlatformSpecFor(PlatformGeneration gen);
+
+// All generations, oldest first.
+std::vector<PlatformGeneration> AllPlatformGenerations();
+
+}  // namespace wsc::hw
+
+#endif  // WSC_HW_TOPOLOGY_H_

@@ -1,0 +1,407 @@
+#include "tcmalloc/allocator.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace wsc::tcmalloc {
+
+Allocator::NodeBackend::NodeBackend(const AllocatorConfig& config,
+                                    const SizeClasses* size_classes,
+                                    uintptr_t base, size_t bytes,
+                                    PageMap* pagemap)
+    : system(base, bytes, config.costs.mmap_ns),
+      page_heap(size_classes, config, &system, pagemap),
+      transfer_cache(size_classes, config) {
+  int n = size_classes->num_classes();
+  cfls.reserve(n);
+  int cfl_lists = config.span_prioritization ? config.cfl_num_lists : 1;
+  for (int cls = 0; cls < n; ++cls) {
+    cfls.push_back(std::make_unique<CentralFreeList>(
+        cls, size_classes->info(cls), cfl_lists, &page_heap));
+  }
+}
+
+Allocator::Allocator(const AllocatorConfig& config,
+                     const SizeClasses* size_classes)
+    : config_(config),
+      size_classes_(size_classes),
+      pagemap_(PageIdContaining(config.arena_base),
+               config.arena_bytes >> kPageShift),
+      cpu_caches_(size_classes, config),
+      sampler_(config.sample_interval_bytes) {
+  int num_nodes = config.numa_aware ? std::max(1, config.num_numa_nodes) : 1;
+  // Split the arena into hugepage-aligned node slices.
+  node_arena_bytes_ = config.arena_bytes / static_cast<size_t>(num_nodes);
+  node_arena_bytes_ &= ~(kHugePageSize - 1);
+  WSC_CHECK_GT(node_arena_bytes_, 0u);
+  for (int node = 0; node < num_nodes; ++node) {
+    nodes_.push_back(std::make_unique<NodeBackend>(
+        config, size_classes,
+        config.arena_base + static_cast<uintptr_t>(node) * node_arena_bytes_,
+        node_arena_bytes_, &pagemap_));
+  }
+
+  int n = size_classes_->num_classes();
+  vcpu_domain_.assign(config.num_vcpus, 0);
+  vcpu_node_.assign(config.num_vcpus, 0);
+  live_objects_per_class_.assign(n, 0);
+  cumulative_requested_per_class_.assign(n, 0.0);
+  cumulative_allocs_per_class_.assign(n, 0);
+  batch_.resize(64);
+}
+
+Allocator::~Allocator() {
+  // Large spans never flow through the CFLs, so free their metadata here.
+  for (Span* span : live_large_spans_) {
+    nodes_[NodeOfAddr(span->start_addr())]->page_heap.FreeLargeSpan(span);
+  }
+}
+
+void Allocator::SetVcpuDomain(int vcpu, int domain) {
+  WSC_CHECK_GE(vcpu, 0);
+  WSC_CHECK_LT(vcpu, static_cast<int>(vcpu_domain_.size()));
+  WSC_CHECK_GE(domain, 0);
+  WSC_CHECK_LT(domain, std::max(config_.num_llc_domains, 1));
+  vcpu_domain_[vcpu] = domain;
+}
+
+void Allocator::SetVcpuNode(int vcpu, int node) {
+  WSC_CHECK_GE(vcpu, 0);
+  WSC_CHECK_LT(vcpu, static_cast<int>(vcpu_node_.size()));
+  WSC_CHECK_GE(node, 0);
+  WSC_CHECK_LT(node, num_numa_nodes());
+  vcpu_node_[vcpu] = node;
+}
+
+int Allocator::NodeOfAddr(uintptr_t addr) const {
+  WSC_DCHECK_GE(addr, config_.arena_base);
+  size_t offset = addr - config_.arena_base;
+  int node = static_cast<int>(offset / node_arena_bytes_);
+  WSC_DCHECK_LT(node, num_numa_nodes());
+  return node;
+}
+
+double Allocator::MmapNsTotal() const {
+  double total = 0;
+  for (const auto& node : nodes_) total += node->system.stats().mmap_ns;
+  return total;
+}
+
+uintptr_t Allocator::Allocate(size_t size, int vcpu, SimTime now) {
+  WSC_CHECK_GT(size, 0u);
+  ++num_allocations_;
+  last_op_ns_ = config_.costs.other_ns;
+  cycles_.other_ns += config_.costs.other_ns;
+  alloc_count_hist_.Add(static_cast<double>(size), 1.0);
+  alloc_bytes_hist_.Add(static_cast<double>(size),
+                        static_cast<double>(size));
+  int node = vcpu_node_[vcpu];
+
+  uintptr_t addr;
+  size_t allocated_bytes;
+  int cls = size_classes_->ClassFor(size);
+  if (cls < 0) {
+    // Large allocation: straight to the (node-local) page heap, bypassing
+    // the caches.
+    double mmap_before = MmapNsTotal();
+    Span* span =
+        nodes_[node]->page_heap.NewLargeSpan(BytesToLengthCeil(size));
+    live_large_spans_.insert(span);
+    addr = span->start_addr();
+    allocated_bytes = span->span_bytes();
+    large_live_bytes_ += allocated_bytes;
+    large_live_requested_ += static_cast<double>(size);
+    large_requested_.emplace(addr, size);
+    ++alloc_hits_.page_heap;
+    cycles_.page_heap_ns += config_.costs.page_heap_ns;
+    last_op_ns_ += config_.costs.page_heap_ns;
+    double mmap_delta = MmapNsTotal() - mmap_before;
+    if (mmap_delta > 0) {
+      cycles_.mmap_ns += mmap_delta;
+      last_op_ns_ += mmap_delta;
+      ++alloc_hits_.mmap;
+    }
+  } else {
+    allocated_bytes = size_classes_->class_size(cls);
+    addr = cpu_caches_.Allocate(vcpu, cls);
+    if (addr != 0) {
+      ++alloc_hits_.cpu_cache;
+      cycles_.cpu_cache_ns += config_.costs.cpu_cache_hit_ns;
+      last_op_ns_ += config_.costs.cpu_cache_hit_ns;
+    } else {
+      addr = SlowPathAllocate(cls, vcpu, node);
+    }
+    ++live_objects_per_class_[cls];
+    cumulative_requested_per_class_[cls] += static_cast<double>(size);
+    ++cumulative_allocs_per_class_[cls];
+    live_bytes_ += allocated_bytes;
+    // TCMalloc prefetches the *next* object of this class on every
+    // allocation; costly (Fig. 6a: 16% of malloc cycles) but key to data
+    // cache locality.
+    cycles_.prefetch_ns += config_.costs.prefetch_ns;
+    last_op_ns_ += config_.costs.prefetch_ns;
+  }
+
+  if (sampler_.RecordAllocation(addr, size, allocated_bytes, now)) {
+    cycles_.sampled_ns += config_.costs.sampled_alloc_ns;
+    last_op_ns_ += config_.costs.sampled_alloc_ns;
+  }
+  return addr;
+}
+
+uintptr_t Allocator::SlowPathAllocate(int cls, int vcpu, int node) {
+  NodeBackend& backend = *nodes_[node];
+  int domain = vcpu_domain_[vcpu];
+  int batch = size_classes_->batch_size(cls);
+  WSC_CHECK_LE(batch, static_cast<int>(batch_.size()));
+
+  // Fetch a batch from the node's transfer cache.
+  int got = backend.transfer_cache.Remove(domain, cls, batch_.data(), batch);
+  cycles_.transfer_cache_ns += config_.costs.transfer_cache_ns;
+  last_op_ns_ += config_.costs.transfer_cache_ns;
+
+  if (got < batch) {
+    // Transfer cache exhausted: extract the remainder from the central
+    // free list (which may fetch spans from the page heap).
+    CentralFreeList& cfl = *backend.cfls[cls];
+    uint64_t spans_before = cfl.stats().fetched_spans;
+    double mmap_before = MmapNsTotal();
+    got += cfl.RemoveRange(batch_.data() + got, batch - got);
+    cycles_.central_free_list_ns += config_.costs.central_free_list_ns;
+    last_op_ns_ += config_.costs.central_free_list_ns;
+    uint64_t spans_fetched = cfl.stats().fetched_spans - spans_before;
+    if (spans_fetched > 0) {
+      double ph_ns =
+          config_.costs.page_heap_ns * static_cast<double>(spans_fetched);
+      cycles_.page_heap_ns += ph_ns;
+      last_op_ns_ += ph_ns;
+      ++alloc_hits_.page_heap;
+      double mmap_delta = MmapNsTotal() - mmap_before;
+      if (mmap_delta > 0) {
+        cycles_.mmap_ns += mmap_delta;
+        last_op_ns_ += mmap_delta;
+        ++alloc_hits_.mmap;
+      }
+    } else {
+      ++alloc_hits_.central_free_list;
+    }
+  } else {
+    ++alloc_hits_.transfer_cache;
+  }
+  WSC_CHECK_EQ(got, batch);
+
+  // Hand one object to the caller; cache the rest in the vCPU cache.
+  uintptr_t result = batch_[0];
+  int to_cache = got - 1;
+  int accepted = cpu_caches_.Refill(vcpu, cls, batch_.data() + 1, to_cache);
+  if (accepted < to_cache) {
+    // Cache at byte capacity: return the leftovers to the middle tier.
+    int leftover = to_cache - accepted;
+    int back = backend.transfer_cache.Insert(
+        domain, cls, batch_.data() + 1 + accepted, leftover);
+    if (back < leftover) {
+      ReturnToCfl(cls, batch_.data() + 1 + accepted + back, leftover - back);
+    }
+  }
+  return result;
+}
+
+void Allocator::Free(uintptr_t addr, int vcpu, SimTime now) {
+  ++num_frees_;
+  last_op_ns_ = config_.costs.other_ns;
+  cycles_.other_ns += config_.costs.other_ns;
+  sampler_.RecordFree(addr, now);
+
+  Span* span = pagemap_.LookupAddr(addr);
+  WSC_CHECK(span != nullptr);  // wild free otherwise
+  if (span->is_large()) {
+    WSC_CHECK_EQ(span->start_addr(), addr);
+    size_t bytes = span->span_bytes();
+    WSC_CHECK_GE(large_live_bytes_, bytes);
+    large_live_bytes_ -= bytes;
+    auto it = large_requested_.find(addr);
+    WSC_CHECK(it != large_requested_.end());
+    large_live_requested_ -= static_cast<double>(it->second);
+    large_requested_.erase(it);
+    live_large_spans_.erase(span);
+    nodes_[NodeOfAddr(addr)]->page_heap.FreeLargeSpan(span);
+    cycles_.page_heap_ns += config_.costs.page_heap_ns;
+    last_op_ns_ += config_.costs.page_heap_ns;
+    return;
+  }
+
+  int cls = span->size_class();
+  size_t size = size_classes_->class_size(cls);
+  WSC_CHECK_GT(live_objects_per_class_[cls], 0);
+  --live_objects_per_class_[cls];
+  // Track average slack for the class to keep requested-byte estimates
+  // consistent between Allocate and Free.
+  cumulative_requested_per_class_[cls] -=
+      cumulative_allocs_per_class_[cls] > 0
+          ? cumulative_requested_per_class_[cls] /
+                static_cast<double>(cumulative_allocs_per_class_[cls])
+          : 0.0;
+  --cumulative_allocs_per_class_[cls];
+  WSC_CHECK_GE(live_bytes_, size);
+  live_bytes_ -= size;
+
+  if (cpu_caches_.Deallocate(vcpu, cls, addr)) {
+    cycles_.cpu_cache_ns += config_.costs.cpu_cache_hit_ns;
+    last_op_ns_ += config_.costs.cpu_cache_hit_ns;
+    return;
+  }
+  SlowPathFree(cls, vcpu, addr);
+}
+
+void Allocator::SlowPathFree(int cls, int vcpu, uintptr_t obj) {
+  // The cache is full: push a batch down to make room, then retry. Each
+  // extracted object routes to the transfer cache of its owning node.
+  int domain = vcpu_domain_[vcpu];
+  int batch = size_classes_->batch_size(cls);
+  int extracted = cpu_caches_.ExtractBatch(vcpu, cls, batch_.data(), batch);
+  cycles_.transfer_cache_ns += config_.costs.transfer_cache_ns;
+  last_op_ns_ += config_.costs.transfer_cache_ns;
+  bool cfl_charged = false;
+  for (int i = 0; i < extracted; ++i) {
+    uintptr_t o = batch_[i];
+    NodeBackend& backend = *nodes_[NodeOfAddr(o)];
+    if (backend.transfer_cache.Insert(domain, cls, &o, 1) == 0) {
+      if (!cfl_charged) {
+        cycles_.central_free_list_ns += config_.costs.central_free_list_ns;
+        last_op_ns_ += config_.costs.central_free_list_ns;
+        cfl_charged = true;
+      }
+      ReturnToCfl(cls, &o, 1);
+    }
+  }
+  // Retry the fast path; with a freed-up cache this must succeed unless
+  // the cache capacity is smaller than one object, in which case bypass.
+  if (!cpu_caches_.Deallocate(vcpu, cls, obj)) {
+    NodeBackend& backend = *nodes_[NodeOfAddr(obj)];
+    if (backend.transfer_cache.Insert(domain, cls, &obj, 1) == 0) {
+      ReturnToCfl(cls, &obj, 1);
+    }
+  }
+}
+
+void Allocator::ReturnToCfl(int cls, const uintptr_t* objs, int n) {
+  for (int i = 0; i < n; ++i) {
+    Span* span = pagemap_.LookupAddr(objs[i]);
+    WSC_CHECK(span != nullptr);
+    nodes_[NodeOfAddr(objs[i])]->cfls[cls]->InsertObject(span, objs[i]);
+  }
+}
+
+void Allocator::Maintain(SimTime now) {
+  if (now - last_resize_ >= config_.cpu_cache_resize_interval) {
+    last_resize_ = now;
+    cpu_caches_.ResizeStep([this](int cls, const uintptr_t* objs, int n) {
+      for (int i = 0; i < n; ++i) {
+        uintptr_t obj = objs[i];
+        NodeBackend& backend = *nodes_[NodeOfAddr(obj)];
+        if (backend.transfer_cache.Insert(/*domain=*/0, cls, &obj, 1) == 0) {
+          ReturnToCfl(cls, &obj, 1);
+        }
+      }
+    });
+  }
+  if (now - last_plunder_ >= config_.nuca_plunder_interval) {
+    last_plunder_ = now;
+    for (auto& node : nodes_) {
+      if (node->transfer_cache.nuca_enabled()) node->transfer_cache.Plunder();
+      node->transfer_cache.DrainCold(
+          [this](int cls, const uintptr_t* objs, int n) {
+            ReturnToCfl(cls, objs, n);
+          });
+    }
+  }
+  if (now - last_release_ >= config_.release_interval) {
+    last_release_ = now;
+    for (auto& node : nodes_) node->page_heap.BackgroundRelease();
+  }
+}
+
+HeapStats Allocator::CollectStats() const {
+  HeapStats stats;
+  stats.live_bytes = live_bytes_ + large_live_bytes_;
+
+  double requested = large_live_requested_;
+  for (int cls = 0; cls < size_classes_->num_classes(); ++cls) {
+    if (cumulative_allocs_per_class_[cls] == 0) continue;
+    double avg_requested =
+        cumulative_requested_per_class_[cls] /
+        static_cast<double>(cumulative_allocs_per_class_[cls]);
+    requested +=
+        avg_requested * static_cast<double>(live_objects_per_class_[cls]);
+  }
+  stats.requested_bytes = static_cast<size_t>(requested);
+
+  stats.cpu_cache_free = cpu_caches_.TotalCachedBytes();
+  for (const auto& node : nodes_) {
+    stats.transfer_cache_free += node->transfer_cache.TotalCachedBytes();
+    for (const auto& cfl : node->cfls) {
+      stats.central_free_list_free += cfl->FreeObjectBytes();
+    }
+    PageHeapStats ph = node->page_heap.stats();
+    // Pages held by CFL spans are "used" from the page heap's perspective;
+    // the page heap's own fragmentation is its free (unreleased) space.
+    stats.page_heap_free += ph.TotalFree();
+    stats.released_bytes += ph.TotalReleased();
+  }
+  return stats;
+}
+
+SystemStats Allocator::system_stats() const {
+  SystemStats total;
+  for (const auto& node : nodes_) {
+    const SystemStats& s = node->system.stats();
+    total.mmap_calls += s.mmap_calls;
+    total.mapped_bytes += s.mapped_bytes;
+    total.mmap_ns += s.mmap_ns;
+  }
+  return total;
+}
+
+PageHeapStats Allocator::page_heap_stats() const {
+  PageHeapStats total;
+  for (const auto& node : nodes_) {
+    PageHeapStats s = node->page_heap.stats();
+    total.filler_used += s.filler_used;
+    total.filler_free += s.filler_free;
+    total.filler_released += s.filler_released;
+    total.region_used += s.region_used;
+    total.region_free += s.region_free;
+    total.cache_used += s.cache_used;
+    total.cache_free += s.cache_free;
+    total.cache_released += s.cache_released;
+  }
+  return total;
+}
+
+bool Allocator::IsHugepageBacked(uintptr_t addr) const {
+  return nodes_[NodeOfAddr(addr)]->page_heap.IsHugepageBacked(addr);
+}
+
+double Allocator::HugepageCoverage() const {
+  double intact_used = 0, in_use = 0;
+  for (const auto& node : nodes_) {
+    PageHeapStats s = node->page_heap.stats();
+    in_use += static_cast<double>(s.TotalInUse());
+    intact_used += node->page_heap.HugepageCoverage() *
+                   static_cast<double>(s.TotalInUse());
+  }
+  return in_use > 0 ? intact_used / in_use : 1.0;
+}
+
+bool Allocator::IsLiveObject(uintptr_t addr) const {
+  Span* span = pagemap_.LookupAddr(addr);
+  if (span == nullptr) return false;
+  if (span->is_large()) return span->start_addr() == addr;
+  // From the span's perspective objects cached in upper tiers are live;
+  // the span bitmap alone cannot distinguish app-live from cached. This
+  // helper is used by tests that bypass the caches.
+  return span->IsLiveObject(addr);
+}
+
+}  // namespace wsc::tcmalloc

@@ -1,0 +1,273 @@
+// Allocator facade: the public malloc/free-style API tying together the
+// TCMalloc cache hierarchy (Fig. 1).
+//
+//   front-end:  per-CPU caches            (per_cpu_cache.h)
+//   middle:     transfer cache            (transfer_cache.h)
+//               central free lists        (central_free_list.h)
+//   back-end:   hugepage-aware page heap  (page_heap.h)
+//
+// Small requests (<= 256 KiB) are rounded to a size class and served from
+// the hierarchy; larger requests go straight to the page heap. Every
+// operation is charged simulated nanoseconds from the calibrated cost model
+// (Fig. 4), accumulated per tier so the Fig. 6a cycle breakdown is
+// emergent. The allocator manages a virtual arena: returned values are
+// addresses in a reserved numeric address space, and all object state lives
+// in allocator metadata (spans, bitmaps, pagemap).
+//
+// NUMA mode (Section 5): when `numa_aware` is set, the middle tier and the
+// page allocator are duplicated per NUMA node — exactly TCMalloc's NUMA
+// support — with the arena split into one slice per node, so allocations
+// made on a node always return node-local memory and frees route back to
+// the owning node's hierarchy. The per-CPU front end stays shared (as in
+// TCMalloc, whose per-CPU caches are naturally node-local because threads
+// rarely migrate across nodes).
+
+#ifndef WSC_TCMALLOC_ALLOCATOR_H_
+#define WSC_TCMALLOC_ALLOCATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/sim_clock.h"
+#include "tcmalloc/central_free_list.h"
+#include "tcmalloc/config.h"
+#include "tcmalloc/page_heap.h"
+#include "tcmalloc/pagemap.h"
+#include "tcmalloc/per_cpu_cache.h"
+#include "tcmalloc/sampler.h"
+#include "tcmalloc/size_classes.h"
+#include "tcmalloc/system_alloc.h"
+#include "tcmalloc/transfer_cache.h"
+
+namespace wsc::tcmalloc {
+
+// Simulated malloc-cycle accounting per code path (Fig. 6a).
+struct MallocCycleBreakdown {
+  double cpu_cache_ns = 0;
+  double transfer_cache_ns = 0;
+  double central_free_list_ns = 0;
+  double page_heap_ns = 0;
+  double mmap_ns = 0;
+  double sampled_ns = 0;
+  double prefetch_ns = 0;
+  double other_ns = 0;
+
+  double Total() const {
+    return cpu_cache_ns + transfer_cache_ns + central_free_list_ns +
+           page_heap_ns + mmap_ns + sampled_ns + prefetch_ns + other_ns;
+  }
+};
+
+// Which tier ultimately satisfied an operation (Fig. 4 tiers).
+struct TierHitCounts {
+  uint64_t cpu_cache = 0;
+  uint64_t transfer_cache = 0;
+  uint64_t central_free_list = 0;
+  uint64_t page_heap = 0;
+  uint64_t mmap = 0;
+};
+
+// Heap accounting snapshot (Figs. 5b / 6b fragmentation).
+struct HeapStats {
+  size_t live_bytes = 0;        // size-class bytes held by the application
+  size_t requested_bytes = 0;   // estimated live requested bytes
+  size_t cpu_cache_free = 0;    // external fragmentation per tier:
+  size_t transfer_cache_free = 0;
+  size_t central_free_list_free = 0;
+  size_t page_heap_free = 0;
+  size_t released_bytes = 0;    // returned to the OS (not fragmentation)
+
+  size_t ExternalFragmentation() const {
+    return cpu_cache_free + transfer_cache_free + central_free_list_free +
+           page_heap_free;
+  }
+  size_t InternalFragmentation() const {
+    return live_bytes > requested_bytes ? live_bytes - requested_bytes : 0;
+  }
+  // Total heap footprint charged to the process (excludes released).
+  size_t HeapBytes() const { return live_bytes + ExternalFragmentation(); }
+  // Fragmentation ratio over live in-use memory, as defined in Section 3.
+  double FragmentationRatio() const {
+    if (live_bytes == 0) return 0.0;
+    return static_cast<double>(ExternalFragmentation() +
+                               InternalFragmentation()) /
+           static_cast<double>(live_bytes);
+  }
+};
+
+// One allocator instance == one simulated process.
+class Allocator {
+ public:
+  explicit Allocator(const AllocatorConfig& config,
+                     const SizeClasses* size_classes = &SizeClasses::Default());
+  ~Allocator();
+
+  Allocator(const Allocator&) = delete;
+  Allocator& operator=(const Allocator&) = delete;
+
+  // Allocates `size` bytes on virtual CPU `vcpu` at simulated time `now`.
+  // Returns the object address (never 0). Fatal on size == 0.
+  uintptr_t Allocate(size_t size, int vcpu, SimTime now);
+
+  // Frees an address previously returned by Allocate. Fatal on wild or
+  // double frees (span bookkeeping catches both).
+  void Free(uintptr_t addr, int vcpu, SimTime now);
+
+  // Simulated nanoseconds charged to the most recent Allocate/Free.
+  double last_op_ns() const { return last_op_ns_; }
+
+  // Background maintenance (the production background thread): per-CPU
+  // cache resizing, NUCA shard plundering, page-heap release. Driven by
+  // the workload driver's clock.
+  void Maintain(SimTime now);
+
+  // Updates the vCPU -> LLC domain mapping (the driver calls this as
+  // threads are scheduled across domains).
+  void SetVcpuDomain(int vcpu, int domain);
+  int DomainOfVcpu(int vcpu) const { return vcpu_domain_[vcpu]; }
+
+  // Updates the vCPU -> NUMA node mapping (no-op in single-node mode).
+  void SetVcpuNode(int vcpu, int node);
+  int NodeOfVcpu(int vcpu) const { return vcpu_node_[vcpu]; }
+
+  // NUMA node owning an arena address.
+  int NodeOfAddr(uintptr_t addr) const;
+
+  int num_numa_nodes() const { return static_cast<int>(nodes_.size()); }
+
+  // --- Introspection ---
+  HeapStats CollectStats() const;
+  const MallocCycleBreakdown& cycle_breakdown() const { return cycles_; }
+  const TierHitCounts& alloc_tier_hits() const { return alloc_hits_; }
+  uint64_t num_allocations() const { return num_allocations_; }
+  uint64_t num_frees() const { return num_frees_; }
+
+  // Object-size distributions across all allocations (Fig. 7): by count
+  // and by bytes.
+  const LogHistogram& alloc_count_hist() const { return alloc_count_hist_; }
+  const LogHistogram& alloc_bytes_hist() const { return alloc_bytes_hist_; }
+
+  const SizeClasses& size_classes() const { return *size_classes_; }
+  const AllocatorConfig& config() const { return config_; }
+
+  CpuCacheSet& cpu_caches() { return cpu_caches_; }
+  const CpuCacheSet& cpu_caches() const { return cpu_caches_; }
+
+  // Per-node component accessors (node defaults to 0, which is the only
+  // node unless NUMA mode is on).
+  TransferCache& transfer_cache(int node = 0) {
+    return nodes_[node]->transfer_cache;
+  }
+  const TransferCache& transfer_cache(int node = 0) const {
+    return nodes_[node]->transfer_cache;
+  }
+  CentralFreeList& central_free_list(int cls, int node = 0) {
+    return *nodes_[node]->cfls[cls];
+  }
+  const CentralFreeList& central_free_list(int cls, int node = 0) const {
+    return *nodes_[node]->cfls[cls];
+  }
+  PageHeap& page_heap(int node = 0) { return nodes_[node]->page_heap; }
+  const PageHeap& page_heap(int node = 0) const {
+    return nodes_[node]->page_heap;
+  }
+  const PageMap& pagemap() const { return pagemap_; }
+  Sampler& sampler() { return sampler_; }
+  const Sampler& sampler() const { return sampler_; }
+
+  // Aggregated system stats across all nodes' arenas.
+  SystemStats system_stats() const;
+
+  // Aggregated page-heap stats across nodes (Fig. 15).
+  PageHeapStats page_heap_stats() const;
+
+  // True if the (live) address is backed by an intact transparent
+  // hugepage, whichever node owns it.
+  bool IsHugepageBacked(uintptr_t addr) const;
+
+  // In-use-byte-weighted hugepage coverage across nodes (Fig. 17a).
+  double HugepageCoverage() const;
+
+  // True when `addr` is live from the application's perspective.
+  bool IsLiveObject(uintptr_t addr) const;
+
+ private:
+  // One per-NUMA-node middle/back end: its own arena slice, page heap,
+  // central free lists, and transfer cache.
+  struct NodeBackend {
+    NodeBackend(const AllocatorConfig& config,
+                const SizeClasses* size_classes, uintptr_t base,
+                size_t bytes, PageMap* pagemap);
+
+    SystemAllocator system;
+    PageHeap page_heap;
+    std::vector<std::unique_ptr<CentralFreeList>> cfls;
+    TransferCache transfer_cache;
+  };
+
+  // Moves one object of class `cls` into the caller after an underflow,
+  // refilling the vCPU cache from node `node`'s middle tier.
+  uintptr_t SlowPathAllocate(int cls, int vcpu, int node);
+
+  // Pushes overflow objects down to the transfer cache / central free list
+  // of each object's owning node.
+  void SlowPathFree(int cls, int vcpu, uintptr_t obj);
+
+  // Returns objects to the CFLs of their owning spans (per-object node
+  // routing).
+  void ReturnToCfl(int cls, const uintptr_t* objs, int n);
+
+  double MmapNsTotal() const;
+
+  AllocatorConfig config_;
+  const SizeClasses* size_classes_;
+
+  PageMap pagemap_;
+  std::vector<std::unique_ptr<NodeBackend>> nodes_;
+  size_t node_arena_bytes_ = 0;
+  CpuCacheSet cpu_caches_;
+  Sampler sampler_;
+
+  std::vector<int> vcpu_domain_;
+  std::vector<int> vcpu_node_;
+
+  // Live accounting. Internal fragmentation is estimated statistically:
+  // exact per-object requested sizes are not stored (that would double the
+  // metadata); instead each class tracks its cumulative average slack, and
+  // live requested bytes = live class bytes - live_count * avg_slack.
+  std::vector<int64_t> live_objects_per_class_;
+  std::vector<double> cumulative_requested_per_class_;
+  std::vector<uint64_t> cumulative_allocs_per_class_;
+  size_t live_bytes_ = 0;
+  size_t large_live_bytes_ = 0;
+  double large_live_requested_ = 0;
+  // Exact requested size per live large span (there are few large objects,
+  // so exact tracking is cheap; per-class averages would be badly biased
+  // when small churning large-spans coexist with huge permanent ones).
+  std::unordered_map<uintptr_t, size_t> large_requested_;
+  std::unordered_set<Span*> live_large_spans_;
+
+  MallocCycleBreakdown cycles_;
+  TierHitCounts alloc_hits_;
+  uint64_t num_allocations_ = 0;
+  uint64_t num_frees_ = 0;
+  double last_op_ns_ = 0;
+
+  LogHistogram alloc_count_hist_;
+  LogHistogram alloc_bytes_hist_;
+
+  SimTime last_resize_ = 0;
+  SimTime last_plunder_ = 0;
+  SimTime last_release_ = 0;
+
+  // Scratch batch buffer (max batch size).
+  std::vector<uintptr_t> batch_;
+};
+
+}  // namespace wsc::tcmalloc
+
+#endif  // WSC_TCMALLOC_ALLOCATOR_H_

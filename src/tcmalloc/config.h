@@ -1,0 +1,117 @@
+// Allocator configuration: feature toggles for the four warehouse-scale
+// optimizations studied in the paper, plus their tuning knobs and the
+// calibrated cost model.
+//
+// The fleet A/B framework (src/fleet/experiment.h) flips exactly these
+// fields between the experiment and control groups.
+
+#ifndef WSC_TCMALLOC_CONFIG_H_
+#define WSC_TCMALLOC_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/sim_clock.h"
+
+namespace wsc::tcmalloc {
+
+// Simulated cost (virtual nanoseconds) of each allocator code path,
+// calibrated against the paper's Fig. 4 microbenchmarks.
+struct CostModel {
+  double cpu_cache_hit_ns = 3.1;       // rseq fast path (~40 instructions)
+  double transfer_cache_ns = 12.9;     // mutex + flat-array batch move
+  double central_free_list_ns = 16.7;  // span linked-list manipulation
+  double page_heap_ns = 137.0;         // hugepage-aware page heap
+  double mmap_ns = 8000.0;             // kernel, zeroing a 2 MiB hugepage
+  double prefetch_ns = 0.95;           // next-object prefetch, every alloc
+  double sampled_alloc_ns = 1600.0;    // stack capture on sampled allocs
+  double other_ns = 0.5;               // dispatch/bookkeeping per operation
+};
+
+// Feature toggles + tuning knobs (defaults = paper's baseline TCMalloc).
+struct AllocatorConfig {
+  // ---- Front-end: per-CPU caches (Section 4.1) ----
+  // Number of virtual CPUs to populate caches for (dense vCPU id space).
+  int num_vcpus = 8;
+  // Legacy front end: one cache per *thread* instead of per CPU (the
+  // paper's footnote 2 — strands memory when threads idle and scales
+  // poorly with thread count). The machine model sizes the cache set by
+  // thread count instead of the CPU mask when this is set.
+  bool per_thread_front_end = false;
+  // Static per-vCPU capacity. The paper's baseline is 3 MiB; the
+  // heterogeneous design halves it to 1.5 MiB.
+  size_t per_cpu_cache_bytes = 3 * 1024 * 1024;
+  // Usage-based dynamic sizing of per-CPU caches ("heterogeneous caches").
+  bool dynamic_cpu_caches = false;
+  // Resize cadence and number of top-miss caches grown per step.
+  SimTime cpu_cache_resize_interval = Seconds(5);
+  int cpu_cache_grow_candidates = 5;
+  // Floor below which a cache is never shrunk.
+  size_t per_cpu_cache_min_bytes = 128 * 1024;
+
+  // ---- Middle tier: transfer cache (Section 4.2) ----
+  bool nuca_transfer_cache = false;
+  // LLC domains on this machine (1 = monolithic).
+  int num_llc_domains = 1;
+  // Per-class object capacity of the centralized transfer cache, in
+  // batches; NUCA shards get a fraction of this each.
+  int transfer_cache_batches = 64;
+  int nuca_shard_batches = 16;
+  // Cadence at which unused shard objects are plundered back to the
+  // central cache to prevent stranding.
+  SimTime nuca_plunder_interval = Seconds(5);
+
+  // ---- Middle tier: central free list (Section 4.3) ----
+  bool span_prioritization = false;
+  // Number of occupancy-indexed span lists L (paper: 8).
+  int cfl_num_lists = 8;
+
+  // ---- Back end: hugepage filler (Section 4.4) ----
+  bool lifetime_aware_filler = false;
+  // Span-capacity threshold C separating short-lived from long-lived span
+  // hugepage sets (paper: 16).
+  int filler_capacity_threshold = 16;
+  // Background release: free pages are subreleased from sparse hugepages
+  // when filler free space exceeds this fraction of filler total space.
+  // Production tuning is memory-pressure driven; this fixed fraction
+  // reproduces the fleet's ~50% baseline hugepage coverage under diurnal
+  // load variation.
+  double subrelease_free_fraction = 0.08;
+  SimTime release_interval = Seconds(1);
+
+  // ---- NUMA awareness (Section 5) ----
+  // TCMalloc's NUMA mode duplicates the size-class caches and the page
+  // allocator per NUMA node so allocations always return node-local
+  // memory. When enabled, the arena is split into one slice per node and
+  // every middle/back-end structure is instantiated per node.
+  bool numa_aware = false;
+  int num_numa_nodes = 1;
+
+  // ---- Sampling (Section 3) ----
+  // Sample one allocation for every this many allocated bytes.
+  size_t sample_interval_bytes = 2 * 1024 * 1024;
+
+  // ---- Arena ----
+  // The arena is purely virtual (addresses, not memory), so it is sized
+  // generously: a bump allocator plus hugepage-run reuse can churn through
+  // a lot of address space, exactly like a long-lived production process.
+  uintptr_t arena_base = uintptr_t{1} << 44;
+  size_t arena_bytes = size_t{4} << 40;  // 4 TiB of virtual space
+
+  CostModel costs;
+
+  // Returns the paper's optimized configuration: all four redesigns on
+  // (Section 4.5 "putting it all together").
+  static AllocatorConfig AllOptimizations(AllocatorConfig base) {
+    base.dynamic_cpu_caches = true;
+    base.per_cpu_cache_bytes = 3 * 1024 * 1024 / 2;
+    base.nuca_transfer_cache = true;
+    base.span_prioritization = true;
+    base.lifetime_aware_filler = true;
+    return base;
+  }
+};
+
+}  // namespace wsc::tcmalloc
+
+#endif  // WSC_TCMALLOC_CONFIG_H_

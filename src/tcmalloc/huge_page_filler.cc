@@ -1,0 +1,324 @@
+#include "tcmalloc/huge_page_filler.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace wsc::tcmalloc {
+
+// ---------------------------------------------------------------------------
+// PageTracker
+// ---------------------------------------------------------------------------
+
+PageTracker::PageTracker(HugePageId hp) : hp_(hp) {}
+
+Length PageTracker::LongestFreeRange() const {
+  Length longest = 0;
+  Length run = 0;
+  for (size_t p = 0; p < kPagesPerHugePage; ++p) {
+    bool used = (bitmap_[p / 64] >> (p % 64)) & 1;
+    if (used) {
+      longest = std::max(longest, run);
+      run = 0;
+    } else {
+      ++run;
+    }
+  }
+  return std::max(longest, run);
+}
+
+int PageTracker::Allocate(Length n) {
+  WSC_CHECK_GT(n, 0u);
+  WSC_CHECK_LE(n, kPagesPerHugePage);
+  // First fit over the bitmap.
+  Length run = 0;
+  for (size_t p = 0; p < kPagesPerHugePage; ++p) {
+    bool used = (bitmap_[p / 64] >> (p % 64)) & 1;
+    if (used) {
+      run = 0;
+      continue;
+    }
+    if (++run == n) {
+      size_t start = p + 1 - n;
+      for (size_t q = start; q <= p; ++q) {
+        bitmap_[q / 64] |= uint64_t{1} << (q % 64);
+      }
+      used_ += n;
+      return static_cast<int>(start);
+    }
+  }
+  return -1;
+}
+
+void PageTracker::MarkAllocated(int offset, Length n) {
+  WSC_CHECK_GE(offset, 0);
+  WSC_CHECK_LE(static_cast<Length>(offset) + n, kPagesPerHugePage);
+  for (Length q = offset; q < offset + n; ++q) {
+    uint64_t mask = uint64_t{1} << (q % 64);
+    WSC_CHECK_EQ(bitmap_[q / 64] & mask, 0u);
+    bitmap_[q / 64] |= mask;
+  }
+  used_ += n;
+}
+
+void PageTracker::Free(int offset, Length n) {
+  WSC_CHECK_GE(offset, 0);
+  WSC_CHECK_LE(static_cast<Length>(offset) + n, kPagesPerHugePage);
+  for (Length q = offset; q < offset + n; ++q) {
+    uint64_t mask = uint64_t{1} << (q % 64);
+    WSC_CHECK_NE(bitmap_[q / 64] & mask, 0u);  // double free of pages
+    bitmap_[q / 64] &= ~mask;
+  }
+  WSC_CHECK_GE(used_, n);
+  used_ -= n;
+}
+
+// ---------------------------------------------------------------------------
+// HugePageFiller
+// ---------------------------------------------------------------------------
+
+HugePageFiller::HugePageFiller(
+    bool lifetime_aware, int capacity_threshold,
+    std::function<HugePageId()> hugepage_source,
+    std::function<void(HugePageId, bool)> hugepage_sink)
+    : lifetime_aware_(lifetime_aware),
+      capacity_threshold_(capacity_threshold),
+      hugepage_source_(std::move(hugepage_source)),
+      hugepage_sink_(std::move(hugepage_sink)) {
+  lists_.resize(lifetime_aware_ ? 2 : 1);
+  for (auto& set : lists_) set.assign(kPagesPerHugePage + 1, nullptr);
+  donated_lists_.assign(kPagesPerHugePage + 1, nullptr);
+}
+
+HugePageFiller::~HugePageFiller() {
+  for (auto& [hp, tracker] : tracker_index_) delete tracker;
+}
+
+PageTracker* HugePageFiller::FindTracker(HugePageId hp) const {
+  auto it = tracker_index_.find(hp.index);
+  return it == tracker_index_.end() ? nullptr : it->second;
+}
+
+void HugePageFiller::ListInsert(PageTracker* t) {
+  FreeLists& lists = t->donated()
+                         ? donated_lists_
+                         : lists_[lifetime_aware_ ? t->lifetime_set() : 0];
+  PageTracker*& head = lists[t->free_pages()];
+  t->prev = nullptr;
+  t->next = head;
+  if (head != nullptr) head->prev = t;
+  head = t;
+}
+
+void HugePageFiller::ListRemove(PageTracker* t) {
+  FreeLists& lists = t->donated()
+                         ? donated_lists_
+                         : lists_[lifetime_aware_ ? t->lifetime_set() : 0];
+  if (t->prev != nullptr) {
+    t->prev->next = t->next;
+  } else {
+    WSC_CHECK(lists[t->free_pages()] == t);
+    lists[t->free_pages()] = t->next;
+  }
+  if (t->next != nullptr) t->next->prev = t->prev;
+  t->prev = nullptr;
+  t->next = nullptr;
+}
+
+PageTracker* HugePageFiller::PickTracker(int set, Length n) {
+  // Prefer the hugepages with the most allocations (fewest free pages)
+  // that can still fit the request: scan free counts from n upward. Within
+  // a free count, prefer intact trackers over subreleased ones.
+  FreeLists& lists = lists_[set];
+  PageTracker* released_candidate = nullptr;
+  for (Length free_count = n; free_count <= kPagesPerHugePage; ++free_count) {
+    for (PageTracker* t = lists[free_count]; t != nullptr; t = t->next) {
+      if (t->LongestFreeRange() < n) continue;
+      if (!t->released()) return t;
+      if (released_candidate == nullptr) released_candidate = t;
+    }
+  }
+  if (released_candidate != nullptr) return released_candidate;
+  // Fall back to donated tails before growing the footprint.
+  for (Length free_count = n; free_count <= kPagesPerHugePage; ++free_count) {
+    for (PageTracker* t = donated_lists_[free_count]; t != nullptr;
+         t = t->next) {
+      if (t->LongestFreeRange() >= n) return t;
+    }
+  }
+  return nullptr;
+}
+
+PageId HugePageFiller::Allocate(Length n, int span_capacity) {
+  WSC_CHECK_GT(n, 0u);
+  WSC_CHECK_LT(n, kPagesPerHugePage);
+  int set = 0;
+  if (lifetime_aware_) {
+    // Span capacity is the statically known lifetime proxy: low-capacity
+    // spans return to the filler at a much higher rate (Fig. 16).
+    set = (span_capacity < capacity_threshold_) ? kShortLived : kLongLived;
+  }
+  PageTracker* t = PickTracker(set, n);
+  if (t == nullptr) {
+    HugePageId hp = hugepage_source_();
+    t = new PageTracker(hp);
+    t->set_lifetime_set(set);
+    tracker_index_.emplace(hp.index, t);
+    ++stats_.total_hugepages;
+    ListInsert(t);
+  } else if (lifetime_aware_ && !t->donated() && t->lifetime_set() != set) {
+    // PickTracker only searches `set`, so this cannot happen; guard anyway.
+    WSC_CHECK(false);
+  }
+  bool was_released = t->released();
+  ListRemove(t);
+  if (t->donated()) {
+    // First reuse of a donated tail: it now behaves like a normal filler
+    // hugepage of this lifetime set.
+    t->set_donated(false);
+    --stats_.donated_hugepages;
+    t->set_lifetime_set(set);
+  }
+  int offset = t->Allocate(n);
+  WSC_CHECK_GE(offset, 0);
+  ListInsert(t);
+  if (was_released) {
+    // Pages on a broken hugepage get recommitted on use; they stop counting
+    // as released. (The hugepage itself stays broken until fully free.)
+  }
+  return PageId{t->hugepage().first_page().index +
+                static_cast<uintptr_t>(offset)};
+}
+
+void HugePageFiller::Free(PageId page, Length n) {
+  HugePageId hp = HugePageContaining(page);
+  PageTracker* t = FindTracker(hp);
+  WSC_CHECK(t != nullptr);
+  int offset = static_cast<int>(page.index - hp.first_page().index);
+  ListRemove(t);
+  t->Free(offset, n);
+  if (t->empty()) {
+    ReleaseEmpty(t);
+    return;
+  }
+  ListInsert(t);
+}
+
+void HugePageFiller::Donate(HugePageId hp, int donated_offset) {
+  WSC_CHECK_GE(donated_offset, 0);
+  WSC_CHECK_LT(static_cast<Length>(donated_offset), kPagesPerHugePage);
+  WSC_CHECK(FindTracker(hp) == nullptr);
+  auto* t = new PageTracker(hp);
+  t->set_donated(true);
+  // The head [0, donated_offset) belongs to the large span.
+  if (donated_offset > 0) t->MarkAllocated(0, donated_offset);
+  tracker_index_.emplace(hp.index, t);
+  ++stats_.total_hugepages;
+  ++stats_.donated_hugepages;
+  ListInsert(t);
+}
+
+void HugePageFiller::FreeDonatedHead(HugePageId hp, Length head_pages) {
+  PageTracker* t = FindTracker(hp);
+  WSC_CHECK(t != nullptr);
+  ListRemove(t);
+  t->Free(0, head_pages);
+  if (t->empty()) {
+    ReleaseEmpty(t);
+    return;
+  }
+  ListInsert(t);
+}
+
+void HugePageFiller::ReleaseEmpty(PageTracker* t) {
+  bool intact = !t->released();
+  if (t->released()) --stats_.released_hugepages;
+  if (t->donated()) --stats_.donated_hugepages;
+  --stats_.total_hugepages;
+  ++stats_.hugepages_freed;
+  HugePageId hp = t->hugepage();
+  tracker_index_.erase(hp.index);
+  delete t;
+  hugepage_sink_(hp, intact);
+}
+
+Length HugePageFiller::SubreleaseExcess(double target_fraction,
+                                        Length demand_guard_pages) {
+  // Compute intact free pages and the filler's total span.
+  Length used = 0, intact_free = 0;
+  for (const auto& [idx, t] : tracker_index_) {
+    used += t->used_pages();
+    if (!t->released()) intact_free += t->free_pages();
+  }
+  Length total = used + intact_free;
+  if (total == 0) return 0;
+  // Retain enough free pages to serve a return to recent peak demand.
+  if (intact_free <= demand_guard_pages) return 0;
+  Length releasable_free = intact_free - demand_guard_pages;
+  double fraction =
+      static_cast<double>(releasable_free) / static_cast<double>(total);
+  if (fraction <= target_fraction) return 0;
+
+  // Break the sparsest intact hugepages first: their free pages buy the
+  // most released memory per broken hugepage. The lifetime-aware design
+  // needs no special victim order — its benefit is that short-lived-set
+  // hugepages drain to fully free and leave the filler whole, shrinking
+  // the excess this pass has to break in the first place (Section 4.4).
+  std::vector<PageTracker*> intact;
+  for (const auto& [idx, t] : tracker_index_) {
+    if (!t->released() && t->free_pages() > 0 && !t->donated()) {
+      intact.push_back(t);
+    }
+  }
+  std::sort(intact.begin(), intact.end(),
+            [](const PageTracker* a, const PageTracker* b) {
+              return a->free_pages() > b->free_pages();
+            });
+  Length released = 0;
+  Length need =
+      releasable_free - static_cast<Length>(target_fraction * total);
+  for (PageTracker* t : intact) {
+    if (released >= need) break;
+    t->set_released(true);
+    ++stats_.released_hugepages;
+    ++stats_.subrelease_events;
+    released += t->free_pages();
+  }
+  return released;
+}
+
+bool HugePageFiller::IsIntactHugepage(uintptr_t addr) const {
+  PageTracker* t = FindTracker(HugePageContainingAddr(addr));
+  if (t == nullptr) return false;
+  return !t->released();
+}
+
+bool HugePageFiller::Owns(uintptr_t addr) const {
+  return FindTracker(HugePageContainingAddr(addr)) != nullptr;
+}
+
+FillerStats HugePageFiller::stats() const {
+  FillerStats s = stats_;
+  s.used_pages = 0;
+  s.free_pages = 0;
+  s.released_free_pages = 0;
+  for (const auto& [idx, t] : tracker_index_) {
+    s.used_pages += t->used_pages();
+    if (t->released()) {
+      s.released_free_pages += t->free_pages();
+    } else {
+      s.free_pages += t->free_pages();
+    }
+  }
+  return s;
+}
+
+Length HugePageFiller::UsedPagesOnIntactHugepages() const {
+  Length used = 0;
+  for (const auto& [idx, t] : tracker_index_) {
+    if (!t->released()) used += t->used_pages();
+  }
+  return used;
+}
+
+}  // namespace wsc::tcmalloc

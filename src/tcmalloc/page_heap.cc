@@ -1,0 +1,174 @@
+#include "tcmalloc/page_heap.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace wsc::tcmalloc {
+
+namespace {
+// Requests at or above a hugepage but below this length with a non-aligned
+// tail are packed into shared hugepage regions ("slightly exceed the size
+// of a hugepage", e.g. 2.1 MiB).
+constexpr Length kRegionMaxPages = 4 * kPagesPerHugePage;  // 8 MiB
+}  // namespace
+
+PageHeap::PageHeap(const SizeClasses* size_classes,
+                   const AllocatorConfig& config, SystemAllocator* system,
+                   PageMap* pagemap)
+    : size_classes_(size_classes),
+      config_(config),
+      system_(system),
+      pagemap_(pagemap),
+      cache_(system),
+      regions_(&cache_),
+      filler_(config.lifetime_aware_filler, config.filler_capacity_threshold,
+              /*hugepage_source=*/[this] { return cache_.Allocate(1); },
+              /*hugepage_sink=*/
+              [this](HugePageId hp, bool intact) {
+                cache_.Release(hp, 1, intact);
+              }) {
+  WSC_CHECK(size_classes != nullptr);
+  WSC_CHECK(system != nullptr);
+  WSC_CHECK(pagemap != nullptr);
+}
+
+Span* PageHeap::RegisterSpan(Span* span) {
+  span->span_id = ++next_span_id_;
+  pagemap_->Insert(span);
+  return span;
+}
+
+Span* PageHeap::NewSpan(int cls) {
+  const SizeClassInfo& info = size_classes_->info(cls);
+  WSC_CHECK_LT(info.pages_per_span, kPagesPerHugePage);
+  PageId first = filler_.Allocate(info.pages_per_span, info.objects_per_span);
+  return RegisterSpan(new Span(first, info.pages_per_span, cls, info.size,
+                               info.objects_per_span));
+}
+
+void PageHeap::ReturnSpan(Span* span) {
+  WSC_CHECK(!span->is_large());
+  WSC_CHECK(span->empty());
+  pagemap_->Erase(span);
+  filler_.Free(span->first_page(), span->num_pages());
+  delete span;
+}
+
+Span* PageHeap::NewLargeSpan(Length pages) {
+  WSC_CHECK_GT(pages, 0u);
+  LargeAlloc record;
+  PageId first;
+  if (pages < kPagesPerHugePage) {
+    // Large object that still fits inside one hugepage: pack via the filler
+    // (span capacity 1: this is a high-return-rate span, Fig. 16).
+    record.kind = LargeKind::kFiller;
+    first = filler_.Allocate(pages, /*span_capacity=*/1);
+  } else if (pages % kPagesPerHugePage != 0 && pages < kRegionMaxPages) {
+    record.kind = LargeKind::kRegion;
+    first = regions_.Allocate(pages);
+  } else {
+    record.kind = LargeKind::kCache;
+    int k = static_cast<int>(
+        (pages + kPagesPerHugePage - 1) / kPagesPerHugePage);
+    record.cache_hugepages = k;
+    HugePageId hp = cache_.Allocate(k);
+    first = hp.first_page();
+    Length slack = static_cast<Length>(k) * kPagesPerHugePage - pages;
+    if (slack > 0) {
+      // The allocation's tail partially covers the last hugepage; donate
+      // the slack to the filler so small spans can use it.
+      Length head = kPagesPerHugePage - slack;
+      record.donated_head_pages = head;
+      HugePageId last{hp.index + static_cast<uintptr_t>(k - 1)};
+      filler_.Donate(last, static_cast<int>(head));
+      cache_span_pages_ += pages - head;
+    } else {
+      cache_span_pages_ += pages;
+    }
+  }
+  Span* span = RegisterSpan(new Span(first, pages));
+  large_allocs_.emplace(span->start_addr(), record);
+  return span;
+}
+
+void PageHeap::FreeLargeSpan(Span* span) {
+  WSC_CHECK(span->is_large());
+  auto it = large_allocs_.find(span->start_addr());
+  WSC_CHECK(it != large_allocs_.end());
+  LargeAlloc record = it->second;
+  large_allocs_.erase(it);
+  pagemap_->Erase(span);
+
+  switch (record.kind) {
+    case LargeKind::kFiller:
+      filler_.Free(span->first_page(), span->num_pages());
+      break;
+    case LargeKind::kRegion:
+      WSC_CHECK(regions_.Free(span->first_page(), span->num_pages()));
+      break;
+    case LargeKind::kCache: {
+      HugePageId hp = HugePageContaining(span->first_page());
+      int k = record.cache_hugepages;
+      if (record.donated_head_pages > 0) {
+        // Release the fully-owned hugepages; the donated tail hugepage is
+        // handed back page-wise through the filler.
+        if (k > 1) cache_.Release(hp, k - 1);
+        HugePageId last{hp.index + static_cast<uintptr_t>(k - 1)};
+        filler_.FreeDonatedHead(last, record.donated_head_pages);
+        cache_span_pages_ -= span->num_pages() - record.donated_head_pages;
+      } else {
+        cache_.Release(hp, k);
+        cache_span_pages_ -= span->num_pages();
+      }
+      break;
+    }
+  }
+  delete span;
+}
+
+void PageHeap::BackgroundRelease() {
+  // Track recent peak demand so transient troughs do not trigger
+  // subrelease (free pages will be needed again when load returns).
+  constexpr size_t kDemandWindow = 3;  // release intervals; production keeps
+  // this window far shorter than the diurnal load period it guards against
+  Length used = filler_.stats().used_pages;
+  recent_used_.push_back(used);
+  if (recent_used_.size() > kDemandWindow) recent_used_.pop_front();
+  Length peak = *std::max_element(recent_used_.begin(), recent_used_.end());
+  Length guard = peak > used ? peak - used : 0;
+  filler_.SubreleaseExcess(config_.subrelease_free_fraction, guard);
+}
+
+bool PageHeap::IsHugepageBacked(uintptr_t addr) const {
+  if (filler_.Owns(addr)) return filler_.IsIntactHugepage(addr);
+  // Regions and whole cache hugepages never subrelease while occupied; a
+  // live object there is always THP-backed.
+  return true;
+}
+
+double PageHeap::HugepageCoverage() const {
+  PageHeapStats s = stats();
+  size_t in_use = s.TotalInUse();
+  if (in_use == 0) return 1.0;
+  size_t intact_used = LengthToBytes(filler_.UsedPagesOnIntactHugepages()) +
+                       s.region_used + s.cache_used;
+  return static_cast<double>(intact_used) / static_cast<double>(in_use);
+}
+
+PageHeapStats PageHeap::stats() const {
+  PageHeapStats s;
+  FillerStats f = filler_.stats();
+  s.filler_used = LengthToBytes(f.used_pages);
+  s.filler_free = LengthToBytes(f.free_pages);
+  s.filler_released = LengthToBytes(f.released_free_pages);
+  s.region_used = LengthToBytes(regions_.used_pages());
+  s.region_free = LengthToBytes(regions_.free_pages());
+  HugeCacheStats c = cache_.stats();
+  s.cache_used = LengthToBytes(cache_span_pages_);
+  s.cache_free = c.cached_hugepages * kHugePageSize;
+  s.cache_released = c.released_hugepages * kHugePageSize;
+  return s;
+}
+
+}  // namespace wsc::tcmalloc

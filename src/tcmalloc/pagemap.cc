@@ -1,0 +1,54 @@
+#include "tcmalloc/pagemap.h"
+
+#include "common/logging.h"
+#include "tcmalloc/span.h"
+
+namespace wsc::tcmalloc {
+
+PageMap::PageMap(PageId base_page, Length num_pages)
+    : base_page_(base_page), num_pages_(num_pages) {
+  size_t num_leaves = (num_pages + kLeafSize - 1) / kLeafSize;
+  roots_.resize(num_leaves);
+}
+
+Span** PageMap::SlotFor(PageId page, bool create) {
+  WSC_CHECK_GE(page.index, base_page_.index);
+  uintptr_t rel = page.index - base_page_.index;
+  WSC_CHECK_LT(rel, num_pages_);
+  size_t leaf_idx = rel >> kLeafBits;
+  size_t slot_idx = rel & (kLeafSize - 1);
+  if (roots_[leaf_idx] == nullptr) {
+    if (!create) return nullptr;
+    roots_[leaf_idx] = std::make_unique<Leaf>();
+  }
+  return &roots_[leaf_idx]->spans[slot_idx];
+}
+
+void PageMap::Insert(Span* span) {
+  for (Length i = 0; i < span->num_pages(); ++i) {
+    Span** slot = SlotFor(span->first_page() + i, /*create=*/true);
+    WSC_CHECK(*slot == nullptr);
+    *slot = span;
+  }
+}
+
+void PageMap::Erase(Span* span) {
+  for (Length i = 0; i < span->num_pages(); ++i) {
+    Span** slot = SlotFor(span->first_page() + i, /*create=*/false);
+    WSC_CHECK(slot != nullptr && *slot == span);
+    *slot = nullptr;
+  }
+}
+
+Span* PageMap::Lookup(PageId page) const {
+  if (page.index < base_page_.index) return nullptr;
+  uintptr_t rel = page.index - base_page_.index;
+  if (rel >= num_pages_) return nullptr;
+  size_t leaf_idx = rel >> kLeafBits;
+  size_t slot_idx = rel & (kLeafSize - 1);
+  const auto& leaf = roots_[leaf_idx];
+  if (leaf == nullptr) return nullptr;
+  return leaf->spans[slot_idx];
+}
+
+}  // namespace wsc::tcmalloc

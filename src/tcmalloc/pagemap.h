@@ -1,0 +1,58 @@
+// PageMap: radix map from PageId to owning Span.
+//
+// Free(ptr) must find the span that owns an arbitrary interior address in
+// O(1); TCMalloc uses a radix-tree pagemap for this. We use a two-level
+// radix over arena-relative page indices with lazily allocated leaves so
+// that fleet simulations with hundreds of allocator instances stay cheap.
+
+#ifndef WSC_TCMALLOC_PAGEMAP_H_
+#define WSC_TCMALLOC_PAGEMAP_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "tcmalloc/pages.h"
+
+namespace wsc::tcmalloc {
+
+class Span;
+
+// Two-level radix map: PageId -> Span*.
+class PageMap {
+ public:
+  // Covers pages [base_page, base_page + num_pages).
+  PageMap(PageId base_page, Length num_pages);
+
+  // Registers `span` for all of its pages.
+  void Insert(Span* span);
+
+  // Unregisters `span` (all of its pages must currently map to it).
+  void Erase(Span* span);
+
+  // Span owning `page`, or nullptr.
+  Span* Lookup(PageId page) const;
+
+  // Span owning the page containing `addr`, or nullptr.
+  Span* LookupAddr(uintptr_t addr) const {
+    return Lookup(PageIdContaining(addr));
+  }
+
+ private:
+  static constexpr int kLeafBits = 14;  // 16K pages (128 MiB) per leaf
+  static constexpr size_t kLeafSize = size_t{1} << kLeafBits;
+
+  struct Leaf {
+    Span* spans[kLeafSize] = {};
+  };
+
+  Span** SlotFor(PageId page, bool create);
+
+  PageId base_page_;
+  Length num_pages_;
+  std::vector<std::unique_ptr<Leaf>> roots_;
+};
+
+}  // namespace wsc::tcmalloc
+
+#endif  // WSC_TCMALLOC_PAGEMAP_H_

@@ -1,0 +1,248 @@
+#include "tcmalloc/per_cpu_cache.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace wsc::tcmalloc {
+
+CpuCacheSet::CpuCacheSet(const SizeClasses* size_classes,
+                         const AllocatorConfig& config)
+    : size_classes_(size_classes),
+      default_capacity_(config.per_cpu_cache_bytes),
+      min_capacity_(config.per_cpu_cache_min_bytes),
+      dynamic_(config.dynamic_cpu_caches),
+      grow_candidates_(config.cpu_cache_grow_candidates) {
+  WSC_CHECK(size_classes != nullptr);
+  WSC_CHECK_GT(config.num_vcpus, 0);
+  WSC_CHECK_GE(default_capacity_, min_capacity_);
+  vcpus_.resize(config.num_vcpus);
+}
+
+CpuCacheSet::VcpuCache& CpuCacheSet::Touch(int vcpu) {
+  WSC_CHECK_GE(vcpu, 0);
+  WSC_CHECK_LT(vcpu, num_vcpus());
+  VcpuCache& cache = vcpus_[vcpu];
+  if (!cache.populated) {
+    cache.populated = true;
+    cache.capacity_bytes = default_capacity_;
+    cache.objects.resize(size_classes_->num_classes());
+  }
+  return cache;
+}
+
+uintptr_t CpuCacheSet::Allocate(int vcpu, int cls) {
+  VcpuCache& cache = Touch(vcpu);
+  ++cache.interval_ops;
+  std::vector<uintptr_t>& list = cache.objects[cls];
+  if (list.empty()) {
+    ++cache.underflows;
+    ++cache.interval_misses;
+    return 0;
+  }
+  uintptr_t obj = list.back();
+  list.pop_back();
+  cache.used_bytes -= size_classes_->class_size(cls);
+  ++cache.hits;
+  return obj;
+}
+
+bool CpuCacheSet::Deallocate(int vcpu, int cls, uintptr_t obj) {
+  VcpuCache& cache = Touch(vcpu);
+  ++cache.interval_ops;
+  size_t size = size_classes_->class_size(cls);
+  if (cache.used_bytes + size > cache.capacity_bytes ||
+      static_cast<int>(cache.objects[cls].size()) >=
+          size_classes_->info(cls).max_per_cpu_objects) {
+    ++cache.overflows;
+    ++cache.interval_misses;
+    return false;
+  }
+  cache.objects[cls].push_back(obj);
+  cache.used_bytes += size;
+  ++cache.hits;
+  return true;
+}
+
+int CpuCacheSet::Refill(int vcpu, int cls, const uintptr_t* objs, int n) {
+  VcpuCache& cache = Touch(vcpu);
+  size_t size = size_classes_->class_size(cls);
+  int max_objects = size_classes_->info(cls).max_per_cpu_objects;
+  int accepted = 0;
+  while (accepted < n && cache.used_bytes + size <= cache.capacity_bytes &&
+         static_cast<int>(cache.objects[cls].size()) < max_objects) {
+    cache.objects[cls].push_back(objs[accepted]);
+    cache.used_bytes += size;
+    ++accepted;
+  }
+  return accepted;
+}
+
+int CpuCacheSet::ExtractBatch(int vcpu, int cls, uintptr_t* out, int n) {
+  VcpuCache& cache = Touch(vcpu);
+  std::vector<uintptr_t>& list = cache.objects[cls];
+  int extracted = 0;
+  while (extracted < n && !list.empty()) {
+    out[extracted++] = list.back();
+    list.pop_back();
+    cache.used_bytes -= size_classes_->class_size(cls);
+  }
+  return extracted;
+}
+
+void CpuCacheSet::EvictToCapacity(VcpuCache& cache, const FlushSink& flush) {
+  // The paper's scheme prioritizes shrinking capacity for larger size
+  // classes, since the bulk of allocations are small objects (Fig. 7).
+  for (int cls = size_classes_->num_classes() - 1;
+       cls >= 0 && cache.used_bytes > cache.capacity_bytes; --cls) {
+    std::vector<uintptr_t>& list = cache.objects[cls];
+    size_t size = size_classes_->class_size(cls);
+    while (!list.empty() && cache.used_bytes > cache.capacity_bytes) {
+      uintptr_t obj = list.back();
+      list.pop_back();
+      cache.used_bytes -= size;
+      flush(cls, &obj, 1);
+    }
+  }
+}
+
+void CpuCacheSet::ResizeStep(const FlushSink& flush) {
+  ReclaimIdle(flush);
+  if (!dynamic_) {
+    // Static sizing: still reset interval counters so telemetry (Fig. 9b)
+    // has per-interval miss data.
+    for (VcpuCache& c : vcpus_) {
+      c.interval_misses = 0;
+      c.interval_ops = 0;
+    }
+    return;
+  }
+
+  // Rank populated caches by misses in the previous interval.
+  std::vector<int> populated;
+  for (int i = 0; i < num_vcpus(); ++i) {
+    if (vcpus_[i].populated) populated.push_back(i);
+  }
+  if (populated.size() < 2) {
+    for (VcpuCache& c : vcpus_) c.interval_misses = 0;
+    return;
+  }
+  std::vector<int> by_misses = populated;
+  std::stable_sort(by_misses.begin(), by_misses.end(), [this](int a, int b) {
+    return vcpus_[a].interval_misses > vcpus_[b].interval_misses;
+  });
+
+  int num_growers = std::min<int>(grow_candidates_,
+                                  static_cast<int>(by_misses.size()) - 1);
+  std::vector<int> growers;
+  for (int i = 0; i < num_growers; ++i) {
+    if (vcpus_[by_misses[i]].interval_misses == 0) break;  // nobody missing
+    growers.push_back(by_misses[i]);
+  }
+
+  if (!growers.empty()) {
+    // Steal capacity round-robin from the non-grower caches.
+    constexpr size_t kStealStep = 64 * 1024;
+    size_t stolen = 0;
+    size_t want = kStealStep * growers.size();
+    std::vector<int> victims;
+    for (int idx : by_misses) {
+      if (std::find(growers.begin(), growers.end(), idx) == growers.end()) {
+        victims.push_back(idx);
+      }
+    }
+    size_t attempts = victims.size();
+    while (stolen < want && attempts > 0) {
+      int victim = victims[steal_cursor_ % victims.size()];
+      ++steal_cursor_;
+      --attempts;
+      VcpuCache& v = vcpus_[victim];
+      size_t take = std::min(kStealStep, v.capacity_bytes > min_capacity_
+                                             ? v.capacity_bytes - min_capacity_
+                                             : 0);
+      if (take == 0) continue;
+      v.capacity_bytes -= take;
+      stolen += take;
+      EvictToCapacity(v, flush);
+      attempts = victims.size();  // reset: a successful steal keeps going
+      if (stolen >= want) break;
+    }
+    // Distribute stolen capacity equally among the growers.
+    if (stolen > 0) {
+      size_t share = stolen / growers.size();
+      size_t remainder = stolen - share * growers.size();
+      for (size_t i = 0; i < growers.size(); ++i) {
+        vcpus_[growers[i]].capacity_bytes +=
+            share + (i == 0 ? remainder : 0);
+      }
+    }
+  }
+
+  for (VcpuCache& c : vcpus_) {
+    c.interval_misses = 0;
+    c.interval_ops = 0;
+  }
+}
+
+void CpuCacheSet::ReclaimIdle(const FlushSink& flush) {
+  for (VcpuCache& cache : vcpus_) {
+    if (!cache.populated || cache.interval_ops > 0 ||
+        cache.used_bytes == 0) {
+      continue;
+    }
+    for (int cls = 0; cls < size_classes_->num_classes(); ++cls) {
+      std::vector<uintptr_t>& list = cache.objects[cls];
+      if (list.empty()) continue;
+      flush(cls, list.data(), static_cast<int>(list.size()));
+      cache.used_bytes -= size_classes_->class_size(cls) * list.size();
+      list.clear();
+    }
+    WSC_CHECK_EQ(cache.used_bytes, 0u);
+  }
+}
+
+void CpuCacheSet::FlushAll(const FlushSink& flush) {
+  for (VcpuCache& cache : vcpus_) {
+    if (!cache.populated) continue;
+    for (int cls = 0; cls < size_classes_->num_classes(); ++cls) {
+      std::vector<uintptr_t>& list = cache.objects[cls];
+      if (list.empty()) continue;
+      flush(cls, list.data(), static_cast<int>(list.size()));
+      cache.used_bytes -=
+          size_classes_->class_size(cls) * list.size();
+      list.clear();
+    }
+    WSC_CHECK_EQ(cache.used_bytes, 0u);
+  }
+}
+
+CpuCacheSet::VcpuStats CpuCacheSet::GetVcpuStats(int vcpu) const {
+  WSC_CHECK_GE(vcpu, 0);
+  WSC_CHECK_LT(vcpu, num_vcpus());
+  const VcpuCache& c = vcpus_[vcpu];
+  VcpuStats s;
+  s.populated = c.populated;
+  s.hits = c.hits;
+  s.underflows = c.underflows;
+  s.overflows = c.overflows;
+  s.interval_misses = c.interval_misses;
+  s.capacity_bytes = c.capacity_bytes;
+  s.used_bytes = c.used_bytes;
+  return s;
+}
+
+size_t CpuCacheSet::TotalCachedBytes() const {
+  size_t total = 0;
+  for (const VcpuCache& c : vcpus_) total += c.used_bytes;
+  return total;
+}
+
+size_t CpuCacheSet::TotalCapacityBytes() const {
+  size_t total = 0;
+  for (const VcpuCache& c : vcpus_) {
+    if (c.populated) total += c.capacity_bytes;
+  }
+  return total;
+}
+
+}  // namespace wsc::tcmalloc

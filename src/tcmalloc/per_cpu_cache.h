@@ -1,0 +1,117 @@
+// Front-end per-CPU caches (Section 4.1).
+//
+// Each virtual CPU owns a cache of free objects per size class, bounded by
+// a byte capacity (baseline: statically 3 MiB per vCPU). Allocation misses
+// (underflow) and deallocation misses (overflow) spill to the transfer
+// cache. The paper observes that dense vCPU ids bias usage towards
+// low-indexed caches while load spikes populate high-indexed caches that
+// then sit idle (Fig. 9), and proposes *heterogeneous* caches: a background
+// task that periodically moves capacity from low-miss caches to the top-N
+// highest-miss caches, preferring to shrink larger size classes first.
+
+#ifndef WSC_TCMALLOC_PER_CPU_CACHE_H_
+#define WSC_TCMALLOC_PER_CPU_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "tcmalloc/config.h"
+#include "tcmalloc/size_classes.h"
+
+namespace wsc::tcmalloc {
+
+// The set of all per-vCPU caches of one allocator instance.
+class CpuCacheSet {
+ public:
+  CpuCacheSet(const SizeClasses* size_classes, const AllocatorConfig& config);
+
+  // Fast-path allocation: pops an object of class `cls` from vCPU `vcpu`'s
+  // cache. Returns 0 on miss (0 is never a valid arena address).
+  uintptr_t Allocate(int vcpu, int cls);
+
+  // Fast-path deallocation. Returns false on overflow (cache at capacity);
+  // the caller then pushes a batch down to the transfer cache via
+  // ExtractBatch and retries.
+  bool Deallocate(int vcpu, int cls, uintptr_t obj);
+
+  // Inserts up to `n` objects after an underflow; returns how many were
+  // accepted (bounded by remaining byte capacity).
+  int Refill(int vcpu, int cls, const uintptr_t* objs, int n);
+
+  // Removes up to `n` cached objects of `cls` into `out`; used to make room
+  // on overflow. Returns the number extracted.
+  int ExtractBatch(int vcpu, int cls, uintptr_t* out, int n);
+
+  // Sink receiving objects evicted during resizing/flushes.
+  using FlushSink = std::function<void(int cls, const uintptr_t* objs, int n)>;
+
+  // One step of the usage-based dynamic resizing algorithm: grows the
+  // `cpu_cache_grow_candidates` caches with the most misses in the last
+  // interval by stealing capacity round-robin from the others. Objects that
+  // no longer fit are handed to `flush`. Capacity moves only when
+  // dynamic_cpu_caches is set, but idle-cache reclaim (below) always runs.
+  void ResizeStep(const FlushSink& flush);
+
+  // Reclaims caches that served no operation since the previous call:
+  // their objects are flushed to `flush` (production TCMalloc's
+  // ReleaseCpuMemory for idle CPUs — without it, objects stranded in idle
+  // vCPU caches pin spans forever). Called by ResizeStep.
+  void ReclaimIdle(const FlushSink& flush);
+
+  // Flushes every cached object (used at simulated process teardown and in
+  // tests).
+  void FlushAll(const FlushSink& flush);
+
+  // --- Introspection ---
+  struct VcpuStats {
+    bool populated = false;
+    uint64_t hits = 0;
+    uint64_t underflows = 0;
+    uint64_t overflows = 0;
+    uint64_t interval_misses = 0;  // misses since last ResizeStep
+    size_t capacity_bytes = 0;
+    size_t used_bytes = 0;
+  };
+
+  int num_vcpus() const { return static_cast<int>(vcpus_.size()); }
+  VcpuStats GetVcpuStats(int vcpu) const;
+
+  // Total bytes cached across all vCPUs (external fragmentation in this
+  // tier).
+  size_t TotalCachedBytes() const;
+
+  // Total configured capacity across populated vCPUs.
+  size_t TotalCapacityBytes() const;
+
+ private:
+  struct VcpuCache {
+    bool populated = false;
+    size_t capacity_bytes = 0;
+    size_t used_bytes = 0;
+    uint64_t hits = 0;
+    uint64_t underflows = 0;
+    uint64_t overflows = 0;
+    uint64_t interval_misses = 0;
+    uint64_t interval_ops = 0;  // any access since the last ResizeStep
+    std::vector<std::vector<uintptr_t>> objects;  // per size class
+  };
+
+  // Lazily populates a vCPU cache on first touch.
+  VcpuCache& Touch(int vcpu);
+
+  // Evicts objects (largest classes first) until used <= capacity.
+  void EvictToCapacity(VcpuCache& cache, const FlushSink& flush);
+
+  const SizeClasses* size_classes_;
+  size_t default_capacity_;
+  size_t min_capacity_;
+  bool dynamic_;
+  int grow_candidates_;
+  std::vector<VcpuCache> vcpus_;
+  int steal_cursor_ = 0;  // round-robin position for capacity stealing
+};
+
+}  // namespace wsc::tcmalloc
+
+#endif  // WSC_TCMALLOC_PER_CPU_CACHE_H_

@@ -1,0 +1,97 @@
+#include "tcmalloc/size_classes.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace wsc::tcmalloc {
+
+namespace {
+
+// Class spacing: fine granularity for small sizes (where slack is cheap in
+// absolute terms but requests are frequent), geometric above 8 KiB where a
+// ~12.5% step bounds internal fragmentation.
+std::vector<size_t> GenerateClassSizes() {
+  std::vector<size_t> sizes;
+  for (size_t s = 8; s <= 128; s += 8) sizes.push_back(s);
+  for (size_t s = 128 + 16; s <= 256; s += 16) sizes.push_back(s);
+  for (size_t s = 256 + 32; s <= 512; s += 32) sizes.push_back(s);
+  for (size_t s = 512 + 64; s <= 1024; s += 64) sizes.push_back(s);
+  for (size_t s = 1024 + 128; s <= 2048; s += 128) sizes.push_back(s);
+  for (size_t s = 2048 + 256; s <= 4096; s += 256) sizes.push_back(s);
+  for (size_t s = 4096 + 512; s <= 8192; s += 512) sizes.push_back(s);
+  // Geometric with ratio ~1.2, aligned to 1 KiB, up to 256 KiB.
+  size_t s = 8192;
+  while (s < kMaxSmallSize) {
+    size_t next = s + s / 5;
+    next = (next + 1023) & ~size_t{1023};
+    s = std::min(next, kMaxSmallSize);
+    sizes.push_back(s);
+  }
+  return sizes;
+}
+
+// Picks the span length for a class: the smallest page count (up to 64)
+// whose tail waste is <= 1/8 of the span.
+Length PickPagesPerSpan(size_t size) {
+  Length min_pages = std::max<Length>(1, BytesToLengthCeil(size));
+  for (Length p = min_pages; p <= 64; ++p) {
+    size_t span_bytes = LengthToBytes(p);
+    if (span_bytes < size) continue;
+    size_t waste = span_bytes % size;
+    if (waste * 8 <= span_bytes) return p;
+  }
+  return min_pages;
+}
+
+}  // namespace
+
+SizeClasses::SizeClasses() {
+  for (size_t size : GenerateClassSizes()) {
+    SizeClassInfo info;
+    info.size = size;
+    info.pages_per_span = PickPagesPerSpan(size);
+    info.objects_per_span =
+        static_cast<int>(LengthToBytes(info.pages_per_span) / size);
+    info.batch_size = static_cast<int>(
+        std::min<size_t>(32, std::max<size_t>(2, 8192 / size)));
+    // Cap each class at ~128 KiB per CPU (and at least two batches), so a
+    // 3 MiB cache shared by ~85 classes cannot be hoarded by one class and
+    // freed objects of big classes drain to the middle tier.
+    info.max_per_cpu_objects = static_cast<int>(std::min<size_t>(
+        1024,
+        std::max<size_t>(2 * info.batch_size, (128 * 1024) / size)));
+    WSC_CHECK_GT(info.objects_per_span, 0);
+    classes_.push_back(info);
+  }
+  WSC_CHECK_GE(num_classes(), 80);  // "80-90 size classes" (Section 2.1)
+  WSC_CHECK_LE(num_classes(), 90);
+  WSC_CHECK_EQ(classes_.back().size, kMaxSmallSize);
+
+  small_lookup_.assign(1024 / 8 + 1, -1);
+  for (size_t req = 8; req <= 1024; req += 8) {
+    auto it = std::lower_bound(
+        classes_.begin(), classes_.end(), req,
+        [](const SizeClassInfo& c, size_t v) { return c.size < v; });
+    small_lookup_[req / 8] = static_cast<int>(it - classes_.begin());
+  }
+}
+
+int SizeClasses::ClassFor(size_t size) const {
+  if (size == 0 || size > kMaxSmallSize) return -1;
+  if (size <= 1024) {
+    return small_lookup_[(size + 7) / 8];
+  }
+  auto it = std::lower_bound(
+      classes_.begin(), classes_.end(), size,
+      [](const SizeClassInfo& c, size_t v) { return c.size < v; });
+  WSC_DCHECK(it != classes_.end());
+  return static_cast<int>(it - classes_.begin());
+}
+
+const SizeClasses& SizeClasses::Default() {
+  static const SizeClasses* instance = new SizeClasses();
+  return *instance;
+}
+
+}  // namespace wsc::tcmalloc

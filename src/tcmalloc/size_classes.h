@@ -1,0 +1,65 @@
+// Size-class table.
+//
+// Small allocations (<= 256 KiB) are rounded up to one of ~85 size classes
+// (Section 2.1). Class spacing balances internal fragmentation (slack
+// between the request and the class) against external fragmentation (more
+// classes => more per-class free lists in every tier). Each class also fixes
+// how many TCMalloc pages a span of that class occupies and therefore the
+// span's object capacity — the quantity the lifetime-aware hugepage filler
+// uses as its lifetime proxy (Section 4.4).
+
+#ifndef WSC_TCMALLOC_SIZE_CLASSES_H_
+#define WSC_TCMALLOC_SIZE_CLASSES_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "tcmalloc/pages.h"
+
+namespace wsc::tcmalloc {
+
+// Description of one size class.
+struct SizeClassInfo {
+  size_t size = 0;            // object size in bytes
+  Length pages_per_span = 1;  // span length for this class
+  int objects_per_span = 0;   // span capacity
+  int batch_size = 0;         // objects moved between tiers at a time
+  // Maximum objects of this class one per-CPU cache may hold. Without a
+  // per-class cap a single hot class hoards the whole cache and freed
+  // objects never drain to the middle tier.
+  int max_per_cpu_objects = 0;
+};
+
+// Immutable table of size classes; construct once and share.
+class SizeClasses {
+ public:
+  // Builds the default table (8 B .. 256 KiB).
+  SizeClasses();
+
+  // Number of classes.
+  int num_classes() const { return static_cast<int>(classes_.size()); }
+
+  // Maps a request size to its class, or -1 if size > kMaxSmallSize
+  // (such requests go straight to the page heap) or size == 0.
+  int ClassFor(size_t size) const;
+
+  // Class metadata accessors.
+  const SizeClassInfo& info(int cls) const { return classes_[cls]; }
+  size_t class_size(int cls) const { return classes_[cls].size; }
+  Length pages_per_span(int cls) const { return classes_[cls].pages_per_span; }
+  int objects_per_span(int cls) const { return classes_[cls].objects_per_span; }
+  int batch_size(int cls) const { return classes_[cls].batch_size; }
+
+  // Shared default instance (never destroyed; trivially safe to use from
+  // static context per the style guide's function-local-static pattern).
+  static const SizeClasses& Default();
+
+ private:
+  std::vector<SizeClassInfo> classes_;
+  // Dense lookup for requests <= 1024 B at 8 B granularity.
+  std::vector<int> small_lookup_;
+};
+
+}  // namespace wsc::tcmalloc
+
+#endif  // WSC_TCMALLOC_SIZE_CLASSES_H_

@@ -1,0 +1,107 @@
+#include "tcmalloc/span.h"
+
+#include "common/logging.h"
+
+namespace wsc::tcmalloc {
+
+Span::Span(PageId first_page, Length num_pages, int size_class,
+           size_t object_size, int objects_per_span)
+    : first_page_(first_page),
+      num_pages_(num_pages),
+      size_class_(size_class),
+      object_size_(object_size),
+      capacity_(objects_per_span) {
+  WSC_CHECK_GT(object_size, 0u);
+  WSC_CHECK_GT(objects_per_span, 0);
+  WSC_CHECK_LE(object_size * static_cast<size_t>(objects_per_span),
+               span_bytes());
+  live_bits_.assign((capacity_ + 63) / 64, 0);
+}
+
+Span::Span(PageId first_page, Length num_pages)
+    : first_page_(first_page),
+      num_pages_(num_pages),
+      size_class_(-1),
+      object_size_(LengthToBytes(num_pages)),
+      capacity_(1) {
+  live_bits_.assign(1, 0);
+}
+
+int Span::IndexOf(uintptr_t addr) const {
+  WSC_CHECK_GE(addr, start_addr());
+  uintptr_t offset = addr - start_addr();
+  WSC_CHECK_EQ(offset % object_size_, 0u);
+  int index = static_cast<int>(offset / object_size_);
+  WSC_CHECK_LT(index, capacity_);
+  return index;
+}
+
+uintptr_t Span::AllocateObject() {
+  WSC_CHECK_LT(live_, capacity_);
+  int words = static_cast<int>(live_bits_.size());
+  int start_word = next_hint_;
+  for (int w = 0; w < words; ++w) {
+    int word = (start_word + w) % words;
+    uint64_t bits = live_bits_[word];
+    if (bits == ~uint64_t{0}) continue;
+    int bit = __builtin_ctzll(~bits);
+    int index = word * 64 + bit;
+    if (index >= capacity_) continue;  // padding bits in the last word
+    live_bits_[word] |= uint64_t{1} << bit;
+    ++live_;
+    next_hint_ = word;
+    return ObjectAddr(index);
+  }
+  WSC_CHECK(false);  // live_ < capacity_ guarantees a free bit exists
+  return 0;
+}
+
+void Span::FreeObject(uintptr_t addr) {
+  int index = IndexOf(addr);
+  uint64_t mask = uint64_t{1} << (index % 64);
+  WSC_CHECK((live_bits_[index / 64] & mask) != 0);  // double free otherwise
+  live_bits_[index / 64] &= ~mask;
+  --live_;
+  WSC_CHECK_GE(live_, 0);
+  next_hint_ = index / 64;
+}
+
+bool Span::IsLiveObject(uintptr_t addr) const {
+  if (addr < start_addr() || addr >= start_addr() + span_bytes()) return false;
+  uintptr_t offset = addr - start_addr();
+  if (offset % object_size_ != 0) return false;
+  int index = static_cast<int>(offset / object_size_);
+  if (index >= capacity_) return false;
+  return (live_bits_[index / 64] >> (index % 64)) & 1;
+}
+
+void SpanList::PushFront(Span* span) {
+  WSC_DCHECK(span->prev == nullptr && span->next == nullptr);
+  span->next = head_;
+  if (head_ != nullptr) head_->prev = span;
+  head_ = span;
+  ++size_;
+}
+
+void SpanList::Remove(Span* span) {
+  if (span->prev != nullptr) {
+    span->prev->next = span->next;
+  } else {
+    WSC_DCHECK(head_ == span);
+    head_ = span->next;
+  }
+  if (span->next != nullptr) span->next->prev = span->prev;
+  span->prev = nullptr;
+  span->next = nullptr;
+  WSC_DCHECK_GT(size_, 0u);
+  --size_;
+}
+
+Span* SpanList::PopFront() {
+  WSC_CHECK(head_ != nullptr);
+  Span* span = head_;
+  Remove(span);
+  return span;
+}
+
+}  // namespace wsc::tcmalloc

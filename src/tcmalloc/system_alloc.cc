@@ -1,0 +1,30 @@
+#include "tcmalloc/system_alloc.h"
+
+#include "common/logging.h"
+
+namespace wsc::tcmalloc {
+
+SystemAllocator::SystemAllocator(uintptr_t base, size_t arena_bytes,
+                                 double mmap_latency_ns)
+    : base_(base),
+      arena_bytes_(arena_bytes),
+      next_(base),
+      mmap_latency_ns_(mmap_latency_ns) {
+  WSC_CHECK_EQ(base % kHugePageSize, 0u);
+  WSC_CHECK_EQ(arena_bytes % kHugePageSize, 0u);
+  WSC_CHECK_GT(arena_bytes, 0u);
+}
+
+HugePageId SystemAllocator::AllocateHugePages(int n) {
+  WSC_CHECK_GT(n, 0);
+  size_t bytes = static_cast<size_t>(n) * kHugePageSize;
+  WSC_CHECK_LE(next_ + bytes, base_ + arena_bytes_);  // simulated OOM
+  uintptr_t addr = next_;
+  next_ += bytes;
+  ++stats_.mmap_calls;
+  stats_.mapped_bytes += bytes;
+  stats_.mmap_ns += mmap_latency_ns_;
+  return HugePageContainingAddr(addr);
+}
+
+}  // namespace wsc::tcmalloc

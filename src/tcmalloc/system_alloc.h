@@ -1,0 +1,57 @@
+// Virtual-arena system allocator.
+//
+// The real TCMalloc obtains zero-initialized, hugepage-aligned 2 MiB blocks
+// from the kernel with mmap (Section 3, Fig. 4: the mmap path is orders of
+// magnitude slower than any cache tier). Here the arena is virtual: we hand
+// out hugepage-aligned *address ranges* by bumping a pointer inside a
+// reserved numeric address space, and charge the simulated mmap latency.
+// Nothing is ever dereferenced; all object state lives in allocator
+// metadata (see span.h). Address space is never reused, exactly like
+// TCMalloc, which also never unmaps — "releasing" memory is an madvise that
+// keeps the mapping (modeled in the page heap).
+
+#ifndef WSC_TCMALLOC_SYSTEM_ALLOC_H_
+#define WSC_TCMALLOC_SYSTEM_ALLOC_H_
+
+#include <cstdint>
+
+#include "tcmalloc/pages.h"
+
+namespace wsc::tcmalloc {
+
+// Statistics of the simulated OS interface.
+struct SystemStats {
+  uint64_t mmap_calls = 0;
+  uint64_t mapped_bytes = 0;
+  double mmap_ns = 0.0;  // cumulative simulated syscall latency
+};
+
+// Bump allocator over a reserved virtual arena.
+class SystemAllocator {
+ public:
+  // Arena of `arena_bytes` starting at hugepage-aligned `base`.
+  SystemAllocator(uintptr_t base, size_t arena_bytes,
+                  double mmap_latency_ns = 8000.0);
+
+  // Returns `n` contiguous hugepages (hugepage-aligned). Fatal on arena
+  // exhaustion (simulated OOM — sized generously by callers).
+  HugePageId AllocateHugePages(int n);
+
+  uintptr_t base() const { return base_; }
+  size_t arena_bytes() const { return arena_bytes_; }
+  PageId base_page() const { return PageIdContaining(base_); }
+  Length arena_pages() const { return arena_bytes_ >> kPageShift; }
+
+  const SystemStats& stats() const { return stats_; }
+
+ private:
+  uintptr_t base_;
+  size_t arena_bytes_;
+  uintptr_t next_;
+  double mmap_latency_ns_;
+  SystemStats stats_;
+};
+
+}  // namespace wsc::tcmalloc
+
+#endif  // WSC_TCMALLOC_SYSTEM_ALLOC_H_

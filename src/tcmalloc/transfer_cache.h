@@ -1,0 +1,94 @@
+// Middle-tier transfer cache (Section 4.2).
+//
+// The legacy transfer cache is a centralized, mutex-protected flat array of
+// free objects per size class; it lets memory flow rapidly between CPUs
+// (objects freed on one CPU are re-allocated on another). On chiplet (NUCA)
+// platforms this moves objects across LLC domains, so the consumer pays
+// remote-LLC latency (Fig. 11: 2.07x local). The NUCA-aware design shards
+// the transfer cache per LLC domain: each shard serves only its domain and
+// is backed by the retained centralized cache; shard contents that sit
+// unused are periodically plundered back to the central cache to prevent
+// stranding.
+
+#ifndef WSC_TCMALLOC_TRANSFER_CACHE_H_
+#define WSC_TCMALLOC_TRANSFER_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "tcmalloc/config.h"
+#include "tcmalloc/size_classes.h"
+
+namespace wsc::tcmalloc {
+
+// Transfer-cache statistics.
+struct TransferCacheStats {
+  uint64_t shard_hits = 0;    // object obtained from the requester's shard
+  uint64_t central_hits = 0;  // object obtained from the centralized cache
+  uint64_t misses = 0;        // request fell through to the central free list
+  uint64_t inserts_accepted = 0;
+  uint64_t inserts_overflowed = 0;  // pushed down to the central free list
+  uint64_t plundered_objects = 0;
+};
+
+// Centralized transfer cache, optionally fronted by per-LLC-domain shards.
+class TransferCache {
+ public:
+  TransferCache(const SizeClasses* size_classes,
+                const AllocatorConfig& config);
+
+  // Removes up to `n` objects of class `cls` for a CPU in LLC domain
+  // `domain`. Returns the number obtained; the caller fetches the remainder
+  // from the central free list.
+  int Remove(int domain, int cls, uintptr_t* out, int n);
+
+  // Inserts `n` objects freed by a CPU in `domain`. Returns the number
+  // accepted; the caller returns the remainder to the central free list.
+  int Insert(int domain, int cls, const uintptr_t* objs, int n);
+
+  // Moves objects that sat unused in NUCA shards since the previous call
+  // back to the centralized cache (the paper's periodic release that
+  // prevents stranding). No-op when NUCA shards are disabled.
+  void Plunder();
+
+  // Sink receiving objects drained out of the transfer cache.
+  using DrainSink = std::function<void(int cls, const uintptr_t* objs,
+                                       int n)>;
+
+  // Returns centralized-cache objects that sat untouched since the
+  // previous call to `sink` (the central free list). Without this, cold
+  // classes strand objects at the bottom of the LIFO array forever,
+  // pinning their spans.
+  void DrainCold(const DrainSink& sink);
+
+  // Total free bytes cached in this tier.
+  size_t TotalCachedBytes() const;
+
+  const TransferCacheStats& stats() const { return stats_; }
+
+  bool nuca_enabled() const { return nuca_; }
+
+ private:
+  // Per-size-class object stack with a fixed capacity and a low-water mark.
+  struct ClassCache {
+    std::vector<uintptr_t> objects;
+    size_t capacity = 0;   // max objects
+    size_t low_water = 0;  // min size since last Plunder()
+  };
+
+  int RemoveFrom(ClassCache& cache, uintptr_t* out, int n);
+  int InsertInto(ClassCache& cache, const uintptr_t* objs, int n);
+
+  const SizeClasses* size_classes_;
+  bool nuca_;
+  std::vector<ClassCache> central_;  // per class
+  // shards_[domain][class]; populated lazily per active domain.
+  std::vector<std::vector<ClassCache>> shards_;
+  TransferCacheStats stats_;
+  int shard_batches_;
+};
+
+}  // namespace wsc::tcmalloc
+
+#endif  // WSC_TCMALLOC_TRANSFER_CACHE_H_

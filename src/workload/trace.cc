@@ -1,0 +1,61 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace wsc::workload {
+
+Trace Trace::GenerateRandom(size_t n, uint64_t seed, size_t max_size) {
+  WSC_CHECK_GE(max_size, 8u);
+  Trace trace;
+  Rng rng(seed);
+  size_t live = 0;
+  double log_max = std::log2(static_cast<double>(max_size));
+  for (size_t i = 0; i < n; ++i) {
+    bool do_free = live > 0 && rng.Bernoulli(0.5);
+    if (do_free) {
+      trace.Free(rng.UniformInt(live));
+      --live;
+    } else {
+      double log_size = 3.0 + (log_max - 3.0) * rng.UniformDouble();
+      auto size = static_cast<size_t>(std::pow(2.0, log_size));
+      trace.Alloc(std::max<size_t>(8, size));
+      ++live;
+    }
+  }
+  while (live > 0) {
+    trace.Free(rng.UniformInt(live));
+    --live;
+  }
+  return trace;
+}
+
+size_t Trace::Replay(tcmalloc::Allocator& allocator, int vcpu,
+                     SimTime step_ns) const {
+  std::vector<std::pair<uintptr_t, size_t>> live;
+  size_t live_bytes = 0;
+  size_t peak = 0;
+  SimTime now = 0;
+  for (const TraceOp& op : ops_) {
+    now += step_ns;
+    if (op.kind == TraceOp::Kind::kAlloc) {
+      uintptr_t addr = allocator.Allocate(op.value, vcpu, now);
+      live.push_back({addr, op.value});
+      live_bytes += op.value;
+      peak = std::max(peak, live_bytes);
+    } else {
+      WSC_CHECK_LT(op.value, live.size());
+      auto [addr, size] = live[op.value];
+      allocator.Free(addr, vcpu, now);
+      live[op.value] = live.back();
+      live.pop_back();
+      live_bytes -= size;
+    }
+  }
+  WSC_CHECK(live.empty());
+  return peak;
+}
+
+}  // namespace wsc::workload

@@ -1,0 +1,59 @@
+// Allocation traces: record/replay of alloc-free sequences.
+//
+// Used by tests and benches that need identical operation sequences across
+// allocator configurations (e.g. comparing fragmentation of the baseline
+// and the span-prioritized central free list on exactly the same behavior).
+
+#ifndef WSC_WORKLOAD_TRACE_H_
+#define WSC_WORKLOAD_TRACE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/sim_clock.h"
+#include "tcmalloc/allocator.h"
+
+namespace wsc::workload {
+
+// One trace operation. Allocations carry a size; frees reference the
+// i-th still-live allocation (in allocation order).
+struct TraceOp {
+  enum class Kind { kAlloc, kFree };
+  Kind kind;
+  uint64_t value;  // size for kAlloc; live-slot index for kFree
+};
+
+// An in-memory allocation trace.
+class Trace {
+ public:
+  Trace() = default;
+
+  void Alloc(size_t size) {
+    ops_.push_back({TraceOp::Kind::kAlloc, size});
+  }
+  void Free(uint64_t live_index) {
+    ops_.push_back({TraceOp::Kind::kFree, live_index});
+  }
+
+  size_t size() const { return ops_.size(); }
+  const std::vector<TraceOp>& ops() const { return ops_; }
+
+  // Generates a random but valid trace: `n` operations, allocation sizes
+  // log-uniform in [8, max_size], ~balanced alloc/free with all remaining
+  // objects freed at the end.
+  static Trace GenerateRandom(size_t n, uint64_t seed, size_t max_size);
+
+  // Replays the trace against an allocator on vCPU `vcpu`, advancing the
+  // simulated clock by `step_ns` per op. Returns the peak live bytes
+  // observed (requested sizes).
+  size_t Replay(tcmalloc::Allocator& allocator, int vcpu = 0,
+                SimTime step_ns = 100) const;
+
+ private:
+  std::vector<TraceOp> ops_;
+};
+
+}  // namespace wsc::workload
+
+#endif  // WSC_WORKLOAD_TRACE_H_

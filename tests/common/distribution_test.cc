@@ -1,0 +1,156 @@
+// Tests for the workload random-variate samplers.
+
+#include "common/distribution.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace wsc {
+namespace {
+
+TEST(PointDistribution, AlwaysReturnsValue) {
+  Rng rng(1);
+  PointDistribution d(42.5);
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(d.Sample(rng), 42.5);
+}
+
+TEST(UniformDistribution, StaysInRangeWithCorrectMean) {
+  Rng rng(2);
+  UniformDistribution d(10.0, 20.0);
+  RunningStat stat;
+  for (int i = 0; i < 50000; ++i) {
+    double v = d.Sample(rng);
+    ASSERT_GE(v, 10.0);
+    ASSERT_LT(v, 20.0);
+    stat.Add(v);
+  }
+  EXPECT_NEAR(stat.Mean(), 15.0, 0.1);
+}
+
+TEST(LognormalDistribution, MedianMatchesFromMedian) {
+  Rng rng(3);
+  auto d = LognormalDistribution::FromMedian(1000.0, 2.0);
+  std::vector<double> samples;
+  for (int i = 0; i < 50001; ++i) samples.push_back(d.Sample(rng));
+  std::nth_element(samples.begin(), samples.begin() + 25000, samples.end());
+  EXPECT_NEAR(samples[25000], 1000.0, 50.0);
+}
+
+TEST(LognormalDistribution, MeanMatchesTheory) {
+  Rng rng(4);
+  double sigma = std::log(2.0);
+  LognormalDistribution d(std::log(100.0), sigma);
+  RunningStat stat;
+  for (int i = 0; i < 200000; ++i) stat.Add(d.Sample(rng));
+  double expected = 100.0 * std::exp(sigma * sigma / 2.0);
+  EXPECT_NEAR(stat.Mean(), expected, expected * 0.03);
+}
+
+TEST(ParetoDistribution, RespectsScaleAndCap) {
+  Rng rng(5);
+  ParetoDistribution d(100.0, 1.5, 5000.0);
+  for (int i = 0; i < 10000; ++i) {
+    double v = d.Sample(rng);
+    ASSERT_GE(v, 100.0);
+    ASSERT_LE(v, 5000.0);
+  }
+}
+
+TEST(ParetoDistribution, HeavyTailWithoutCap) {
+  Rng rng(6);
+  ParetoDistribution d(1.0, 1.1, 0.0);
+  double max_v = 0;
+  for (int i = 0; i < 100000; ++i) max_v = std::max(max_v, d.Sample(rng));
+  EXPECT_GT(max_v, 1000.0);  // heavy tail reaches far
+}
+
+TEST(ExponentialDistribution, MeanMatches) {
+  Rng rng(7);
+  ExponentialDistribution d(250.0);
+  RunningStat stat;
+  for (int i = 0; i < 100000; ++i) stat.Add(d.Sample(rng));
+  EXPECT_NEAR(stat.Mean(), 250.0, 5.0);
+}
+
+TEST(MixtureDistribution, RespectsWeights) {
+  Rng rng(8);
+  MixtureDistribution mix({
+      {0.8, std::make_shared<PointDistribution>(1.0)},
+      {0.2, std::make_shared<PointDistribution>(2.0)},
+  });
+  int ones = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (mix.Sample(rng) == 1.0) ++ones;
+  }
+  EXPECT_NEAR(ones / 100000.0, 0.8, 0.01);
+}
+
+TEST(MixtureDistribution, PickComponentIsConsistent) {
+  Rng rng(9);
+  MixtureDistribution mix({
+      {1.0, std::make_shared<PointDistribution>(5.0)},
+      {3.0, std::make_shared<PointDistribution>(7.0)},
+  });
+  EXPECT_EQ(mix.num_components(), 2u);
+  int second = 0;
+  for (int i = 0; i < 100000; ++i) {
+    size_t c = mix.PickComponent(rng);
+    ASSERT_LT(c, 2u);
+    second += c == 1;
+  }
+  EXPECT_NEAR(second / 100000.0, 0.75, 0.01);
+  // component() exposes the right distribution.
+  Rng rng2(1);
+  EXPECT_DOUBLE_EQ(mix.component(0).Sample(rng2), 5.0);
+  EXPECT_DOUBLE_EQ(mix.component(1).Sample(rng2), 7.0);
+}
+
+TEST(EmpiricalDistribution, SamplesOnlyGivenValues) {
+  Rng rng(10);
+  EmpiricalDistribution d({{8.0, 1.0}, {16.0, 2.0}, {32.0, 1.0}});
+  int count16 = 0;
+  for (int i = 0; i < 40000; ++i) {
+    double v = d.Sample(rng);
+    ASSERT_TRUE(v == 8.0 || v == 16.0 || v == 32.0);
+    count16 += v == 16.0;
+  }
+  EXPECT_NEAR(count16 / 40000.0, 0.5, 0.02);
+}
+
+TEST(ZipfDistribution, RankOneIsMostPopular) {
+  Rng rng(11);
+  ZipfDistribution zipf(50, 1.1);
+  std::vector<int> counts(51, 0);
+  for (int i = 0; i < 100000; ++i) {
+    int rank = static_cast<int>(zipf.Sample(rng));
+    ASSERT_GE(rank, 1);
+    ASSERT_LE(rank, 50);
+    ++counts[rank];
+  }
+  EXPECT_GT(counts[1], counts[2]);
+  EXPECT_GT(counts[2], counts[10]);
+  EXPECT_GT(counts[10], counts[50]);
+}
+
+TEST(ZipfDistribution, ProbabilitiesNormalized) {
+  ZipfDistribution zipf(10, 1.0);
+  double total = 0;
+  for (double p : zipf.probabilities()) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // Zipf s=1: p(1)/p(2) == 2.
+  EXPECT_NEAR(zipf.probabilities()[0] / zipf.probabilities()[1], 2.0, 1e-9);
+}
+
+TEST(Distributions, DeterministicAcrossRuns) {
+  LognormalDistribution d(2.0, 1.0);
+  Rng a(77), b(77);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(d.Sample(a), d.Sample(b));
+  }
+}
+
+}  // namespace
+}  // namespace wsc

@@ -1,0 +1,106 @@
+// Tests for the deterministic RNG.
+
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace wsc {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformIntStaysInBounds) {
+  Rng rng(7);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.UniformInt(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, UniformIntIsRoughlyUniform) {
+  Rng rng(9);
+  int counts[10] = {};
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.UniformInt(10)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / 10, kDraws / 100);
+  }
+}
+
+TEST(Rng, UniformRangeInclusive) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = rng.UniformRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 100000; ++i) {
+    double u = rng.UniformDouble();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100000, 0.5, 0.01);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+  Rng rng2(14);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng2.Bernoulli(0.0));
+    EXPECT_TRUE(rng2.Bernoulli(1.0));
+  }
+}
+
+TEST(Rng, ForkProducesIndependentStreams) {
+  Rng parent(21);
+  Rng child_a(parent.Fork());
+  Rng child_b(parent.Fork());
+  std::set<uint64_t> values;
+  for (int i = 0; i < 100; ++i) {
+    values.insert(child_a.Next());
+    values.insert(child_b.Next());
+  }
+  EXPECT_EQ(values.size(), 200u);  // no collisions between streams
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng rng(5);
+  uint64_t first = rng.Next();
+  rng.Next();
+  rng.Seed(5);
+  EXPECT_EQ(rng.Next(), first);
+}
+
+}  // namespace
+}  // namespace wsc

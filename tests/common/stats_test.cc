@@ -1,0 +1,81 @@
+// Tests for running statistics and correlation helpers.
+
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace wsc {
+namespace {
+
+TEST(RunningStat, MomentsOfKnownSequence) {
+  RunningStat s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 5.0);
+  EXPECT_NEAR(s.Variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.Sum(), 40.0);
+}
+
+TEST(RunningStat, EmptyAndSingle) {
+  RunningStat s;
+  EXPECT_DOUBLE_EQ(s.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Variance(), 0.0);
+  s.Add(3.0);
+  EXPECT_DOUBLE_EQ(s.Mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.Variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.StdDev(), 0.0);
+}
+
+TEST(Pearson, PerfectCorrelation) {
+  std::vector<double> x = {1, 2, 3, 4, 5};
+  std::vector<double> y = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+  std::vector<double> neg = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(x, neg), -1.0, 1e-12);
+}
+
+TEST(Pearson, NoVarianceGivesZero) {
+  std::vector<double> x = {1, 1, 1};
+  std::vector<double> y = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(x, y), 0.0);
+}
+
+TEST(Spearman, MonotoneNonlinearIsPerfect) {
+  // Spearman sees through monotone nonlinearity; Pearson does not.
+  std::vector<double> x = {1, 2, 3, 4, 5, 6};
+  std::vector<double> y;
+  for (double v : x) y.push_back(v * v * v);
+  EXPECT_NEAR(SpearmanCorrelation(x, y), 1.0, 1e-12);
+}
+
+TEST(Spearman, NegativeCorrelation) {
+  std::vector<double> x = {1, 2, 3, 4, 5};
+  std::vector<double> y = {100, 50, 25, 12, 6};
+  EXPECT_NEAR(SpearmanCorrelation(x, y), -1.0, 1e-12);
+}
+
+TEST(Spearman, HandlesTiesWithAverageRanks) {
+  std::vector<double> x = {1, 2, 2, 3};
+  std::vector<double> y = {10, 20, 20, 30};
+  EXPECT_NEAR(SpearmanCorrelation(x, y), 1.0, 1e-12);
+  // Partial ties reduce but do not destroy the correlation.
+  std::vector<double> z = {10, 20, 25, 30};
+  double r = SpearmanCorrelation(x, z);
+  EXPECT_GT(r, 0.9);
+}
+
+TEST(Spearman, ShortSeriesReturnsZero) {
+  EXPECT_DOUBLE_EQ(SpearmanCorrelation({1.0}, {2.0}), 0.0);
+  EXPECT_DOUBLE_EQ(SpearmanCorrelation({}, {}), 0.0);
+}
+
+TEST(PercentChange, BasicAndZeroBase) {
+  EXPECT_DOUBLE_EQ(PercentChange(100, 101.4), 1.4000000000000057);
+  EXPECT_DOUBLE_EQ(PercentChange(200, 100), -50.0);
+  EXPECT_DOUBLE_EQ(PercentChange(0, 100), 0.0);
+}
+
+}  // namespace
+}  // namespace wsc

@@ -1,0 +1,63 @@
+// Tests for the bench table/series printers.
+
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+namespace wsc {
+namespace {
+
+TEST(TablePrinter, RendersHeaderSeparatorAndRows) {
+  TablePrinter table({"app", "tput", "mem"});
+  table.AddRow({"spanner", "+0.28%", "+0.08%"});
+  table.AddRow({"disk", "+1.72%", "+0.62%"});
+  std::string out = table.ToString();
+  EXPECT_NE(out.find("| app "), std::string::npos);
+  EXPECT_NE(out.find("spanner"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  // Three content lines + separator.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(TablePrinter, ColumnsAutoFitWidestCell) {
+  TablePrinter table({"x"});
+  table.AddRow({"a-very-long-cell-value"});
+  std::string out = table.ToString();
+  // All lines are padded to equal width.
+  std::vector<size_t> lengths;
+  size_t pos = 0;
+  while (pos < out.size()) {
+    size_t nl = out.find('\n', pos);
+    lengths.push_back(nl - pos);
+    pos = nl + 1;
+  }
+  ASSERT_EQ(lengths.size(), 3u);
+  EXPECT_EQ(lengths[0], lengths[1]);
+  EXPECT_EQ(lengths[1], lengths[2]);
+}
+
+TEST(TablePrinterDeathTest, RowArityMismatchIsFatal) {
+  TablePrinter table({"a", "b"});
+  EXPECT_DEATH(table.AddRow({"only-one"}), "CHECK failed");
+}
+
+TEST(Format, Doubles) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(3.0, 0), "3");
+}
+
+TEST(Format, Bytes) {
+  EXPECT_EQ(FormatBytes(512), "512.00 B");
+  EXPECT_EQ(FormatBytes(2048), "2.00 KiB");
+  EXPECT_EQ(FormatBytes(3.5 * 1024 * 1024), "3.50 MiB");
+  EXPECT_EQ(FormatBytes(2.0 * 1024 * 1024 * 1024), "2.00 GiB");
+}
+
+TEST(Format, SignedPercent) {
+  EXPECT_EQ(FormatSignedPercent(1.4), "+1.40%");
+  EXPECT_EQ(FormatSignedPercent(-3.4), "-3.40%");
+  EXPECT_EQ(FormatSignedPercent(0.0, 1), "+0.0%");
+}
+
+}  // namespace
+}  // namespace wsc

@@ -1,0 +1,98 @@
+// Tests for the paired A/B experiment framework.
+
+#include "fleet/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace wsc::fleet {
+namespace {
+
+FleetConfig TinyFleet() {
+  FleetConfig config;
+  config.num_machines = 3;
+  config.num_binaries = 8;
+  config.duration = Milliseconds(150);
+  config.max_requests_per_process = 1200;
+  return config;
+}
+
+TEST(Experiment, IdenticalConfigsGiveZeroDeltas) {
+  tcmalloc::AllocatorConfig config;
+  AbResult result = RunFleetAb(TinyFleet(), config, config, 21);
+  EXPECT_DOUBLE_EQ(result.fleet.ThroughputChangePct(), 0.0);
+  EXPECT_DOUBLE_EQ(result.fleet.MemoryChangePct(), 0.0);
+  EXPECT_DOUBLE_EQ(result.fleet.CpiChangePct(), 0.0);
+  EXPECT_GT(result.fleet.control.processes, 0);
+}
+
+TEST(Experiment, PerAppSlicesArePresent) {
+  tcmalloc::AllocatorConfig config;
+  AbResult result = RunFleetAb(TinyFleet(), config, config, 22);
+  ASSERT_EQ(result.per_app.size(), 5u);
+  EXPECT_NE(result.FindApp("spanner"), nullptr);
+  EXPECT_NE(result.FindApp("disk"), nullptr);
+  EXPECT_EQ(result.FindApp("nonexistent"), nullptr);
+}
+
+TEST(Experiment, AccumulateSumsRawMetrics) {
+  ProcessResult r;
+  r.driver.requests = 100;
+  r.driver.cpu_ns = 1e9;  // 1 second
+  r.driver.base_work_ns = 5e8;
+  r.driver.malloc_ns = 4e7;
+  r.avg_heap_bytes = 1000;
+  r.avg_live_bytes = 800;
+  r.hugepage_coverage = 0.5;
+  r.ghz = 2.0;
+  MetricSet set;
+  Accumulate(set, r);
+  Accumulate(set, r);
+  EXPECT_DOUBLE_EQ(set.requests, 200.0);
+  EXPECT_DOUBLE_EQ(set.Throughput(), 100.0);  // 200 req / 2 cpu-s
+  EXPECT_DOUBLE_EQ(set.Cpi(), 2.0);
+  EXPECT_DOUBLE_EQ(set.MallocFraction(), 0.04);
+  EXPECT_DOUBLE_EQ(set.memory_bytes, 2000.0);
+  EXPECT_DOUBLE_EQ(set.FragRatio(), 400.0 / 1600.0);
+  EXPECT_DOUBLE_EQ(set.HugepageCoverage(), 0.5);
+  EXPECT_EQ(set.processes, 2);
+}
+
+TEST(Experiment, DeltaMathMatchesPercentChange) {
+  AbDelta delta;
+  delta.control.requests = 1000;
+  delta.control.cpu_ns = 1e9;
+  delta.experiment.requests = 1014;
+  delta.experiment.cpu_ns = 1e9;
+  EXPECT_NEAR(delta.ThroughputChangePct(), 1.4, 1e-9);
+  delta.control.memory_bytes = 100;
+  delta.experiment.memory_bytes = 96.6;
+  EXPECT_NEAR(delta.MemoryChangePct(), -3.4, 1e-9);
+}
+
+TEST(Experiment, BenchmarkAbRunsBothSides) {
+  workload::WorkloadSpec spec;
+  spec.name = "bench";
+  spec.behaviors = {
+      workload::MakeBehavior(1.0, workload::SizeLognormal(512, 2.0),
+                             workload::LifetimeLognormal(Microseconds(200),
+                                                         3.0)),
+  };
+  spec.allocs_per_request = 4;
+  spec.request_work_ns = 2000;
+  spec.request_interval_ns = Microseconds(30);
+  spec.max_threads = 4;
+
+  tcmalloc::AllocatorConfig control;
+  tcmalloc::AllocatorConfig experiment = control;
+  experiment.per_cpu_cache_bytes /= 2;
+
+  AbDelta delta = RunBenchmarkAb(
+      spec, hw::PlatformSpecFor(hw::PlatformGeneration::kGenC), control,
+      experiment, 23, Seconds(1), 3000);
+  EXPECT_EQ(delta.label, "bench");
+  EXPECT_GT(delta.control.requests, 0.0);
+  EXPECT_GT(delta.experiment.requests, 0.0);
+}
+
+}  // namespace
+}  // namespace wsc::fleet

@@ -1,0 +1,92 @@
+// Tests for fleet composition and determinism.
+
+#include "fleet/fleet.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace wsc::fleet {
+namespace {
+
+FleetConfig TinyFleet() {
+  FleetConfig config;
+  config.num_machines = 4;
+  config.num_binaries = 10;
+  config.duration = Milliseconds(200);
+  config.max_requests_per_process = 1500;
+  return config;
+}
+
+TEST(Fleet, RunProducesObservationsForAllMachines) {
+  Fleet fleet(TinyFleet(), tcmalloc::AllocatorConfig(), 42);
+  fleet.Run();
+  std::set<int> machines;
+  for (const FleetObservation& obs : fleet.observations()) {
+    machines.insert(obs.machine);
+    EXPECT_GE(obs.binary_rank, 0);
+    EXPECT_LT(obs.binary_rank, 10);
+    EXPECT_GT(obs.result.driver.requests, 0u);
+  }
+  EXPECT_EQ(machines.size(), 4u);
+}
+
+TEST(Fleet, CompositionIsSeedDeterministicAcrossConfigs) {
+  // The same seed must produce identical machine composition regardless of
+  // allocator config (the paired-A/B invariant).
+  tcmalloc::AllocatorConfig control;
+  tcmalloc::AllocatorConfig experiment =
+      tcmalloc::AllocatorConfig::AllOptimizations(control);
+  Fleet a(TinyFleet(), control, 7);
+  Fleet b(TinyFleet(), experiment, 7);
+  a.Run();
+  b.Run();
+  ASSERT_EQ(a.observations().size(), b.observations().size());
+  for (size_t i = 0; i < a.observations().size(); ++i) {
+    EXPECT_EQ(a.observations()[i].machine, b.observations()[i].machine);
+    EXPECT_EQ(a.observations()[i].binary_rank,
+              b.observations()[i].binary_rank);
+    EXPECT_EQ(a.observations()[i].result.workload_name,
+              b.observations()[i].result.workload_name);
+  }
+}
+
+TEST(Fleet, IdenticalConfigsProduceIdenticalResults) {
+  tcmalloc::AllocatorConfig config;
+  Fleet a(TinyFleet(), config, 9);
+  Fleet b(TinyFleet(), config, 9);
+  a.Run();
+  b.Run();
+  ASSERT_EQ(a.observations().size(), b.observations().size());
+  for (size_t i = 0; i < a.observations().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.observations()[i].result.driver.cpu_ns,
+                     b.observations()[i].result.driver.cpu_ns);
+    EXPECT_DOUBLE_EQ(a.observations()[i].result.avg_heap_bytes,
+                     b.observations()[i].result.avg_heap_bytes);
+  }
+}
+
+TEST(Fleet, TopFiveRanksUseExactProfiles) {
+  Fleet fleet(TinyFleet(), tcmalloc::AllocatorConfig(), 11);
+  EXPECT_EQ(fleet.BinarySpec(0).name, "spanner");
+  EXPECT_EQ(fleet.BinarySpec(4).name, "disk");
+  EXPECT_NE(fleet.BinarySpec(5).name.find("binary-5"), std::string::npos);
+}
+
+TEST(Fleet, ZipfMakesLowRanksMoreCommon) {
+  FleetConfig config = TinyFleet();
+  config.num_machines = 40;
+  config.max_requests_per_process = 50;  // composition only
+  config.duration = Milliseconds(1);
+  Fleet fleet(config, tcmalloc::AllocatorConfig(), 13);
+  fleet.Run();
+  int low = 0, high = 0;
+  for (const FleetObservation& obs : fleet.observations()) {
+    if (obs.binary_rank < 3) ++low;
+    if (obs.binary_rank >= 7) ++high;
+  }
+  EXPECT_GT(low, high);
+}
+
+}  // namespace
+}  // namespace wsc::fleet

@@ -1,0 +1,99 @@
+// Tests for the machine model (co-located processes).
+
+#include "fleet/machine.h"
+
+#include <gtest/gtest.h>
+
+namespace wsc::fleet {
+namespace {
+
+workload::WorkloadSpec FastSpec(const char* name) {
+  workload::WorkloadSpec spec;
+  spec.name = name;
+  spec.behaviors = {
+      workload::MakeBehavior(1.0, workload::SizeLognormal(256, 2.0),
+                             workload::LifetimeLognormal(Microseconds(500),
+                                                         3.0)),
+  };
+  spec.allocs_per_request = 4;
+  spec.request_work_ns = 2000;
+  spec.request_interval_ns = Microseconds(20);
+  spec.min_threads = 1;
+  spec.max_threads = 4;
+  return spec;
+}
+
+TEST(Machine, RunsSingleProcessToCompletion) {
+  tcmalloc::AllocatorConfig config;
+  Machine machine(hw::PlatformSpecFor(hw::PlatformGeneration::kGenC),
+                  {FastSpec("solo")}, config, 1);
+  machine.Run(Seconds(1), 5000);
+  ASSERT_EQ(machine.results().size(), 1u);
+  const ProcessResult& r = machine.results()[0];
+  EXPECT_EQ(r.workload_name, "solo");
+  EXPECT_GT(r.driver.requests, 0u);
+  EXPECT_GT(r.avg_heap_bytes, 0.0);
+  EXPECT_GT(r.driver.Throughput(), 0.0);
+}
+
+TEST(Machine, CoLocatedProcessesShareTimeline) {
+  tcmalloc::AllocatorConfig config;
+  Machine machine(hw::PlatformSpecFor(hw::PlatformGeneration::kGenC),
+                  {FastSpec("a"), FastSpec("b"), FastSpec("c")}, config, 2);
+  machine.Run(Seconds(1), 3000);
+  ASSERT_EQ(machine.results().size(), 3u);
+  // All processes made progress (next-event interleaving is fair).
+  for (const ProcessResult& r : machine.results()) {
+    EXPECT_GT(r.driver.requests, 1000u) << r.workload_name;
+  }
+  // Processes have separate allocators with disjoint arenas.
+  EXPECT_NE(&machine.allocator(0), &machine.allocator(1));
+  EXPECT_NE(machine.allocator(0).config().arena_base,
+            machine.allocator(1).config().arena_base);
+}
+
+TEST(Machine, RequestCapBoundsRun) {
+  tcmalloc::AllocatorConfig config;
+  Machine machine(hw::PlatformSpecFor(hw::PlatformGeneration::kGenA),
+                  {FastSpec("capped")}, config, 3);
+  machine.Run(Hours(10), 2000);
+  EXPECT_EQ(machine.results()[0].driver.requests, 2000u);
+}
+
+TEST(Machine, NucaDomainsPropagateToAllocatorConfig) {
+  tcmalloc::AllocatorConfig config;
+  config.nuca_transfer_cache = true;
+  hw::PlatformSpec platform = hw::PlatformSpecFor(hw::PlatformGeneration::kGenE);
+  Machine machine(platform, {FastSpec("nuca")}, config, 4);
+  EXPECT_EQ(machine.allocator(0).config().num_llc_domains,
+            platform.num_domains());
+  machine.Run(Milliseconds(100), 500);
+  SUCCEED();
+}
+
+TEST(Machine, VcpusBoundedByCpuShareAndThreads) {
+  tcmalloc::AllocatorConfig config;
+  workload::WorkloadSpec spec = FastSpec("wide");
+  spec.max_threads = 1000;  // more than any machine share
+  Machine machine(hw::PlatformSpecFor(hw::PlatformGeneration::kGenA),
+                  {spec, FastSpec("other")}, config, 5);
+  // Each process gets half the machine's CPUs.
+  hw::PlatformSpec plat = hw::PlatformSpecFor(hw::PlatformGeneration::kGenA);
+  EXPECT_LE(machine.allocator(0).config().num_vcpus, plat.num_cpus() / 2);
+}
+
+TEST(Machine, ResultsCarryHardwareStats) {
+  tcmalloc::AllocatorConfig config;
+  Machine machine(hw::PlatformSpecFor(hw::PlatformGeneration::kGenC),
+                  {FastSpec("hw")}, config, 6);
+  machine.Run(Seconds(1), 4000);
+  const ProcessResult& r = machine.results()[0];
+  EXPECT_GT(r.tlb.accesses, 0u);
+  EXPECT_GT(r.llc.accesses, 0u);
+  EXPECT_GE(r.hugepage_coverage, 0.0);
+  EXPECT_LE(r.hugepage_coverage, 1.0);
+  EXPECT_GT(r.ghz, 0.0);
+}
+
+}  // namespace
+}  // namespace wsc::fleet

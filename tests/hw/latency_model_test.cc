@@ -1,0 +1,36 @@
+// Tests for the core-to-core latency sweep (Fig. 11 harness).
+
+#include "hw/latency_model.h"
+
+#include <gtest/gtest.h>
+
+namespace wsc::hw {
+namespace {
+
+TEST(LatencyModel, ChipletPlatformShowsNucaGap) {
+  CpuTopology topo(PlatformSpecFor(PlatformGeneration::kGenC));
+  CoreToCoreLatency lat = MeasureCoreToCore(topo);
+  EXPECT_GT(lat.intra_domain_ns, 0.0);
+  EXPECT_GT(lat.inter_domain_ns, lat.intra_domain_ns);
+  // Fig. 11: inter-domain is 2.07x intra-domain.
+  EXPECT_NEAR(lat.InterToIntraRatio(), 2.07, 0.02);
+  // Single socket: no inter-socket pairs.
+  EXPECT_DOUBLE_EQ(lat.inter_socket_ns, 0.0);
+}
+
+TEST(LatencyModel, DualSocketReportsSocketLatency) {
+  CpuTopology topo(PlatformSpecFor(PlatformGeneration::kGenD));
+  CoreToCoreLatency lat = MeasureCoreToCore(topo);
+  EXPECT_GT(lat.inter_socket_ns, lat.inter_domain_ns);
+}
+
+TEST(LatencyModel, MonolithicPlatformHasNoInterDomain) {
+  CpuTopology topo(PlatformSpecFor(PlatformGeneration::kGenA));
+  CoreToCoreLatency lat = MeasureCoreToCore(topo);
+  EXPECT_GT(lat.intra_domain_ns, 0.0);
+  EXPECT_DOUBLE_EQ(lat.inter_domain_ns, 0.0);
+  EXPECT_DOUBLE_EQ(lat.InterToIntraRatio(), 0.0);
+}
+
+}  // namespace
+}  // namespace wsc::hw

@@ -1,0 +1,100 @@
+// Tests for the LLC locality model.
+
+#include "hw/llc_model.h"
+
+#include <gtest/gtest.h>
+
+namespace wsc::hw {
+namespace {
+
+class LlcModelTest : public ::testing::Test {
+ protected:
+  LlcModelTest()
+      : topo_(PlatformSpecFor(PlatformGeneration::kGenC)),
+        llc_(&topo_, /*lines_per_domain=*/4096, /*seed=*/1) {}
+
+  // gen-c: 16 cpus per domain.
+  int CpuInDomain(int domain) { return domain * 16; }
+
+  CpuTopology topo_;
+  LlcModel llc_;
+};
+
+TEST_F(LlcModelTest, ColdAccessMissesToMemory) {
+  double ns = llc_.AccessNs(0, 0x1000);
+  EXPECT_DOUBLE_EQ(ns, topo_.spec().memory_latency_ns);
+  EXPECT_EQ(llc_.stats().memory_misses, 1u);
+}
+
+TEST_F(LlcModelTest, RepeatAccessHitsLocally) {
+  llc_.AccessNs(0, 0x1000);
+  double ns = llc_.AccessNs(0, 0x1000);
+  EXPECT_DOUBLE_EQ(ns, 0.0);
+  EXPECT_EQ(llc_.stats().local_hits, 1u);
+}
+
+TEST_F(LlcModelTest, SameDomainSharingIsLocal) {
+  llc_.AccessNs(CpuInDomain(0), 0x2000);
+  // Another CPU in the same LLC domain hits locally.
+  double ns = llc_.AccessNs(CpuInDomain(0) + 5, 0x2000);
+  EXPECT_DOUBLE_EQ(ns, 0.0);
+}
+
+TEST_F(LlcModelTest, CrossDomainAccessPaysTransferAndMigrates) {
+  llc_.AccessNs(CpuInDomain(0), 0x3000);
+  double ns = llc_.AccessNs(CpuInDomain(1), 0x3000);
+  EXPECT_DOUBLE_EQ(ns, topo_.spec().inter_domain_latency_ns);
+  EXPECT_EQ(llc_.stats().remote_hits, 1u);
+  // The line migrated: now local to domain 1, remote to domain 0.
+  EXPECT_DOUBLE_EQ(llc_.AccessNs(CpuInDomain(1), 0x3000), 0.0);
+  EXPECT_DOUBLE_EQ(llc_.AccessNs(CpuInDomain(0), 0x3000),
+                   topo_.spec().inter_domain_latency_ns);
+}
+
+TEST_F(LlcModelTest, MpkiCountsRemoteAndMemoryMisses) {
+  llc_.AccessNs(0, 0x100);          // memory miss
+  llc_.AccessNs(CpuInDomain(1), 0x100);  // remote hit
+  llc_.AccessNs(CpuInDomain(1), 0x100);  // local hit
+  EXPECT_DOUBLE_EQ(llc_.stats().Mpki(1000), 2.0);
+  EXPECT_DOUBLE_EQ(llc_.stats().Mpki(0), 0.0);
+}
+
+TEST_F(LlcModelTest, DifferentLinesAreIndependent) {
+  llc_.AccessNs(0, 0x0);
+  llc_.AccessNs(0, 0x40);  // next line: separate miss
+  EXPECT_EQ(llc_.stats().memory_misses, 2u);
+  // Same line, different byte: hit.
+  llc_.AccessNs(0, 0x41);
+  EXPECT_EQ(llc_.stats().local_hits, 1u);
+}
+
+TEST_F(LlcModelTest, EvictRangeDropsLines) {
+  llc_.AccessNs(0, 0x8000);
+  llc_.AccessNs(0, 0x8040);
+  llc_.EvictRange(0x8000, 0x80);
+  llc_.AccessNs(0, 0x8000);
+  EXPECT_EQ(llc_.stats().memory_misses, 3u);
+}
+
+TEST_F(LlcModelTest, CapacityEvictionUnderPressure) {
+  // Stream far more lines than one domain holds (4096): early lines are
+  // eventually evicted.
+  for (uint64_t i = 0; i < 100000; ++i) {
+    llc_.AccessNs(0, i * 64);
+  }
+  llc_.ResetStats();
+  llc_.AccessNs(0, 0);  // line 0 was evicted long ago
+  EXPECT_EQ(llc_.stats().memory_misses, 1u);
+}
+
+TEST(LlcModelMonolithic, SingleDomainNeverRemote) {
+  CpuTopology topo(PlatformSpecFor(PlatformGeneration::kGenA));
+  LlcModel llc(&topo, 4096, 3);
+  llc.AccessNs(0, 0x100);
+  llc.AccessNs(topo.num_cpus() - 1, 0x100);
+  EXPECT_EQ(llc.stats().remote_hits, 0u);
+  EXPECT_EQ(llc.stats().local_hits, 1u);
+}
+
+}  // namespace
+}  // namespace wsc::hw

@@ -1,0 +1,93 @@
+// Tests for the platform topology model.
+
+#include "hw/topology.h"
+
+#include <gtest/gtest.h>
+
+namespace wsc::hw {
+namespace {
+
+TEST(PlatformSpec, DerivedCounts) {
+  PlatformSpec spec;
+  spec.sockets = 2;
+  spec.llc_domains_per_socket = 4;
+  spec.cores_per_domain = 8;
+  spec.threads_per_core = 2;
+  EXPECT_EQ(spec.num_domains(), 8);
+  EXPECT_EQ(spec.num_cores(), 64);
+  EXPECT_EQ(spec.num_cpus(), 128);
+  EXPECT_TRUE(spec.is_nuca());
+}
+
+TEST(CpuTopology, SmtSiblingsShareCore) {
+  CpuTopology topo(PlatformSpecFor(PlatformGeneration::kGenC));
+  EXPECT_EQ(topo.CoreOfCpu(0), topo.CoreOfCpu(1));
+  EXPECT_NE(topo.CoreOfCpu(1), topo.CoreOfCpu(2));
+}
+
+TEST(CpuTopology, DomainMappingIsContiguous) {
+  // gen-c: 4 domains x 8 cores x 2 threads = 16 cpus per domain.
+  CpuTopology topo(PlatformSpecFor(PlatformGeneration::kGenC));
+  for (int cpu = 0; cpu < topo.num_cpus(); ++cpu) {
+    EXPECT_EQ(topo.DomainOfCpu(cpu), cpu / 16);
+  }
+}
+
+TEST(CpuTopology, SocketMapping) {
+  CpuTopology topo(PlatformSpecFor(PlatformGeneration::kGenD));
+  // gen-d: 2 sockets x 4 domains; domains 0-3 on socket 0.
+  EXPECT_EQ(topo.SocketOfCpu(0), 0);
+  EXPECT_EQ(topo.SocketOfCpu(topo.num_cpus() - 1), 1);
+}
+
+TEST(CpuTopology, TransferLatencyClasses) {
+  CpuTopology topo(PlatformSpecFor(PlatformGeneration::kGenD));
+  const PlatformSpec& spec = topo.spec();
+  // Same domain.
+  EXPECT_DOUBLE_EQ(topo.TransferLatencyNs(0, 2),
+                   spec.intra_domain_latency_ns);
+  // Different domain, same socket: cpus 0 and 16 (gen-d has 16 cpus per
+  // domain).
+  EXPECT_DOUBLE_EQ(topo.TransferLatencyNs(0, 16),
+                   spec.inter_domain_latency_ns);
+  // Different socket.
+  EXPECT_DOUBLE_EQ(topo.TransferLatencyNs(0, topo.num_cpus() - 1),
+                   spec.inter_socket_latency_ns);
+}
+
+TEST(CpuTopology, InterDomainRatioMatchesPaper) {
+  // Fig. 11: inter-domain latency is 2.07x intra-domain.
+  PlatformSpec spec = PlatformSpecFor(PlatformGeneration::kGenE);
+  EXPECT_NEAR(spec.inter_domain_latency_ns / spec.intra_domain_latency_ns,
+              2.07, 0.01);
+}
+
+TEST(PlatformGenerations, HyperthreadGrowthAcrossGenerations) {
+  // Section 4.1: ~4x hyperthread growth over five platform generations.
+  auto gens = AllPlatformGenerations();
+  ASSERT_EQ(gens.size(), 5u);
+  int first = PlatformSpecFor(gens.front()).num_cpus();
+  int last = PlatformSpecFor(gens.back()).num_cpus();
+  EXPECT_GE(last, 4 * first / 2);  // at least significant growth
+  EXPECT_NEAR(static_cast<double>(last) / first, 4.0, 1.5);
+}
+
+TEST(PlatformGenerations, ChipletGensAreNuca) {
+  EXPECT_FALSE(PlatformSpecFor(PlatformGeneration::kGenA).is_nuca());
+  EXPECT_FALSE(PlatformSpecFor(PlatformGeneration::kGenB).is_nuca());
+  EXPECT_TRUE(PlatformSpecFor(PlatformGeneration::kGenC).is_nuca());
+  EXPECT_TRUE(PlatformSpecFor(PlatformGeneration::kGenD).is_nuca());
+  EXPECT_TRUE(PlatformSpecFor(PlatformGeneration::kGenE).is_nuca());
+}
+
+TEST(CpuTopologyDeathTest, OutOfRangeCpuIsFatalInDebug) {
+#ifndef NDEBUG
+  CpuTopology topo(PlatformSpecFor(PlatformGeneration::kGenA));
+  EXPECT_DEATH(topo.CoreOfCpu(topo.num_cpus()), "CHECK failed");
+#else
+  GTEST_SKIP() << "DCHECKs compiled out";
+#endif
+}
+
+}  // namespace
+}  // namespace wsc::hw

@@ -1,0 +1,131 @@
+// Integration tests: each of the paper's four optimizations must move its
+// target metric in the right direction on a workload engineered to expose
+// the effect. These are directional (shape) checks, not absolute-number
+// checks — the benches in /bench report the magnitudes.
+
+#include <gtest/gtest.h>
+
+#include "fleet/experiment.h"
+#include "workload/profiles.h"
+
+namespace wsc::fleet {
+namespace {
+
+using tcmalloc::AllocatorConfig;
+using workload::Behavior;
+using workload::LifetimeLognormal;
+using workload::MakeBehavior;
+using workload::SizeLognormal;
+using workload::WorkloadSpec;
+
+// A mixed workload with dynamic threads, short+long lifetimes and a spread
+// of sizes: every optimization has something to bite on.
+WorkloadSpec MixedSpec() {
+  WorkloadSpec spec;
+  spec.name = "mixed";
+  spec.behaviors = {
+      MakeBehavior(0.55, SizeLognormal(64, 2.5),
+                   LifetimeLognormal(Microseconds(300), 4.0)),
+      // Same size range, long lived: pins spans (the paper's stranding).
+      MakeBehavior(0.05, SizeLognormal(256, 3.0),
+                   LifetimeLognormal(Seconds(5), 4.0)),
+      MakeBehavior(0.25, SizeLognormal(4096, 2.0),
+                   LifetimeLognormal(Milliseconds(30), 4.0)),
+      MakeBehavior(0.05, SizeLognormal(4096, 2.0),
+                   LifetimeLognormal(Seconds(4), 3.0)),
+      MakeBehavior(0.08, SizeLognormal(64 * 1024, 2.0),
+                   LifetimeLognormal(Milliseconds(60), 3.0)),
+      MakeBehavior(0.02, SizeLognormal(512 * 1024, 1.5),
+                   LifetimeLognormal(Milliseconds(100), 2.0)),
+  };
+  spec.allocs_per_request = 10;
+  spec.request_work_ns = 4000;
+  spec.request_interval_ns = Milliseconds(1);
+  spec.touches_per_alloc = 2;
+  spec.reuse_touches_per_request = 10;
+  spec.min_threads = 2;
+  spec.max_threads = 24;
+  spec.thread_period = Seconds(8);
+  spec.startup_bytes = 50e6;
+  spec.startup_object_size = SizeLognormal(256, 2.0);
+  return spec;
+}
+
+AbDelta RunMixedAb(const AllocatorConfig& control,
+                   const AllocatorConfig& experiment, uint64_t seed) {
+  return RunBenchmarkAb(MixedSpec(),
+                        hw::PlatformSpecFor(hw::PlatformGeneration::kGenD),
+                        control, experiment, seed, Seconds(20), 400000);
+}
+
+TEST(HeterogeneousCaches, HalvedDynamicCachesSaveMemoryWithoutTputLoss) {
+  AllocatorConfig control;  // static 3 MiB per-vCPU caches
+  AllocatorConfig experiment;
+  experiment.dynamic_cpu_caches = true;
+  experiment.per_cpu_cache_bytes = control.per_cpu_cache_bytes / 2;
+
+  AbDelta delta = RunMixedAb(control, experiment, 101);
+  // Fig. 10: memory drops; the paper reports no performance impact.
+  EXPECT_LT(delta.MemoryChangePct(), 0.0);
+  EXPECT_GT(delta.ThroughputChangePct(), -1.0);
+}
+
+TEST(NucaTransferCache, ImprovesLocalityOnChipletPlatform) {
+  AllocatorConfig control;
+  AllocatorConfig experiment;
+  experiment.nuca_transfer_cache = true;
+
+  AbDelta delta = RunMixedAb(control, experiment, 102);
+  // Table 1: LLC MPKI falls, throughput rises; memory may rise slightly.
+  EXPECT_LT(delta.experiment.LlcMpki(), delta.control.LlcMpki());
+  EXPECT_GT(delta.ThroughputChangePct(), 0.0);
+}
+
+TEST(SpanPrioritization, ReducesMemory) {
+  AllocatorConfig control;
+  AllocatorConfig experiment;
+  experiment.span_prioritization = true;
+
+  AbDelta delta = RunMixedAb(control, experiment, 103);
+  // Fig. 14: fragmentation (and hence footprint) falls; productivity is
+  // unchanged (allow generous noise).
+  EXPECT_LT(delta.MemoryChangePct(), 0.0);
+  EXPECT_NEAR(delta.ThroughputChangePct(), 0.0, 2.0);
+}
+
+TEST(LifetimeAwareFiller, ImprovesHugepageCoverageAndTlb) {
+  AllocatorConfig control;
+  AllocatorConfig experiment;
+  experiment.lifetime_aware_filler = true;
+
+  AbDelta delta = RunMixedAb(control, experiment, 104);
+  // Fig. 17 / Table 2: hugepage coverage up, dTLB walk fraction down.
+  EXPECT_GE(delta.experiment.HugepageCoverage(),
+            delta.control.HugepageCoverage());
+  EXPECT_LE(delta.experiment.DtlbWalkFraction(),
+            delta.control.DtlbWalkFraction() * 1.05);
+}
+
+TEST(AllOptimizations, CombinedImprovesThroughputAndMemory) {
+  AllocatorConfig control;
+  AllocatorConfig experiment = AllocatorConfig::AllOptimizations(control);
+
+  AbDelta delta = RunMixedAb(control, experiment, 105);
+  // Section 4.5: +1.4% throughput, -3.4% memory fleet-wide; directions
+  // must hold on this single machine too.
+  EXPECT_GT(delta.ThroughputChangePct(), 0.0);
+  EXPECT_LT(delta.MemoryChangePct(), 0.0);
+}
+
+TEST(AllOptimizations, ConfigHelperSetsEverything) {
+  AllocatorConfig base;
+  AllocatorConfig all = AllocatorConfig::AllOptimizations(base);
+  EXPECT_TRUE(all.dynamic_cpu_caches);
+  EXPECT_TRUE(all.nuca_transfer_cache);
+  EXPECT_TRUE(all.span_prioritization);
+  EXPECT_TRUE(all.lifetime_aware_filler);
+  EXPECT_EQ(all.per_cpu_cache_bytes, base.per_cpu_cache_bytes / 2);
+}
+
+}  // namespace
+}  // namespace wsc::fleet

@@ -1,0 +1,249 @@
+// End-to-end tests of the allocator facade: correctness of the malloc/free
+// contract, tier routing, cycle accounting, and heap statistics.
+
+#include "tcmalloc/allocator.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace wsc::tcmalloc {
+namespace {
+
+AllocatorConfig TestConfig() {
+  AllocatorConfig config;
+  config.num_vcpus = 4;
+  config.arena_bytes = size_t{32} << 30;
+  return config;
+}
+
+TEST(Allocator, SmallAllocationRoundTrip) {
+  Allocator alloc(TestConfig());
+  uintptr_t p = alloc.Allocate(100, 0, 0);
+  EXPECT_NE(p, 0u);
+  HeapStats stats = alloc.CollectStats();
+  // 100 B rounds to a size class >= 100.
+  EXPECT_GE(stats.live_bytes, 100u);
+  EXPECT_LE(stats.live_bytes, 128u);
+  alloc.Free(p, 0, 0);
+  EXPECT_EQ(alloc.CollectStats().live_bytes, 0u);
+  EXPECT_EQ(alloc.num_allocations(), 1u);
+  EXPECT_EQ(alloc.num_frees(), 1u);
+}
+
+TEST(Allocator, LargeAllocationBypassesCaches) {
+  Allocator alloc(TestConfig());
+  uintptr_t p = alloc.Allocate(1 << 20, 0, 0);
+  EXPECT_NE(p, 0u);
+  EXPECT_EQ(alloc.alloc_tier_hits().page_heap, 1u);
+  EXPECT_EQ(alloc.alloc_tier_hits().cpu_cache, 0u);
+  HeapStats stats = alloc.CollectStats();
+  EXPECT_GE(stats.live_bytes, size_t{1} << 20);
+  alloc.Free(p, 0, 0);
+  EXPECT_EQ(alloc.CollectStats().live_bytes, 0u);
+}
+
+TEST(Allocator, SecondAllocationHitsCpuCache) {
+  Allocator alloc(TestConfig());
+  uintptr_t p = alloc.Allocate(64, 0, 0);
+  alloc.Free(p, 0, 0);  // lands in the vCPU-0 cache
+  uintptr_t q = alloc.Allocate(64, 0, 0);
+  EXPECT_EQ(q, p);  // LIFO reuse
+  EXPECT_GE(alloc.alloc_tier_hits().cpu_cache, 1u);
+}
+
+TEST(Allocator, BatchRefillPopulatesCache) {
+  Allocator alloc(TestConfig());
+  const SizeClasses& sc = alloc.size_classes();
+  int cls = sc.ClassFor(64);
+  // First allocation misses everywhere and refills from the CFL.
+  alloc.Allocate(64, 0, 0);
+  // batch - 1 objects cached: the next batch-1 allocations all hit.
+  uint64_t misses_before = alloc.cpu_caches().GetVcpuStats(0).underflows;
+  for (int i = 1; i < sc.batch_size(cls); ++i) alloc.Allocate(64, 0, 0);
+  EXPECT_EQ(alloc.cpu_caches().GetVcpuStats(0).underflows, misses_before);
+}
+
+TEST(Allocator, NoTwoLiveObjectsOverlap) {
+  Allocator alloc(TestConfig());
+  Rng rng(99);
+  struct Obj {
+    uintptr_t addr;
+    size_t size;
+  };
+  std::vector<Obj> live;
+  std::map<uintptr_t, size_t> intervals;  // addr -> allocated extent
+  const SizeClasses& sc = alloc.size_classes();
+  for (int i = 0; i < 20000; ++i) {
+    if (!live.empty() && rng.Bernoulli(0.45)) {
+      size_t k = rng.UniformInt(live.size());
+      alloc.Free(live[k].addr, static_cast<int>(rng.UniformInt(4)), i);
+      intervals.erase(live[k].addr);
+      live[k] = live.back();
+      live.pop_back();
+    } else {
+      size_t size = 1 + rng.UniformInt(rng.Bernoulli(0.05) ? 500000 : 3000);
+      uintptr_t addr =
+          alloc.Allocate(size, static_cast<int>(rng.UniformInt(4)), i);
+      int cls = sc.ClassFor(size);
+      size_t extent = cls >= 0 ? sc.class_size(cls)
+                               : LengthToBytes(BytesToLengthCeil(size));
+      // Check against neighbors in the interval map.
+      auto next = intervals.lower_bound(addr);
+      if (next != intervals.end()) {
+        ASSERT_LE(addr + extent, next->first) << "overlap above";
+      }
+      if (next != intervals.begin()) {
+        auto prev = std::prev(next);
+        ASSERT_LE(prev->first + prev->second, addr) << "overlap below";
+      }
+      intervals[addr] = extent;
+      live.push_back({addr, size});
+    }
+  }
+}
+
+TEST(AllocatorDeathTest, DoubleFreeOfCachedObjectIsEventuallyFatal) {
+  // Freeing twice puts the same address in the cache twice; the second
+  // round-trip through the span layer detects it. Directly freeing an
+  // address that was never allocated dies on the pagemap lookup.
+  Allocator alloc(TestConfig());
+  EXPECT_DEATH(alloc.Free(uintptr_t{1} << 45, 0, 0), "CHECK failed");
+}
+
+TEST(AllocatorDeathTest, ZeroSizeAllocationIsFatal) {
+  Allocator alloc(TestConfig());
+  EXPECT_DEATH(alloc.Allocate(0, 0, 0), "CHECK failed");
+}
+
+TEST(Allocator, CycleAccountingAttributesAllPaths) {
+  Allocator alloc(TestConfig());
+  Rng rng(5);
+  std::vector<uintptr_t> live;
+  for (int i = 0; i < 5000; ++i) {
+    if (!live.empty() && rng.Bernoulli(0.4)) {
+      alloc.Free(live.back(), 0, i);
+      live.pop_back();
+    } else {
+      live.push_back(alloc.Allocate(1 + rng.UniformInt(4096), 0, i));
+    }
+  }
+  const MallocCycleBreakdown& cycles = alloc.cycle_breakdown();
+  EXPECT_GT(cycles.cpu_cache_ns, 0.0);
+  EXPECT_GT(cycles.central_free_list_ns, 0.0);
+  EXPECT_GT(cycles.page_heap_ns, 0.0);
+  EXPECT_GT(cycles.mmap_ns, 0.0);
+  EXPECT_GT(cycles.prefetch_ns, 0.0);
+  EXPECT_GT(cycles.other_ns, 0.0);
+  EXPECT_GT(cycles.Total(), 0.0);
+  // The fast path dominates operation counts, so per-op cost is small.
+  double per_op = cycles.Total() /
+                  static_cast<double>(alloc.num_allocations() +
+                                      alloc.num_frees());
+  EXPECT_LT(per_op, 100.0);
+}
+
+TEST(Allocator, LastOpNsTracksTierCosts) {
+  AllocatorConfig config = TestConfig();
+  Allocator alloc(config);
+  // First alloc goes through CFL + page heap + mmap: expensive.
+  alloc.Allocate(64, 0, 0);
+  double slow = alloc.last_op_ns();
+  EXPECT_GT(slow, config.costs.page_heap_ns);
+  // Second allocation of the same class: fast path only.
+  alloc.Allocate(64, 0, 0);
+  double fast = alloc.last_op_ns();
+  EXPECT_LT(fast, 10.0);
+  EXPECT_GT(slow, 10 * fast);
+}
+
+TEST(Allocator, HeapStatsBalance) {
+  Allocator alloc(TestConfig());
+  Rng rng(123);
+  std::vector<uintptr_t> live;
+  for (int i = 0; i < 30000; ++i) {
+    if (!live.empty() && rng.Bernoulli(0.5)) {
+      size_t k = rng.UniformInt(live.size());
+      alloc.Free(live[k], 0, i);
+      live[k] = live.back();
+      live.pop_back();
+    } else {
+      live.push_back(alloc.Allocate(1 + rng.UniformInt(60000), 0, i));
+    }
+  }
+  HeapStats stats = alloc.CollectStats();
+  EXPECT_GT(stats.live_bytes, 0u);
+  EXPECT_GE(stats.live_bytes, stats.requested_bytes);
+  // The heap footprint covers live + cached-free memory and never exceeds
+  // what was mapped from the system (minus released).
+  EXPECT_LE(stats.HeapBytes(),
+            alloc.system_stats().mapped_bytes);
+  EXPECT_GT(stats.ExternalFragmentation(), 0u);
+}
+
+TEST(Allocator, FreeFromAnyVcpuIsAccepted) {
+  Allocator alloc(TestConfig());
+  uintptr_t p = alloc.Allocate(128, 0, 0);
+  alloc.Free(p, 3, 0);  // freed by a different vCPU
+  HeapStats stats = alloc.CollectStats();
+  EXPECT_EQ(stats.live_bytes, 0u);
+  // The object now sits in vCPU 3's cache.
+  EXPECT_GT(alloc.cpu_caches().GetVcpuStats(3).used_bytes, 0u);
+}
+
+TEST(Allocator, MaintainRunsBackgroundTasks) {
+  AllocatorConfig config = TestConfig();
+  config.dynamic_cpu_caches = true;
+  Allocator alloc(config);
+  std::vector<uintptr_t> live;
+  for (int i = 0; i < 10000; ++i) {
+    live.push_back(alloc.Allocate(64, 0, 0));
+  }
+  for (uintptr_t p : live) alloc.Free(p, 1, 0);
+  // Maintain must not crash and should trigger resize + release paths.
+  alloc.Maintain(Seconds(10));
+  alloc.Maintain(Seconds(20));
+  SUCCEED();
+}
+
+TEST(Allocator, AllocationHistogramsTrackSizes) {
+  Allocator alloc(TestConfig());
+  alloc.Allocate(100, 0, 0);
+  alloc.Allocate(100, 0, 0);
+  alloc.Allocate(1 << 20, 0, 0);
+  EXPECT_EQ(alloc.alloc_count_hist().count(), 3u);
+  // By count, small objects dominate; by bytes, the 1 MiB one does.
+  EXPECT_GT(alloc.alloc_count_hist().FractionBelow(1024), 0.6);
+  EXPECT_GT(alloc.alloc_bytes_hist().FractionAtLeast(1 << 19), 0.9);
+}
+
+TEST(Allocator, SampledAllocationsChargedSampledCycles) {
+  AllocatorConfig config = TestConfig();
+  config.sample_interval_bytes = 4096;
+  Allocator alloc(config);
+  for (int i = 0; i < 1000; ++i) alloc.Allocate(512, 0, 0);
+  EXPECT_GT(alloc.sampler().samples_taken(), 50u);
+  EXPECT_GT(alloc.cycle_breakdown().sampled_ns, 0.0);
+}
+
+TEST(Allocator, VcpuDomainMappingValidated) {
+  AllocatorConfig config = TestConfig();
+  config.num_llc_domains = 2;
+  config.nuca_transfer_cache = true;
+  Allocator alloc(config);
+  alloc.SetVcpuDomain(0, 1);
+  EXPECT_EQ(alloc.DomainOfVcpu(0), 1);
+}
+
+TEST(AllocatorDeathTest, InvalidDomainIsFatal) {
+  AllocatorConfig config = TestConfig();
+  config.num_llc_domains = 2;
+  Allocator alloc(config);
+  EXPECT_DEATH(alloc.SetVcpuDomain(0, 5), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace wsc::tcmalloc

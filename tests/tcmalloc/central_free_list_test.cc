@@ -1,0 +1,225 @@
+// Tests for the central free list, including the span-prioritization
+// redesign of Section 4.3.
+
+#include "tcmalloc/central_free_list.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "tcmalloc/size_classes.h"
+
+namespace wsc::tcmalloc {
+namespace {
+
+// Span source handing out spans from a synthetic page range.
+class FakeSpanSource : public SpanSource {
+ public:
+  explicit FakeSpanSource(const SizeClassInfo& info) : info_(info) {}
+
+  Span* NewSpan(int cls) override {
+    auto span = new Span(PageId{next_page_}, info_.pages_per_span, cls,
+                         info_.size, info_.objects_per_span);
+    span->span_id = ++next_id_;
+    next_page_ += info_.pages_per_span;
+    live_spans_.push_back(span);
+    return span;
+  }
+
+  void ReturnSpan(Span* span) override {
+    ++returned_;
+    live_spans_.erase(
+        std::find(live_spans_.begin(), live_spans_.end(), span));
+    delete span;
+  }
+
+  int outstanding() const { return static_cast<int>(live_spans_.size()); }
+  int returned() const { return returned_; }
+  const std::vector<Span*>& live_spans() const { return live_spans_; }
+
+ private:
+  SizeClassInfo info_;
+  uintptr_t next_page_ = 1 << 20;
+  uint64_t next_id_ = 0;
+  int returned_ = 0;
+  std::vector<Span*> live_spans_;
+};
+
+class CflTest : public ::testing::TestWithParam<int> {  // param: num_lists
+ protected:
+  CflTest()
+      : cls_(SizeClasses::Default().ClassFor(16)),
+        info_(SizeClasses::Default().info(cls_)),
+        source_(info_),
+        cfl_(cls_, info_, GetParam(), &source_) {}
+
+  int cls_;
+  SizeClassInfo info_;
+  FakeSpanSource source_;
+  CentralFreeList cfl_;
+};
+
+TEST_P(CflTest, RemoveRangeProducesDistinctObjects) {
+  std::vector<uintptr_t> out(100);
+  ASSERT_EQ(cfl_.RemoveRange(out.data(), 100), 100);
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(std::unique(out.begin(), out.end()), out.end());
+  EXPECT_EQ(cfl_.stats().allocations, 100u);
+}
+
+TEST_P(CflTest, SpansAllFetchedFromSource) {
+  int per_span = info_.objects_per_span;
+  std::vector<uintptr_t> objs(3 * per_span + 1);
+  ASSERT_EQ(cfl_.RemoveRange(objs.data(), 3 * per_span + 1),
+            3 * per_span + 1);
+  EXPECT_EQ(source_.outstanding(), 4);
+  EXPECT_EQ(cfl_.stats().fetched_spans, 4u);
+  auto snap = cfl_.SnapshotSpans();
+  EXPECT_EQ(snap.size(), 4u);
+}
+
+INSTANTIATE_TEST_SUITE_P(BaselineAndPrioritized, CflTest,
+                         ::testing::Values(1, 8));
+
+// A harness that tracks Span* by object address so InsertObject can be
+// driven exactly as the allocator does (via its pagemap).
+class CflHarness {
+ public:
+  CflHarness(int cls, int num_lists)
+      : info_(SizeClasses::Default().info(cls)),
+        source_(info_),
+        cfl_(cls, info_, num_lists, &source_) {}
+
+  std::vector<uintptr_t> Allocate(int n) {
+    std::vector<uintptr_t> out(n);
+    EXPECT_EQ(cfl_.RemoveRange(out.data(), n), n);
+    // Associate each object with its span via the address range.
+    for (uintptr_t addr : out) RecordSpan(addr);
+    return out;
+  }
+
+  void Free(uintptr_t addr) {
+    Span* span = SpanFor(addr);
+    ASSERT_NE(span, nullptr);
+    cfl_.InsertObject(span, addr);
+  }
+
+  CentralFreeList& cfl() { return cfl_; }
+  FakeSpanSource& source() { return source_; }
+
+ private:
+  void RecordSpan(uintptr_t addr) { (void)addr; }
+
+  // The allocator resolves spans via its pagemap; the harness resolves
+  // them by address range over the source's live spans.
+  Span* SpanFor(uintptr_t addr) {
+    for (Span* s : source_.live_spans()) {
+      if (addr >= s->start_addr() &&
+          addr < s->start_addr() + s->span_bytes()) {
+        return s;
+      }
+    }
+    return nullptr;
+  }
+
+  SizeClassInfo info_;
+  FakeSpanSource source_;
+  CentralFreeList cfl_;
+};
+
+TEST(CflRoundTrip, FullCycleReturnsAllSpans) {
+  const SizeClasses& sc = SizeClasses::Default();
+  int cls = sc.ClassFor(64);
+  CflHarness h(cls, 8);
+  auto objs = h.Allocate(1000);
+  for (uintptr_t addr : objs) h.Free(addr);
+  EXPECT_EQ(h.source().outstanding(), 0);
+  EXPECT_GT(h.cfl().stats().returned_spans, 0u);
+  EXPECT_EQ(h.cfl().num_spans(), 0u);
+  EXPECT_EQ(h.cfl().FreeObjectBytes(), 0u);
+}
+
+TEST(CflRoundTrip, FreeObjectBytesTracksPartialSpans) {
+  const SizeClasses& sc = SizeClasses::Default();
+  int cls = sc.ClassFor(1024);
+  CflHarness h(cls, 1);
+  int per_span = sc.objects_per_span(cls);
+  auto objs = h.Allocate(per_span);  // exactly one full span
+  EXPECT_EQ(h.cfl().FreeObjectBytes(), 0u);
+  h.Free(objs[0]);
+  EXPECT_EQ(h.cfl().FreeObjectBytes(), sc.class_size(cls));
+  h.Free(objs[1]);
+  EXPECT_EQ(h.cfl().FreeObjectBytes(), 2 * sc.class_size(cls));
+}
+
+TEST(CflPrioritization, AllocatesFromFullestSpanFirst) {
+  const SizeClasses& sc = SizeClasses::Default();
+  int cls = sc.ClassFor(16);
+  int per_span = sc.objects_per_span(cls);  // 512 objects per 8 KiB span
+
+  CflHarness h(cls, 8);
+  // Create two spans: A full except 2 objects, B nearly empty.
+  auto objs = h.Allocate(2 * per_span);
+  std::vector<uintptr_t> span_a(objs.begin(), objs.begin() + per_span);
+  std::vector<uintptr_t> span_b(objs.begin() + per_span, objs.end());
+  // Free 2 from A (A has per_span-2 live), all but 2 of B (B has 2 live).
+  h.Free(span_a[0]);
+  h.Free(span_a[1]);
+  for (int i = 2; i < per_span; ++i) h.Free(span_b[i]);
+
+  // The next allocations must come from A (most allocations, least likely
+  // to be released), not from B: exactly the two addresses freed from A.
+  auto next = h.Allocate(2);
+  std::sort(next.begin(), next.end());
+  std::vector<uintptr_t> expected = {span_a[0], span_a[1]};
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(next, expected) << "allocated from the nearly-empty span";
+}
+
+TEST(CflBaseline, SingleListIgnoresOccupancy) {
+  // With one list, allocation picks the front span regardless of
+  // occupancy: freeing into span B last puts B in front.
+  const SizeClasses& sc = SizeClasses::Default();
+  int cls = sc.ClassFor(16);
+  int per_span = sc.objects_per_span(cls);
+  CflHarness h(cls, 1);
+  auto objs = h.Allocate(2 * per_span);
+  // Free one object from each span; B freed last -> B is listed first
+  // (behavioral contrast to prioritization; both spans now have free
+  // objects, and the baseline will serve from whichever is in front).
+  h.Free(objs[0]);                    // span A
+  h.Free(objs[per_span]);             // span B
+  auto next = h.Allocate(1);
+  EXPECT_EQ(next[0], objs[per_span]);  // came from B, the list front
+}
+
+TEST(CflTelemetry, SnapshotAndReturnedIds) {
+  const SizeClasses& sc = SizeClasses::Default();
+  int big = sc.num_classes() - 1;  // capacity-1 spans
+  CflHarness h(big, 8);
+  auto objs = h.Allocate(3);  // three spans
+  auto snap = h.cfl().SnapshotSpans();
+  EXPECT_EQ(snap.size(), 3u);
+  for (const auto& s : snap) EXPECT_EQ(s.live_objects, 1);
+
+  h.Free(objs[1]);
+  auto returned = h.cfl().DrainReturnedSpanIds();
+  EXPECT_EQ(returned.size(), 1u);
+  EXPECT_TRUE(h.cfl().DrainReturnedSpanIds().empty());  // drained
+  EXPECT_DOUBLE_EQ(h.cfl().SpanReturnRate(), 1.0 / 3.0);
+}
+
+TEST(CflDeathTest, InsertWrongClassIsFatal) {
+  const SizeClasses& sc = SizeClasses::Default();
+  int cls = sc.ClassFor(16);
+  FakeSpanSource source(sc.info(cls));
+  CentralFreeList cfl(cls, sc.info(cls), 8, &source);
+  Span wrong(PageId{999}, 1, cls + 1, 32, 256);
+  EXPECT_DEATH(cfl.InsertObject(&wrong, wrong.start_addr()),
+               "CHECK failed");
+}
+
+}  // namespace
+}  // namespace wsc::tcmalloc

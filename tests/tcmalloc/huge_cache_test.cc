@@ -1,0 +1,118 @@
+// Tests for the hugepage cache: run reuse, coalescing, and OS release.
+
+#include "tcmalloc/huge_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace wsc::tcmalloc {
+namespace {
+
+constexpr uintptr_t kBase = uintptr_t{1} << 40;
+
+class HugeCacheTest : public ::testing::Test {
+ protected:
+  HugeCacheTest() : sys_(kBase, 1024 * kHugePageSize), cache_(&sys_, 8) {}
+
+  SystemAllocator sys_;
+  HugeCache cache_;
+};
+
+TEST_F(HugeCacheTest, AllocateFromSystemThenReuse) {
+  HugePageId a = cache_.Allocate(2);
+  EXPECT_EQ(cache_.stats().os_allocations, 1u);
+  cache_.Release(a, 2);
+  EXPECT_EQ(cache_.stats().cached_hugepages, 2u);
+  HugePageId b = cache_.Allocate(2);
+  EXPECT_EQ(b.index, a.index);  // reused
+  EXPECT_EQ(cache_.stats().reuse_hits, 1u);
+  EXPECT_EQ(cache_.stats().os_allocations, 1u);
+}
+
+TEST_F(HugeCacheTest, BestFitPrefersSmallestSufficientRun) {
+  HugePageId a = cache_.Allocate(4);
+  HugePageId b = cache_.Allocate(1);
+  HugePageId c = cache_.Allocate(2);
+  (void)b;
+  cache_.Release(a, 4);
+  cache_.Release(c, 2);
+  // Request 2: the 2-run fits exactly; the 4-run must stay whole.
+  HugePageId d = cache_.Allocate(2);
+  EXPECT_EQ(d.index, c.index);
+}
+
+TEST_F(HugeCacheTest, AdjacentRunsCoalesce) {
+  HugePageId a = cache_.Allocate(1);
+  HugePageId b = cache_.Allocate(1);
+  HugePageId c = cache_.Allocate(1);
+  ASSERT_EQ(b.index, a.index + 1);
+  ASSERT_EQ(c.index, b.index + 1);
+  cache_.Release(a, 1);
+  cache_.Release(c, 1);
+  cache_.Release(b, 1);  // bridges a and c
+  // A 3-hugepage request is served by the coalesced run.
+  HugePageId d = cache_.Allocate(3);
+  EXPECT_EQ(d.index, a.index);
+  EXPECT_EQ(cache_.stats().os_allocations, 3u);  // no new OS allocation
+}
+
+TEST_F(HugeCacheTest, ExcessFreeHugepagesReleasedToOs) {
+  HugePageId a = cache_.Allocate(20);
+  cache_.Release(a, 20);  // cap is 8
+  EXPECT_EQ(cache_.stats().cached_hugepages, 8u);
+  EXPECT_EQ(cache_.stats().released_hugepages, 12u);
+}
+
+TEST_F(HugeCacheTest, ReleasedHugepagesBecomeIntactOnReuse) {
+  HugePageId a = cache_.Allocate(20);
+  cache_.Release(a, 20);
+  ASSERT_EQ(cache_.stats().released_hugepages, 12u);
+  // Reusing the run refaults released pages.
+  cache_.Allocate(20);
+  EXPECT_EQ(cache_.stats().released_hugepages, 0u);
+  EXPECT_EQ(cache_.stats().cached_hugepages, 0u);
+  EXPECT_EQ(cache_.stats().in_use_hugepages, 20u);
+}
+
+TEST_F(HugeCacheTest, NonIntactReleaseGoesStraightToOs) {
+  HugePageId a = cache_.Allocate(1);
+  cache_.Release(a, 1, /*intact=*/false);
+  EXPECT_EQ(cache_.stats().cached_hugepages, 0u);
+  EXPECT_EQ(cache_.stats().released_hugepages, 1u);
+}
+
+TEST_F(HugeCacheTest, ReleaseExcessShrinksToLimit) {
+  HugePageId a = cache_.Allocate(6);
+  cache_.Release(a, 6);
+  EXPECT_EQ(cache_.ReleaseExcess(2), 4u);
+  EXPECT_EQ(cache_.stats().cached_hugepages, 2u);
+  EXPECT_EQ(cache_.ReleaseExcess(2), 0u);
+}
+
+TEST_F(HugeCacheTest, CachedBytes) {
+  HugePageId a = cache_.Allocate(3);
+  cache_.Release(a, 3);
+  EXPECT_EQ(cache_.CachedBytes(), 3 * kHugePageSize);
+}
+
+TEST_F(HugeCacheTest, InUseAccountingBalances) {
+  HugePageId a = cache_.Allocate(5);
+  HugePageId b = cache_.Allocate(2);
+  EXPECT_EQ(cache_.stats().in_use_hugepages, 7u);
+  cache_.Release(a, 5);
+  EXPECT_EQ(cache_.stats().in_use_hugepages, 2u);
+  cache_.Release(b, 2);
+  EXPECT_EQ(cache_.stats().in_use_hugepages, 0u);
+}
+
+TEST(HugeCacheDeathTest, DoubleReleaseIsFatal) {
+  SystemAllocator sys(kBase, 64 * kHugePageSize);
+  HugeCache cache(&sys, 64);
+  HugePageId a = cache.Allocate(2);
+  HugePageId b = cache.Allocate(2);
+  (void)b;
+  cache.Release(a, 2);
+  EXPECT_DEATH(cache.Release(a, 2), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace wsc::tcmalloc

@@ -1,0 +1,89 @@
+// Tests for hugepage regions.
+
+#include "tcmalloc/huge_region.h"
+
+#include <gtest/gtest.h>
+
+namespace wsc::tcmalloc {
+namespace {
+
+constexpr uintptr_t kBase = uintptr_t{1} << 40;
+
+class HugeRegionTest : public ::testing::Test {
+ protected:
+  HugeRegionTest()
+      : sys_(kBase, 4096 * kHugePageSize), cache_(&sys_, 64),
+        regions_(&cache_) {}
+
+  SystemAllocator sys_;
+  HugeCache cache_;
+  HugeRegionSet regions_;
+};
+
+TEST_F(HugeRegionTest, SingleRegionAllocateFree) {
+  // 300 pages ~ 2.34 MiB: slightly exceeds one hugepage.
+  PageId p = regions_.Allocate(300);
+  EXPECT_EQ(regions_.num_regions(), 1u);
+  EXPECT_EQ(regions_.used_pages(), 300u);
+  EXPECT_TRUE(regions_.Owns(p));
+  EXPECT_TRUE(regions_.Free(p, 300));
+  // Region became empty: returned to the cache.
+  EXPECT_EQ(regions_.num_regions(), 0u);
+  EXPECT_EQ(cache_.stats().cached_hugepages, HugeRegion::kRegionHugePages);
+}
+
+TEST_F(HugeRegionTest, PacksMultipleAllocationsInOneRegion) {
+  PageId a = regions_.Allocate(300);
+  PageId b = regions_.Allocate(300);
+  PageId c = regions_.Allocate(300);
+  EXPECT_EQ(regions_.num_regions(), 1u);  // 4096-page regions fit all three
+  EXPECT_NE(a.index, b.index);
+  EXPECT_NE(b.index, c.index);
+  EXPECT_EQ(regions_.used_pages(), 900u);
+}
+
+TEST_F(HugeRegionTest, GrowsWhenRegionFull) {
+  // 13 x 300 = 3900 fits; the 14th overflows into a second region.
+  for (int i = 0; i < 13; ++i) regions_.Allocate(300);
+  EXPECT_EQ(regions_.num_regions(), 1u);
+  regions_.Allocate(300);
+  EXPECT_EQ(regions_.num_regions(), 2u);
+}
+
+TEST_F(HugeRegionTest, FreeReturnsFalseForForeignPages) {
+  regions_.Allocate(300);
+  EXPECT_FALSE(regions_.Free(PageId{1}, 10));
+}
+
+TEST_F(HugeRegionTest, ReusesFreedHoles) {
+  PageId a = regions_.Allocate(300);
+  regions_.Allocate(300);
+  ASSERT_TRUE(regions_.Free(a, 300));
+  PageId c = regions_.Allocate(200);  // fits the hole at a
+  EXPECT_EQ(c.index, a.index);
+  EXPECT_EQ(regions_.num_regions(), 1u);
+}
+
+TEST(HugeRegion, BitmapAllocateFree) {
+  HugeRegion region(HugePageId{7});
+  EXPECT_TRUE(region.empty());
+  int a = region.Allocate(100);
+  EXPECT_EQ(a, 0);
+  int b = region.Allocate(HugeRegion::kRegionPages - 100);
+  EXPECT_EQ(b, 100);
+  EXPECT_EQ(region.Allocate(1), -1);  // full
+  region.Free(a, 100);
+  EXPECT_EQ(region.Allocate(50), 0);
+}
+
+TEST(HugeRegion, ContainsChecksRange) {
+  HugeRegion region(HugePageId{10});
+  PageId first = region.first_page();
+  EXPECT_TRUE(region.Contains(first));
+  EXPECT_TRUE(region.Contains(first + (HugeRegion::kRegionPages - 1)));
+  EXPECT_FALSE(region.Contains(first + HugeRegion::kRegionPages));
+  EXPECT_FALSE(region.Contains(first - 1));
+}
+
+}  // namespace
+}  // namespace wsc::tcmalloc

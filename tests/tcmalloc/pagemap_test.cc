@@ -1,0 +1,80 @@
+// Tests for the radix PageMap.
+
+#include "tcmalloc/pagemap.h"
+
+#include <gtest/gtest.h>
+
+#include "tcmalloc/span.h"
+
+namespace wsc::tcmalloc {
+namespace {
+
+TEST(PageMap, InsertLookupErase) {
+  PageMap map(PageId{1 << 20}, 1 << 22);
+  Span span(PageId{(1 << 20) + 100}, 4, 3, 1024, 32);
+  map.Insert(&span);
+  for (Length i = 0; i < 4; ++i) {
+    EXPECT_EQ(map.Lookup(span.first_page() + i), &span);
+  }
+  EXPECT_EQ(map.Lookup(span.first_page() - 1), nullptr);
+  EXPECT_EQ(map.Lookup(span.first_page() + 4), nullptr);
+  map.Erase(&span);
+  EXPECT_EQ(map.Lookup(span.first_page()), nullptr);
+}
+
+TEST(PageMap, LookupAddrFindsInteriorAddresses) {
+  PageMap map(PageId{1 << 20}, 1 << 22);
+  Span span(PageId{(1 << 20) + 7}, 2, 3, 512, 32);
+  map.Insert(&span);
+  EXPECT_EQ(map.LookupAddr(span.start_addr()), &span);
+  EXPECT_EQ(map.LookupAddr(span.start_addr() + 513), &span);
+  EXPECT_EQ(map.LookupAddr(span.start_addr() + span.span_bytes() - 1), &span);
+  EXPECT_EQ(map.LookupAddr(span.start_addr() + span.span_bytes()), nullptr);
+}
+
+TEST(PageMap, SpansCrossingLeafBoundaries) {
+  // Leaf size is 2^14 pages; place a span straddling the boundary.
+  PageMap map(PageId{0}, 1 << 20);
+  Span span(PageId{(1 << 14) - 2}, 4, 1, 2048, 16);
+  map.Insert(&span);
+  for (Length i = 0; i < 4; ++i) {
+    EXPECT_EQ(map.Lookup(span.first_page() + i), &span);
+  }
+  map.Erase(&span);
+  for (Length i = 0; i < 4; ++i) {
+    EXPECT_EQ(map.Lookup(span.first_page() + i), nullptr);
+  }
+}
+
+TEST(PageMap, LookupOutOfRangeReturnsNull) {
+  PageMap map(PageId{1000}, 1000);
+  EXPECT_EQ(map.Lookup(PageId{999}), nullptr);
+  EXPECT_EQ(map.Lookup(PageId{2000}), nullptr);
+  EXPECT_EQ(map.Lookup(PageId{0}), nullptr);
+}
+
+TEST(PageMapDeathTest, DoubleInsertIsFatal) {
+  PageMap map(PageId{0}, 1 << 16);
+  Span a(PageId{10}, 2, 0, 8, 1024);
+  Span b(PageId{11}, 2, 0, 8, 1024);  // overlaps page 11
+  map.Insert(&a);
+  EXPECT_DEATH(map.Insert(&b), "CHECK failed");
+}
+
+TEST(PageMap, ManySpansNoInterference) {
+  PageMap map(PageId{0}, 1 << 18);
+  std::vector<std::unique_ptr<Span>> spans;
+  for (int i = 0; i < 1000; ++i) {
+    spans.push_back(
+        std::make_unique<Span>(PageId{static_cast<uintptr_t>(i * 8)}, 8, 0,
+                               4096, 16));
+    map.Insert(spans.back().get());
+  }
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(map.Lookup(PageId{static_cast<uintptr_t>(i * 8 + 3)}),
+              spans[i].get());
+  }
+}
+
+}  // namespace
+}  // namespace wsc::tcmalloc

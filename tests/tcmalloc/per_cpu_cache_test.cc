@@ -1,0 +1,204 @@
+// Tests for the per-CPU cache set, including the heterogeneous
+// (usage-based dynamic) resizing algorithm of Section 4.1.
+
+#include "tcmalloc/per_cpu_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace wsc::tcmalloc {
+namespace {
+
+AllocatorConfig SmallConfig() {
+  AllocatorConfig config;
+  config.num_vcpus = 8;
+  config.per_cpu_cache_bytes = 64 * 1024;
+  config.per_cpu_cache_min_bytes = 8 * 1024;
+  return config;
+}
+
+class PerCpuCacheTest : public ::testing::Test {
+ protected:
+  PerCpuCacheTest() : cache_(&SizeClasses::Default(), SmallConfig()) {}
+
+  // Fabricated but well-formed object addresses.
+  uintptr_t Addr(int i) { return (uintptr_t{1} << 44) + 8 * (i + 1); }
+
+  CpuCacheSet cache_;
+};
+
+TEST_F(PerCpuCacheTest, MissOnEmptyCountsUnderflow) {
+  EXPECT_EQ(cache_.Allocate(0, 0), 0u);
+  auto stats = cache_.GetVcpuStats(0);
+  EXPECT_EQ(stats.underflows, 1u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_TRUE(stats.populated);
+}
+
+TEST_F(PerCpuCacheTest, DeallocThenAllocHitsLifo) {
+  EXPECT_TRUE(cache_.Deallocate(0, 3, Addr(1)));
+  EXPECT_TRUE(cache_.Deallocate(0, 3, Addr(2)));
+  EXPECT_EQ(cache_.Allocate(0, 3), Addr(2));  // LIFO for locality
+  EXPECT_EQ(cache_.Allocate(0, 3), Addr(1));
+  auto stats = cache_.GetVcpuStats(0);
+  EXPECT_EQ(stats.hits, 4u);
+  EXPECT_EQ(stats.used_bytes, 0u);
+}
+
+TEST_F(PerCpuCacheTest, CachesAreIsolatedPerVcpu) {
+  EXPECT_TRUE(cache_.Deallocate(0, 3, Addr(1)));
+  EXPECT_EQ(cache_.Allocate(1, 3), 0u);  // other vCPU misses
+  EXPECT_EQ(cache_.Allocate(0, 3), Addr(1));
+}
+
+TEST_F(PerCpuCacheTest, OverflowAtByteCapacity) {
+  // Fill class index for 256 KiB objects until the 64 KiB budget is hit:
+  // no 256 KiB object ever fits... use a mid class instead.
+  const SizeClasses& sc = SizeClasses::Default();
+  int cls = sc.ClassFor(8192);
+  size_t size = sc.class_size(cls);
+  size_t capacity = SmallConfig().per_cpu_cache_bytes;
+  int fits = static_cast<int>(capacity / size);
+  for (int i = 0; i < fits; ++i) {
+    EXPECT_TRUE(cache_.Deallocate(2, cls, Addr(i)));
+  }
+  EXPECT_FALSE(cache_.Deallocate(2, cls, Addr(fits)));  // overflow
+  auto stats = cache_.GetVcpuStats(2);
+  EXPECT_EQ(stats.overflows, 1u);
+  EXPECT_LE(stats.used_bytes, capacity);
+}
+
+TEST_F(PerCpuCacheTest, RefillRespectsCapacity) {
+  const SizeClasses& sc = SizeClasses::Default();
+  int cls = sc.ClassFor(32 * 1024);
+  size_t size = sc.class_size(cls);
+  std::vector<uintptr_t> objs;
+  for (int i = 0; i < 10; ++i) objs.push_back(Addr(i));
+  int accepted = cache_.Refill(0, cls, objs.data(), 10);
+  EXPECT_EQ(accepted,
+            static_cast<int>(SmallConfig().per_cpu_cache_bytes / size));
+  EXPECT_LE(cache_.GetVcpuStats(0).used_bytes,
+            SmallConfig().per_cpu_cache_bytes);
+}
+
+TEST_F(PerCpuCacheTest, ExtractBatchRemovesObjects) {
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(cache_.Deallocate(0, 0, Addr(i)));
+  }
+  uintptr_t out[8];
+  EXPECT_EQ(cache_.ExtractBatch(0, 0, out, 8), 5);
+  EXPECT_EQ(cache_.GetVcpuStats(0).used_bytes, 0u);
+  EXPECT_EQ(cache_.Allocate(0, 0), 0u);  // empty again
+}
+
+TEST_F(PerCpuCacheTest, TotalCachedBytesSumsAcrossVcpus) {
+  cache_.Deallocate(0, 0, Addr(1));  // 8 B class
+  cache_.Deallocate(1, 0, Addr(2));
+  EXPECT_EQ(cache_.TotalCachedBytes(), 16u);
+}
+
+TEST_F(PerCpuCacheTest, FlushAllEmptiesEverything) {
+  for (int v = 0; v < 4; ++v) {
+    for (int i = 0; i < 10; ++i) cache_.Deallocate(v, 2, Addr(v * 16 + i));
+  }
+  size_t flushed = 0;
+  cache_.FlushAll([&](int, const uintptr_t*, int n) { flushed += n; });
+  EXPECT_EQ(flushed, 40u);
+  EXPECT_EQ(cache_.TotalCachedBytes(), 0u);
+}
+
+TEST(PerCpuCacheStatic, StaticSizingNeverMovesCapacity) {
+  AllocatorConfig config = SmallConfig();
+  config.dynamic_cpu_caches = false;
+  CpuCacheSet cache(&SizeClasses::Default(), config);
+  // Create misses on vCPU 0.
+  for (int i = 0; i < 100; ++i) cache.Allocate(0, 0);
+  cache.Allocate(1, 0);  // populate vCPU 1
+  cache.ResizeStep([](int, const uintptr_t*, int) {});
+  EXPECT_EQ(cache.GetVcpuStats(0).capacity_bytes,
+            config.per_cpu_cache_bytes);
+  EXPECT_EQ(cache.GetVcpuStats(1).capacity_bytes,
+            config.per_cpu_cache_bytes);
+  // Interval miss counters are still reset for telemetry.
+  EXPECT_EQ(cache.GetVcpuStats(0).interval_misses, 0u);
+}
+
+TEST(PerCpuCacheDynamic, CapacityMovesTowardsMissingCaches) {
+  AllocatorConfig config = SmallConfig();
+  config.dynamic_cpu_caches = true;
+  config.cpu_cache_grow_candidates = 1;
+  CpuCacheSet cache(&SizeClasses::Default(), config);
+  // vCPU 0 misses a lot; vCPUs 1-3 are idle but populated.
+  for (int v = 1; v <= 3; ++v) cache.Allocate(v, 0);
+  for (int i = 0; i < 1000; ++i) cache.Allocate(0, 0);
+  size_t before_total = cache.TotalCapacityBytes();
+  cache.ResizeStep([](int, const uintptr_t*, int) {});
+  // Total capacity is conserved; vCPU 0 grew, someone else shrank.
+  EXPECT_EQ(cache.TotalCapacityBytes(), before_total);
+  EXPECT_GT(cache.GetVcpuStats(0).capacity_bytes,
+            config.per_cpu_cache_bytes);
+  size_t min_cap = config.per_cpu_cache_bytes;
+  for (int v = 1; v <= 3; ++v) {
+    min_cap = std::min(min_cap, cache.GetVcpuStats(v).capacity_bytes);
+  }
+  EXPECT_LT(min_cap, config.per_cpu_cache_bytes);
+}
+
+TEST(PerCpuCacheDynamic, ShrinkEvictsLargestClassesFirst) {
+  AllocatorConfig config = SmallConfig();
+  config.dynamic_cpu_caches = true;
+  config.cpu_cache_grow_candidates = 1;
+  config.per_cpu_cache_min_bytes = 0;
+  CpuCacheSet cache(&SizeClasses::Default(), config);
+  const SizeClasses& sc = SizeClasses::Default();
+  int small_cls = sc.ClassFor(8);
+  int big_cls = sc.ClassFor(16 * 1024);
+
+  // Fill vCPU 1 near capacity with a mix of small and large objects.
+  uintptr_t base = uintptr_t{1} << 44;
+  for (int i = 0; i < 3; ++i) {
+    cache.Deallocate(1, big_cls, base + i * 100000);
+  }
+  for (int i = 0; i < 100; ++i) {
+    cache.Deallocate(1, small_cls, base + 1000000 + i * 8);
+  }
+  // vCPU 0 misses so that capacity is stolen from vCPU 1.
+  for (int i = 0; i < 1000; ++i) cache.Allocate(0, small_cls);
+
+  std::vector<int> evicted_classes;
+  for (int round = 0; round < 10; ++round) {
+    // Keep vCPU 1 active so idle reclaim does not flush it wholesale; the
+    // capacity steal must evict through EvictToCapacity.
+    cache.Allocate(1, big_cls + 1);
+    cache.ResizeStep([&](int cls, const uintptr_t*, int n) {
+      for (int k = 0; k < n; ++k) evicted_classes.push_back(cls);
+    });
+    for (int i = 0; i < 1000; ++i) cache.Allocate(0, small_cls);
+  }
+  ASSERT_FALSE(evicted_classes.empty());
+  // The first evictions must come from the larger size class.
+  EXPECT_EQ(evicted_classes.front(), big_cls);
+}
+
+TEST(PerCpuCacheDynamic, NeverShrinksBelowFloor) {
+  AllocatorConfig config = SmallConfig();
+  config.dynamic_cpu_caches = true;
+  CpuCacheSet cache(&SizeClasses::Default(), config);
+  cache.Allocate(1, 0);  // populate victim
+  for (int round = 0; round < 100; ++round) {
+    for (int i = 0; i < 100; ++i) cache.Allocate(0, 0);
+    cache.ResizeStep([](int, const uintptr_t*, int) {});
+  }
+  EXPECT_GE(cache.GetVcpuStats(1).capacity_bytes,
+            config.per_cpu_cache_min_bytes);
+}
+
+TEST(PerCpuCacheDeathTest, OutOfRangeVcpuIsFatal) {
+  CpuCacheSet cache(&SizeClasses::Default(), SmallConfig());
+  EXPECT_DEATH(cache.Allocate(8, 0), "CHECK failed");
+  EXPECT_DEATH(cache.Allocate(-1, 0), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace wsc::tcmalloc

@@ -1,0 +1,145 @@
+// Tests for the size-class table: bounds, lookup correctness, span
+// geometry, and the internal-fragmentation guarantee.
+
+#include "tcmalloc/size_classes.h"
+
+#include <gtest/gtest.h>
+
+#include "tcmalloc/pages.h"
+
+namespace wsc::tcmalloc {
+namespace {
+
+TEST(SizeClasses, HasPaperishClassCount) {
+  // Section 2.1: "rounded up to one of 80-90 size classes".
+  const SizeClasses& sc = SizeClasses::Default();
+  EXPECT_GE(sc.num_classes(), 80);
+  EXPECT_LE(sc.num_classes(), 90);
+}
+
+TEST(SizeClasses, SizesAreStrictlyIncreasing) {
+  const SizeClasses& sc = SizeClasses::Default();
+  for (int c = 1; c < sc.num_classes(); ++c) {
+    EXPECT_LT(sc.class_size(c - 1), sc.class_size(c));
+  }
+}
+
+TEST(SizeClasses, FirstAndLastClass) {
+  const SizeClasses& sc = SizeClasses::Default();
+  EXPECT_EQ(sc.class_size(0), 8u);
+  EXPECT_EQ(sc.class_size(sc.num_classes() - 1), kMaxSmallSize);
+}
+
+TEST(SizeClasses, ClassForRejectsZeroAndLarge) {
+  const SizeClasses& sc = SizeClasses::Default();
+  EXPECT_EQ(sc.ClassFor(0), -1);
+  EXPECT_EQ(sc.ClassFor(kMaxSmallSize + 1), -1);
+  EXPECT_EQ(sc.ClassFor(1 << 30), -1);
+}
+
+TEST(SizeClasses, ClassForBoundaries) {
+  const SizeClasses& sc = SizeClasses::Default();
+  EXPECT_EQ(sc.ClassFor(1), 0);
+  EXPECT_EQ(sc.ClassFor(8), 0);
+  EXPECT_EQ(sc.ClassFor(9), 1);
+  EXPECT_EQ(sc.ClassFor(kMaxSmallSize), sc.num_classes() - 1);
+}
+
+// Property: every representable request maps to the smallest class that
+// fits it.
+TEST(SizeClasses, ClassForIsTightEverywhere) {
+  const SizeClasses& sc = SizeClasses::Default();
+  for (size_t size = 1; size <= kMaxSmallSize;
+       size += (size < 4096 ? 1 : 997)) {
+    int cls = sc.ClassFor(size);
+    ASSERT_GE(cls, 0) << size;
+    EXPECT_GE(sc.class_size(cls), size) << size;
+    if (cls > 0) {
+      EXPECT_LT(sc.class_size(cls - 1), size) << size;
+    }
+  }
+  // The last class must be checked explicitly.
+  EXPECT_EQ(sc.ClassFor(kMaxSmallSize), sc.num_classes() - 1);
+}
+
+TEST(SizeClasses, SpanGeometryConsistent) {
+  const SizeClasses& sc = SizeClasses::Default();
+  for (int c = 0; c < sc.num_classes(); ++c) {
+    const SizeClassInfo& info = sc.info(c);
+    EXPECT_GE(info.objects_per_span, 1);
+    EXPECT_EQ(info.objects_per_span,
+              static_cast<int>(LengthToBytes(info.pages_per_span) /
+                               info.size));
+    // Spans are smaller than a hugepage: they go through the filler.
+    EXPECT_LT(info.pages_per_span, kPagesPerHugePage);
+  }
+}
+
+TEST(SizeClasses, SpanTailWasteIsBounded) {
+  // The generator promises tail waste <= 1/8 of the span.
+  const SizeClasses& sc = SizeClasses::Default();
+  for (int c = 0; c < sc.num_classes(); ++c) {
+    const SizeClassInfo& info = sc.info(c);
+    size_t span_bytes = LengthToBytes(info.pages_per_span);
+    size_t used = info.size * static_cast<size_t>(info.objects_per_span);
+    EXPECT_LE((span_bytes - used) * 8, span_bytes)
+        << "class " << c << " size " << info.size;
+  }
+}
+
+TEST(SizeClasses, BatchSizesAreReasonable) {
+  const SizeClasses& sc = SizeClasses::Default();
+  for (int c = 0; c < sc.num_classes(); ++c) {
+    EXPECT_GE(sc.batch_size(c), 2);
+    EXPECT_LE(sc.batch_size(c), 32);
+  }
+  // Small classes move large batches; the largest class moves few.
+  EXPECT_EQ(sc.batch_size(0), 32);
+  EXPECT_EQ(sc.batch_size(sc.num_classes() - 1), 2);
+}
+
+TEST(SizeClasses, SmallCapacitySpansExistForLifetimeFiller) {
+  // The lifetime-aware filler distinguishes spans with capacity < 16; such
+  // classes must exist (large size classes hold few objects, Fig. 16).
+  const SizeClasses& sc = SizeClasses::Default();
+  int below = 0, at_least = 0;
+  for (int c = 0; c < sc.num_classes(); ++c) {
+    if (sc.objects_per_span(c) < 16) {
+      ++below;
+    } else {
+      ++at_least;
+    }
+  }
+  EXPECT_GT(below, 0);
+  EXPECT_GT(at_least, 0);
+  // Single-object spans exist (the leftmost points of Fig. 16).
+  EXPECT_EQ(sc.objects_per_span(sc.num_classes() - 1), 1);
+}
+
+// Parameterized sweep: internal fragmentation (slack between request and
+// class) is bounded for every size region.
+class SizeClassSlackTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SizeClassSlackTest, SlackBounded) {
+  const SizeClasses& sc = SizeClasses::Default();
+  size_t size = GetParam();
+  int cls = sc.ClassFor(size);
+  ASSERT_GE(cls, 0);
+  double slack = static_cast<double>(sc.class_size(cls) - size) /
+                 static_cast<double>(sc.class_size(cls));
+  // Sub-minimum requests round to the 8 B class (unbounded relative
+  // slack); tiny requests tolerate up to ~44% (8 B class steps); above
+  // 64 B the spacing guarantees at most ~25%.
+  if (size >= 8) {
+    EXPECT_LE(slack, size > 64 ? 0.25 : 0.4375) << size;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SizeClassSlackTest,
+                         ::testing::Values(1, 7, 8, 9, 16, 24, 100, 128, 250,
+                                           512, 1000, 1024, 2000, 4096, 5000,
+                                           8192, 10000, 20000, 32768, 65536,
+                                           100000, 131072, 200000, 262144));
+
+}  // namespace
+}  // namespace wsc::tcmalloc

@@ -1,0 +1,132 @@
+// Tests for Span object bookkeeping and the intrusive span list.
+
+#include "tcmalloc/span.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace wsc::tcmalloc {
+namespace {
+
+Span MakeSmallSpan() {
+  // 1 page of 8 KiB, 64 objects of 128 B.
+  return Span(PageId{1000}, 1, /*size_class=*/5, /*object_size=*/128,
+              /*objects_per_span=*/64);
+}
+
+TEST(Span, GeometryAccessors) {
+  Span span = MakeSmallSpan();
+  EXPECT_EQ(span.first_page().index, 1000u);
+  EXPECT_EQ(span.num_pages(), 1u);
+  EXPECT_EQ(span.start_addr(), 1000u << kPageShift);
+  EXPECT_EQ(span.span_bytes(), kPageSize);
+  EXPECT_EQ(span.capacity(), 64);
+  EXPECT_FALSE(span.is_large());
+  EXPECT_TRUE(span.empty());
+  EXPECT_FALSE(span.full());
+}
+
+TEST(Span, AllocateAllObjectsAreDistinctAndInRange) {
+  Span span = MakeSmallSpan();
+  std::set<uintptr_t> seen;
+  for (int i = 0; i < 64; ++i) {
+    uintptr_t addr = span.AllocateObject();
+    EXPECT_GE(addr, span.start_addr());
+    EXPECT_LT(addr, span.start_addr() + span.span_bytes());
+    EXPECT_EQ((addr - span.start_addr()) % 128, 0u);
+    EXPECT_TRUE(seen.insert(addr).second) << "duplicate object";
+  }
+  EXPECT_TRUE(span.full());
+  EXPECT_EQ(span.live_objects(), 64);
+}
+
+TEST(Span, FreeMakesObjectReallocatable) {
+  Span span = MakeSmallSpan();
+  uintptr_t a = span.AllocateObject();
+  uintptr_t b = span.AllocateObject();
+  EXPECT_EQ(span.live_objects(), 2);
+  span.FreeObject(a);
+  EXPECT_EQ(span.live_objects(), 1);
+  EXPECT_FALSE(span.IsLiveObject(a));
+  EXPECT_TRUE(span.IsLiveObject(b));
+  // The freed slot becomes available again.
+  std::set<uintptr_t> seen;
+  for (int i = 0; i < 63; ++i) seen.insert(span.AllocateObject());
+  EXPECT_TRUE(span.full());
+  EXPECT_TRUE(seen.count(a) == 1);
+}
+
+TEST(SpanDeathTest, DoubleFreeIsFatal) {
+  Span span = MakeSmallSpan();
+  uintptr_t a = span.AllocateObject();
+  span.FreeObject(a);
+  EXPECT_DEATH(span.FreeObject(a), "CHECK failed");
+}
+
+TEST(SpanDeathTest, MisalignedFreeIsFatal) {
+  Span span = MakeSmallSpan();
+  uintptr_t a = span.AllocateObject();
+  EXPECT_DEATH(span.FreeObject(a + 1), "CHECK failed");
+}
+
+TEST(Span, LargeSpan) {
+  Span span(PageId{5000}, 300);
+  EXPECT_TRUE(span.is_large());
+  EXPECT_EQ(span.capacity(), 1);
+  uintptr_t addr = span.AllocateObject();
+  EXPECT_EQ(addr, span.start_addr());
+  EXPECT_TRUE(span.full());
+  span.FreeObject(addr);
+  EXPECT_TRUE(span.empty());
+}
+
+TEST(Span, IsLiveObjectRejectsForeignAddresses) {
+  Span span = MakeSmallSpan();
+  uintptr_t a = span.AllocateObject();
+  EXPECT_TRUE(span.IsLiveObject(a));
+  EXPECT_FALSE(span.IsLiveObject(a + 1));                       // misaligned
+  EXPECT_FALSE(span.IsLiveObject(span.start_addr() - 128));     // below
+  EXPECT_FALSE(span.IsLiveObject(span.start_addr() + kPageSize));  // above
+}
+
+TEST(Span, FreeBitScanWrapsWithHint) {
+  // Exercise the rotating free-bit search: fill, free a middle object,
+  // re-allocate, free two at the ends.
+  Span span(PageId{0}, 1, 0, 8, 1024);
+  std::vector<uintptr_t> objs;
+  for (int i = 0; i < 1024; ++i) objs.push_back(span.AllocateObject());
+  span.FreeObject(objs[700]);
+  EXPECT_EQ(span.AllocateObject(), objs[700]);
+  span.FreeObject(objs[0]);
+  span.FreeObject(objs[1023]);
+  uintptr_t x = span.AllocateObject();
+  uintptr_t y = span.AllocateObject();
+  EXPECT_TRUE((x == objs[0] && y == objs[1023]) ||
+              (x == objs[1023] && y == objs[0]));
+  EXPECT_TRUE(span.full());
+}
+
+TEST(SpanList, PushRemovePopMaintainSize) {
+  Span a = MakeSmallSpan();
+  Span b = MakeSmallSpan();
+  Span c = MakeSmallSpan();
+  SpanList list;
+  EXPECT_TRUE(list.empty());
+  list.PushFront(&a);
+  list.PushFront(&b);
+  list.PushFront(&c);
+  EXPECT_EQ(list.size(), 3u);
+  EXPECT_EQ(list.front(), &c);
+  list.Remove(&b);  // middle removal
+  EXPECT_EQ(list.size(), 2u);
+  EXPECT_EQ(list.PopFront(), &c);
+  EXPECT_EQ(list.PopFront(), &a);
+  EXPECT_TRUE(list.empty());
+  // Removed spans have clean hooks and can be reinserted.
+  list.PushFront(&b);
+  EXPECT_EQ(list.front(), &b);
+}
+
+}  // namespace
+}  // namespace wsc::tcmalloc

@@ -1,0 +1,49 @@
+// Tests for the virtual-arena system allocator.
+
+#include "tcmalloc/system_alloc.h"
+
+#include <gtest/gtest.h>
+
+namespace wsc::tcmalloc {
+namespace {
+
+constexpr uintptr_t kBase = uintptr_t{1} << 40;
+
+TEST(SystemAllocator, ReturnsAlignedDisjointRuns) {
+  SystemAllocator sys(kBase, 64 * kHugePageSize);
+  HugePageId a = sys.AllocateHugePages(1);
+  HugePageId b = sys.AllocateHugePages(3);
+  HugePageId c = sys.AllocateHugePages(2);
+  EXPECT_EQ(a.Addr() % kHugePageSize, 0u);
+  EXPECT_EQ(b.Addr(), a.Addr() + kHugePageSize);
+  EXPECT_EQ(c.Addr(), b.Addr() + 3 * kHugePageSize);
+}
+
+TEST(SystemAllocator, StatsTrackCallsAndBytes) {
+  SystemAllocator sys(kBase, 64 * kHugePageSize, /*mmap_latency_ns=*/5000);
+  sys.AllocateHugePages(2);
+  sys.AllocateHugePages(1);
+  EXPECT_EQ(sys.stats().mmap_calls, 2u);
+  EXPECT_EQ(sys.stats().mapped_bytes, 3 * kHugePageSize);
+  EXPECT_DOUBLE_EQ(sys.stats().mmap_ns, 10000.0);
+}
+
+TEST(SystemAllocatorDeathTest, ExhaustionIsFatal) {
+  SystemAllocator sys(kBase, 2 * kHugePageSize);
+  sys.AllocateHugePages(2);
+  EXPECT_DEATH(sys.AllocateHugePages(1), "CHECK failed");
+}
+
+TEST(SystemAllocatorDeathTest, MisalignedBaseIsFatal) {
+  EXPECT_DEATH(SystemAllocator(kBase + 4096, kHugePageSize), "CHECK failed");
+}
+
+TEST(SystemAllocator, PageAccessors) {
+  SystemAllocator sys(kBase, 8 * kHugePageSize);
+  EXPECT_EQ(sys.base(), kBase);
+  EXPECT_EQ(sys.base_page().Addr(), kBase);
+  EXPECT_EQ(sys.arena_pages(), 8 * kPagesPerHugePage);
+}
+
+}  // namespace
+}  // namespace wsc::tcmalloc

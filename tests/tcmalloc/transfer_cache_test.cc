@@ -1,0 +1,162 @@
+// Tests for the transfer cache: centralized behavior, NUCA sharding, and
+// the plunder (anti-stranding) mechanism of Section 4.2.
+
+#include "tcmalloc/transfer_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace wsc::tcmalloc {
+namespace {
+
+uintptr_t Addr(int i) { return (uintptr_t{1} << 44) + 64 * (i + 1); }
+
+AllocatorConfig LegacyConfig() {
+  AllocatorConfig config;
+  config.nuca_transfer_cache = false;
+  config.transfer_cache_batches = 2;  // small capacity for tests
+  return config;
+}
+
+AllocatorConfig NucaConfig() {
+  AllocatorConfig config;
+  config.nuca_transfer_cache = true;
+  config.num_llc_domains = 4;
+  config.transfer_cache_batches = 2;
+  config.nuca_shard_batches = 1;
+  return config;
+}
+
+TEST(TransferCacheLegacy, InsertThenRemoveRoundTrips) {
+  TransferCache tc(&SizeClasses::Default(), LegacyConfig());
+  std::vector<uintptr_t> objs = {Addr(1), Addr(2), Addr(3)};
+  EXPECT_EQ(tc.Insert(0, 5, objs.data(), 3), 3);
+  uintptr_t out[4];
+  EXPECT_EQ(tc.Remove(0, 5, out, 4), 3);
+  EXPECT_EQ(tc.stats().central_hits, 3u);
+  EXPECT_EQ(tc.stats().misses, 1u);  // fell short of the request
+}
+
+TEST(TransferCacheLegacy, ObjectsFlowBetweenCpusAndDomains) {
+  TransferCache tc(&SizeClasses::Default(), LegacyConfig());
+  uintptr_t obj = Addr(7);
+  EXPECT_EQ(tc.Insert(/*domain=*/0, 3, &obj, 1), 1);
+  uintptr_t out;
+  // A different domain gets the object: centralized behavior.
+  EXPECT_EQ(tc.Remove(/*domain=*/2, 3, &out, 1), 1);
+  EXPECT_EQ(out, obj);
+}
+
+TEST(TransferCacheLegacy, CapacityBoundsInserts) {
+  TransferCache tc(&SizeClasses::Default(), LegacyConfig());
+  const SizeClasses& sc = SizeClasses::Default();
+  int cls = 0;
+  size_t cap = 2 * static_cast<size_t>(sc.batch_size(cls));
+  std::vector<uintptr_t> objs;
+  for (size_t i = 0; i < cap + 5; ++i) objs.push_back(Addr(i));
+  int accepted = tc.Insert(0, cls, objs.data(), static_cast<int>(cap) + 5);
+  EXPECT_EQ(accepted, static_cast<int>(cap));
+  EXPECT_EQ(tc.stats().inserts_overflowed, 5u);
+}
+
+TEST(TransferCacheLegacy, TotalCachedBytes) {
+  TransferCache tc(&SizeClasses::Default(), LegacyConfig());
+  const SizeClasses& sc = SizeClasses::Default();
+  int cls = sc.ClassFor(1024);
+  uintptr_t objs[3] = {Addr(1), Addr(2), Addr(3)};
+  tc.Insert(0, cls, objs, 3);
+  EXPECT_EQ(tc.TotalCachedBytes(), 3 * sc.class_size(cls));
+}
+
+TEST(TransferCacheNuca, ShardServesItsOwnDomainFirst) {
+  TransferCache tc(&SizeClasses::Default(), NucaConfig());
+  EXPECT_TRUE(tc.nuca_enabled());
+  uintptr_t obj = Addr(1);
+  EXPECT_EQ(tc.Insert(/*domain=*/1, 3, &obj, 1), 1);
+  uintptr_t out;
+  EXPECT_EQ(tc.Remove(/*domain=*/1, 3, &out, 1), 1);
+  EXPECT_EQ(out, obj);
+  EXPECT_EQ(tc.stats().shard_hits, 1u);
+  EXPECT_EQ(tc.stats().central_hits, 0u);
+}
+
+TEST(TransferCacheNuca, RemoteDomainDoesNotSeeShardObjects) {
+  TransferCache tc(&SizeClasses::Default(), NucaConfig());
+  uintptr_t obj = Addr(1);
+  tc.Insert(/*domain=*/1, 3, &obj, 1);
+  uintptr_t out;
+  // Domain 0 misses: the object is in domain 1's shard, not the central
+  // cache.
+  EXPECT_EQ(tc.Remove(/*domain=*/0, 3, &out, 1), 0);
+  EXPECT_EQ(tc.stats().misses, 1u);
+}
+
+TEST(TransferCacheNuca, ShardOverflowSpillsToCentral) {
+  TransferCache tc(&SizeClasses::Default(), NucaConfig());
+  const SizeClasses& sc = SizeClasses::Default();
+  int cls = 0;
+  int shard_cap = sc.batch_size(cls);  // 1 batch per shard
+  std::vector<uintptr_t> objs;
+  for (int i = 0; i < shard_cap + 3; ++i) objs.push_back(Addr(i));
+  EXPECT_EQ(tc.Insert(0, cls, objs.data(), shard_cap + 3), shard_cap + 3);
+  // The spill-over is in the central cache: another domain can fetch it.
+  uintptr_t out[4];
+  EXPECT_EQ(tc.Remove(/*domain=*/3, cls, out, 3), 3);
+  EXPECT_EQ(tc.stats().central_hits, 3u);
+}
+
+TEST(TransferCacheNuca, PlunderMovesOnlyUntouchedObjects) {
+  TransferCache tc(&SizeClasses::Default(), NucaConfig());
+  int cls = 3;
+  std::vector<uintptr_t> objs = {Addr(1), Addr(2), Addr(3), Addr(4)};
+  tc.Insert(/*domain=*/2, cls, objs.data(), 4);
+  tc.Plunder();  // arms the low-water mark at the current size (4)
+  ASSERT_EQ(tc.stats().plundered_objects, 0u);
+
+  // Touch the shard: remove two, reinsert two -> low-water mark is 2.
+  uintptr_t out[2];
+  ASSERT_EQ(tc.Remove(2, cls, out, 2), 2);
+  tc.Insert(2, cls, out, 2);
+
+  tc.Plunder();
+  EXPECT_EQ(tc.stats().plundered_objects, 2u);
+  // The plundered objects are now visible to other domains via central.
+  uintptr_t got[4];
+  EXPECT_EQ(tc.Remove(/*domain=*/0, cls, got, 4), 2);
+}
+
+TEST(TransferCacheNuca, PlunderDrainsIdleShardThenStops) {
+  TransferCache tc(&SizeClasses::Default(), NucaConfig());
+  int cls = 3;
+  uintptr_t obj = Addr(9);
+  tc.Insert(0, cls, &obj, 1);
+  tc.Plunder();  // arms: the object arrived during this interval
+  EXPECT_EQ(tc.stats().plundered_objects, 0u);
+  tc.Plunder();  // object sat untouched for a full interval: moved
+  EXPECT_EQ(tc.stats().plundered_objects, 1u);
+  tc.Plunder();  // nothing left
+  EXPECT_EQ(tc.stats().plundered_objects, 1u);
+}
+
+TEST(TransferCacheNuca, ShardsActivateLazily) {
+  TransferCache tc(&SizeClasses::Default(), NucaConfig());
+  // Only domain 0 used: inserting there must not pre-pay for others.
+  uintptr_t obj = Addr(1);
+  tc.Insert(0, 0, &obj, 1);
+  // No crash and correct behavior on later first use of domain 3.
+  uintptr_t out;
+  EXPECT_EQ(tc.Remove(3, 0, &out, 1), 0);
+  tc.Insert(3, 0, &obj, 1);
+  EXPECT_EQ(tc.Remove(3, 0, &out, 1), 1);
+}
+
+TEST(TransferCacheLegacyAsNuca, SingleDomainDisablesSharding) {
+  AllocatorConfig config = NucaConfig();
+  config.num_llc_domains = 1;  // monolithic platform
+  TransferCache tc(&SizeClasses::Default(), config);
+  EXPECT_FALSE(tc.nuca_enabled());
+}
+
+}  // namespace
+}  // namespace wsc::tcmalloc

@@ -1,0 +1,172 @@
+// Tests for the discrete-event workload driver.
+
+#include "workload/driver.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/profiles.h"
+
+namespace wsc::workload {
+namespace {
+
+WorkloadSpec TinySpec() {
+  WorkloadSpec spec;
+  spec.name = "tiny";
+  spec.behaviors = {
+      MakeBehavior(0.7, SizeLognormal(128, 2.0),
+                   LifetimeLognormal(Microseconds(500), 3.0)),
+      MakeBehavior(0.3, SizeLognormal(8192, 2.0),
+                   LifetimeLognormal(Milliseconds(20), 3.0)),
+  };
+  spec.allocs_per_request = 5;
+  spec.request_work_ns = 3000;
+  spec.request_interval_ns = Microseconds(50);
+  spec.min_threads = 2;
+  spec.max_threads = 6;
+  spec.thread_period = Seconds(2);
+  return spec;
+}
+
+tcmalloc::AllocatorConfig DriverConfig() {
+  tcmalloc::AllocatorConfig config;
+  config.num_vcpus = 6;
+  config.arena_bytes = size_t{32} << 30;
+  return config;
+}
+
+class DriverTest : public ::testing::Test {
+ protected:
+  DriverTest()
+      : topo_(hw::PlatformSpecFor(hw::PlatformGeneration::kGenC)),
+        alloc_(DriverConfig()),
+        driver_(TinySpec(), &alloc_, &topo_, {0, 1, 2, 3, 4, 5}, nullptr,
+                nullptr, /*seed=*/7) {}
+
+  hw::CpuTopology topo_;
+  tcmalloc::Allocator alloc_;
+  Driver driver_;
+};
+
+TEST_F(DriverTest, StepExecutesOneRequest) {
+  double service = driver_.Step();
+  EXPECT_GT(service, 0.0);
+  EXPECT_EQ(driver_.metrics().requests, 1u);
+  EXPECT_GT(driver_.metrics().allocations, 0u);
+  EXPECT_GT(driver_.now(), 0);
+}
+
+TEST_F(DriverTest, ObjectsDieOverTime) {
+  driver_.RunRequests(20000);
+  uint64_t live = driver_.live_objects();
+  uint64_t allocated = driver_.metrics().allocations;
+  EXPECT_GT(driver_.metrics().frees, 0u);
+  // Steady state: live objects are far fewer than total allocations.
+  EXPECT_LT(live, allocated / 2);
+}
+
+TEST_F(DriverTest, DrainFreesEverything) {
+  driver_.RunRequests(5000);
+  driver_.Drain();
+  EXPECT_EQ(driver_.live_objects(), 0u);
+  EXPECT_EQ(driver_.live_bytes(), 0u);
+  EXPECT_EQ(alloc_.CollectStats().live_bytes, 0u);
+  EXPECT_EQ(driver_.metrics().allocations, driver_.metrics().frees);
+}
+
+TEST_F(DriverTest, MetricsAccumulateConsistently) {
+  driver_.RunRequests(2000);
+  const DriverMetrics& m = driver_.metrics();
+  EXPECT_GT(m.cpu_ns, m.base_work_ns);
+  EXPECT_GT(m.malloc_ns, 0.0);
+  EXPECT_GT(m.Throughput(), 0.0);
+  EXPECT_GT(m.MallocCycleFraction(), 0.0);
+  EXPECT_LT(m.MallocCycleFraction(), 1.0);
+  EXPECT_GE(m.Cpi(), 1.0);
+}
+
+TEST_F(DriverTest, ThreadCountStaysInBounds) {
+  for (int i = 0; i < 20000; ++i) {
+    driver_.Step();
+    ASSERT_GE(driver_.active_threads(), 2);
+    ASSERT_LE(driver_.active_threads(), 6);
+  }
+}
+
+TEST_F(DriverTest, ThreadCountFluctuates) {
+  // Fig. 9a: the number of active threads varies over time.
+  int min_seen = 100, max_seen = 0;
+  for (int i = 0; i < 60000; ++i) {
+    driver_.Step();
+    min_seen = std::min(min_seen, driver_.active_threads());
+    max_seen = std::max(max_seen, driver_.active_threads());
+  }
+  EXPECT_LT(min_seen, max_seen);
+}
+
+TEST_F(DriverTest, RunUntilReachesTime) {
+  driver_.RunUntil(Milliseconds(50));
+  EXPECT_GE(driver_.now(), Milliseconds(50));
+}
+
+TEST(DriverDeterminism, SameSeedSameMetrics) {
+  hw::CpuTopology topo(hw::PlatformSpecFor(hw::PlatformGeneration::kGenC));
+  WorkloadSpec spec = TinySpec();
+
+  auto run = [&](uint64_t seed) {
+    tcmalloc::Allocator alloc(DriverConfig());
+    Driver driver(spec, &alloc, &topo, {0, 1, 2, 3}, nullptr, nullptr, seed);
+    driver.RunRequests(5000);
+    return std::make_tuple(driver.metrics().cpu_ns,
+                           driver.metrics().allocations,
+                           alloc.CollectStats().HeapBytes());
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(std::get<0>(run(1)), std::get<0>(run(2)));
+}
+
+TEST(DriverStartup, StartupBytesAllocatedUpFront) {
+  WorkloadSpec spec = TinySpec();
+  spec.startup_bytes = 10e6;
+  spec.startup_object_size = SizePoint(4096);
+  tcmalloc::Allocator alloc(DriverConfig());
+  hw::CpuTopology topo(hw::PlatformSpecFor(hw::PlatformGeneration::kGenA));
+  Driver driver(spec, &alloc, &topo, {0, 1}, nullptr, nullptr, 3);
+  EXPECT_GE(driver.live_bytes(), 10e6);
+  EXPECT_GE(alloc.CollectStats().live_bytes, size_t{10000000});
+  // Startup objects survive a normal run (lifetime ~forever).
+  driver.RunRequests(1000);
+  EXPECT_GE(driver.live_bytes(), 10e6);
+}
+
+TEST(DriverHardwareModels, TlbAndLlcStallsAccumulate) {
+  WorkloadSpec spec = TinySpec();
+  hw::CpuTopology topo(hw::PlatformSpecFor(hw::PlatformGeneration::kGenC));
+  tcmalloc::Allocator alloc(DriverConfig());
+  hw::TlbSimulator tlb;
+  hw::LlcModel llc(&topo, 8192, 5);
+  std::vector<int> cpus;
+  for (int c = 0; c < topo.num_cpus(); ++c) cpus.push_back(c);
+  Driver driver(spec, &alloc, &topo, cpus, &llc, &tlb, 9);
+  driver.RunRequests(5000);
+  EXPECT_GT(driver.metrics().tlb_stall_ns, 0.0);
+  EXPECT_GT(driver.metrics().llc_stall_ns, 0.0);
+  EXPECT_GT(tlb.stats().accesses, 0u);
+  EXPECT_GT(llc.stats().accesses, 0u);
+}
+
+TEST(DriverSingleThreaded, RedisStaysOnOneThread) {
+  WorkloadSpec spec = RedisProfile();
+  spec.startup_bytes = 1e6;  // shrink startup for test speed
+  tcmalloc::AllocatorConfig config;
+  config.num_vcpus = 4;
+  tcmalloc::Allocator alloc(config);
+  hw::CpuTopology topo(hw::PlatformSpecFor(hw::PlatformGeneration::kGenA));
+  Driver driver(spec, &alloc, &topo, {0, 1, 2, 3}, nullptr, nullptr, 11);
+  for (int i = 0; i < 1000; ++i) {
+    driver.Step();
+    ASSERT_EQ(driver.active_threads(), 1);
+  }
+}
+
+}  // namespace
+}  // namespace wsc::workload

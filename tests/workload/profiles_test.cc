@@ -1,0 +1,98 @@
+// Sanity tests over every workload profile.
+
+#include "workload/profiles.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace wsc::workload {
+namespace {
+
+std::vector<WorkloadSpec> AllProfiles() {
+  std::vector<WorkloadSpec> all = TopFiveProfiles();
+  for (const auto& s : BenchmarkProfiles()) all.push_back(s);
+  all.push_back(SpecLikeProfile());
+  return all;
+}
+
+TEST(Profiles, AllProfilesAreWellFormed) {
+  for (const WorkloadSpec& spec : AllProfiles()) {
+    SCOPED_TRACE(spec.name);
+    EXPECT_FALSE(spec.name.empty());
+    EXPECT_FALSE(spec.behaviors.empty());
+    double total_weight = 0;
+    Rng rng(1);
+    for (const Behavior& b : spec.behaviors) {
+      EXPECT_GT(b.weight, 0.0);
+      total_weight += b.weight;
+      ASSERT_NE(b.size_bytes, nullptr);
+      ASSERT_NE(b.lifetime_ns, nullptr);
+      EXPECT_GT(b.size_bytes->Sample(rng), 0.0);
+      EXPECT_GE(b.lifetime_ns->Sample(rng), 0.0);
+    }
+    EXPECT_GT(total_weight, 0.0);
+    EXPECT_GE(spec.allocs_per_request, 1.0);
+    EXPECT_GT(spec.request_work_ns, 0.0);
+    EXPECT_GE(spec.max_threads, spec.min_threads);
+    EXPECT_GE(spec.min_threads, 1);
+    if (spec.startup_bytes > 0) {
+      EXPECT_NE(spec.startup_object_size, nullptr);
+    }
+  }
+}
+
+TEST(Profiles, TopFiveMatchesPaperOrder) {
+  auto top5 = TopFiveProfiles();
+  ASSERT_EQ(top5.size(), 5u);
+  EXPECT_EQ(top5[0].name, "spanner");
+  EXPECT_EQ(top5[1].name, "monarch");
+  EXPECT_EQ(top5[2].name, "bigtable");
+  EXPECT_EQ(top5[3].name, "f1-query");
+  EXPECT_EQ(top5[4].name, "disk");
+}
+
+TEST(Profiles, BenchmarksMatchPaperSet) {
+  auto benchmarks = BenchmarkProfiles();
+  ASSERT_EQ(benchmarks.size(), 4u);
+  EXPECT_EQ(benchmarks[0].name, "redis");
+  EXPECT_EQ(benchmarks[1].name, "data-pipeline");
+  EXPECT_EQ(benchmarks[2].name, "image-processing");
+  EXPECT_EQ(benchmarks[3].name, "tensorflow");
+}
+
+TEST(Profiles, RedisIsSingleThreaded) {
+  EXPECT_TRUE(RedisProfile().single_threaded());
+}
+
+TEST(Profiles, SpecLikeIsComputeBound) {
+  // SPEC-style workloads have near-zero steady-state malloc: far more base
+  // work per allocation than any production profile.
+  WorkloadSpec spec = SpecLikeProfile();
+  double spec_work_per_alloc = spec.request_work_ns / spec.allocs_per_request;
+  for (const WorkloadSpec& prod : TopFiveProfiles()) {
+    EXPECT_GT(spec_work_per_alloc,
+              10 * prod.request_work_ns / prod.allocs_per_request)
+        << prod.name;
+  }
+}
+
+TEST(Profiles, SyntheticBinariesAreDeterministicVariants) {
+  WorkloadSpec a = SyntheticBinary(7, 123);
+  WorkloadSpec b = SyntheticBinary(7, 123);
+  EXPECT_EQ(a.name, b.name);
+  EXPECT_DOUBLE_EQ(a.request_work_ns, b.request_work_ns);
+  WorkloadSpec c = SyntheticBinary(7, 456);
+  EXPECT_NE(a.request_work_ns, c.request_work_ns);
+  // Different ranks rotate base families.
+  WorkloadSpec d = SyntheticBinary(8, 123);
+  EXPECT_NE(a.name, d.name);
+}
+
+TEST(Profiles, SyntheticBinaryNamesEncodeRank) {
+  WorkloadSpec spec = SyntheticBinary(12, 9);
+  EXPECT_NE(spec.name.find("binary-12"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wsc::workload

@@ -1,0 +1,48 @@
+// Tests for workload spec builders.
+
+#include "workload/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace wsc::workload {
+namespace {
+
+TEST(Workload, MakeBehaviorWiresFields) {
+  Behavior b = MakeBehavior(2.5, SizePoint(64), LifetimePoint(1000));
+  EXPECT_DOUBLE_EQ(b.weight, 2.5);
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(b.size_bytes->Sample(rng), 64.0);
+  EXPECT_DOUBLE_EQ(b.lifetime_ns->Sample(rng), 1000.0);
+}
+
+TEST(Workload, SizeLognormalMedian) {
+  Rng rng(2);
+  auto dist = SizeLognormal(4096, 2.0);
+  std::vector<double> samples;
+  for (int i = 0; i < 20001; ++i) samples.push_back(dist->Sample(rng));
+  std::nth_element(samples.begin(), samples.begin() + 10000, samples.end());
+  EXPECT_NEAR(samples[10000], 4096, 300);
+}
+
+TEST(Workload, SizeParetoBounds) {
+  Rng rng(3);
+  auto dist = SizePareto(1024, 1.5, 65536);
+  for (int i = 0; i < 1000; ++i) {
+    double v = dist->Sample(rng);
+    EXPECT_GE(v, 1024);
+    EXPECT_LE(v, 65536);
+  }
+}
+
+TEST(Workload, SingleThreadedPredicate) {
+  WorkloadSpec spec;
+  spec.max_threads = 1;
+  EXPECT_TRUE(spec.single_threaded());
+  spec.max_threads = 2;
+  EXPECT_FALSE(spec.single_threaded());
+}
+
+}  // namespace
+}  // namespace wsc::workload

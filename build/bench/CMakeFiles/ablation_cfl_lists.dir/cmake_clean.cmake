@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cfl_lists.dir/ablation_cfl_lists.cc.o"
+  "CMakeFiles/ablation_cfl_lists.dir/ablation_cfl_lists.cc.o.d"
+  "ablation_cfl_lists"
+  "ablation_cfl_lists.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cfl_lists.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cpu_capacity.dir/ablation_cpu_capacity.cc.o"
+  "CMakeFiles/ablation_cpu_capacity.dir/ablation_cpu_capacity.cc.o.d"
+  "ablation_cpu_capacity"
+  "ablation_cpu_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cpu_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_filler_threshold.dir/ablation_filler_threshold.cc.o"
+  "CMakeFiles/ablation_filler_threshold.dir/ablation_filler_threshold.cc.o.d"
+  "ablation_filler_threshold"
+  "ablation_filler_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_filler_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

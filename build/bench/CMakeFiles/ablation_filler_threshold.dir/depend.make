@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_filler_threshold.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_resize_policy.dir/ablation_resize_policy.cc.o"
+  "CMakeFiles/ablation_resize_policy.dir/ablation_resize_policy.cc.o.d"
+  "ablation_resize_policy"
+  "ablation_resize_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_resize_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_thread_vs_cpu_caches.dir/ablation_thread_vs_cpu_caches.cc.o"
+  "CMakeFiles/ablation_thread_vs_cpu_caches.dir/ablation_thread_vs_cpu_caches.cc.o.d"
+  "ablation_thread_vs_cpu_caches"
+  "ablation_thread_vs_cpu_caches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_thread_vs_cpu_caches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_thread_vs_cpu_caches.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_numa_mode.dir/extension_numa_mode.cc.o"
+  "CMakeFiles/extension_numa_mode.dir/extension_numa_mode.cc.o.d"
+  "extension_numa_mode"
+  "extension_numa_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_numa_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

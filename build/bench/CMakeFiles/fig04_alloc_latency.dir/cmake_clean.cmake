@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_alloc_latency.dir/fig04_alloc_latency.cc.o"
+  "CMakeFiles/fig04_alloc_latency.dir/fig04_alloc_latency.cc.o.d"
+  "fig04_alloc_latency"
+  "fig04_alloc_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_alloc_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_cycles_and_frag.dir/fig05_cycles_and_frag.cc.o"
+  "CMakeFiles/fig05_cycles_and_frag.dir/fig05_cycles_and_frag.cc.o.d"
+  "fig05_cycles_and_frag"
+  "fig05_cycles_and_frag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_cycles_and_frag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

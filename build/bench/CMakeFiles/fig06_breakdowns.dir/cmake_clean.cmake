@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_breakdowns.dir/fig06_breakdowns.cc.o"
+  "CMakeFiles/fig06_breakdowns.dir/fig06_breakdowns.cc.o.d"
+  "fig06_breakdowns"
+  "fig06_breakdowns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_breakdowns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_lifetimes.dir/fig08_lifetimes.cc.o"
+  "CMakeFiles/fig08_lifetimes.dir/fig08_lifetimes.cc.o.d"
+  "fig08_lifetimes"
+  "fig08_lifetimes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_lifetimes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

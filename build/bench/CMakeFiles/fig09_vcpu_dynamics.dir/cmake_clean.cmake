@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_vcpu_dynamics.dir/fig09_vcpu_dynamics.cc.o"
+  "CMakeFiles/fig09_vcpu_dynamics.dir/fig09_vcpu_dynamics.cc.o.d"
+  "fig09_vcpu_dynamics"
+  "fig09_vcpu_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_vcpu_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_span_prioritization.dir/fig14_span_prioritization.cc.o"
+  "CMakeFiles/fig14_span_prioritization.dir/fig14_span_prioritization.cc.o.d"
+  "fig14_span_prioritization"
+  "fig14_span_prioritization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_span_prioritization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

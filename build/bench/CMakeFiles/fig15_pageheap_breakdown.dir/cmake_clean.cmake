@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_pageheap_breakdown.dir/fig15_pageheap_breakdown.cc.o"
+  "CMakeFiles/fig15_pageheap_breakdown.dir/fig15_pageheap_breakdown.cc.o.d"
+  "fig15_pageheap_breakdown"
+  "fig15_pageheap_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_pageheap_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

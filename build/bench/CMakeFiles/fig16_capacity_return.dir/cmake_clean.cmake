@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_capacity_return.dir/fig16_capacity_return.cc.o"
+  "CMakeFiles/fig16_capacity_return.dir/fig16_capacity_return.cc.o.d"
+  "fig16_capacity_return"
+  "fig16_capacity_return.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_capacity_return.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec45_combined.dir/sec45_combined.cc.o"
+  "CMakeFiles/sec45_combined.dir/sec45_combined.cc.o.d"
+  "sec45_combined"
+  "sec45_combined.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec45_combined.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

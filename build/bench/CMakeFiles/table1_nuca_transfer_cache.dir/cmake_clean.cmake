@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_nuca_transfer_cache.dir/table1_nuca_transfer_cache.cc.o"
+  "CMakeFiles/table1_nuca_transfer_cache.dir/table1_nuca_transfer_cache.cc.o.d"
+  "table1_nuca_transfer_cache"
+  "table1_nuca_transfer_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_nuca_transfer_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

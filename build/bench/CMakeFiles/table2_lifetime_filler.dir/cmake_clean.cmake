@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_lifetime_filler.dir/table2_lifetime_filler.cc.o"
+  "CMakeFiles/table2_lifetime_filler.dir/table2_lifetime_filler.cc.o.d"
+  "table2_lifetime_filler"
+  "table2_lifetime_filler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_lifetime_filler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

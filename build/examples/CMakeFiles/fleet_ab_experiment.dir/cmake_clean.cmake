@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_ab_experiment.dir/fleet_ab_experiment.cpp.o"
+  "CMakeFiles/fleet_ab_experiment.dir/fleet_ab_experiment.cpp.o.d"
+  "fleet_ab_experiment"
+  "fleet_ab_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_ab_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nuca_placement.dir/nuca_placement.cpp.o"
+  "CMakeFiles/nuca_placement.dir/nuca_placement.cpp.o.d"
+  "nuca_placement"
+  "nuca_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nuca_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsc_common.dir/distribution.cc.o"
+  "CMakeFiles/wsc_common.dir/distribution.cc.o.d"
+  "CMakeFiles/wsc_common.dir/histogram.cc.o"
+  "CMakeFiles/wsc_common.dir/histogram.cc.o.d"
+  "CMakeFiles/wsc_common.dir/stats.cc.o"
+  "CMakeFiles/wsc_common.dir/stats.cc.o.d"
+  "CMakeFiles/wsc_common.dir/table.cc.o"
+  "CMakeFiles/wsc_common.dir/table.cc.o.d"
+  "libwsc_common.a"
+  "libwsc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

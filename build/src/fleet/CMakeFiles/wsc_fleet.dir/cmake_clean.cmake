@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsc_fleet.dir/experiment.cc.o"
+  "CMakeFiles/wsc_fleet.dir/experiment.cc.o.d"
+  "CMakeFiles/wsc_fleet.dir/fleet.cc.o"
+  "CMakeFiles/wsc_fleet.dir/fleet.cc.o.d"
+  "CMakeFiles/wsc_fleet.dir/machine.cc.o"
+  "CMakeFiles/wsc_fleet.dir/machine.cc.o.d"
+  "libwsc_fleet.a"
+  "libwsc_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsc_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/latency_model.cc" "src/hw/CMakeFiles/wsc_hw.dir/latency_model.cc.o" "gcc" "src/hw/CMakeFiles/wsc_hw.dir/latency_model.cc.o.d"
+  "/root/repo/src/hw/llc_model.cc" "src/hw/CMakeFiles/wsc_hw.dir/llc_model.cc.o" "gcc" "src/hw/CMakeFiles/wsc_hw.dir/llc_model.cc.o.d"
+  "/root/repo/src/hw/tlb.cc" "src/hw/CMakeFiles/wsc_hw.dir/tlb.cc.o" "gcc" "src/hw/CMakeFiles/wsc_hw.dir/tlb.cc.o.d"
+  "/root/repo/src/hw/topology.cc" "src/hw/CMakeFiles/wsc_hw.dir/topology.cc.o" "gcc" "src/hw/CMakeFiles/wsc_hw.dir/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wsc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

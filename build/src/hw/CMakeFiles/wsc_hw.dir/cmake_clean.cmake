@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsc_hw.dir/latency_model.cc.o"
+  "CMakeFiles/wsc_hw.dir/latency_model.cc.o.d"
+  "CMakeFiles/wsc_hw.dir/llc_model.cc.o"
+  "CMakeFiles/wsc_hw.dir/llc_model.cc.o.d"
+  "CMakeFiles/wsc_hw.dir/tlb.cc.o"
+  "CMakeFiles/wsc_hw.dir/tlb.cc.o.d"
+  "CMakeFiles/wsc_hw.dir/topology.cc.o"
+  "CMakeFiles/wsc_hw.dir/topology.cc.o.d"
+  "libwsc_hw.a"
+  "libwsc_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsc_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tcmalloc/allocator.cc" "src/tcmalloc/CMakeFiles/wsc_tcmalloc.dir/allocator.cc.o" "gcc" "src/tcmalloc/CMakeFiles/wsc_tcmalloc.dir/allocator.cc.o.d"
+  "/root/repo/src/tcmalloc/central_free_list.cc" "src/tcmalloc/CMakeFiles/wsc_tcmalloc.dir/central_free_list.cc.o" "gcc" "src/tcmalloc/CMakeFiles/wsc_tcmalloc.dir/central_free_list.cc.o.d"
+  "/root/repo/src/tcmalloc/huge_cache.cc" "src/tcmalloc/CMakeFiles/wsc_tcmalloc.dir/huge_cache.cc.o" "gcc" "src/tcmalloc/CMakeFiles/wsc_tcmalloc.dir/huge_cache.cc.o.d"
+  "/root/repo/src/tcmalloc/huge_page_filler.cc" "src/tcmalloc/CMakeFiles/wsc_tcmalloc.dir/huge_page_filler.cc.o" "gcc" "src/tcmalloc/CMakeFiles/wsc_tcmalloc.dir/huge_page_filler.cc.o.d"
+  "/root/repo/src/tcmalloc/huge_region.cc" "src/tcmalloc/CMakeFiles/wsc_tcmalloc.dir/huge_region.cc.o" "gcc" "src/tcmalloc/CMakeFiles/wsc_tcmalloc.dir/huge_region.cc.o.d"
+  "/root/repo/src/tcmalloc/page_heap.cc" "src/tcmalloc/CMakeFiles/wsc_tcmalloc.dir/page_heap.cc.o" "gcc" "src/tcmalloc/CMakeFiles/wsc_tcmalloc.dir/page_heap.cc.o.d"
+  "/root/repo/src/tcmalloc/pagemap.cc" "src/tcmalloc/CMakeFiles/wsc_tcmalloc.dir/pagemap.cc.o" "gcc" "src/tcmalloc/CMakeFiles/wsc_tcmalloc.dir/pagemap.cc.o.d"
+  "/root/repo/src/tcmalloc/per_cpu_cache.cc" "src/tcmalloc/CMakeFiles/wsc_tcmalloc.dir/per_cpu_cache.cc.o" "gcc" "src/tcmalloc/CMakeFiles/wsc_tcmalloc.dir/per_cpu_cache.cc.o.d"
+  "/root/repo/src/tcmalloc/sampler.cc" "src/tcmalloc/CMakeFiles/wsc_tcmalloc.dir/sampler.cc.o" "gcc" "src/tcmalloc/CMakeFiles/wsc_tcmalloc.dir/sampler.cc.o.d"
+  "/root/repo/src/tcmalloc/size_classes.cc" "src/tcmalloc/CMakeFiles/wsc_tcmalloc.dir/size_classes.cc.o" "gcc" "src/tcmalloc/CMakeFiles/wsc_tcmalloc.dir/size_classes.cc.o.d"
+  "/root/repo/src/tcmalloc/span.cc" "src/tcmalloc/CMakeFiles/wsc_tcmalloc.dir/span.cc.o" "gcc" "src/tcmalloc/CMakeFiles/wsc_tcmalloc.dir/span.cc.o.d"
+  "/root/repo/src/tcmalloc/system_alloc.cc" "src/tcmalloc/CMakeFiles/wsc_tcmalloc.dir/system_alloc.cc.o" "gcc" "src/tcmalloc/CMakeFiles/wsc_tcmalloc.dir/system_alloc.cc.o.d"
+  "/root/repo/src/tcmalloc/transfer_cache.cc" "src/tcmalloc/CMakeFiles/wsc_tcmalloc.dir/transfer_cache.cc.o" "gcc" "src/tcmalloc/CMakeFiles/wsc_tcmalloc.dir/transfer_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wsc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/wsc_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

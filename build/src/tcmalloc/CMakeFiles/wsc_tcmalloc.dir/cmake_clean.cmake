@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsc_tcmalloc.dir/allocator.cc.o"
+  "CMakeFiles/wsc_tcmalloc.dir/allocator.cc.o.d"
+  "CMakeFiles/wsc_tcmalloc.dir/central_free_list.cc.o"
+  "CMakeFiles/wsc_tcmalloc.dir/central_free_list.cc.o.d"
+  "CMakeFiles/wsc_tcmalloc.dir/huge_cache.cc.o"
+  "CMakeFiles/wsc_tcmalloc.dir/huge_cache.cc.o.d"
+  "CMakeFiles/wsc_tcmalloc.dir/huge_page_filler.cc.o"
+  "CMakeFiles/wsc_tcmalloc.dir/huge_page_filler.cc.o.d"
+  "CMakeFiles/wsc_tcmalloc.dir/huge_region.cc.o"
+  "CMakeFiles/wsc_tcmalloc.dir/huge_region.cc.o.d"
+  "CMakeFiles/wsc_tcmalloc.dir/page_heap.cc.o"
+  "CMakeFiles/wsc_tcmalloc.dir/page_heap.cc.o.d"
+  "CMakeFiles/wsc_tcmalloc.dir/pagemap.cc.o"
+  "CMakeFiles/wsc_tcmalloc.dir/pagemap.cc.o.d"
+  "CMakeFiles/wsc_tcmalloc.dir/per_cpu_cache.cc.o"
+  "CMakeFiles/wsc_tcmalloc.dir/per_cpu_cache.cc.o.d"
+  "CMakeFiles/wsc_tcmalloc.dir/sampler.cc.o"
+  "CMakeFiles/wsc_tcmalloc.dir/sampler.cc.o.d"
+  "CMakeFiles/wsc_tcmalloc.dir/size_classes.cc.o"
+  "CMakeFiles/wsc_tcmalloc.dir/size_classes.cc.o.d"
+  "CMakeFiles/wsc_tcmalloc.dir/span.cc.o"
+  "CMakeFiles/wsc_tcmalloc.dir/span.cc.o.d"
+  "CMakeFiles/wsc_tcmalloc.dir/system_alloc.cc.o"
+  "CMakeFiles/wsc_tcmalloc.dir/system_alloc.cc.o.d"
+  "CMakeFiles/wsc_tcmalloc.dir/transfer_cache.cc.o"
+  "CMakeFiles/wsc_tcmalloc.dir/transfer_cache.cc.o.d"
+  "libwsc_tcmalloc.a"
+  "libwsc_tcmalloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsc_tcmalloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for wsc_tcmalloc.
+# This may be replaced when dependencies are built.

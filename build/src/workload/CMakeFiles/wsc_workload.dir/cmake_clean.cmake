@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsc_workload.dir/driver.cc.o"
+  "CMakeFiles/wsc_workload.dir/driver.cc.o.d"
+  "CMakeFiles/wsc_workload.dir/profiles.cc.o"
+  "CMakeFiles/wsc_workload.dir/profiles.cc.o.d"
+  "CMakeFiles/wsc_workload.dir/trace.cc.o"
+  "CMakeFiles/wsc_workload.dir/trace.cc.o.d"
+  "CMakeFiles/wsc_workload.dir/workload.cc.o"
+  "CMakeFiles/wsc_workload.dir/workload.cc.o.d"
+  "libwsc_workload.a"
+  "libwsc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

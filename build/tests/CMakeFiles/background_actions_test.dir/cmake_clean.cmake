@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/background_actions_test.dir/tcmalloc/background_actions_test.cc.o"
+  "CMakeFiles/background_actions_test.dir/tcmalloc/background_actions_test.cc.o.d"
+  "background_actions_test"
+  "background_actions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/background_actions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/central_free_list_test.dir/tcmalloc/central_free_list_test.cc.o"
+  "CMakeFiles/central_free_list_test.dir/tcmalloc/central_free_list_test.cc.o.d"
+  "central_free_list_test"
+  "central_free_list_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/central_free_list_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/huge_cache_test.dir/tcmalloc/huge_cache_test.cc.o"
+  "CMakeFiles/huge_cache_test.dir/tcmalloc/huge_cache_test.cc.o.d"
+  "huge_cache_test"
+  "huge_cache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/huge_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/huge_page_filler_test.dir/tcmalloc/huge_page_filler_test.cc.o"
+  "CMakeFiles/huge_page_filler_test.dir/tcmalloc/huge_page_filler_test.cc.o.d"
+  "huge_page_filler_test"
+  "huge_page_filler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/huge_page_filler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

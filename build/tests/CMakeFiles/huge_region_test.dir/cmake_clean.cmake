@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/huge_region_test.dir/tcmalloc/huge_region_test.cc.o"
+  "CMakeFiles/huge_region_test.dir/tcmalloc/huge_region_test.cc.o.d"
+  "huge_region_test"
+  "huge_region_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/huge_region_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llc_model_test.dir/hw/llc_model_test.cc.o"
+  "CMakeFiles/llc_model_test.dir/hw/llc_model_test.cc.o.d"
+  "llc_model_test"
+  "llc_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llc_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/page_heap_test.dir/tcmalloc/page_heap_test.cc.o"
+  "CMakeFiles/page_heap_test.dir/tcmalloc/page_heap_test.cc.o.d"
+  "page_heap_test"
+  "page_heap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/page_heap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pagemap_test.dir/tcmalloc/pagemap_test.cc.o"
+  "CMakeFiles/pagemap_test.dir/tcmalloc/pagemap_test.cc.o.d"
+  "pagemap_test"
+  "pagemap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pagemap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/per_cpu_cache_test.dir/tcmalloc/per_cpu_cache_test.cc.o"
+  "CMakeFiles/per_cpu_cache_test.dir/tcmalloc/per_cpu_cache_test.cc.o.d"
+  "per_cpu_cache_test"
+  "per_cpu_cache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/per_cpu_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tcmalloc/size_classes_test.cc" "tests/CMakeFiles/size_classes_test.dir/tcmalloc/size_classes_test.cc.o" "gcc" "tests/CMakeFiles/size_classes_test.dir/tcmalloc/size_classes_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fleet/CMakeFiles/wsc_fleet.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/wsc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcmalloc/CMakeFiles/wsc_tcmalloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/wsc_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wsc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

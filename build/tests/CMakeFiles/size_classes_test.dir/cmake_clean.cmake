@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/size_classes_test.dir/tcmalloc/size_classes_test.cc.o"
+  "CMakeFiles/size_classes_test.dir/tcmalloc/size_classes_test.cc.o.d"
+  "size_classes_test"
+  "size_classes_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/size_classes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/system_alloc_test.dir/tcmalloc/system_alloc_test.cc.o"
+  "CMakeFiles/system_alloc_test.dir/tcmalloc/system_alloc_test.cc.o.d"
+  "system_alloc_test"
+  "system_alloc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/system_alloc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

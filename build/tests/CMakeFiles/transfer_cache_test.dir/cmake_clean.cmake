@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transfer_cache_test.dir/tcmalloc/transfer_cache_test.cc.o"
+  "CMakeFiles/transfer_cache_test.dir/tcmalloc/transfer_cache_test.cc.o.d"
+  "transfer_cache_test"
+  "transfer_cache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transfer_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

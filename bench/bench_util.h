@@ -2,31 +2,53 @@
 //
 // Every bench regenerates one table or figure from the paper and prints
 // the paper-reported value next to the measured value; EXPERIMENTS.md
-// records the comparison. Fleet sizes here are chosen so each bench
-// finishes in about a minute on one core.
+// records the comparison. Machines run in parallel (fleet/parallel.h):
+// pass --threads=N or set WSC_THREADS to control the worker count; results
+// are bit-identical for every value. Fleet sizes are chosen so each bench
+// finishes in about a minute on an 8-core machine.
 
 #ifndef WSC_BENCH_BENCH_UTIL_H_
 #define WSC_BENCH_BENCH_UTIL_H_
 
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "common/table.h"
 #include "fleet/experiment.h"
+#include "fleet/parallel.h"
 #include "workload/profiles.h"
 
 namespace wsc::bench {
 
-// Standard fleet shape used by the fleet-wide benches.
+// Thread count requested via --threads=N (0 = auto: WSC_THREADS env var,
+// else hardware concurrency).
+inline int g_bench_threads = 0;
+
+// Parses shared bench flags (currently --threads=N) from main's argv.
+inline void ParseBenchFlags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      g_bench_threads = std::atoi(argv[i] + 10);
+    }
+  }
+}
+
+// Standard fleet shape used by the fleet-wide benches. Sized for parallel
+// execution: 12 machines keep 8 workers busy while staying close to the
+// old 6-machine sequential wall clock on a single core.
 inline fleet::FleetConfig DefaultFleet() {
   fleet::FleetConfig config;
-  config.num_machines = 6;
+  config.num_machines = 12;
   config.num_binaries = 40;
   config.min_colocated = 1;
   config.max_colocated = 2;
   config.duration = Seconds(18);
   config.max_requests_per_process = 110000;
+  config.num_threads = g_bench_threads;
   return config;
 }
 
@@ -36,6 +58,52 @@ inline fleet::FleetConfig ChipletFleet() {
   fleet::FleetConfig config = DefaultFleet();
   config.platform_mix = {0.0, 0.0, 0.4, 0.35, 0.25};
   return config;
+}
+
+// Wall-clock throughput reporting: each bench prints one machine-readable
+// BENCH_JSON line so the perf trajectory across PRs can be tracked by
+// grepping bench output.
+class BenchTimer {
+ public:
+  explicit BenchTimer(std::string bench)
+      : bench_(std::move(bench)),
+        start_(std::chrono::steady_clock::now()) {}
+
+  // Reports simulated requests completed per real second. Call once, after
+  // the simulation work is done.
+  void Report(uint64_t sim_requests) const {
+    double wall = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start_)
+                      .count();
+    int threads = fleet::ResolveThreadCount(g_bench_threads);
+    std::printf(
+        "BENCH_JSON {\"bench\":\"%s\",\"threads\":%d,"
+        "\"sim_requests\":%llu,\"wall_seconds\":%.3f,"
+        "\"sim_requests_per_sec\":%.0f}\n",
+        bench_.c_str(), threads,
+        static_cast<unsigned long long>(sim_requests), wall,
+        wall > 0 ? static_cast<double>(sim_requests) / wall : 0.0);
+  }
+
+ private:
+  std::string bench_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Simulated requests in a set of fleet observations.
+inline uint64_t TotalRequests(
+    const std::vector<fleet::FleetObservation>& observations) {
+  uint64_t total = 0;
+  for (const fleet::FleetObservation& obs : observations) {
+    total += obs.result.driver.requests;
+  }
+  return total;
+}
+
+// Simulated requests across both arms of an A/B result.
+inline uint64_t TotalRequests(const fleet::AbResult& result) {
+  return static_cast<uint64_t>(result.fleet.control.requests +
+                               result.fleet.experiment.requests);
 }
 
 // Dedicated-server benchmark runs (Section 2.3): one workload per machine.

@@ -13,8 +13,10 @@
 
 using namespace wsc;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchFlags(argc, argv);
   PrintBanner("Fig. 3: CDF of malloc cycles and allocated memory by binary");
+  bench::BenchTimer timer("fig03_fleet_cdf");
 
   // Many short-lived process observations: the CDF needs a wide binary
   // population, not long runs. The popularity skew is milder than the
@@ -27,9 +29,11 @@ int main() {
   config.max_colocated = 4;
   config.duration = Seconds(2);
   config.max_requests_per_process = 5000;
+  config.num_threads = bench::g_bench_threads;
 
   fleet::Fleet f(config, tcmalloc::AllocatorConfig(), /*seed=*/20240427);
   f.Run();
+  timer.Report(bench::TotalRequests(f.observations()));
 
   // Aggregate malloc cycles and allocated bytes per binary.
   std::map<int, double> cycles_by_binary;

@@ -48,8 +48,11 @@ Row RunWorkload(const workload::WorkloadSpec& spec, uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchFlags(argc, argv);
   PrintBanner("Fig. 5: malloc cycle share and fragmentation ratio");
+  bench::BenchTimer timer("fig05_cycles_and_frag");
+  uint64_t sim_requests = 0;
 
   std::vector<Row> rows;
   // Fleet-wide numbers from a mixed fleet.
@@ -57,6 +60,7 @@ int main() {
     fleet::Fleet fleet(bench::DefaultFleet(), tcmalloc::AllocatorConfig(),
                        5);
     fleet.Run();
+    sim_requests += bench::TotalRequests(fleet.observations());
     fleet::MetricSet set;
     double int_frag = 0, all_frag = 0;
     for (const auto& obs : fleet.observations()) {
@@ -102,5 +106,6 @@ int main() {
           FormatDouble(rows[0].int_frag_pct, 1) + ")");
   bench::PaperVsMeasured("SPEC-like malloc cycles", "~0%",
                          FormatDouble(rows.back().malloc_pct, 2) + "%");
+  timer.Report(sim_requests);
   return 0;
 }

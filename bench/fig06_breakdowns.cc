@@ -36,12 +36,15 @@ FragRow FragBreakdown(const std::string& name,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchFlags(argc, argv);
   PrintBanner("Fig. 6a: malloc CPU-cycle breakdown");
+  bench::BenchTimer timer("fig06_breakdowns");
 
   // Fleet-wide cycle breakdown.
   fleet::Fleet fleet(bench::DefaultFleet(), tcmalloc::AllocatorConfig(), 6);
   fleet.Run();
+  uint64_t sim_requests = bench::TotalRequests(fleet.observations());
   tcmalloc::MallocCycleBreakdown cycles;
   tcmalloc::HeapStats fleet_heap;
   for (const auto& obs : fleet.observations()) {
@@ -105,5 +108,6 @@ int main() {
   std::printf(
       "\nshape check: the page heap and central free list dominate\n"
       "fragmentation; the front-end caches are minor contributors.\n");
+  timer.Report(sim_requests);
   return 0;
 }

@@ -12,8 +12,10 @@
 
 using namespace wsc;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchFlags(argc, argv);
   PrintBanner("Fig. 10: memory reduction with heterogeneous per-CPU caches");
+  bench::BenchTimer timer("fig10_heterogeneous_cache");
 
   tcmalloc::AllocatorConfig control;  // static 3 MiB caches
   tcmalloc::AllocatorConfig experiment;
@@ -53,5 +55,6 @@ int main() {
   std::printf(
       "\nshape check: dynamic sizing lets the halved caches serve the same\n"
       "load, reducing cached-but-unused memory across every tier.\n");
+  timer.Report(bench::TotalRequests(ab));
   return 0;
 }

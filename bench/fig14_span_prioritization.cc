@@ -11,8 +11,10 @@
 
 using namespace wsc;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchFlags(argc, argv);
   PrintBanner("Fig. 14: memory reduction with span prioritization");
+  bench::BenchTimer timer("fig14_span_prioritization");
 
   tcmalloc::AllocatorConfig control;
   tcmalloc::AllocatorConfig experiment;
@@ -61,5 +63,6 @@ int main() {
   std::printf(
       "\nshape check: packing allocations onto the fullest spans lets\n"
       "nearly-empty spans drain and return to the page heap.\n");
+  timer.Report(bench::TotalRequests(ab));
   return 0;
 }

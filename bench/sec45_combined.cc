@@ -11,8 +11,10 @@
 
 using namespace wsc;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchFlags(argc, argv);
   PrintBanner("Section 4.5: all four optimizations combined");
+  bench::BenchTimer timer("sec45_combined");
 
   tcmalloc::AllocatorConfig control;
   tcmalloc::AllocatorConfig experiment =
@@ -45,5 +47,6 @@ int main() {
   std::printf(
       "\nshape check: the combined redesign raises throughput and lowers\n"
       "memory simultaneously — more productivity from fewer resources.\n");
+  timer.Report(bench::TotalRequests(ab));
   return 0;
 }

@@ -12,8 +12,10 @@
 
 using namespace wsc;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchFlags(argc, argv);
   PrintBanner("Table 1: NUCA-aware transfer caches");
+  bench::BenchTimer timer("table1_nuca_transfer_cache");
 
   tcmalloc::AllocatorConfig control;
   tcmalloc::AllocatorConfig experiment;
@@ -62,5 +64,6 @@ int main() {
   std::printf(
       "\nshape check: domain-local transfer caches cut LLC misses and lift\n"
       "throughput for a small memory cost from the extra caching layer.\n");
+  timer.Report(bench::TotalRequests(ab));
   return 0;
 }

@@ -12,8 +12,10 @@
 
 using namespace wsc;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchFlags(argc, argv);
   PrintBanner("Table 2 / Fig. 17: lifetime-aware hugepage filler");
+  bench::BenchTimer timer("table2_lifetime_filler");
 
   tcmalloc::AllocatorConfig control;
   tcmalloc::AllocatorConfig experiment;
@@ -66,5 +68,6 @@ int main() {
       "\nshape check: separating short- and long-lived spans onto\n"
       "dedicated hugepages keeps more of the heap hugepage-backed and\n"
       "reduces page-walk stalls.\n");
+  timer.Report(bench::TotalRequests(ab));
   return 0;
 }

@@ -1,0 +1,131 @@
+// Open-addressing hash map keyed by nonzero uintptr_t.
+//
+// The allocator keeps several address-keyed side tables on its large-object
+// and hugepage paths (large-span records, per-span requested sizes, the
+// filler's hugepage index). std::unordered_map puts every entry behind a
+// node allocation and a bucket indirection; since the keys here are arena
+// addresses and hugepage indices — never zero — a flat linear-probing table
+// with 0 as the empty sentinel serves the same lookups from one contiguous
+// array. Deletion uses backward-shift (no tombstones), so probe sequences
+// never degrade with churn. Iteration order is a deterministic function of
+// the operation sequence, like every other container in the simulator.
+
+#ifndef WSC_COMMON_FLAT_MAP_H_
+#define WSC_COMMON_FLAT_MAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace wsc {
+
+template <typename V>
+class FlatPtrMap {
+ public:
+  FlatPtrMap() : slots_(kMinCapacity) {}
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // Returns the value for `key`, or nullptr if absent.
+  V* Find(uintptr_t key) {
+    size_t i;
+    return FindIndex(key, &i) ? &slots_[i].value : nullptr;
+  }
+  const V* Find(uintptr_t key) const {
+    size_t i;
+    return FindIndex(key, &i) ? &slots_[i].value : nullptr;
+  }
+
+  // Inserts a new entry; `key` must be nonzero and absent.
+  V& Insert(uintptr_t key, V value) {
+    WSC_DCHECK_GT(key, 0u);
+    if ((size_ + 1) * 4 > slots_.size() * 3) Rehash(slots_.size() * 2);
+    size_t i = Home(key);
+    while (slots_[i].key != 0) {
+      WSC_DCHECK(slots_[i].key != key);
+      i = Next(i);
+    }
+    slots_[i].key = key;
+    slots_[i].value = std::move(value);
+    ++size_;
+    return slots_[i].value;
+  }
+
+  // Removes `key` if present; returns whether it was.
+  bool Erase(uintptr_t key) {
+    size_t hole;
+    if (!FindIndex(key, &hole)) return false;
+    // Backward-shift deletion: pull displaced entries into the hole so
+    // every surviving entry stays reachable from its home slot.
+    for (size_t j = Next(hole); slots_[j].key != 0; j = Next(j)) {
+      size_t home = Home(slots_[j].key);
+      if (((j - home) & Mask()) >= ((j - hole) & Mask())) {
+        slots_[hole] = std::move(slots_[j]);
+        hole = j;
+      }
+    }
+    slots_[hole] = Slot();
+    --size_;
+    return true;
+  }
+
+  // Calls fn(key, value) for every entry.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Slot& s : slots_) {
+      if (s.key != 0) fn(s.key, s.value);
+    }
+  }
+
+ private:
+  struct Slot {
+    uintptr_t key = 0;
+    V value{};
+  };
+
+  static constexpr size_t kMinCapacity = 16;  // power of two
+
+  size_t Mask() const { return slots_.size() - 1; }
+  size_t Next(size_t i) const { return (i + 1) & Mask(); }
+
+  size_t Home(uintptr_t key) const {
+    // Fibonacci multiply + fold: arena addresses are page/hugepage aligned,
+    // so the low bits alone would collide; the high bits of the product
+    // don't.
+    uint64_t h = static_cast<uint64_t>(key) * 0x9e3779b97f4a7c15ULL;
+    return static_cast<size_t>(h ^ (h >> 32)) & Mask();
+  }
+
+  bool FindIndex(uintptr_t key, size_t* out) const {
+    WSC_DCHECK_GT(key, 0u);
+    for (size_t i = Home(key); slots_[i].key != 0; i = Next(i)) {
+      if (slots_[i].key == key) {
+        *out = i;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void Rehash(size_t capacity) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(capacity, Slot());
+    for (Slot& s : old) {
+      if (s.key == 0) continue;
+      size_t i = Home(s.key);
+      while (slots_[i].key != 0) i = Next(i);
+      slots_[i] = std::move(s);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  size_t size_ = 0;
+};
+
+}  // namespace wsc
+
+#endif  // WSC_COMMON_FLAT_MAP_H_

@@ -1,7 +1,10 @@
 #include "fleet/experiment.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 #include "common/stats.h"
+#include "fleet/parallel.h"
 
 namespace wsc::fleet {
 
@@ -52,8 +55,16 @@ AbResult RunFleetAb(const FleetConfig& config,
                     uint64_t seed) {
   Fleet control_fleet(config, control, seed);
   Fleet experiment_fleet(config, experiment, seed);
-  control_fleet.Run();
-  experiment_fleet.Run();
+
+  // The two arms are independent paired fleets, so they run concurrently,
+  // splitting the worker budget between them; each arm's machines are
+  // merged in machine-index order, so the result matches the sequential
+  // run bit for bit.
+  int threads = ResolveThreadCount(config.num_threads);
+  Fleet* arms[2] = {&control_fleet, &experiment_fleet};
+  ParallelFor(2, std::min(threads, 2), [&](int arm) {
+    arms[arm]->Run(std::max(1, (threads + 1 - arm) / 2));
+  });
 
   const auto& c_obs = control_fleet.observations();
   const auto& e_obs = experiment_fleet.observations();

@@ -3,6 +3,7 @@
 #include "common/distribution.h"
 #include "common/logging.h"
 #include "common/rng.h"
+#include "fleet/parallel.h"
 
 namespace wsc::fleet {
 
@@ -23,14 +24,18 @@ workload::WorkloadSpec Fleet::BinarySpec(int rank) const {
   return workload::SyntheticBinary(rank, seed_ ^ 0xF1EE7ULL);
 }
 
-void Fleet::Run() {
-  observations_.clear();
+std::vector<Fleet::MachinePlan> Fleet::PlanMachines() const {
+  std::vector<MachinePlan> plans;
+  plans.reserve(static_cast<size_t>(config_.num_machines));
   ZipfDistribution zipf(config_.num_binaries, config_.zipf_exponent);
   auto generations = hw::AllPlatformGenerations();
 
   for (int m = 0; m < config_.num_machines; ++m) {
-    // Machine composition derives only from (seed_, m).
+    // Machine composition derives only from (seed_, m). Sampling stays
+    // sequential and seed-ordered even though execution is parallel, so
+    // seeds are stable by machine index.
     Rng rng(seed_ + 0x1000003 * static_cast<uint64_t>(m));
+    MachinePlan plan;
 
     // Platform generation by configured mix.
     double u = rng.UniformDouble();
@@ -44,7 +49,7 @@ void Fleet::Run() {
       }
       gen = g;
     }
-    hw::PlatformSpec platform = hw::PlatformSpecFor(generations[gen]);
+    plan.platform = hw::PlatformSpecFor(generations[gen]);
 
     // Co-located binaries by Zipf popularity. The first five machines
     // each host one of the top-5 production binaries so per-application
@@ -52,8 +57,6 @@ void Fleet::Run() {
     int n = config_.min_colocated +
             static_cast<int>(rng.UniformInt(
                 config_.max_colocated - config_.min_colocated + 1));
-    std::vector<workload::WorkloadSpec> workloads;
-    std::vector<int> ranks;
     for (int i = 0; i < n; ++i) {
       int rank;
       if (config_.include_top_five && m < 5 && i == 0) {
@@ -61,17 +64,50 @@ void Fleet::Run() {
       } else {
         rank = static_cast<int>(zipf.Sample(rng)) - 1;
       }
-      workloads.push_back(BinarySpec(rank));
-      ranks.push_back(rank);
+      plan.workloads.push_back(BinarySpec(rank));
+      plan.ranks.push_back(rank);
     }
 
-    Machine machine(platform, workloads, allocator_config_, rng.Fork());
-    machine.Run(config_.duration, config_.max_requests_per_process);
-    for (size_t i = 0; i < machine.results().size(); ++i) {
-      FleetObservation obs;
-      obs.machine = m;
-      obs.binary_rank = ranks[i];
-      obs.result = machine.results()[i];
+    plan.machine_seed = rng.Fork();
+    plans.push_back(std::move(plan));
+  }
+  return plans;
+}
+
+std::vector<FleetObservation> Fleet::RunMachine(
+    int m, const MachinePlan& plan) const {
+  Machine machine(plan.platform, plan.workloads, allocator_config_,
+                  plan.machine_seed);
+  machine.Run(config_.duration, config_.max_requests_per_process);
+  std::vector<FleetObservation> observations;
+  observations.reserve(machine.results().size());
+  for (size_t i = 0; i < machine.results().size(); ++i) {
+    FleetObservation obs;
+    obs.machine = m;
+    obs.binary_rank = plan.ranks[i];
+    obs.result = machine.results()[i];
+    observations.push_back(std::move(obs));
+  }
+  return observations;
+}
+
+void Fleet::Run() { Run(ResolveThreadCount(config_.num_threads)); }
+
+void Fleet::Run(int num_threads) {
+  observations_.clear();
+  std::vector<MachinePlan> plans = PlanMachines();
+
+  // Machines share nothing — each owns its allocators, hardware models,
+  // and RNG stream — so they run concurrently. Merging per-machine slots
+  // in machine-index order makes the reduction order-independent: results
+  // are bit-identical for any thread count.
+  std::vector<std::vector<FleetObservation>> per_machine(plans.size());
+  ParallelFor(static_cast<int>(plans.size()), num_threads, [&](int m) {
+    per_machine[static_cast<size_t>(m)] =
+        RunMachine(m, plans[static_cast<size_t>(m)]);
+  });
+  for (std::vector<FleetObservation>& machine_obs : per_machine) {
+    for (FleetObservation& obs : machine_obs) {
       observations_.push_back(std::move(obs));
     }
   }

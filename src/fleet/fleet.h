@@ -28,6 +28,11 @@ struct FleetConfig {
   int min_colocated = 1;
   int max_colocated = 3;
 
+  // Worker threads for Run(): machines execute concurrently on this many
+  // threads. 0 = auto (WSC_THREADS env var, else hardware concurrency).
+  // Results are bit-identical for every value.
+  int num_threads = 0;
+
   // Per-process run bounds.
   SimTime duration = Minutes(5);
   uint64_t max_requests_per_process = 120000;
@@ -57,8 +62,28 @@ class Fleet {
   Fleet(const FleetConfig& config, const tcmalloc::AllocatorConfig& allocator,
         uint64_t seed);
 
-  // Runs every machine and collects observations.
+  // Everything one machine needs before it runs: platform, workload mix,
+  // and a forked RNG seed, all sampled sequentially in machine-index order
+  // from (config, seed) alone. Execution never draws from the composition
+  // RNG, so plans are stable however machines are scheduled.
+  struct MachinePlan {
+    hw::PlatformSpec platform;
+    std::vector<workload::WorkloadSpec> workloads;
+    std::vector<int> ranks;      // binary rank per workload
+    uint64_t machine_seed = 0;
+  };
+
+  // The deterministic composition of every machine (exposed for tests).
+  std::vector<MachinePlan> PlanMachines() const;
+
+  // Runs every machine and collects observations. Machines execute
+  // concurrently on `config.num_threads` workers; per-machine results are
+  // merged in machine-index order, so the outcome is bit-identical to the
+  // sequential run for any thread count. May be called with an explicit
+  // worker count (overriding the config), e.g. when two fleets share a
+  // thread budget.
   void Run();
+  void Run(int num_threads);
 
   const std::vector<FleetObservation>& observations() const {
     return observations_;
@@ -68,6 +93,10 @@ class Fleet {
   workload::WorkloadSpec BinarySpec(int rank) const;
 
  private:
+  // Executes one planned machine and tags its observations.
+  std::vector<FleetObservation> RunMachine(int m,
+                                           const MachinePlan& plan) const;
+
   FleetConfig config_;
   tcmalloc::AllocatorConfig allocator_config_;
   uint64_t seed_;

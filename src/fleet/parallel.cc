@@ -1,0 +1,44 @@
+#include "fleet/parallel.h"
+
+#include <atomic>
+#include <algorithm>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+namespace wsc::fleet {
+
+int ResolveThreadCount(int requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("WSC_THREADS")) {
+    int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+void ParallelFor(int n, int num_threads,
+                 const std::function<void(int)>& body) {
+  if (n <= 0) return;
+  num_threads = std::min(num_threads, n);
+  if (num_threads <= 1) {
+    for (int i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  std::atomic<int> next{0};
+  auto worker = [&next, n, &body] {
+    for (int i = next.fetch_add(1, std::memory_order_relaxed); i < n;
+         i = next.fetch_add(1, std::memory_order_relaxed)) {
+      body(i);
+    }
+  };
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(num_threads) - 1);
+  for (int t = 1; t < num_threads; ++t) workers.emplace_back(worker);
+  worker();  // the calling thread is worker 0
+  for (std::thread& w : workers) w.join();
+}
+
+}  // namespace wsc::fleet

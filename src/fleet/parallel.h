@@ -1,0 +1,34 @@
+// Parallel fleet execution engine.
+//
+// Every simulated machine is an independent allocator instance with its own
+// pre-forked RNG seed, so fleet runs are embarrassingly parallel. This
+// worker pool runs machine bodies concurrently; determinism is the caller's
+// bargain: sample all randomness up front (sequentially, in index order),
+// give each body only its own pre-assigned state, and merge results in
+// index order. Under that contract the outcome is bit-identical for any
+// thread count.
+
+#ifndef WSC_FLEET_PARALLEL_H_
+#define WSC_FLEET_PARALLEL_H_
+
+#include <functional>
+
+namespace wsc::fleet {
+
+// Resolves a thread-count request into a worker count:
+//   requested  > 0 -> requested
+//   requested == 0 -> WSC_THREADS env var if set and positive, else
+//                     std::thread::hardware_concurrency().
+int ResolveThreadCount(int requested = 0);
+
+// Runs body(0), ..., body(n-1), distributing indices to `num_threads`
+// workers through a shared atomic cursor. Each index runs exactly once and
+// the call returns only after all bodies finish. Degrades to a plain inline
+// loop when n <= 1 or num_threads <= 1. Bodies must not share mutable
+// state.
+void ParallelFor(int n, int num_threads,
+                 const std::function<void(int)>& body);
+
+}  // namespace wsc::fleet
+
+#endif  // WSC_FLEET_PARALLEL_H_

@@ -53,9 +53,9 @@ Allocator::Allocator(const AllocatorConfig& config,
 
 Allocator::~Allocator() {
   // Large spans never flow through the CFLs, so free their metadata here.
-  for (Span* span : live_large_spans_) {
-    nodes_[NodeOfAddr(span->start_addr())]->page_heap.FreeLargeSpan(span);
-  }
+  large_objects_.ForEach([this](uintptr_t addr, const LargeObject& obj) {
+    nodes_[NodeOfAddr(addr)]->page_heap.FreeLargeSpan(obj.span);
+  });
 }
 
 void Allocator::SetVcpuDomain(int vcpu, int domain) {
@@ -107,12 +107,11 @@ uintptr_t Allocator::Allocate(size_t size, int vcpu, SimTime now) {
     double mmap_before = MmapNsTotal();
     Span* span =
         nodes_[node]->page_heap.NewLargeSpan(BytesToLengthCeil(size));
-    live_large_spans_.insert(span);
     addr = span->start_addr();
     allocated_bytes = span->span_bytes();
     large_live_bytes_ += allocated_bytes;
     large_live_requested_ += static_cast<double>(size);
-    large_requested_.emplace(addr, size);
+    large_objects_.Insert(addr, LargeObject{span, size});
     ++alloc_hits_.page_heap;
     cycles_.page_heap_ns += config_.costs.page_heap_ns;
     last_op_ns_ += config_.costs.page_heap_ns;
@@ -220,11 +219,10 @@ void Allocator::Free(uintptr_t addr, int vcpu, SimTime now) {
     size_t bytes = span->span_bytes();
     WSC_CHECK_GE(large_live_bytes_, bytes);
     large_live_bytes_ -= bytes;
-    auto it = large_requested_.find(addr);
-    WSC_CHECK(it != large_requested_.end());
-    large_live_requested_ -= static_cast<double>(it->second);
-    large_requested_.erase(it);
-    live_large_spans_.erase(span);
+    LargeObject* obj = large_objects_.Find(addr);
+    WSC_CHECK(obj != nullptr);
+    large_live_requested_ -= static_cast<double>(obj->requested);
+    large_objects_.Erase(addr);
     nodes_[NodeOfAddr(addr)]->page_heap.FreeLargeSpan(span);
     cycles_.page_heap_ns += config_.costs.page_heap_ns;
     last_op_ns_ += config_.costs.page_heap_ns;

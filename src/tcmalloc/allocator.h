@@ -27,10 +27,9 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "common/histogram.h"
 #include "common/sim_clock.h"
 #include "tcmalloc/central_free_list.h"
@@ -245,11 +244,16 @@ class Allocator {
   size_t live_bytes_ = 0;
   size_t large_live_bytes_ = 0;
   double large_live_requested_ = 0;
-  // Exact requested size per live large span (there are few large objects,
-  // so exact tracking is cheap; per-class averages would be badly biased
-  // when small churning large-spans coexist with huge permanent ones).
-  std::unordered_map<uintptr_t, size_t> large_requested_;
-  std::unordered_set<Span*> live_large_spans_;
+  // Live large objects by start address: the span plus its exact requested
+  // size (there are few large objects, so exact tracking is cheap;
+  // per-class averages would be badly biased when small churning
+  // large-spans coexist with huge permanent ones). One flat open-addressing
+  // probe on the large-object free path instead of two node-based lookups.
+  struct LargeObject {
+    Span* span = nullptr;
+    size_t requested = 0;
+  };
+  FlatPtrMap<LargeObject> large_objects_;
 
   MallocCycleBreakdown cycles_;
   TierHitCounts alloc_hits_;

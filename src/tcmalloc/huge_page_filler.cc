@@ -77,26 +77,24 @@ void PageTracker::Free(int offset, Length n) {
 // HugePageFiller
 // ---------------------------------------------------------------------------
 
-HugePageFiller::HugePageFiller(
-    bool lifetime_aware, int capacity_threshold,
-    std::function<HugePageId()> hugepage_source,
-    std::function<void(HugePageId, bool)> hugepage_sink)
+HugePageFiller::HugePageFiller(bool lifetime_aware, int capacity_threshold,
+                               HugePageBacking* backing)
     : lifetime_aware_(lifetime_aware),
       capacity_threshold_(capacity_threshold),
-      hugepage_source_(std::move(hugepage_source)),
-      hugepage_sink_(std::move(hugepage_sink)) {
+      backing_(backing) {
+  WSC_CHECK(backing != nullptr);
   lists_.resize(lifetime_aware_ ? 2 : 1);
   for (auto& set : lists_) set.assign(kPagesPerHugePage + 1, nullptr);
   donated_lists_.assign(kPagesPerHugePage + 1, nullptr);
 }
 
 HugePageFiller::~HugePageFiller() {
-  for (auto& [hp, tracker] : tracker_index_) delete tracker;
+  tracker_index_.ForEach([](uintptr_t, PageTracker* const& t) { delete t; });
 }
 
 PageTracker* HugePageFiller::FindTracker(HugePageId hp) const {
-  auto it = tracker_index_.find(hp.index);
-  return it == tracker_index_.end() ? nullptr : it->second;
+  PageTracker* const* t = tracker_index_.Find(hp.index);
+  return t == nullptr ? nullptr : *t;
 }
 
 void HugePageFiller::ListInsert(PageTracker* t) {
@@ -160,10 +158,10 @@ PageId HugePageFiller::Allocate(Length n, int span_capacity) {
   }
   PageTracker* t = PickTracker(set, n);
   if (t == nullptr) {
-    HugePageId hp = hugepage_source_();
+    HugePageId hp = backing_->GetHugePage();
     t = new PageTracker(hp);
     t->set_lifetime_set(set);
-    tracker_index_.emplace(hp.index, t);
+    tracker_index_.Insert(hp.index, t);
     ++stats_.total_hugepages;
     ListInsert(t);
   } else if (lifetime_aware_ && !t->donated() && t->lifetime_set() != set) {
@@ -212,7 +210,7 @@ void HugePageFiller::Donate(HugePageId hp, int donated_offset) {
   t->set_donated(true);
   // The head [0, donated_offset) belongs to the large span.
   if (donated_offset > 0) t->MarkAllocated(0, donated_offset);
-  tracker_index_.emplace(hp.index, t);
+  tracker_index_.Insert(hp.index, t);
   ++stats_.total_hugepages;
   ++stats_.donated_hugepages;
   ListInsert(t);
@@ -237,19 +235,19 @@ void HugePageFiller::ReleaseEmpty(PageTracker* t) {
   --stats_.total_hugepages;
   ++stats_.hugepages_freed;
   HugePageId hp = t->hugepage();
-  tracker_index_.erase(hp.index);
+  tracker_index_.Erase(hp.index);
   delete t;
-  hugepage_sink_(hp, intact);
+  backing_->PutHugePage(hp, intact);
 }
 
 Length HugePageFiller::SubreleaseExcess(double target_fraction,
                                         Length demand_guard_pages) {
   // Compute intact free pages and the filler's total span.
   Length used = 0, intact_free = 0;
-  for (const auto& [idx, t] : tracker_index_) {
+  tracker_index_.ForEach([&](uintptr_t, PageTracker* const& t) {
     used += t->used_pages();
     if (!t->released()) intact_free += t->free_pages();
-  }
+  });
   Length total = used + intact_free;
   if (total == 0) return 0;
   // Retain enough free pages to serve a return to recent peak demand.
@@ -260,19 +258,31 @@ Length HugePageFiller::SubreleaseExcess(double target_fraction,
   if (fraction <= target_fraction) return 0;
 
   // Break the sparsest intact hugepages first: their free pages buy the
-  // most released memory per broken hugepage. The lifetime-aware design
-  // needs no special victim order — its benefit is that short-lived-set
-  // hugepages drain to fully free and leave the filler whole, shrinking
-  // the excess this pass has to break in the first place (Section 4.4).
+  // most released memory per broken hugepage. At equal sparseness, prefer
+  // short-lived-set victims — they drain to fully free and leave the
+  // filler whole, while a broken long-lived hugepage stays uncovered for
+  // its tenants' whole lifetime (Section 4.4) — then the hugepage whose
+  // free space is most fragmented (smallest longest-free-run: the least
+  // useful to keep for future span placement), then the newest hugepage.
+  // The full key makes victim order independent of hash-table layout.
   std::vector<PageTracker*> intact;
-  for (const auto& [idx, t] : tracker_index_) {
+  tracker_index_.ForEach([&](uintptr_t, PageTracker* const& t) {
     if (!t->released() && t->free_pages() > 0 && !t->donated()) {
       intact.push_back(t);
     }
-  }
+  });
   std::sort(intact.begin(), intact.end(),
             [](const PageTracker* a, const PageTracker* b) {
-              return a->free_pages() > b->free_pages();
+              if (a->free_pages() != b->free_pages()) {
+                return a->free_pages() > b->free_pages();
+              }
+              if (a->lifetime_set() != b->lifetime_set()) {
+                return a->lifetime_set() > b->lifetime_set();
+              }
+              if (a->LongestFreeRange() != b->LongestFreeRange()) {
+                return a->LongestFreeRange() < b->LongestFreeRange();
+              }
+              return a->hugepage().index > b->hugepage().index;
             });
   Length released = 0;
   Length need =
@@ -302,22 +312,22 @@ FillerStats HugePageFiller::stats() const {
   s.used_pages = 0;
   s.free_pages = 0;
   s.released_free_pages = 0;
-  for (const auto& [idx, t] : tracker_index_) {
+  tracker_index_.ForEach([&](uintptr_t, PageTracker* const& t) {
     s.used_pages += t->used_pages();
     if (t->released()) {
       s.released_free_pages += t->free_pages();
     } else {
       s.free_pages += t->free_pages();
     }
-  }
+  });
   return s;
 }
 
 Length HugePageFiller::UsedPagesOnIntactHugepages() const {
   Length used = 0;
-  for (const auto& [idx, t] : tracker_index_) {
+  tracker_index_.ForEach([&](uintptr_t, PageTracker* const& t) {
     if (!t->released()) used += t->used_pages();
-  }
+  });
   return used;
 }
 

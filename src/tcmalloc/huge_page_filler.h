@@ -19,10 +19,9 @@
 #define WSC_TCMALLOC_HUGE_PAGE_FILLER_H_
 
 #include <cstdint>
-#include <functional>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "tcmalloc/pages.h"
 
 namespace wsc::tcmalloc {
@@ -92,6 +91,24 @@ struct FillerStats {
   uint64_t hugepages_freed = 0;   // became fully empty and left the filler
 };
 
+// Supplier/consumer of the whole hugepages backing the filler: the page
+// heap's huge cache in production, a harness in tests. A plain virtual
+// interface rather than std::function callbacks — GetHugePage sits on the
+// span-allocation slow path (every span miss that grows the footprint), so
+// the indirection must be one devirtualizable call, not a type-erased
+// closure.
+class HugePageBacking {
+ public:
+  virtual ~HugePageBacking() = default;
+
+  // Provides a fresh hugepage for the filler to pack spans into.
+  virtual HugePageId GetHugePage() = 0;
+
+  // Accepts a fully-empty hugepage leaving the filler; `intact` tells
+  // whether it left THP-intact.
+  virtual void PutHugePage(HugePageId hp, bool intact) = 0;
+};
+
 // Packs sub-hugepage allocations into hugepages.
 class HugePageFiller {
  public:
@@ -101,12 +118,10 @@ class HugePageFiller {
 
   // `lifetime_aware` enables the dedicated short-lived hugepage set;
   // `capacity_threshold` is the paper's C (spans with capacity < C are
-  // treated as short-lived). `hugepage_source` provides fresh hugepages;
-  // `hugepage_sink` accepts fully-empty hugepages leaving the filler
-  // (`intact` tells whether the hugepage left THP-intact).
+  // treated as short-lived). `backing` supplies fresh hugepages and takes
+  // back fully-empty ones; it must outlive the filler.
   HugePageFiller(bool lifetime_aware, int capacity_threshold,
-                 std::function<HugePageId()> hugepage_source,
-                 std::function<void(HugePageId, bool intact)> hugepage_sink);
+                 HugePageBacking* backing);
   ~HugePageFiller();
 
   HugePageFiller(const HugePageFiller&) = delete;
@@ -167,16 +182,16 @@ class HugePageFiller {
 
   bool lifetime_aware_;
   int capacity_threshold_;
-  std::function<HugePageId()> hugepage_source_;
-  std::function<void(HugePageId, bool)> hugepage_sink_;
+  HugePageBacking* backing_;
 
   // Two lifetime sets x (free count -> list head). Donated trackers are
   // kept in a separate per-free-count structure.
   std::vector<FreeLists> lists_;        // [set][free_count]
   FreeLists donated_lists_;             // [free_count]
 
-  // hugepage index -> tracker (ownership).
-  std::unordered_map<uintptr_t, PageTracker*> tracker_index_;
+  // hugepage index -> tracker (ownership). Flat open addressing: this is
+  // probed on every filler free and every dTLB backing query.
+  FlatPtrMap<PageTracker*> tracker_index_;
 
   FillerStats stats_;
 };

@@ -23,14 +23,16 @@ PageHeap::PageHeap(const SizeClasses* size_classes,
       cache_(system),
       regions_(&cache_),
       filler_(config.lifetime_aware_filler, config.filler_capacity_threshold,
-              /*hugepage_source=*/[this] { return cache_.Allocate(1); },
-              /*hugepage_sink=*/
-              [this](HugePageId hp, bool intact) {
-                cache_.Release(hp, 1, intact);
-              }) {
+              this) {
   WSC_CHECK(size_classes != nullptr);
   WSC_CHECK(system != nullptr);
   WSC_CHECK(pagemap != nullptr);
+}
+
+HugePageId PageHeap::GetHugePage() { return cache_.Allocate(1); }
+
+void PageHeap::PutHugePage(HugePageId hp, bool intact) {
+  cache_.Release(hp, 1, intact);
 }
 
 Span* PageHeap::RegisterSpan(Span* span) {
@@ -88,16 +90,16 @@ Span* PageHeap::NewLargeSpan(Length pages) {
     }
   }
   Span* span = RegisterSpan(new Span(first, pages));
-  large_allocs_.emplace(span->start_addr(), record);
+  large_allocs_.Insert(span->start_addr(), record);
   return span;
 }
 
 void PageHeap::FreeLargeSpan(Span* span) {
   WSC_CHECK(span->is_large());
-  auto it = large_allocs_.find(span->start_addr());
-  WSC_CHECK(it != large_allocs_.end());
-  LargeAlloc record = it->second;
-  large_allocs_.erase(it);
+  LargeAlloc* found = large_allocs_.Find(span->start_addr());
+  WSC_CHECK(found != nullptr);
+  LargeAlloc record = *found;
+  large_allocs_.Erase(span->start_addr());
   pagemap_->Erase(span);
 
   switch (record.kind) {

@@ -13,8 +13,8 @@
 
 #include <cstdint>
 #include <deque>
-#include <unordered_map>
 
+#include "common/flat_map.h"
 #include "tcmalloc/central_free_list.h"
 #include "tcmalloc/config.h"
 #include "tcmalloc/huge_cache.h"
@@ -43,8 +43,10 @@ struct PageHeapStats {
   size_t TotalReleased() const { return filler_released + cache_released; }
 };
 
-// The back-end of the allocator.
-class PageHeap : public SpanSource {
+// The back-end of the allocator. Privately a HugePageBacking: the filler
+// draws fresh hugepages from (and returns empty ones to) the huge cache
+// through this page heap.
+class PageHeap : public SpanSource, private HugePageBacking {
  public:
   PageHeap(const SizeClasses* size_classes, const AllocatorConfig& config,
            SystemAllocator* system, PageMap* pagemap);
@@ -90,6 +92,10 @@ class PageHeap : public SpanSource {
 
   Span* RegisterSpan(Span* span);
 
+  // HugePageBacking: the filler's hugepage supply line.
+  HugePageId GetHugePage() override;
+  void PutHugePage(HugePageId hp, bool intact) override;
+
   const SizeClasses* size_classes_;
   AllocatorConfig config_;
   SystemAllocator* system_;
@@ -99,7 +105,9 @@ class PageHeap : public SpanSource {
   HugeRegionSet regions_;
   HugePageFiller filler_;
 
-  std::unordered_map<uintptr_t, LargeAlloc> large_allocs_;  // by start addr
+  // Large-span records by start address; flat open addressing, probed on
+  // every large free.
+  FlatPtrMap<LargeAlloc> large_allocs_;
   Length cache_span_pages_ = 0;  // large-span pages on non-donated hugepages
   uint64_t next_span_id_ = 0;
 

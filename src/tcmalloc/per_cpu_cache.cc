@@ -68,6 +68,14 @@ int CpuCacheSet::Refill(int vcpu, int cls, const uintptr_t* objs, int n) {
   VcpuCache& cache = Touch(vcpu);
   size_t size = size_classes_->class_size(cls);
   int max_objects = size_classes_->info(cls).max_per_cpu_objects;
+  // First refill of this class: reserve a couple of batches up front so
+  // the list does not regrow through its smallest doublings on the
+  // allocation slow path. Lazy (per class actually used) — most classes
+  // of a short-lived process are never touched.
+  if (cache.objects[cls].capacity() == 0) {
+    cache.objects[cls].reserve(
+        static_cast<size_t>(2 * size_classes_->batch_size(cls)));
+  }
   int accepted = 0;
   while (accepted < n && cache.used_bytes + size <= cache.capacity_bytes &&
          static_cast<int>(cache.objects[cls].size()) < max_objects) {
@@ -88,132 +96,6 @@ int CpuCacheSet::ExtractBatch(int vcpu, int cls, uintptr_t* out, int n) {
     cache.used_bytes -= size_classes_->class_size(cls);
   }
   return extracted;
-}
-
-void CpuCacheSet::EvictToCapacity(VcpuCache& cache, const FlushSink& flush) {
-  // The paper's scheme prioritizes shrinking capacity for larger size
-  // classes, since the bulk of allocations are small objects (Fig. 7).
-  for (int cls = size_classes_->num_classes() - 1;
-       cls >= 0 && cache.used_bytes > cache.capacity_bytes; --cls) {
-    std::vector<uintptr_t>& list = cache.objects[cls];
-    size_t size = size_classes_->class_size(cls);
-    while (!list.empty() && cache.used_bytes > cache.capacity_bytes) {
-      uintptr_t obj = list.back();
-      list.pop_back();
-      cache.used_bytes -= size;
-      flush(cls, &obj, 1);
-    }
-  }
-}
-
-void CpuCacheSet::ResizeStep(const FlushSink& flush) {
-  ReclaimIdle(flush);
-  if (!dynamic_) {
-    // Static sizing: still reset interval counters so telemetry (Fig. 9b)
-    // has per-interval miss data.
-    for (VcpuCache& c : vcpus_) {
-      c.interval_misses = 0;
-      c.interval_ops = 0;
-    }
-    return;
-  }
-
-  // Rank populated caches by misses in the previous interval.
-  std::vector<int> populated;
-  for (int i = 0; i < num_vcpus(); ++i) {
-    if (vcpus_[i].populated) populated.push_back(i);
-  }
-  if (populated.size() < 2) {
-    for (VcpuCache& c : vcpus_) c.interval_misses = 0;
-    return;
-  }
-  std::vector<int> by_misses = populated;
-  std::stable_sort(by_misses.begin(), by_misses.end(), [this](int a, int b) {
-    return vcpus_[a].interval_misses > vcpus_[b].interval_misses;
-  });
-
-  int num_growers = std::min<int>(grow_candidates_,
-                                  static_cast<int>(by_misses.size()) - 1);
-  std::vector<int> growers;
-  for (int i = 0; i < num_growers; ++i) {
-    if (vcpus_[by_misses[i]].interval_misses == 0) break;  // nobody missing
-    growers.push_back(by_misses[i]);
-  }
-
-  if (!growers.empty()) {
-    // Steal capacity round-robin from the non-grower caches.
-    constexpr size_t kStealStep = 64 * 1024;
-    size_t stolen = 0;
-    size_t want = kStealStep * growers.size();
-    std::vector<int> victims;
-    for (int idx : by_misses) {
-      if (std::find(growers.begin(), growers.end(), idx) == growers.end()) {
-        victims.push_back(idx);
-      }
-    }
-    size_t attempts = victims.size();
-    while (stolen < want && attempts > 0) {
-      int victim = victims[steal_cursor_ % victims.size()];
-      ++steal_cursor_;
-      --attempts;
-      VcpuCache& v = vcpus_[victim];
-      size_t take = std::min(kStealStep, v.capacity_bytes > min_capacity_
-                                             ? v.capacity_bytes - min_capacity_
-                                             : 0);
-      if (take == 0) continue;
-      v.capacity_bytes -= take;
-      stolen += take;
-      EvictToCapacity(v, flush);
-      attempts = victims.size();  // reset: a successful steal keeps going
-      if (stolen >= want) break;
-    }
-    // Distribute stolen capacity equally among the growers.
-    if (stolen > 0) {
-      size_t share = stolen / growers.size();
-      size_t remainder = stolen - share * growers.size();
-      for (size_t i = 0; i < growers.size(); ++i) {
-        vcpus_[growers[i]].capacity_bytes +=
-            share + (i == 0 ? remainder : 0);
-      }
-    }
-  }
-
-  for (VcpuCache& c : vcpus_) {
-    c.interval_misses = 0;
-    c.interval_ops = 0;
-  }
-}
-
-void CpuCacheSet::ReclaimIdle(const FlushSink& flush) {
-  for (VcpuCache& cache : vcpus_) {
-    if (!cache.populated || cache.interval_ops > 0 ||
-        cache.used_bytes == 0) {
-      continue;
-    }
-    for (int cls = 0; cls < size_classes_->num_classes(); ++cls) {
-      std::vector<uintptr_t>& list = cache.objects[cls];
-      if (list.empty()) continue;
-      flush(cls, list.data(), static_cast<int>(list.size()));
-      cache.used_bytes -= size_classes_->class_size(cls) * list.size();
-      list.clear();
-    }
-    WSC_CHECK_EQ(cache.used_bytes, 0u);
-  }
-}
-
-void CpuCacheSet::FlushAll(const FlushSink& flush) {
-  for (VcpuCache& cache : vcpus_) {
-    if (!cache.populated) continue;
-    for (int cls = 0; cls < size_classes_->num_classes(); ++cls) {
-      std::vector<uintptr_t>& list = cache.objects[cls];
-      if (list.empty()) continue;
-      flush(cls, list.data(), static_cast<int>(list.size()));
-      cache.used_bytes -=
-          size_classes_->class_size(cls) * list.size();
-      list.clear();
-    }
-    WSC_CHECK_EQ(cache.used_bytes, 0u);
-  }
 }
 
 CpuCacheSet::VcpuStats CpuCacheSet::GetVcpuStats(int vcpu) const {

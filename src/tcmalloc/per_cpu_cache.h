@@ -12,10 +12,11 @@
 #ifndef WSC_TCMALLOC_PER_CPU_CACHE_H_
 #define WSC_TCMALLOC_PER_CPU_CACHE_H_
 
+#include <algorithm>
 #include <cstdint>
-#include <functional>
 #include <vector>
 
+#include "common/logging.h"
 #include "tcmalloc/config.h"
 #include "tcmalloc/size_classes.h"
 
@@ -43,25 +44,31 @@ class CpuCacheSet {
   // on overflow. Returns the number extracted.
   int ExtractBatch(int vcpu, int cls, uintptr_t* out, int n);
 
-  // Sink receiving objects evicted during resizing/flushes.
-  using FlushSink = std::function<void(int cls, const uintptr_t* objs, int n)>;
+  // Flush sinks are templated callables `void(int cls, const uintptr_t*
+  // objs, int n)` receiving evicted objects. The maintenance paths run
+  // every resize interval for every simulated process; a std::function
+  // here would put a type-erased call (and a capture allocation) on that
+  // path, so the sink type is threaded through instead and lambdas inline.
 
   // One step of the usage-based dynamic resizing algorithm: grows the
   // `cpu_cache_grow_candidates` caches with the most misses in the last
   // interval by stealing capacity round-robin from the others. Objects that
   // no longer fit are handed to `flush`. Capacity moves only when
   // dynamic_cpu_caches is set, but idle-cache reclaim (below) always runs.
-  void ResizeStep(const FlushSink& flush);
+  template <typename Flush>
+  void ResizeStep(Flush&& flush);
 
   // Reclaims caches that served no operation since the previous call:
   // their objects are flushed to `flush` (production TCMalloc's
   // ReleaseCpuMemory for idle CPUs — without it, objects stranded in idle
   // vCPU caches pin spans forever). Called by ResizeStep.
-  void ReclaimIdle(const FlushSink& flush);
+  template <typename Flush>
+  void ReclaimIdle(Flush&& flush);
 
   // Flushes every cached object (used at simulated process teardown and in
   // tests).
-  void FlushAll(const FlushSink& flush);
+  template <typename Flush>
+  void FlushAll(Flush&& flush);
 
   // --- Introspection ---
   struct VcpuStats {
@@ -101,7 +108,8 @@ class CpuCacheSet {
   VcpuCache& Touch(int vcpu);
 
   // Evicts objects (largest classes first) until used <= capacity.
-  void EvictToCapacity(VcpuCache& cache, const FlushSink& flush);
+  template <typename Flush>
+  void EvictToCapacity(VcpuCache& cache, Flush&& flush);
 
   const SizeClasses* size_classes_;
   size_t default_capacity_;
@@ -111,6 +119,138 @@ class CpuCacheSet {
   std::vector<VcpuCache> vcpus_;
   int steal_cursor_ = 0;  // round-robin position for capacity stealing
 };
+
+// --- template implementations ---
+
+template <typename Flush>
+void CpuCacheSet::EvictToCapacity(VcpuCache& cache, Flush&& flush) {
+  // The paper's scheme prioritizes shrinking capacity for larger size
+  // classes, since the bulk of allocations are small objects (Fig. 7).
+  for (int cls = size_classes_->num_classes() - 1;
+       cls >= 0 && cache.used_bytes > cache.capacity_bytes; --cls) {
+    std::vector<uintptr_t>& list = cache.objects[cls];
+    size_t size = size_classes_->class_size(cls);
+    while (!list.empty() && cache.used_bytes > cache.capacity_bytes) {
+      uintptr_t obj = list.back();
+      list.pop_back();
+      cache.used_bytes -= size;
+      flush(cls, &obj, 1);
+    }
+  }
+}
+
+template <typename Flush>
+void CpuCacheSet::ResizeStep(Flush&& flush) {
+  ReclaimIdle(flush);
+  if (!dynamic_) {
+    // Static sizing: still reset interval counters so telemetry (Fig. 9b)
+    // has per-interval miss data.
+    for (VcpuCache& c : vcpus_) {
+      c.interval_misses = 0;
+      c.interval_ops = 0;
+    }
+    return;
+  }
+
+  // Rank populated caches by misses in the previous interval.
+  std::vector<int> populated;
+  for (int i = 0; i < num_vcpus(); ++i) {
+    if (vcpus_[i].populated) populated.push_back(i);
+  }
+  if (populated.size() < 2) {
+    for (VcpuCache& c : vcpus_) c.interval_misses = 0;
+    return;
+  }
+  std::vector<int> by_misses = populated;
+  std::stable_sort(by_misses.begin(), by_misses.end(), [this](int a, int b) {
+    return vcpus_[a].interval_misses > vcpus_[b].interval_misses;
+  });
+
+  int num_growers = std::min<int>(grow_candidates_,
+                                  static_cast<int>(by_misses.size()) - 1);
+  std::vector<int> growers;
+  for (int i = 0; i < num_growers; ++i) {
+    if (vcpus_[by_misses[i]].interval_misses == 0) break;  // nobody missing
+    growers.push_back(by_misses[i]);
+  }
+
+  if (!growers.empty()) {
+    // Steal capacity round-robin from the non-grower caches.
+    constexpr size_t kStealStep = 64 * 1024;
+    size_t stolen = 0;
+    size_t want = kStealStep * growers.size();
+    std::vector<int> victims;
+    for (int idx : by_misses) {
+      if (std::find(growers.begin(), growers.end(), idx) == growers.end()) {
+        victims.push_back(idx);
+      }
+    }
+    size_t attempts = victims.size();
+    while (stolen < want && attempts > 0) {
+      int victim = victims[steal_cursor_ % victims.size()];
+      ++steal_cursor_;
+      --attempts;
+      VcpuCache& v = vcpus_[victim];
+      size_t take = std::min(kStealStep, v.capacity_bytes > min_capacity_
+                                             ? v.capacity_bytes - min_capacity_
+                                             : 0);
+      if (take == 0) continue;
+      v.capacity_bytes -= take;
+      stolen += take;
+      EvictToCapacity(v, flush);
+      attempts = victims.size();  // reset: a successful steal keeps going
+      if (stolen >= want) break;
+    }
+    // Distribute stolen capacity equally among the growers.
+    if (stolen > 0) {
+      size_t share = stolen / growers.size();
+      size_t remainder = stolen - share * growers.size();
+      for (size_t i = 0; i < growers.size(); ++i) {
+        vcpus_[growers[i]].capacity_bytes +=
+            share + (i == 0 ? remainder : 0);
+      }
+    }
+  }
+
+  for (VcpuCache& c : vcpus_) {
+    c.interval_misses = 0;
+    c.interval_ops = 0;
+  }
+}
+
+template <typename Flush>
+void CpuCacheSet::ReclaimIdle(Flush&& flush) {
+  for (VcpuCache& cache : vcpus_) {
+    if (!cache.populated || cache.interval_ops > 0 ||
+        cache.used_bytes == 0) {
+      continue;
+    }
+    for (int cls = 0; cls < size_classes_->num_classes(); ++cls) {
+      std::vector<uintptr_t>& list = cache.objects[cls];
+      if (list.empty()) continue;
+      flush(cls, list.data(), static_cast<int>(list.size()));
+      cache.used_bytes -= size_classes_->class_size(cls) * list.size();
+      list.clear();
+    }
+    WSC_CHECK_EQ(cache.used_bytes, 0u);
+  }
+}
+
+template <typename Flush>
+void CpuCacheSet::FlushAll(Flush&& flush) {
+  for (VcpuCache& cache : vcpus_) {
+    if (!cache.populated) continue;
+    for (int cls = 0; cls < size_classes_->num_classes(); ++cls) {
+      std::vector<uintptr_t>& list = cache.objects[cls];
+      if (list.empty()) continue;
+      flush(cls, list.data(), static_cast<int>(list.size()));
+      cache.used_bytes -=
+          size_classes_->class_size(cls) * list.size();
+      list.clear();
+    }
+    WSC_CHECK_EQ(cache.used_bytes, 0u);
+  }
+}
 
 }  // namespace wsc::tcmalloc
 

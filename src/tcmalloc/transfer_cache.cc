@@ -128,21 +128,6 @@ void TransferCache::Plunder() {
   }
 }
 
-void TransferCache::DrainCold(const DrainSink& sink) {
-  for (int cls = 0; cls < size_classes_->num_classes(); ++cls) {
-    ClassCache& c = central_[cls];
-    size_t move = std::min(c.low_water, c.objects.size());
-    if (move > 0) {
-      // The coldest objects are at the bottom of the LIFO stack.
-      sink(cls, c.objects.data(), static_cast<int>(move));
-      c.objects.erase(c.objects.begin(),
-                      c.objects.begin() + static_cast<long>(move));
-      stats_.plundered_objects += move;
-    }
-    c.low_water = c.objects.size();
-  }
-}
-
 size_t TransferCache::TotalCachedBytes() const {
   size_t total = 0;
   for (int cls = 0; cls < size_classes_->num_classes(); ++cls) {

@@ -13,8 +13,8 @@
 #ifndef WSC_TCMALLOC_TRANSFER_CACHE_H_
 #define WSC_TCMALLOC_TRANSFER_CACHE_H_
 
+#include <algorithm>
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "tcmalloc/config.h"
@@ -52,15 +52,14 @@ class TransferCache {
   // prevents stranding). No-op when NUCA shards are disabled.
   void Plunder();
 
-  // Sink receiving objects drained out of the transfer cache.
-  using DrainSink = std::function<void(int cls, const uintptr_t* objs,
-                                       int n)>;
-
   // Returns centralized-cache objects that sat untouched since the
   // previous call to `sink` (the central free list). Without this, cold
   // classes strand objects at the bottom of the LIFO array forever,
-  // pinning their spans.
-  void DrainCold(const DrainSink& sink);
+  // pinning their spans. `sink` is a templated callable `void(int cls,
+  // const uintptr_t* objs, int n)` — this runs every plunder interval for
+  // every process, so the callback must not go through std::function.
+  template <typename Sink>
+  void DrainCold(Sink&& sink);
 
   // Total free bytes cached in this tier.
   size_t TotalCachedBytes() const;
@@ -88,6 +87,22 @@ class TransferCache {
   TransferCacheStats stats_;
   int shard_batches_;
 };
+
+template <typename Sink>
+void TransferCache::DrainCold(Sink&& sink) {
+  for (int cls = 0; cls < size_classes_->num_classes(); ++cls) {
+    ClassCache& c = central_[cls];
+    size_t move = std::min(c.low_water, c.objects.size());
+    if (move > 0) {
+      // The coldest objects are at the bottom of the LIFO stack.
+      sink(cls, c.objects.data(), static_cast<int>(move));
+      c.objects.erase(c.objects.begin(),
+                      c.objects.begin() + static_cast<long>(move));
+      stats_.plundered_objects += move;
+    }
+    c.low_water = c.objects.size();
+  }
+}
 
 }  // namespace wsc::tcmalloc
 

@@ -71,14 +71,15 @@ TEST(PageTrackerDeathTest, MarkAllocatedOverlapIsFatal) {
 
 // --- HugePageFiller ---
 
-class FillerHarness {
+class FillerHarness : public HugePageBacking {
  public:
   explicit FillerHarness(bool lifetime_aware, int threshold = 16)
-      : filler_(lifetime_aware, threshold,
-                [this] { return HugePageId{next_hp_++}; },
-                [this](HugePageId hp, bool intact) {
-                  sunk_.push_back({hp, intact});
-                }) {}
+      : filler_(lifetime_aware, threshold, this) {}
+
+  HugePageId GetHugePage() override { return HugePageId{next_hp_++}; }
+  void PutHugePage(HugePageId hp, bool intact) override {
+    sunk_.push_back({hp, intact});
+  }
 
   HugePageFiller& filler() { return filler_; }
   const std::vector<std::pair<HugePageId, bool>>& sunk() const {

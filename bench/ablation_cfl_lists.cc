@@ -10,8 +10,11 @@
 
 using namespace wsc;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchFlags(argc, argv);
   PrintBanner("Ablation: central-free-list occupancy lists (L)");
+  bench::BenchTimer timer("ablation_cfl_lists");
+  uint64_t sim_requests = 0;
 
   tcmalloc::AllocatorConfig control;  // L = 1 (no prioritization)
   workload::WorkloadSpec spec = bench::PackingStressSpec();
@@ -25,7 +28,12 @@ int main() {
     experiment.cfl_num_lists = lists;
     fleet::AbDelta delta = fleet::RunBenchmarkAb(
         spec, hw::PlatformSpecFor(hw::PlatformGeneration::kGenD), control,
-        experiment, 8100, Seconds(30), 400000);
+        experiment, 8100, bench::BenchDuration(Seconds(30)),
+        bench::BenchMaxRequests(400000));
+    sim_requests += static_cast<uint64_t>(delta.control.requests +
+                                          delta.experiment.requests);
+    bench::ReportTelemetry("ablation_cfl_lists/L" + std::to_string(lists),
+                           delta);
     table.AddRow({std::to_string(lists),
                   FormatSignedPercent(delta.MemoryChangePct()),
                   FormatSignedPercent(delta.ThroughputChangePct())});
@@ -34,5 +42,6 @@ int main() {
   std::printf(
       "\nexpected: gains saturate around L = 8 — more lists only split\n"
       "high-occupancy spans the allocator already treats identically.\n");
+  timer.Report(sim_requests);
   return 0;
 }

@@ -12,8 +12,11 @@
 
 using namespace wsc;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchFlags(argc, argv);
   PrintBanner("Ablation: per-CPU cache capacity x sizing policy");
+  bench::BenchTimer timer("ablation_cpu_capacity");
+  uint64_t sim_requests = 0;
 
   tcmalloc::AllocatorConfig control;  // static 3 MiB (baseline)
   workload::WorkloadSpec spec = workload::BigtableProfile();
@@ -37,6 +40,10 @@ int main() {
     experiment.per_cpu_cache_bytes = s.capacity;
     fleet::AbDelta delta =
         bench::BenchmarkAb(spec, control, experiment, 8400);
+    sim_requests += static_cast<uint64_t>(delta.control.requests +
+                                          delta.experiment.requests);
+    bench::ReportTelemetry(std::string("ablation_cpu_capacity/") + s.label,
+                           delta);
     table.AddRow({s.label, FormatSignedPercent(delta.MemoryChangePct()),
                   FormatSignedPercent(delta.ThroughputChangePct())});
   }
@@ -45,5 +52,6 @@ int main() {
       "\nexpected: halving without dynamic sizing starves hot vCPUs;\n"
       "dynamic sizing at 1.5 MiB keeps throughput while saving memory;\n"
       "shrinking much further starts costing misses.\n");
+  timer.Report(sim_requests);
   return 0;
 }

@@ -10,8 +10,11 @@
 
 using namespace wsc;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchFlags(argc, argv);
   PrintBanner("Ablation: lifetime filler capacity threshold (C)");
+  bench::BenchTimer timer("ablation_filler_threshold");
+  uint64_t sim_requests = 0;
 
   tcmalloc::AllocatorConfig control;  // lifetime awareness off
   workload::WorkloadSpec spec = bench::PackingStressSpec();
@@ -24,6 +27,10 @@ int main() {
     experiment.filler_capacity_threshold = threshold;
     fleet::AbDelta delta =
         bench::BenchmarkAb(spec, control, experiment, 8200);
+    sim_requests += static_cast<uint64_t>(delta.control.requests +
+                                          delta.experiment.requests);
+    bench::ReportTelemetry(
+        "ablation_filler_threshold/C" + std::to_string(threshold), delta);
     double walk_before = delta.control.DtlbWalkFraction();
     double walk_after = delta.experiment.DtlbWalkFraction();
     table.AddRow(
@@ -41,5 +48,6 @@ int main() {
       "\nexpected: very small C leaves the short-lived set nearly empty;\n"
       "very large C pushes pinned small-object spans into it; C = 16 (the\n"
       "paper's choice) separates the high-return-rate spans (Fig. 16).\n");
+  timer.Report(sim_requests);
   return 0;
 }

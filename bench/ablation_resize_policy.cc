@@ -11,8 +11,11 @@
 
 using namespace wsc;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchFlags(argc, argv);
   PrintBanner("Ablation: per-CPU cache resize interval and grow count");
+  bench::BenchTimer timer("ablation_resize_policy");
+  uint64_t sim_requests = 0;
 
   tcmalloc::AllocatorConfig control;  // static caches
   workload::WorkloadSpec spec = workload::SpannerProfile();
@@ -37,6 +40,11 @@ int main() {
     experiment.cpu_cache_grow_candidates = s.candidates;
     fleet::AbDelta delta =
         bench::BenchmarkAb(spec, control, experiment, 8300);
+    sim_requests += static_cast<uint64_t>(delta.control.requests +
+                                          delta.experiment.requests);
+    bench::ReportTelemetry(std::string("ablation_resize_policy/") + s.label +
+                               "-grow" + std::to_string(s.candidates),
+                           delta);
     table.AddRow({s.label, std::to_string(s.candidates),
                   FormatSignedPercent(delta.MemoryChangePct()),
                   FormatSignedPercent(delta.ThroughputChangePct())});
@@ -46,5 +54,6 @@ int main() {
       "\nexpected: the paper's 5 s / top-5 setting balances adaptation\n"
       "speed against resize churn; much slower intervals adapt too late\n"
       "to load spikes.\n");
+  timer.Report(sim_requests);
   return 0;
 }

@@ -29,8 +29,12 @@ workload::WorkloadSpec ManyThreadSpec(int threads) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchFlags(argc, argv);
   PrintBanner("Ablation: per-thread vs per-CPU front-end caches");
+  bench::BenchTimer timer("ablation_thread_vs_cpu_caches");
+  uint64_t sim_requests = 0;
+  telemetry::Snapshot merged_telemetry;
 
   hw::PlatformSpec platform =
       hw::PlatformSpecFor(hw::PlatformGeneration::kGenC);  // 64 CPUs
@@ -46,8 +50,11 @@ int main() {
       // the CPUs the process is scheduled on (dense vCPU ids).
       config.per_thread_front_end = per_thread;
       fleet::Machine machine(platform, {spec}, config, /*seed=*/86);
-      machine.Run(Seconds(12), 80000);
+      machine.Run(bench::BenchDuration(Seconds(12)),
+                  bench::BenchMaxRequests(80000));
       const fleet::ProcessResult& r = machine.results()[0];
+      sim_requests += r.driver.requests;
+      merged_telemetry.MergeFrom(r.telemetry);
       const auto& caches = machine.allocator(0).cpu_caches();
       int populated = 0;
       for (int v = 0; v < caches.num_vcpus(); ++v) {
@@ -66,5 +73,7 @@ int main() {
       "per-thread front end populates far more caches and strands more\n"
       "cached memory, while dense per-CPU ids bound the front-end\n"
       "footprint by the CPUs actually in use.\n");
+  timer.Report(sim_requests);
+  bench::ReportTelemetry(timer.bench(), merged_telemetry);
   return 0;
 }

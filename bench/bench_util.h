@@ -6,6 +6,20 @@
 // pass --threads=N or set WSC_THREADS to control the worker count; results
 // are bit-identical for every value. Fleet sizes are chosen so each bench
 // finishes in about a minute on an 8-core machine.
+//
+// All machine-readable output flows through one schema-versioned
+// serializer: each bench emits `BENCH_JSON {...}` lines (kind
+// "throughput" and "telemetry") that tools/check_bench_json.py validates
+// in CI, and honors --statsz=<path> to dump the merged metric registry
+// (telemetry/statsz.h) of everything it simulated.
+//
+// Shared flags, parsed by ParseBenchFlags:
+//   --threads=N       worker threads (0 = auto: WSC_THREADS, else cores)
+//   --machines=N      override every fleet's machine count (CI smoke: 2)
+//   --duration=S      override per-process simulated run length, seconds
+//   --max-requests=N  override the per-process request bound
+//   --statsz=PATH     write the merged telemetry dump; ".json" suffix
+//                     selects the JSON form, "-" prints text to stdout
 
 #ifndef WSC_BENCH_BENCH_UTIL_H_
 #define WSC_BENCH_BENCH_UTIL_H_
@@ -13,6 +27,7 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -20,21 +35,88 @@
 #include "common/table.h"
 #include "fleet/experiment.h"
 #include "fleet/parallel.h"
+#include "telemetry/statsz.h"
 #include "workload/profiles.h"
 
 namespace wsc::bench {
 
+// Version of the BENCH_JSON line format. v1 was the ad-hoc
+// throughput-only line; v2 adds schema_version/kind and telemetry lines.
+inline constexpr int kBenchJsonSchemaVersion = 2;
+
 // Thread count requested via --threads=N (0 = auto: WSC_THREADS env var,
 // else hardware concurrency).
 inline int g_bench_threads = 0;
+// Fleet-shape overrides (0 = keep the bench's own defaults).
+inline int g_bench_machines = 0;
+inline double g_bench_duration_s = 0;
+inline uint64_t g_bench_max_requests = 0;
+// --statsz destination ("" = disabled).
+inline std::string g_statsz_path;
+// Merged telemetry across every ReportTelemetry call in this process;
+// rewritten to g_statsz_path after each report so the file always holds
+// the bench-wide aggregate.
+inline telemetry::Snapshot g_statsz_accum;
 
-// Parses shared bench flags (currently --threads=N) from main's argv.
+// Parses shared bench flags from main's argv (unknown flags are left for
+// the bench to interpret).
 inline void ParseBenchFlags(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       g_bench_threads = std::atoi(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--machines=", 11) == 0) {
+      g_bench_machines = std::atoi(argv[i] + 11);
+    } else if (std::strncmp(argv[i], "--duration=", 11) == 0) {
+      g_bench_duration_s = std::atof(argv[i] + 11);
+    } else if (std::strncmp(argv[i], "--max-requests=", 15) == 0) {
+      g_bench_max_requests =
+          static_cast<uint64_t>(std::atoll(argv[i] + 15));
+    } else if (std::strncmp(argv[i], "--statsz=", 9) == 0) {
+      g_statsz_path = argv[i] + 9;
     }
   }
+}
+
+// Removes the wsc bench flags from argv (in place, updating argc) so the
+// remainder can be handed to another flag parser (google-benchmark).
+inline void StripBenchFlags(int* argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0 ||
+        std::strncmp(argv[i], "--machines=", 11) == 0 ||
+        std::strncmp(argv[i], "--duration=", 11) == 0 ||
+        std::strncmp(argv[i], "--max-requests=", 15) == 0 ||
+        std::strncmp(argv[i], "--statsz=", 9) == 0) {
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+}
+
+// Simulated duration for a machine run: the bench's default unless
+// --duration overrides it.
+inline SimTime BenchDuration(SimTime default_duration) {
+  if (g_bench_duration_s > 0) return Seconds(g_bench_duration_s);
+  return default_duration;
+}
+
+// Per-process request bound: the bench's default unless --max-requests
+// overrides it.
+inline uint64_t BenchMaxRequests(uint64_t default_max) {
+  return g_bench_max_requests > 0 ? g_bench_max_requests : default_max;
+}
+
+// Applies the shared command-line overrides to a hand-rolled fleet shape.
+// Benches call this after filling in their own defaults, so CI can shrink
+// any fleet to --machines=2 --max-requests=... without per-bench knobs.
+inline void ApplyBenchOverrides(fleet::FleetConfig& config) {
+  if (g_bench_machines > 0) config.num_machines = g_bench_machines;
+  if (g_bench_duration_s > 0) config.duration = Seconds(g_bench_duration_s);
+  if (g_bench_max_requests > 0) {
+    config.max_requests_per_process = g_bench_max_requests;
+  }
+  config.num_threads = g_bench_threads;
 }
 
 // Standard fleet shape used by the fleet-wide benches. Sized for parallel
@@ -48,7 +130,7 @@ inline fleet::FleetConfig DefaultFleet() {
   config.max_colocated = 2;
   config.duration = Seconds(18);
   config.max_requests_per_process = 110000;
-  config.num_threads = g_bench_threads;
+  ApplyBenchOverrides(config);
   return config;
 }
 
@@ -60,6 +142,121 @@ inline fleet::FleetConfig ChipletFleet() {
   return config;
 }
 
+// Builder for one `BENCH_JSON {...}` line. Every bench emission goes
+// through this class, so all lines share the v2 schema:
+//   {"schema_version":2,"bench":...,"kind":...,"threads":...,<fields>}
+class BenchJson {
+ public:
+  BenchJson(const std::string& bench, const char* kind) {
+    out_ = "{\"schema_version\":";
+    out_ += std::to_string(kBenchJsonSchemaVersion);
+    out_ += ",\"bench\":\"";
+    telemetry::AppendJsonEscaped(out_, bench);
+    out_ += "\",\"kind\":\"";
+    telemetry::AppendJsonEscaped(out_, kind);
+    out_ += "\",\"threads\":";
+    out_ += std::to_string(fleet::ResolveThreadCount(g_bench_threads));
+  }
+
+  BenchJson& Field(const char* name, double v) {
+    AppendKey(name);
+    out_ += telemetry::FormatJsonNumber(v);
+    return *this;
+  }
+  BenchJson& Field(const char* name, uint64_t v) {
+    AppendKey(name);
+    out_ += std::to_string(v);
+    return *this;
+  }
+  BenchJson& Field(const char* name, const std::string& v) {
+    AppendKey(name);
+    out_ += "\"";
+    telemetry::AppendJsonEscaped(out_, v);
+    out_ += "\"";
+    return *this;
+  }
+
+  // Flat {"component/name": scalar, ...} object over a snapshot's
+  // samples (histograms contribute their observation count).
+  BenchJson& Metrics(const telemetry::Snapshot& snapshot) {
+    AppendKey("metrics");
+    out_ += "{";
+    bool first = true;
+    for (const telemetry::MetricSample& s : snapshot.samples) {
+      if (!first) out_ += ",";
+      first = false;
+      out_ += "\"";
+      telemetry::AppendJsonEscaped(out_, s.Key());
+      out_ += "\":";
+      out_ += telemetry::FormatJsonNumber(s.ScalarValue());
+    }
+    out_ += "}";
+    return *this;
+  }
+
+  void Emit() const { std::printf("BENCH_JSON %s}\n", out_.c_str()); }
+
+ private:
+  void AppendKey(const char* name) {
+    out_ += ",\"";
+    out_ += name;
+    out_ += "\":";
+  }
+
+  std::string out_;
+};
+
+// Emits one kind="telemetry" line for `snapshot` and folds it into the
+// --statsz aggregate (rewriting the statsz file, so the final write holds
+// everything the bench reported). `arm` labels A/B sides.
+inline void ReportTelemetry(const std::string& bench,
+                            const telemetry::Snapshot& snapshot,
+                            const char* arm = nullptr) {
+  BenchJson line(bench, "telemetry");
+  if (arm != nullptr) line.Field("arm", std::string(arm));
+  line.Field("schema_telemetry", static_cast<uint64_t>(
+                                     snapshot.schema_version));
+  line.Metrics(snapshot);
+  line.Emit();
+  g_statsz_accum.MergeFrom(snapshot);
+  if (!g_statsz_path.empty()) {
+    telemetry::WriteStatszFile(g_statsz_path, g_statsz_accum);
+  }
+}
+
+// Telemetry of a set of fleet observations (merged in machine-index
+// order).
+inline void ReportTelemetry(
+    const std::string& bench,
+    const std::vector<fleet::FleetObservation>& observations,
+    const char* arm = nullptr) {
+  ReportTelemetry(bench, fleet::MergedTelemetry(observations), arm);
+}
+
+// Telemetry of one machine run (merged across its co-located processes).
+inline void ReportTelemetry(const std::string& bench,
+                            const std::vector<fleet::ProcessResult>& results,
+                            const char* arm = nullptr) {
+  telemetry::Snapshot merged;
+  for (const fleet::ProcessResult& r : results) {
+    merged.MergeFrom(r.telemetry);
+  }
+  ReportTelemetry(bench, merged, arm);
+}
+
+// Telemetry of both arms of an A/B delta (two lines).
+inline void ReportTelemetry(const std::string& bench,
+                            const fleet::AbDelta& delta) {
+  ReportTelemetry(bench, delta.control_telemetry, "control");
+  ReportTelemetry(bench, delta.experiment_telemetry, "experiment");
+}
+
+// Telemetry of a fleet A/B result's fleet-wide slice.
+inline void ReportTelemetry(const std::string& bench,
+                            const fleet::AbResult& result) {
+  ReportTelemetry(bench, result.fleet);
+}
+
 // Wall-clock throughput reporting: each bench prints one machine-readable
 // BENCH_JSON line so the perf trajectory across PRs can be tracked by
 // grepping bench output.
@@ -69,20 +266,20 @@ class BenchTimer {
       : bench_(std::move(bench)),
         start_(std::chrono::steady_clock::now()) {}
 
+  const std::string& bench() const { return bench_; }
+
   // Reports simulated requests completed per real second. Call once, after
   // the simulation work is done.
   void Report(uint64_t sim_requests) const {
     double wall = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - start_)
                       .count();
-    int threads = fleet::ResolveThreadCount(g_bench_threads);
-    std::printf(
-        "BENCH_JSON {\"bench\":\"%s\",\"threads\":%d,"
-        "\"sim_requests\":%llu,\"wall_seconds\":%.3f,"
-        "\"sim_requests_per_sec\":%.0f}\n",
-        bench_.c_str(), threads,
-        static_cast<unsigned long long>(sim_requests), wall,
-        wall > 0 ? static_cast<double>(sim_requests) / wall : 0.0);
+    BenchJson(bench_, "throughput")
+        .Field("sim_requests", sim_requests)
+        .Field("wall_seconds", wall)
+        .Field("sim_requests_per_sec",
+               wall > 0 ? static_cast<double>(sim_requests) / wall : 0.0)
+        .Emit();
   }
 
  private:
@@ -113,7 +310,8 @@ inline fleet::AbDelta BenchmarkAb(const workload::WorkloadSpec& spec,
                                   uint64_t seed) {
   return fleet::RunBenchmarkAb(
       spec, hw::PlatformSpecFor(hw::PlatformGeneration::kGenD), control,
-      experiment, seed, Seconds(18), 150000);
+      experiment, seed, BenchDuration(Seconds(18)),
+      BenchMaxRequests(150000));
 }
 
 // A packing-stress workload: load waves plus mixed lifetimes *within* size

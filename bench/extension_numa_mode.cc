@@ -14,8 +14,12 @@
 
 using namespace wsc;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchFlags(argc, argv);
   PrintBanner("Extension: NUMA-aware allocator mode (Section 5)");
+  bench::BenchTimer timer("extension_numa_mode");
+  uint64_t sim_requests = 0;
+  telemetry::Snapshot merged_telemetry;
 
   hw::CpuTopology topo(hw::PlatformSpecFor(hw::PlatformGeneration::kGenD));
   std::printf("platform: %s (%d sockets)\n\n", topo.spec().name.c_str(),
@@ -42,7 +46,9 @@ int main() {
     Rng rng(55);
     std::vector<std::pair<uintptr_t, int>> live;
     uint64_t local = 0, total = 0;
-    for (int i = 0; i < 400000; ++i) {
+    const int iters =
+        static_cast<int>(bench::BenchMaxRequests(400000));
+    for (int i = 0; i < iters; ++i) {
       int vcpu = static_cast<int>(rng.UniformInt(8));
       if (!live.empty() && rng.Bernoulli(0.5)) {
         size_t k = rng.UniformInt(live.size());
@@ -76,6 +82,8 @@ int main() {
          FormatBytes(static_cast<double>(node0.TotalInUse())),
          FormatBytes(static_cast<double>(node1.TotalInUse()))});
     for (auto& [p, s] : live) alloc.Free(p, 0, 0);
+    sim_requests += total;
+    merged_telemetry.MergeFrom(alloc.TelemetrySnapshot());
   }
   table.Print();
 
@@ -87,5 +95,7 @@ int main() {
       "accident (~the share of vCPUs on node 0); NUMA mode duplicates the\n"
       "middle tier and page allocator per node and is always local, at the\n"
       "cost of splitting cache capacity and the heap across nodes.\n");
+  timer.Report(sim_requests);
+  bench::ReportTelemetry(timer.bench(), merged_telemetry);
   return 0;
 }

@@ -29,11 +29,12 @@ int main(int argc, char** argv) {
   config.max_colocated = 4;
   config.duration = Seconds(2);
   config.max_requests_per_process = 5000;
-  config.num_threads = bench::g_bench_threads;
+  bench::ApplyBenchOverrides(config);
 
   fleet::Fleet f(config, tcmalloc::AllocatorConfig(), /*seed=*/20240427);
   f.Run();
   timer.Report(bench::TotalRequests(f.observations()));
+  bench::ReportTelemetry(timer.bench(), f.observations());
 
   // Aggregate malloc cycles and allocated bytes per binary.
   std::map<int, double> cycles_by_binary;

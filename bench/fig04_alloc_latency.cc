@@ -13,6 +13,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
 #include "tcmalloc/allocator.h"
 
 namespace {
@@ -121,4 +122,36 @@ BENCHMARK(BM_MmapGrowth)->Iterations(2000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // google-benchmark rejects unknown flags, so the shared wsc flags are
+  // parsed first and stripped from argv before Initialize sees them.
+  wsc::bench::ParseBenchFlags(argc, argv);
+  wsc::bench::StripBenchFlags(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  // Host-measured latencies aside, emit the standard machine-readable
+  // lines from a small allocator exercise that touches every tier.
+  wsc::bench::BenchTimer timer("fig04_alloc_latency");
+  Allocator alloc(BenchConfig());
+  const uint64_t iters = wsc::bench::BenchMaxRequests(20000);
+  std::vector<uintptr_t> live;
+  for (uint64_t i = 0; i < iters; ++i) {
+    size_t size = 16 << (i % 8);
+    if (i % 100 == 99) size = 2 << 20;  // page-heap path
+    live.push_back(alloc.Allocate(size, static_cast<int>(i % 2),
+                                  static_cast<wsc::SimTime>(i)));
+    if (live.size() > 512) {
+      alloc.Free(live.front(), static_cast<int>(i % 2),
+                 static_cast<wsc::SimTime>(i));
+      live.erase(live.begin());
+    }
+    if (i % 5000 == 0) alloc.Maintain(static_cast<wsc::SimTime>(i));
+  }
+  for (uintptr_t p : live) alloc.Free(p, 0, 0);
+  timer.Report(iters);
+  wsc::bench::ReportTelemetry(timer.bench(), alloc.TelemetrySnapshot());
+  return 0;
+}

@@ -22,11 +22,14 @@ struct Row {
   double int_frag_pct;
 };
 
-Row RunWorkload(const workload::WorkloadSpec& spec, uint64_t seed) {
+Row RunWorkload(const workload::WorkloadSpec& spec, uint64_t seed,
+                telemetry::Snapshot& telemetry) {
   fleet::Machine machine(hw::PlatformSpecFor(hw::PlatformGeneration::kGenD),
                          {spec}, tcmalloc::AllocatorConfig(), seed);
-  machine.Run(Seconds(16), 90000);
+  machine.Run(bench::BenchDuration(Seconds(16)),
+              bench::BenchMaxRequests(90000));
   const fleet::ProcessResult& r = machine.results()[0];
+  telemetry.MergeFrom(r.telemetry);
   Row row;
   row.name = spec.name;
   row.malloc_pct = 100.0 * r.driver.MallocCycleFraction();
@@ -53,6 +56,7 @@ int main(int argc, char** argv) {
   PrintBanner("Fig. 5: malloc cycle share and fragmentation ratio");
   bench::BenchTimer timer("fig05_cycles_and_frag");
   uint64_t sim_requests = 0;
+  telemetry::Snapshot merged_telemetry;
 
   std::vector<Row> rows;
   // Fleet-wide numbers from a mixed fleet.
@@ -61,6 +65,7 @@ int main(int argc, char** argv) {
                        5);
     fleet.Run();
     sim_requests += bench::TotalRequests(fleet.observations());
+    merged_telemetry.MergeFrom(fleet::MergedTelemetry(fleet.observations()));
     fleet::MetricSet set;
     double int_frag = 0, all_frag = 0;
     for (const auto& obs : fleet.observations()) {
@@ -79,9 +84,10 @@ int main(int argc, char** argv) {
   }
   uint64_t seed = 100;
   for (const auto& spec : workload::TopFiveProfiles()) {
-    rows.push_back(RunWorkload(spec, seed++));
+    rows.push_back(RunWorkload(spec, seed++, merged_telemetry));
   }
-  rows.push_back(RunWorkload(workload::SpecLikeProfile(), seed++));
+  rows.push_back(
+      RunWorkload(workload::SpecLikeProfile(), seed++, merged_telemetry));
 
   TablePrinter table({"workload", "malloc cycles %", "external frag %",
                       "internal frag %", "total frag %"});
@@ -107,5 +113,6 @@ int main(int argc, char** argv) {
   bench::PaperVsMeasured("SPEC-like malloc cycles", "~0%",
                          FormatDouble(rows.back().malloc_pct, 2) + "%");
   timer.Report(sim_requests);
+  bench::ReportTelemetry(timer.bench(), merged_telemetry);
   return 0;
 }

@@ -45,6 +45,8 @@ int main(int argc, char** argv) {
   fleet::Fleet fleet(bench::DefaultFleet(), tcmalloc::AllocatorConfig(), 6);
   fleet.Run();
   uint64_t sim_requests = bench::TotalRequests(fleet.observations());
+  telemetry::Snapshot merged_telemetry =
+      fleet::MergedTelemetry(fleet.observations());
   tcmalloc::MallocCycleBreakdown cycles;
   tcmalloc::HeapStats fleet_heap;
   for (const auto& obs : fleet.observations()) {
@@ -87,8 +89,10 @@ int main(int argc, char** argv) {
     fleet::Machine machine(
         hw::PlatformSpecFor(hw::PlatformGeneration::kGenD), {spec},
         tcmalloc::AllocatorConfig(), seed++);
-    machine.Run(Seconds(16), 80000);
+    machine.Run(bench::BenchDuration(Seconds(16)),
+                bench::BenchMaxRequests(80000));
     rows.push_back(FragBreakdown(spec.name, machine.results()[0].heap));
+    merged_telemetry.MergeFrom(machine.results()[0].telemetry);
   }
   TablePrinter frag_table({"workload", "CPUCache %", "TransferCache %",
                            "CentralFreeList %", "PageHeap %", "Internal %"});
@@ -109,5 +113,6 @@ int main(int argc, char** argv) {
       "\nshape check: the page heap and central free list dominate\n"
       "fragmentation; the front-end caches are minor contributors.\n");
   timer.Report(sim_requests);
+  bench::ReportTelemetry(timer.bench(), merged_telemetry);
   return 0;
 }

@@ -12,8 +12,12 @@
 
 using namespace wsc;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchFlags(argc, argv);
   PrintBanner("Fig. 7: CDF of allocated objects (count and bytes)");
+  bench::BenchTimer timer("fig07_object_cdf");
+  uint64_t sim_requests = 0;
+  telemetry::Snapshot merged_telemetry;
 
   // Aggregate allocation-size histograms across the production profiles,
   // weighted by their allocation volume (one machine run each).
@@ -26,9 +30,12 @@ int main() {
     fleet::Machine machine(
         hw::PlatformSpecFor(hw::PlatformGeneration::kGenD), {spec},
         tcmalloc::AllocatorConfig(), seed++);
-    machine.Run(Seconds(10), 50000);
+    machine.Run(bench::BenchDuration(Seconds(10)),
+                bench::BenchMaxRequests(50000));
     count_hist.Merge(machine.allocator(0).alloc_count_hist());
     bytes_hist.Merge(machine.allocator(0).alloc_bytes_hist());
+    sim_requests += machine.results()[0].driver.requests;
+    merged_telemetry.MergeFrom(machine.results()[0].telemetry);
   }
 
   std::printf("object-size CDF (upper bound -> cumulative %%):\n");
@@ -57,5 +64,7 @@ int main() {
       "\nshape check: small objects dominate counts while large objects\n"
       "dominate bytes — the reason TCMalloc biases cache capacity towards\n"
       "small size classes.\n");
+  timer.Report(sim_requests);
+  bench::ReportTelemetry(timer.bench(), merged_telemetry);
   return 0;
 }

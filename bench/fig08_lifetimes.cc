@@ -20,6 +20,9 @@ using namespace wsc;
 
 namespace {
 
+uint64_t g_sim_requests = 0;
+telemetry::Snapshot g_telemetry;
+
 tcmalloc::LifetimeProfile CollectProfile(
     const std::vector<workload::WorkloadSpec>& specs, uint64_t seed) {
   tcmalloc::LifetimeProfile profile;
@@ -27,9 +30,12 @@ tcmalloc::LifetimeProfile CollectProfile(
     fleet::Machine machine(
         hw::PlatformSpecFor(hw::PlatformGeneration::kGenD), {spec},
         tcmalloc::AllocatorConfig(), seed++);
-    machine.Run(Seconds(12), 60000);
+    machine.Run(wsc::bench::BenchDuration(Seconds(12)),
+                wsc::bench::BenchMaxRequests(60000));
     machine.driver(0).Drain();  // finalize censored lifetimes
     profile.Merge(machine.allocator(0).sampler().profile());
+    g_sim_requests += machine.results()[0].driver.requests;
+    g_telemetry.MergeFrom(machine.results()[0].telemetry);
   }
   return profile;
 }
@@ -74,8 +80,10 @@ double SmallShortFraction(const tcmalloc::LifetimeProfile& profile,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchFlags(argc, argv);
   PrintBanner("Fig. 8: object lifetime x size distribution");
+  bench::BenchTimer timer("fig08_lifetimes");
 
   std::vector<workload::WorkloadSpec> fleet_specs =
       workload::TopFiveProfiles();
@@ -107,5 +115,7 @@ int main() {
       "each size bucket; the SPEC-like workload is bimodal (instant or\n"
       "program lifetime), echoing the paper's argument that SPEC is\n"
       "unsuitable for allocator evaluation.\n");
+  timer.Report(g_sim_requests);
+  bench::ReportTelemetry(timer.bench(), g_telemetry);
   return 0;
 }

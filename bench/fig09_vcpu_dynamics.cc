@@ -13,8 +13,10 @@
 
 using namespace wsc;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchFlags(argc, argv);
   PrintBanner("Fig. 9a: dynamic thread count of a middle-tier service");
+  bench::BenchTimer timer("fig09_vcpu_dynamics");
 
   workload::WorkloadSpec spec = workload::SpannerProfile();
   tcmalloc::AllocatorConfig config;
@@ -27,8 +29,10 @@ int main() {
 
   std::vector<std::pair<double, double>> thread_series;
   SimTime next_sample = 0;
-  while (driver.now() < Seconds(40) &&
-         driver.metrics().requests < 400000) {
+  const SimTime duration = bench::BenchDuration(Seconds(40));
+  const uint64_t max_requests = bench::BenchMaxRequests(400000);
+  while (driver.now() < duration &&
+         driver.metrics().requests < max_requests) {
     driver.Step();
     if (driver.now() >= next_sample) {
       thread_series.push_back(
@@ -81,5 +85,7 @@ int main() {
   std::printf(
       "\nshape check: low-indexed vCPU caches absorb most misses; the\n"
       "statically sized high-indexed caches are used inefficiently.\n");
+  timer.Report(driver.metrics().requests);
+  bench::ReportTelemetry(timer.bench(), alloc.TelemetrySnapshot());
   return 0;
 }

@@ -56,5 +56,6 @@ int main(int argc, char** argv) {
       "\nshape check: dynamic sizing lets the halved caches serve the same\n"
       "load, reducing cached-but-unused memory across every tier.\n");
   timer.Report(bench::TotalRequests(ab));
+  bench::ReportTelemetry(timer.bench(), ab);
   return 0;
 }

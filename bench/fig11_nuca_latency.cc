@@ -11,8 +11,10 @@
 
 using namespace wsc;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchFlags(argc, argv);
   PrintBanner("Fig. 11: core-to-core transfer latency (chiplet platform)");
+  bench::BenchTimer timer("fig11_nuca_latency");
 
   TablePrinter table({"platform", "intra-domain ns", "inter-domain ns",
                       "inter-socket ns", "inter/intra ratio"});
@@ -36,5 +38,7 @@ int main() {
   std::printf(
       "\nshape check: sharing across LLC domains costs ~2x a local\n"
       "transfer; allocators should keep freed objects domain-local.\n");
+  // Latency-model-only bench: no simulated request traffic.
+  timer.Report(0);
   return 0;
 }

@@ -12,6 +12,7 @@
 // every span's live count. A span "returns" if it leaves the central free
 // list before the next snapshot.
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <map>
@@ -24,8 +25,10 @@
 
 using namespace wsc;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchFlags(argc, argv);
   PrintBanner("Fig. 13: span return rate vs live allocations");
+  bench::BenchTimer timer("fig13_span_return_rate");
 
   tcmalloc::AllocatorConfig config;
   config.num_vcpus = 4;
@@ -46,7 +49,11 @@ int main() {
   std::map<int, std::pair<uint64_t, uint64_t>> by_bucket;
   std::vector<tcmalloc::CentralFreeList::SpanSnapshot> last_snapshot;
 
-  constexpr int kEpochs = 250;
+  const int kEpochs =
+      bench::g_bench_max_requests > 0
+          ? static_cast<int>(
+                std::min<uint64_t>(bench::g_bench_max_requests, 250))
+          : 250;
   SimTime now = 0;
   for (int epoch = 0; epoch < kEpochs; ++epoch) {
     // Demand follows a slow load wave (the fleet's diurnal dynamics):
@@ -128,5 +135,7 @@ int main() {
   std::printf(
       "\nshape check: the more live allocations a span carries, the less\n"
       "likely it is released — allocating from fuller spans is safer.\n");
+  timer.Report(static_cast<uint64_t>(kEpochs));
+  bench::ReportTelemetry(timer.bench(), alloc.TelemetrySnapshot());
   return 0;
 }

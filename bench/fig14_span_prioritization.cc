@@ -51,7 +51,8 @@ int main(int argc, char** argv) {
   fleet::AbDelta stress = fleet::RunBenchmarkAb(
       bench::PackingStressSpec(),
       hw::PlatformSpecFor(hw::PlatformGeneration::kGenD), control,
-      experiment, 1450, Seconds(30), 400000);
+      experiment, 1450, bench::BenchDuration(Seconds(30)),
+      bench::BenchMaxRequests(400000));
   add(stress, "(stress)");
   table.Print();
 
@@ -64,5 +65,6 @@ int main(int argc, char** argv) {
       "\nshape check: packing allocations onto the fullest spans lets\n"
       "nearly-empty spans drain and return to the page heap.\n");
   timer.Report(bench::TotalRequests(ab));
+  bench::ReportTelemetry(timer.bench(), ab);
   return 0;
 }

@@ -11,8 +11,12 @@
 
 using namespace wsc;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchFlags(argc, argv);
   PrintBanner("Fig. 15: page-heap component breakdown");
+  bench::BenchTimer timer("fig15_pageheap_breakdown");
+  uint64_t sim_requests = 0;
+  telemetry::Snapshot merged_telemetry;
 
   // Run the top-5 production workloads and aggregate their page heaps
   // (page-heap component stats need the live allocator, so this bench
@@ -23,7 +27,10 @@ int main() {
     fleet::Machine machine(
         hw::PlatformSpecFor(hw::PlatformGeneration::kGenD), {spec},
         tcmalloc::AllocatorConfig(), seed++);
-    machine.Run(Seconds(16), 80000);
+    machine.Run(bench::BenchDuration(Seconds(16)),
+                bench::BenchMaxRequests(80000));
+    sim_requests += machine.results()[0].driver.requests;
+    merged_telemetry.MergeFrom(machine.results()[0].telemetry);
     tcmalloc::PageHeapStats s = machine.allocator(0).page_heap_stats();
     total.filler_used += s.filler_used;
     total.filler_free += s.filler_free;
@@ -54,5 +61,7 @@ int main() {
   std::printf(
       "\nshape check: the filler dominates both in-use memory and\n"
       "fragmentation — the right component to make lifetime-aware.\n");
+  timer.Report(sim_requests);
+  bench::ReportTelemetry(timer.bench(), merged_telemetry);
   return 0;
 }

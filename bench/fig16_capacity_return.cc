@@ -15,8 +15,12 @@
 
 using namespace wsc;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchFlags(argc, argv);
   PrintBanner("Fig. 16: span capacity vs span return rate");
+  bench::BenchTimer timer("fig16_capacity_return");
+  uint64_t sim_requests = 0;
+  telemetry::Snapshot merged_telemetry;
 
   const tcmalloc::SizeClasses& sc = tcmalloc::SizeClasses::Default();
   std::vector<double> fetched(sc.num_classes(), 0);
@@ -30,7 +34,10 @@ int main() {
     fleet::Machine machine(
         hw::PlatformSpecFor(hw::PlatformGeneration::kGenD), {spec},
         tcmalloc::AllocatorConfig(), seed++);
-    machine.Run(Seconds(12), 70000);
+    machine.Run(bench::BenchDuration(Seconds(12)),
+                bench::BenchMaxRequests(70000));
+    sim_requests += machine.results()[0].driver.requests;
+    merged_telemetry.MergeFrom(machine.results()[0].telemetry);
     tcmalloc::Allocator& alloc = machine.allocator(0);
     for (int cls = 0; cls < sc.num_classes(); ++cls) {
       fetched[cls] += static_cast<double>(
@@ -80,5 +87,7 @@ int main() {
   std::printf(
       "\nshape check: span capacity predicts span lifetime with zero\n"
       "runtime overhead — the key enabler of the lifetime-aware filler.\n");
+  timer.Report(sim_requests);
+  bench::ReportTelemetry(timer.bench(), merged_telemetry);
   return 0;
 }

@@ -48,5 +48,6 @@ int main(int argc, char** argv) {
       "\nshape check: the combined redesign raises throughput and lowers\n"
       "memory simultaneously — more productivity from fewer resources.\n");
   timer.Report(bench::TotalRequests(ab));
+  bench::ReportTelemetry(timer.bench(), ab);
   return 0;
 }

@@ -65,5 +65,6 @@ int main(int argc, char** argv) {
       "\nshape check: domain-local transfer caches cut LLC misses and lift\n"
       "throughput for a small memory cost from the extra caching layer.\n");
   timer.Report(bench::TotalRequests(ab));
+  bench::ReportTelemetry(timer.bench(), ab);
   return 0;
 }

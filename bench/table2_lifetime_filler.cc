@@ -69,5 +69,6 @@ int main(int argc, char** argv) {
       "dedicated hugepages keeps more of the heap hugepage-backed and\n"
       "reduces page-walk stalls.\n");
   timer.Report(bench::TotalRequests(ab));
+  bench::ReportTelemetry(timer.bench(), ab);
   return 0;
 }

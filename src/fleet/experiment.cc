@@ -72,6 +72,8 @@ AbResult RunFleetAb(const FleetConfig& config,
 
   AbResult result;
   result.fleet.label = "fleet";
+  result.fleet.control_telemetry = MergedTelemetry(c_obs);
+  result.fleet.experiment_telemetry = MergedTelemetry(e_obs);
   std::vector<std::string> apps = {"spanner", "monarch", "bigtable",
                                    "f1-query", "disk"};
   for (const std::string& app : apps) {
@@ -109,6 +111,8 @@ AbDelta RunBenchmarkAb(const workload::WorkloadSpec& spec,
     WSC_CHECK_EQ(machine.results().size(), 1u);
     Accumulate(side == 0 ? delta.control : delta.experiment,
                machine.results()[0]);
+    (side == 0 ? delta.control_telemetry : delta.experiment_telemetry) =
+        machine.results()[0].telemetry;
   }
   return delta;
 }

@@ -61,6 +61,12 @@ struct AbDelta {
   MetricSet control;
   MetricSet experiment;
 
+  // Merged telemetry of each arm. Filled for fleet-wide deltas
+  // (RunFleetAb's `fleet` slice) and dedicated-server runs
+  // (RunBenchmarkAb); empty for per-app slices.
+  telemetry::Snapshot control_telemetry;
+  telemetry::Snapshot experiment_telemetry;
+
   double ThroughputChangePct() const;
   double MemoryChangePct() const;
   double CpiChangePct() const;

@@ -113,4 +113,13 @@ void Fleet::Run(int num_threads) {
   }
 }
 
+telemetry::Snapshot MergedTelemetry(
+    const std::vector<FleetObservation>& observations) {
+  telemetry::Snapshot merged;
+  for (const FleetObservation& obs : observations) {
+    merged.MergeFrom(obs.result.telemetry);
+  }
+  return merged;
+}
+
 }  // namespace wsc::fleet

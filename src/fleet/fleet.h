@@ -53,6 +53,12 @@ struct FleetObservation {
   ProcessResult result;
 };
 
+// GWP-style fleet aggregate: merges every observation's telemetry
+// snapshot in observation order (machine-index order, the order Run()
+// produces), so the result is bit-identical for any worker-thread count.
+telemetry::Snapshot MergedTelemetry(
+    const std::vector<FleetObservation>& observations);
+
 // A runnable fleet. Machine composition (platforms, binary placement,
 // seeds) is a pure function of (config, seed) and never depends on the
 // allocator configuration — this is what makes paired A/B runs

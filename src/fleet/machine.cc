@@ -82,6 +82,7 @@ void Machine::SampleFootprint(Process& p) {
       static_cast<double>(heap.HeapBytes()) * static_cast<double>(dt);
   p.live_byte_seconds +=
       static_cast<double>(heap.live_bytes) * static_cast<double>(dt);
+  p.allocator->RecordHeapSample(heap);
   p.last_sample = now;
 }
 
@@ -141,6 +142,7 @@ void Machine::Run(SimTime duration, uint64_t max_requests) {
     r.llc = p->llc->stats();
     r.malloc_cycles = p->allocator->cycle_breakdown();
     r.tier_hits = p->allocator->alloc_tier_hits();
+    r.telemetry = p->allocator->TelemetrySnapshot();
     r.ghz = topology_.spec().ghz;
     results_.push_back(r);
   }

@@ -20,6 +20,7 @@
 #include "hw/tlb.h"
 #include "hw/topology.h"
 #include "tcmalloc/allocator.h"
+#include "telemetry/registry.h"
 #include "workload/driver.h"
 #include "workload/profiles.h"
 
@@ -37,6 +38,10 @@ struct ProcessResult {
   hw::LlcStats llc;
   tcmalloc::MallocCycleBreakdown malloc_cycles;
   tcmalloc::TierHitCounts tier_hits;
+  // Full metric snapshot of the process's allocator, taken when the
+  // process drains (its last sim-interval boundary). Snapshots merge
+  // across processes/machines in index order (see fleet::MergedTelemetry).
+  telemetry::Snapshot telemetry;
   double ghz = 2.4;
 
   double LlcMpki() const {

@@ -49,6 +49,17 @@ Allocator::Allocator(const AllocatorConfig& config,
   cumulative_requested_per_class_.assign(n, 0.0);
   cumulative_allocs_per_class_.assign(n, 0);
   batch_.resize(64);
+
+  alloc_ops_ = registry_.RegisterCounter("allocator", "allocations");
+  free_ops_ = registry_.RegisterCounter("allocator", "frees");
+  // Footprint samples at sim-interval boundaries, bucketed 1 MiB .. 16 GiB
+  // in powers of four (process heaps in the fleet span that range).
+  std::vector<double> bounds;
+  for (double b = 1 << 20; b <= 16.0 * (1u << 30); b *= 4) {
+    bounds.push_back(b);
+  }
+  heap_sample_hist_ =
+      registry_.RegisterHistogram("allocator", "heap_sample_bytes", bounds);
 }
 
 Allocator::~Allocator() {
@@ -90,7 +101,7 @@ double Allocator::MmapNsTotal() const {
 
 uintptr_t Allocator::Allocate(size_t size, int vcpu, SimTime now) {
   WSC_CHECK_GT(size, 0u);
-  ++num_allocations_;
+  alloc_ops_->Add();
   last_op_ns_ = config_.costs.other_ns;
   cycles_.other_ns += config_.costs.other_ns;
   alloc_count_hist_.Add(static_cast<double>(size), 1.0);
@@ -207,7 +218,7 @@ uintptr_t Allocator::SlowPathAllocate(int cls, int vcpu, int node) {
 }
 
 void Allocator::Free(uintptr_t addr, int vcpu, SimTime now) {
-  ++num_frees_;
+  free_ops_->Add();
   last_op_ns_ = config_.costs.other_ns;
   cycles_.other_ns += config_.costs.other_ns;
   sampler_.RecordFree(addr, now);
@@ -390,6 +401,66 @@ double Allocator::HugepageCoverage() const {
                    static_cast<double>(s.TotalInUse());
   }
   return in_use > 0 ? intact_used / in_use : 1.0;
+}
+
+void Allocator::RecordHeapSample(const HeapStats& heap) {
+  heap_sample_hist_->Record(static_cast<double>(heap.HeapBytes()));
+}
+
+telemetry::Snapshot Allocator::TelemetrySnapshot() {
+  telemetry::MetricRegistry& reg = registry_;
+  reg.BeginExport();
+
+  // Allocator-level aggregates: heap accounting, the Fig. 6a cycle
+  // breakdown, and the Fig. 4 tier hit counts.
+  const HeapStats heap = CollectStats();
+  reg.ExportGauge("allocator", "live_bytes",
+                  static_cast<double>(heap.live_bytes));
+  reg.ExportGauge("allocator", "requested_bytes",
+                  static_cast<double>(heap.requested_bytes));
+  reg.ExportGauge("allocator", "heap_bytes",
+                  static_cast<double>(heap.HeapBytes()));
+  reg.ExportGauge("allocator", "external_fragmentation_bytes",
+                  static_cast<double>(heap.ExternalFragmentation()));
+  reg.ExportGauge("allocator", "internal_fragmentation_bytes",
+                  static_cast<double>(heap.InternalFragmentation()));
+  reg.ExportGauge("allocator", "released_bytes",
+                  static_cast<double>(heap.released_bytes));
+  reg.ExportGauge("allocator", "hugepage_coverage", HugepageCoverage());
+
+  reg.ExportGauge("allocator", "cycles_cpu_cache_ns", cycles_.cpu_cache_ns);
+  reg.ExportGauge("allocator", "cycles_transfer_cache_ns",
+                  cycles_.transfer_cache_ns);
+  reg.ExportGauge("allocator", "cycles_central_free_list_ns",
+                  cycles_.central_free_list_ns);
+  reg.ExportGauge("allocator", "cycles_page_heap_ns", cycles_.page_heap_ns);
+  reg.ExportGauge("allocator", "cycles_mmap_ns", cycles_.mmap_ns);
+  reg.ExportGauge("allocator", "cycles_sampled_ns", cycles_.sampled_ns);
+  reg.ExportGauge("allocator", "cycles_prefetch_ns", cycles_.prefetch_ns);
+  reg.ExportGauge("allocator", "cycles_other_ns", cycles_.other_ns);
+
+  reg.ExportCounter("allocator", "alloc_hits_cpu_cache",
+                    alloc_hits_.cpu_cache);
+  reg.ExportCounter("allocator", "alloc_hits_transfer_cache",
+                    alloc_hits_.transfer_cache);
+  reg.ExportCounter("allocator", "alloc_hits_central_free_list",
+                    alloc_hits_.central_free_list);
+  reg.ExportCounter("allocator", "alloc_hits_page_heap",
+                    alloc_hits_.page_heap);
+  reg.ExportCounter("allocator", "alloc_hits_mmap", alloc_hits_.mmap);
+
+  // Every tier of every NUMA node contributes into the shared component
+  // namespaces; multi-instance tiers accumulate.
+  cpu_caches_.ContributeTelemetry(reg);
+  for (const auto& node : nodes_) {
+    node->transfer_cache.ContributeTelemetry(reg);
+    for (const auto& cfl : node->cfls) {
+      cfl->ContributeTelemetry(reg);
+    }
+    node->page_heap.ContributeTelemetry(reg);
+    node->system.ContributeTelemetry(reg);
+  }
+  return reg.TakeSnapshot();
 }
 
 bool Allocator::IsLiveObject(uintptr_t addr) const {

@@ -41,6 +41,7 @@
 #include "tcmalloc/size_classes.h"
 #include "tcmalloc/system_alloc.h"
 #include "tcmalloc/transfer_cache.h"
+#include "telemetry/registry.h"
 
 namespace wsc::tcmalloc {
 
@@ -142,8 +143,19 @@ class Allocator {
   HeapStats CollectStats() const;
   const MallocCycleBreakdown& cycle_breakdown() const { return cycles_; }
   const TierHitCounts& alloc_tier_hits() const { return alloc_hits_; }
-  uint64_t num_allocations() const { return num_allocations_; }
-  uint64_t num_frees() const { return num_frees_; }
+  uint64_t num_allocations() const { return alloc_ops_->value(); }
+  uint64_t num_frees() const { return free_ops_->value(); }
+
+  // GWP-style telemetry: every tier publishes named metrics into this
+  // process's registry; the returned snapshot carries all of them plus the
+  // allocator-level aggregates. The fleet layer snapshots each process and
+  // merges the results in machine-index order.
+  telemetry::Snapshot TelemetrySnapshot();
+
+  // Records one sim-interval footprint observation into the live
+  // "allocator/heap_sample_bytes" histogram (called by the machine model
+  // at its footprint-sampling boundaries).
+  void RecordHeapSample(const HeapStats& heap);
 
   // Object-size distributions across all allocations (Fig. 7): by count
   // and by bytes.
@@ -257,8 +269,15 @@ class Allocator {
 
   MallocCycleBreakdown cycles_;
   TierHitCounts alloc_hits_;
-  uint64_t num_allocations_ = 0;
-  uint64_t num_frees_ = 0;
+
+  // Metric registry plus the hot-path handles registered into it. The
+  // allocation/free counts live directly in the registry (single-writer
+  // `+=` through the handle), replacing bespoke counter members.
+  telemetry::MetricRegistry registry_;
+  telemetry::Counter* alloc_ops_;
+  telemetry::Counter* free_ops_;
+  telemetry::FixedHistogram* heap_sample_hist_;
+
   double last_op_ns_ = 0;
 
   LogHistogram alloc_count_hist_;

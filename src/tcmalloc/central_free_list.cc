@@ -152,4 +152,22 @@ std::vector<uint64_t> CentralFreeList::DrainReturnedSpanIds() {
   return out;
 }
 
+void CentralFreeList::ContributeTelemetry(
+    telemetry::MetricRegistry& registry) const {
+  registry.ExportCounter("central_free_list", "fetched_spans",
+                         stats_.fetched_spans);
+  registry.ExportCounter("central_free_list", "returned_spans",
+                         stats_.returned_spans);
+  registry.ExportCounter("central_free_list", "object_allocations",
+                         stats_.allocations);
+  registry.ExportCounter("central_free_list", "object_deallocations",
+                         stats_.deallocations);
+  registry.ExportGauge("central_free_list", "free_object_bytes",
+                       static_cast<double>(FreeObjectBytes()));
+  registry.ExportGauge("central_free_list", "spans",
+                       static_cast<double>(num_spans_));
+  registry.ExportGauge("central_free_list", "live_spans_with_free_objects",
+                       static_cast<double>(num_live_spans_with_free_objects()));
+}
+
 }  // namespace wsc::tcmalloc

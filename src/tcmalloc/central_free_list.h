@@ -17,6 +17,7 @@
 
 #include "tcmalloc/size_classes.h"
 #include "tcmalloc/span.h"
+#include "telemetry/registry.h"
 
 namespace wsc::tcmalloc {
 
@@ -89,6 +90,11 @@ class CentralFreeList {
 
   int size_class() const { return cls_; }
   const SizeClassInfo& info() const { return info_; }
+
+  // Publishes this tier's metrics (component "central_free_list") into
+  // `registry`. Per-class instances accumulate into the same metrics, so
+  // the snapshot carries the tier aggregate.
+  void ContributeTelemetry(telemetry::MetricRegistry& registry) const;
 
  private:
   // Occupancy list index for a span with `live` allocated objects (live>=1).

@@ -113,4 +113,17 @@ size_t HugeCache::ReleaseExcess(size_t limit) {
 
 HugeCacheStats HugeCache::stats() const { return stats_; }
 
+void HugeCache::ContributeTelemetry(
+    telemetry::MetricRegistry& registry) const {
+  registry.ExportGauge("huge_cache", "cached_hugepages",
+                       static_cast<double>(stats_.cached_hugepages));
+  registry.ExportGauge("huge_cache", "released_hugepages",
+                       static_cast<double>(stats_.released_hugepages));
+  registry.ExportGauge("huge_cache", "in_use_hugepages",
+                       static_cast<double>(stats_.in_use_hugepages));
+  registry.ExportCounter("huge_cache", "os_allocations",
+                         stats_.os_allocations);
+  registry.ExportCounter("huge_cache", "reuse_hits", stats_.reuse_hits);
+}
+
 }  // namespace wsc::tcmalloc

@@ -16,6 +16,7 @@
 
 #include "tcmalloc/pages.h"
 #include "tcmalloc/system_alloc.h"
+#include "telemetry/registry.h"
 
 namespace wsc::tcmalloc {
 
@@ -54,6 +55,9 @@ class HugeCache {
   size_t CachedBytes() const {
     return stats_.cached_hugepages * kHugePageSize;
   }
+
+  // Publishes this tier's metrics (component "huge_cache") into `registry`.
+  void ContributeTelemetry(telemetry::MetricRegistry& registry) const;
 
  private:
   // Marks up to `count` cached free hugepages as released to the OS.

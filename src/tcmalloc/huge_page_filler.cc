@@ -331,4 +331,25 @@ Length HugePageFiller::UsedPagesOnIntactHugepages() const {
   return used;
 }
 
+void HugePageFiller::ContributeTelemetry(
+    telemetry::MetricRegistry& registry) const {
+  const FillerStats s = stats();
+  registry.ExportGauge("huge_page_filler", "used_pages",
+                       static_cast<double>(s.used_pages));
+  registry.ExportGauge("huge_page_filler", "free_pages",
+                       static_cast<double>(s.free_pages));
+  registry.ExportGauge("huge_page_filler", "released_free_pages",
+                       static_cast<double>(s.released_free_pages));
+  registry.ExportGauge("huge_page_filler", "hugepages",
+                       static_cast<double>(s.total_hugepages));
+  registry.ExportGauge("huge_page_filler", "released_hugepages",
+                       static_cast<double>(s.released_hugepages));
+  registry.ExportGauge("huge_page_filler", "donated_hugepages",
+                       static_cast<double>(s.donated_hugepages));
+  registry.ExportCounter("huge_page_filler", "subrelease_events",
+                         s.subrelease_events);
+  registry.ExportCounter("huge_page_filler", "hugepages_freed",
+                         s.hugepages_freed);
+}
+
 }  // namespace wsc::tcmalloc

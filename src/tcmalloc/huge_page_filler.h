@@ -23,6 +23,7 @@
 
 #include "common/flat_map.h"
 #include "tcmalloc/pages.h"
+#include "telemetry/registry.h"
 
 namespace wsc::tcmalloc {
 
@@ -163,6 +164,10 @@ class HugePageFiller {
 
   // In-use pages on intact hugepages (numerator of hugepage coverage).
   Length UsedPagesOnIntactHugepages() const;
+
+  // Publishes this tier's metrics (component "huge_page_filler") into
+  // `registry`.
+  void ContributeTelemetry(telemetry::MetricRegistry& registry) const;
 
  private:
   // lists_[set][free_pages] -> trackers with exactly that many free pages.

@@ -117,4 +117,14 @@ Length HugeRegionSet::free_pages() const {
   return free;
 }
 
+void HugeRegionSet::ContributeTelemetry(
+    telemetry::MetricRegistry& registry) const {
+  registry.ExportGauge("huge_region", "used_pages",
+                       static_cast<double>(used_pages()));
+  registry.ExportGauge("huge_region", "free_pages",
+                       static_cast<double>(free_pages()));
+  registry.ExportGauge("huge_region", "regions",
+                       static_cast<double>(regions_.size()));
+}
+
 }  // namespace wsc::tcmalloc

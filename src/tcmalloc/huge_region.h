@@ -14,6 +14,7 @@
 
 #include "tcmalloc/huge_cache.h"
 #include "tcmalloc/pages.h"
+#include "telemetry/registry.h"
 
 namespace wsc::tcmalloc {
 
@@ -70,6 +71,10 @@ class HugeRegionSet {
   Length used_pages() const;
   Length free_pages() const;
   size_t num_regions() const { return regions_.size(); }
+
+  // Publishes this tier's metrics (component "huge_region") into
+  // `registry`.
+  void ContributeTelemetry(telemetry::MetricRegistry& registry) const;
 
  private:
   HugeRegion* RegionFor(PageId page) const;

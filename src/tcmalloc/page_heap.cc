@@ -173,4 +173,29 @@ PageHeapStats PageHeap::stats() const {
   return s;
 }
 
+void PageHeap::ContributeTelemetry(
+    telemetry::MetricRegistry& registry) const {
+  const PageHeapStats s = stats();
+  registry.ExportGauge("page_heap", "filler_used_bytes",
+                       static_cast<double>(s.filler_used));
+  registry.ExportGauge("page_heap", "filler_free_bytes",
+                       static_cast<double>(s.filler_free));
+  registry.ExportGauge("page_heap", "filler_released_bytes",
+                       static_cast<double>(s.filler_released));
+  registry.ExportGauge("page_heap", "region_used_bytes",
+                       static_cast<double>(s.region_used));
+  registry.ExportGauge("page_heap", "region_free_bytes",
+                       static_cast<double>(s.region_free));
+  registry.ExportGauge("page_heap", "cache_used_bytes",
+                       static_cast<double>(s.cache_used));
+  registry.ExportGauge("page_heap", "cache_free_bytes",
+                       static_cast<double>(s.cache_free));
+  registry.ExportGauge("page_heap", "cache_released_bytes",
+                       static_cast<double>(s.cache_released));
+  registry.ExportCounter("page_heap", "spans_created", next_span_id_);
+  filler_.ContributeTelemetry(registry);
+  cache_.ContributeTelemetry(registry);
+  regions_.ContributeTelemetry(registry);
+}
+
 }  // namespace wsc::tcmalloc

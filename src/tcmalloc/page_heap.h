@@ -80,6 +80,11 @@ class PageHeap : public SpanSource, private HugePageBacking {
   const FillerStats filler_stats() const { return filler_.stats(); }
   const HugeCacheStats cache_stats() const { return cache_.stats(); }
 
+  // Publishes the back-end metrics: the page-heap breakdown (component
+  // "page_heap") plus the filler, huge cache, and huge region components
+  // it composes.
+  void ContributeTelemetry(telemetry::MetricRegistry& registry) const;
+
   uint64_t spans_created() const { return next_span_id_; }
 
  private:

@@ -127,4 +127,28 @@ size_t CpuCacheSet::TotalCapacityBytes() const {
   return total;
 }
 
+void CpuCacheSet::ContributeTelemetry(
+    telemetry::MetricRegistry& registry) const {
+  uint64_t hits = 0, underflows = 0, overflows = 0;
+  size_t used = 0, capacity = 0;
+  int populated = 0;
+  for (const VcpuCache& c : vcpus_) {
+    if (!c.populated) continue;
+    ++populated;
+    hits += c.hits;
+    underflows += c.underflows;
+    overflows += c.overflows;
+    used += c.used_bytes;
+    capacity += c.capacity_bytes;
+  }
+  registry.ExportCounter("cpu_cache", "hits", hits);
+  registry.ExportCounter("cpu_cache", "underflows", underflows);
+  registry.ExportCounter("cpu_cache", "overflows", overflows);
+  registry.ExportGauge("cpu_cache", "cached_bytes",
+                       static_cast<double>(used));
+  registry.ExportGauge("cpu_cache", "capacity_bytes",
+                       static_cast<double>(capacity));
+  registry.ExportGauge("cpu_cache", "populated_vcpus", populated);
+}
+
 }  // namespace wsc::tcmalloc

@@ -19,6 +19,7 @@
 #include "common/logging.h"
 #include "tcmalloc/config.h"
 #include "tcmalloc/size_classes.h"
+#include "telemetry/registry.h"
 
 namespace wsc::tcmalloc {
 
@@ -90,6 +91,11 @@ class CpuCacheSet {
 
   // Total configured capacity across populated vCPUs.
   size_t TotalCapacityBytes() const;
+
+  // Publishes this tier's metrics (component "cpu_cache") into `registry`,
+  // aggregated across vCPUs. Called between BeginExport() and
+  // TakeSnapshot().
+  void ContributeTelemetry(telemetry::MetricRegistry& registry) const;
 
  private:
   struct VcpuCache {

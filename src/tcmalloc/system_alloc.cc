@@ -27,4 +27,11 @@ HugePageId SystemAllocator::AllocateHugePages(int n) {
   return HugePageContainingAddr(addr);
 }
 
+void SystemAllocator::ContributeTelemetry(
+    telemetry::MetricRegistry& registry) const {
+  registry.ExportCounter("system", "mmap_calls", stats_.mmap_calls);
+  registry.ExportCounter("system", "mapped_bytes", stats_.mapped_bytes);
+  registry.ExportGauge("system", "mmap_ns", stats_.mmap_ns);
+}
+
 }  // namespace wsc::tcmalloc

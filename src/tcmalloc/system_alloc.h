@@ -16,6 +16,7 @@
 #include <cstdint>
 
 #include "tcmalloc/pages.h"
+#include "telemetry/registry.h"
 
 namespace wsc::tcmalloc {
 
@@ -43,6 +44,10 @@ class SystemAllocator {
   Length arena_pages() const { return arena_bytes_ >> kPageShift; }
 
   const SystemStats& stats() const { return stats_; }
+
+  // Publishes the simulated OS interface metrics (component "system") into
+  // `registry`.
+  void ContributeTelemetry(telemetry::MetricRegistry& registry) const;
 
  private:
   uintptr_t base_;

@@ -140,4 +140,26 @@ size_t TransferCache::TotalCachedBytes() const {
   return total;
 }
 
+void TransferCache::ContributeTelemetry(
+    telemetry::MetricRegistry& registry) const {
+  registry.ExportCounter("transfer_cache", "shard_hits", stats_.shard_hits);
+  registry.ExportCounter("transfer_cache", "central_hits",
+                         stats_.central_hits);
+  registry.ExportCounter("transfer_cache", "misses", stats_.misses);
+  registry.ExportCounter("transfer_cache", "inserts_accepted",
+                         stats_.inserts_accepted);
+  registry.ExportCounter("transfer_cache", "inserts_overflowed",
+                         stats_.inserts_overflowed);
+  registry.ExportCounter("transfer_cache", "plundered_objects",
+                         stats_.plundered_objects);
+  registry.ExportGauge("transfer_cache", "cached_bytes",
+                       static_cast<double>(TotalCachedBytes()));
+  size_t active_shards = 0;
+  for (const auto& shard : shards_) {
+    if (!shard.empty()) ++active_shards;
+  }
+  registry.ExportGauge("transfer_cache", "active_nuca_shards",
+                       static_cast<double>(active_shards));
+}
+
 }  // namespace wsc::tcmalloc

@@ -19,6 +19,7 @@
 
 #include "tcmalloc/config.h"
 #include "tcmalloc/size_classes.h"
+#include "telemetry/registry.h"
 
 namespace wsc::tcmalloc {
 
@@ -67,6 +68,10 @@ class TransferCache {
   const TransferCacheStats& stats() const { return stats_; }
 
   bool nuca_enabled() const { return nuca_; }
+
+  // Publishes this tier's metrics (component "transfer_cache") into
+  // `registry`; NUMA-node instances accumulate into the same metrics.
+  void ContributeTelemetry(telemetry::MetricRegistry& registry) const;
 
  private:
   // Per-size-class object stack with a fixed capacity and a low-water mark.

@@ -1,0 +1,183 @@
+#include "telemetry/registry.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace wsc::telemetry {
+
+const char* MetricKindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+double MetricSample::ScalarValue() const {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return static_cast<double>(counter);
+    case MetricKind::kGauge:
+      return gauge;
+    case MetricKind::kHistogram:
+      return static_cast<double>(hist_count);
+  }
+  return 0;
+}
+
+void Snapshot::MergeFrom(const Snapshot& other) {
+  WSC_CHECK_EQ(schema_version, other.schema_version);
+  // Both sample lists are sorted by key; walk them together, summing
+  // matches and inserting one-sided metrics, producing a sorted result.
+  std::vector<MetricSample> merged;
+  merged.reserve(std::max(samples.size(), other.samples.size()));
+  size_t i = 0, j = 0;
+  while (i < samples.size() || j < other.samples.size()) {
+    if (j >= other.samples.size() ||
+        (i < samples.size() && samples[i].Key() < other.samples[j].Key())) {
+      merged.push_back(samples[i++]);
+      continue;
+    }
+    if (i >= samples.size() || other.samples[j].Key() < samples[i].Key()) {
+      merged.push_back(other.samples[j++]);
+      continue;
+    }
+    MetricSample s = samples[i++];
+    const MetricSample& o = other.samples[j++];
+    WSC_CHECK(s.kind == o.kind);
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        s.counter += o.counter;
+        break;
+      case MetricKind::kGauge:
+        s.gauge += o.gauge;
+        break;
+      case MetricKind::kHistogram:
+        WSC_CHECK(s.bounds == o.bounds);
+        for (size_t b = 0; b < s.buckets.size(); ++b) {
+          s.buckets[b] += o.buckets[b];
+        }
+        s.hist_count += o.hist_count;
+        s.hist_sum += o.hist_sum;
+        break;
+    }
+    merged.push_back(std::move(s));
+  }
+  samples = std::move(merged);
+}
+
+const MetricSample* Snapshot::Find(std::string_view component,
+                                   std::string_view name) const {
+  for (const MetricSample& s : samples) {
+    if (s.component == component && s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+double Snapshot::ComponentTotal(std::string_view component) const {
+  double total = 0;
+  for (const MetricSample& s : samples) {
+    if (s.component == component) total += s.ScalarValue();
+  }
+  return total;
+}
+
+MetricRegistry::Entry& MetricRegistry::GetOrCreate(std::string_view component,
+                                                   std::string_view name,
+                                                   MetricKind kind,
+                                                   bool exported) {
+  std::string key;
+  key.reserve(component.size() + 1 + name.size());
+  key.append(component).append("/").append(name);
+  auto [it, inserted] = entries_.try_emplace(std::move(key));
+  Entry& e = it->second;
+  if (inserted) {
+    e.kind = kind;
+    e.exported = exported;
+  } else {
+    WSC_CHECK(e.kind == kind);
+    WSC_CHECK_EQ(e.exported, exported);
+  }
+  return e;
+}
+
+Counter* MetricRegistry::RegisterCounter(std::string_view component,
+                                         std::string_view name) {
+  return &GetOrCreate(component, name, MetricKind::kCounter,
+                      /*exported=*/false)
+              .counter;
+}
+
+Gauge* MetricRegistry::RegisterGauge(std::string_view component,
+                                     std::string_view name) {
+  return &GetOrCreate(component, name, MetricKind::kGauge, /*exported=*/false)
+              .gauge;
+}
+
+FixedHistogram* MetricRegistry::RegisterHistogram(std::string_view component,
+                                                  std::string_view name,
+                                                  std::vector<double> bounds) {
+  Entry& e = GetOrCreate(component, name, MetricKind::kHistogram,
+                         /*exported=*/false);
+  if (e.histogram == nullptr) {
+    e.histogram = std::make_unique<FixedHistogram>(std::move(bounds));
+  } else {
+    WSC_CHECK(e.histogram->bounds() == bounds);
+  }
+  return e.histogram.get();
+}
+
+void MetricRegistry::BeginExport() {
+  for (auto& [key, e] : entries_) {
+    if (!e.exported) continue;
+    e.counter.Reset();
+    e.gauge.Reset();
+  }
+}
+
+void MetricRegistry::ExportCounter(std::string_view component,
+                                   std::string_view name, uint64_t value) {
+  GetOrCreate(component, name, MetricKind::kCounter, /*exported=*/true)
+      .counter.Add(value);
+}
+
+void MetricRegistry::ExportGauge(std::string_view component,
+                                 std::string_view name, double value) {
+  GetOrCreate(component, name, MetricKind::kGauge, /*exported=*/true)
+      .gauge.Add(value);
+}
+
+Snapshot MetricRegistry::TakeSnapshot() const {
+  Snapshot snap;
+  snap.samples.reserve(entries_.size());
+  for (const auto& [key, e] : entries_) {
+    MetricSample s;
+    size_t slash = key.find('/');
+    s.component = key.substr(0, slash);
+    s.name = key.substr(slash + 1);
+    s.kind = e.kind;
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        s.counter = e.counter.value();
+        break;
+      case MetricKind::kGauge:
+        s.gauge = e.gauge.value();
+        break;
+      case MetricKind::kHistogram:
+        s.bounds = e.histogram->bounds();
+        s.buckets = e.histogram->buckets();
+        s.hist_count = e.histogram->count();
+        s.hist_sum = e.histogram->sum();
+        break;
+    }
+    snap.samples.push_back(std::move(s));
+  }
+  return snap;
+}
+
+}  // namespace wsc::telemetry

@@ -1,0 +1,164 @@
+#include "telemetry/statsz.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace wsc::telemetry {
+
+void AppendJsonEscaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string FormatJsonNumber(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[40];
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  return buf;
+}
+
+std::string RenderStatszText(const Snapshot& snapshot) {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "statsz (telemetry schema v%d)\n",
+                snapshot.schema_version);
+  out += line;
+
+  std::string component;
+  for (const MetricSample& s : snapshot.samples) {
+    if (s.component != component) {
+      component = s.component;
+      out += "\n[" + component + "]\n";
+    }
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        std::snprintf(line, sizeof(line), "  %-38s counter %20" PRIu64 "\n",
+                      s.name.c_str(), s.counter);
+        out += line;
+        break;
+      case MetricKind::kGauge:
+        std::snprintf(line, sizeof(line), "  %-38s gauge   %20.0f\n",
+                      s.name.c_str(), s.gauge);
+        out += line;
+        break;
+      case MetricKind::kHistogram: {
+        std::snprintf(line, sizeof(line),
+                      "  %-38s histogram  count=%" PRIu64 " sum=%.0f\n",
+                      s.name.c_str(), s.hist_count, s.hist_sum);
+        out += line;
+        for (size_t b = 0; b < s.buckets.size(); ++b) {
+          if (s.buckets[b] == 0) continue;
+          if (b < s.bounds.size()) {
+            std::snprintf(line, sizeof(line), "    <= %-14.0f %12" PRIu64 "\n",
+                          s.bounds[b], s.buckets[b]);
+          } else {
+            std::snprintf(line, sizeof(line), "    >  %-14.0f %12" PRIu64 "\n",
+                          s.bounds.empty() ? 0.0 : s.bounds.back(),
+                          s.buckets[b]);
+          }
+          out += line;
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string RenderStatszJson(const Snapshot& snapshot) {
+  std::string out = "{\"schema_version\":";
+  out += std::to_string(snapshot.schema_version);
+  out += ",\"metrics\":[";
+  bool first = true;
+  for (const MetricSample& s : snapshot.samples) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"component\":\"";
+    AppendJsonEscaped(out, s.component);
+    out += "\",\"name\":\"";
+    AppendJsonEscaped(out, s.name);
+    out += "\",\"kind\":\"";
+    out += MetricKindName(s.kind);
+    out += "\"";
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        out += ",\"value\":" + std::to_string(s.counter);
+        break;
+      case MetricKind::kGauge:
+        out += ",\"value\":" + FormatJsonNumber(s.gauge);
+        break;
+      case MetricKind::kHistogram: {
+        out += ",\"count\":" + std::to_string(s.hist_count);
+        out += ",\"sum\":" + FormatJsonNumber(s.hist_sum);
+        out += ",\"bounds\":[";
+        for (size_t b = 0; b < s.bounds.size(); ++b) {
+          if (b) out += ",";
+          out += FormatJsonNumber(s.bounds[b]);
+        }
+        out += "],\"buckets\":[";
+        for (size_t b = 0; b < s.buckets.size(); ++b) {
+          if (b) out += ",";
+          out += std::to_string(s.buckets[b]);
+        }
+        out += "]";
+        break;
+      }
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+bool WriteStatszFile(const std::string& path, const Snapshot& snapshot) {
+  if (path == "-") {
+    std::fputs(RenderStatszText(snapshot).c_str(), stdout);
+    return true;
+  }
+  bool json = path.size() >= 5 &&
+              path.compare(path.size() - 5, 5, ".json") == 0;
+  std::string body = json ? RenderStatszJson(snapshot)
+                          : RenderStatszText(snapshot);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "statsz: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(body.data(), 1, body.size(), f);
+  if (json) std::fputc('\n', f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace wsc::telemetry

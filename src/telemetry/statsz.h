@@ -1,0 +1,47 @@
+// MallocZ-style introspection dumps ("statsz") of a telemetry Snapshot.
+//
+// Production TCMalloc exposes its internal state through a statusz-style
+// page; the paper's analysis pipeline consumes the same counters via GWP.
+// This renders a Snapshot in two forms:
+//
+//   * human text — aligned `component/name  kind  value` lines with
+//     histogram bucket tables, for eyeballing an allocator mid-run;
+//   * machine JSON — schema-versioned, for tools/check_bench_json.py and
+//     downstream regression tracking.
+//
+// Every bench accepts --statsz=<path>: paths ending in ".json" get the
+// JSON form, everything else ("-" = stdout) gets the text form.
+
+#ifndef WSC_TELEMETRY_STATSZ_H_
+#define WSC_TELEMETRY_STATSZ_H_
+
+#include <string>
+#include <string_view>
+
+#include "telemetry/registry.h"
+
+namespace wsc::telemetry {
+
+// Appends `s` JSON-escaped (quotes, backslashes, control chars) to `out`.
+void AppendJsonEscaped(std::string& out, std::string_view s);
+
+// Formats a double as a JSON number: integral values print without a
+// fractional part, everything else with enough digits to round-trip.
+std::string FormatJsonNumber(double v);
+
+// Human-readable dump, grouped by component.
+std::string RenderStatszText(const Snapshot& snapshot);
+
+// Machine-readable dump:
+// {"schema_version":N,"metrics":[{"component":...,"name":...,"kind":...,
+//  "value":... | "buckets":[...],"bounds":[...],"count":N,"sum":X}, ...]}
+std::string RenderStatszJson(const Snapshot& snapshot);
+
+// Writes the snapshot to `path`: JSON when the path ends in ".json", text
+// otherwise; "-" prints the text form to stdout. Returns false (with a log
+// line) when the file cannot be written.
+bool WriteStatszFile(const std::string& path, const Snapshot& snapshot);
+
+}  // namespace wsc::telemetry
+
+#endif  // WSC_TELEMETRY_STATSZ_H_

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Smoke-run every bench binary with a tiny fleet and validate the
+# machine-readable output. CI runs this on every push; locally:
+#
+#   cmake -B build -S . && cmake --build build -j
+#   tools/bench_smoke.sh build
+#
+# Each bench runs with --machines=2 --threads=2 and sharply bounded
+# request counts, so the whole sweep finishes in minutes; the point is
+# exercising every code path and checking the BENCH_JSON schema, not
+# reproducing the paper's numbers.
+
+set -u
+
+BUILD_DIR="${1:-build}"
+BENCH_DIR="$BUILD_DIR/bench"
+CHECKER="$(dirname "$0")/check_bench_json.py"
+FLAGS="--machines=2 --threads=2 --duration=1 --max-requests=300"
+TMPDIR_SMOKE="$(mktemp -d)"
+trap 'rm -rf "$TMPDIR_SMOKE"' EXIT
+
+if [ ! -d "$BENCH_DIR" ]; then
+  echo "bench_smoke: no bench binaries under $BENCH_DIR" >&2
+  exit 2
+fi
+
+failures=0
+ran=0
+for bench in "$BENCH_DIR"/fig* "$BENCH_DIR"/table* "$BENCH_DIR"/ablation* \
+             "$BENCH_DIR"/extension* "$BENCH_DIR"/sec*; do
+  [ -x "$bench" ] || continue
+  name="$(basename "$bench")"
+  out="$TMPDIR_SMOKE/$name.out"
+  statsz="$TMPDIR_SMOKE/$name.statsz.json"
+
+  # fig11 models hardware latencies only: no allocator, no telemetry line.
+  min_lines=2
+  statsz_arg="--statsz $statsz"
+  if [ "$name" = "fig11_nuca_latency" ]; then
+    min_lines=1
+    statsz_arg=""
+  fi
+
+  echo "=== $name"
+  if ! "$bench" $FLAGS --statsz="$statsz" >"$out" 2>&1; then
+    echo "bench_smoke: $name exited non-zero" >&2
+    tail -20 "$out" >&2
+    failures=$((failures + 1))
+    continue
+  fi
+  if ! python3 "$CHECKER" --min-lines "$min_lines" $statsz_arg "$out"; then
+    echo "bench_smoke: $name output failed validation" >&2
+    grep "^BENCH_JSON" "$out" >&2 || echo "(no BENCH_JSON lines)" >&2
+    failures=$((failures + 1))
+    continue
+  fi
+  ran=$((ran + 1))
+done
+
+echo
+if [ "$failures" -ne 0 ]; then
+  echo "bench_smoke: FAILED ($failures bench(es))"
+  exit 1
+fi
+echo "bench_smoke: all $ran benches passed"

@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""Validate BENCH_JSON lines emitted by the bench binaries.
+
+Every bench prints machine-readable `BENCH_JSON {...}` lines through the
+schema-versioned serializer in bench/bench_util.h. CI pipes each bench's
+output through this checker; it also validates --statsz JSON dumps.
+
+Usage:
+  some_bench | tools/check_bench_json.py [--min-lines N] [--statsz FILE]
+  tools/check_bench_json.py --min-lines 2 < bench_output.txt
+
+Exit status is non-zero when any line is malformed or fewer than
+--min-lines BENCH_JSON lines were seen.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA_VERSION = 2
+TELEMETRY_SCHEMA_VERSION = 1
+
+# The allocator tiers the paper's telemetry reports on. Every telemetry
+# line from a full allocator snapshot must cover all of them.
+REQUIRED_TIERS = (
+    "cpu_cache",
+    "transfer_cache",
+    "central_free_list",
+    "huge_page_filler",
+    "huge_cache",
+    "page_heap",
+)
+
+THROUGHPUT_FIELDS = ("sim_requests", "wall_seconds", "sim_requests_per_sec")
+
+
+def fail(errors, line_no, message):
+    errors.append(f"line {line_no}: {message}")
+
+
+def check_common(errors, line_no, obj):
+    if obj.get("schema_version") != SCHEMA_VERSION:
+        fail(errors, line_no,
+             f"schema_version {obj.get('schema_version')!r} != {SCHEMA_VERSION}")
+    if not isinstance(obj.get("bench"), str) or not obj["bench"]:
+        fail(errors, line_no, "missing or empty 'bench'")
+    if obj.get("kind") not in ("throughput", "telemetry"):
+        fail(errors, line_no, f"unknown kind {obj.get('kind')!r}")
+    if not isinstance(obj.get("threads"), int) or obj["threads"] < 1:
+        fail(errors, line_no, f"bad 'threads': {obj.get('threads')!r}")
+
+
+def check_throughput(errors, line_no, obj):
+    for field in THROUGHPUT_FIELDS:
+        value = obj.get(field)
+        if not isinstance(value, (int, float)) or value < 0:
+            fail(errors, line_no, f"bad '{field}': {value!r}")
+
+
+def check_telemetry(errors, line_no, obj):
+    if obj.get("schema_telemetry") != TELEMETRY_SCHEMA_VERSION:
+        fail(errors, line_no,
+             f"schema_telemetry {obj.get('schema_telemetry')!r} != "
+             f"{TELEMETRY_SCHEMA_VERSION}")
+    metrics = obj.get("metrics")
+    if not isinstance(metrics, dict) or not metrics:
+        fail(errors, line_no, "missing or empty 'metrics' object")
+        return
+    for key, value in metrics.items():
+        if "/" not in key:
+            fail(errors, line_no, f"metric key {key!r} is not component/name")
+        if not isinstance(value, (int, float)):
+            fail(errors, line_no, f"metric {key!r} has non-numeric value")
+    components = {key.split("/", 1)[0] for key in metrics}
+    missing = [tier for tier in REQUIRED_TIERS if tier not in components]
+    if missing:
+        fail(errors, line_no, f"telemetry missing tiers: {', '.join(missing)}")
+    if "arm" in obj and (not isinstance(obj["arm"], str) or not obj["arm"]):
+        fail(errors, line_no, "bad 'arm' label")
+
+
+def check_statsz(errors, path):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            dump = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        errors.append(f"statsz {path}: {exc}")
+        return
+    if dump.get("schema_version") != TELEMETRY_SCHEMA_VERSION:
+        errors.append(f"statsz {path}: bad schema_version "
+                      f"{dump.get('schema_version')!r}")
+    metrics = dump.get("metrics")
+    if not isinstance(metrics, list) or not metrics:
+        errors.append(f"statsz {path}: missing or empty 'metrics'")
+        return
+    components = set()
+    for i, metric in enumerate(metrics):
+        for field in ("component", "name", "kind"):
+            if not isinstance(metric.get(field), str) or not metric[field]:
+                errors.append(f"statsz {path}: metric {i} bad '{field}'")
+        if metric.get("kind") == "histogram":
+            if not isinstance(metric.get("buckets"), list):
+                errors.append(f"statsz {path}: metric {i} missing buckets")
+            bounds = metric.get("bounds", [])
+            if len(metric.get("buckets", [])) != len(bounds) + 1:
+                errors.append(f"statsz {path}: metric {i} bucket/bound "
+                              "count mismatch")
+        elif "value" not in metric:
+            errors.append(f"statsz {path}: metric {i} missing value")
+        components.add(metric.get("component"))
+    missing = [tier for tier in REQUIRED_TIERS if tier not in components]
+    if missing:
+        errors.append(f"statsz {path}: missing tiers: {', '.join(missing)}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--min-lines", type=int, default=1,
+                        help="minimum number of BENCH_JSON lines expected")
+    parser.add_argument("--statsz", default=None,
+                        help="also validate this statsz JSON dump")
+    parser.add_argument("input", nargs="?", default="-",
+                        help="bench output file ('-' = stdin)")
+    args = parser.parse_args()
+
+    stream = sys.stdin if args.input == "-" else open(args.input,
+                                                      encoding="utf-8")
+    errors = []
+    seen = 0
+    kinds = {"throughput": 0, "telemetry": 0}
+    with stream:
+        for line_no, line in enumerate(stream, start=1):
+            if not line.startswith("BENCH_JSON "):
+                continue
+            seen += 1
+            try:
+                obj = json.loads(line[len("BENCH_JSON "):])
+            except json.JSONDecodeError as exc:
+                fail(errors, line_no, f"invalid JSON: {exc}")
+                continue
+            check_common(errors, line_no, obj)
+            kind = obj.get("kind")
+            if kind in kinds:
+                kinds[kind] += 1
+            if kind == "throughput":
+                check_throughput(errors, line_no, obj)
+            elif kind == "telemetry":
+                check_telemetry(errors, line_no, obj)
+
+    if seen < args.min_lines:
+        errors.append(f"saw {seen} BENCH_JSON line(s), expected at least "
+                      f"{args.min_lines}")
+    if args.statsz:
+        check_statsz(errors, args.statsz)
+
+    if errors:
+        for error in errors:
+            print(f"check_bench_json: {error}", file=sys.stderr)
+        return 1
+    print(f"check_bench_json: OK ({seen} line(s): "
+          f"{kinds['throughput']} throughput, {kinds['telemetry']} telemetry"
+          + (", statsz valid" if args.statsz else "") + ")")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

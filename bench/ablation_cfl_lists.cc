@@ -23,9 +23,10 @@ int main(int argc, char** argv) {
   // longer than the standard benchmark A/B.
   TablePrinter table({"L", "memory vs baseline", "throughput vs baseline"});
   for (int lists : {2, 8, 32}) {
-    tcmalloc::AllocatorConfig experiment;
-    experiment.span_prioritization = true;
-    experiment.cfl_num_lists = lists;
+    tcmalloc::AllocatorConfig experiment = tcmalloc::AllocatorConfig::Builder()
+                                               .WithSpanPrioritization()
+                                               .WithCflNumLists(lists)
+                                               .Build();
     fleet::AbDelta delta = fleet::RunBenchmarkAb(
         spec, hw::PlatformSpecFor(hw::PlatformGeneration::kGenD), control,
         experiment, 8100, bench::BenchDuration(Seconds(30)),

@@ -35,9 +35,11 @@ int main(int argc, char** argv) {
       {"dynamic 0.75 MiB", true, 768 * 1024},
   };
   for (const Setting& s : settings) {
-    tcmalloc::AllocatorConfig experiment;
-    experiment.dynamic_cpu_caches = s.dynamic;
-    experiment.per_cpu_cache_bytes = s.capacity;
+    tcmalloc::AllocatorConfig experiment =
+        tcmalloc::AllocatorConfig::Builder()
+            .WithDynamicCpuCaches(s.dynamic)
+            .WithCpuCacheBytes(s.capacity)
+            .Build();
     fleet::AbDelta delta =
         bench::BenchmarkAb(spec, control, experiment, 8400);
     sim_requests += static_cast<uint64_t>(delta.control.requests +

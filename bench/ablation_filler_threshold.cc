@@ -22,9 +22,11 @@ int main(int argc, char** argv) {
   TablePrinter table({"C", "coverage before", "coverage after",
                       "dTLB walk% change", "memory change"});
   for (int threshold : {2, 4, 8, 16, 64, 512}) {
-    tcmalloc::AllocatorConfig experiment;
-    experiment.lifetime_aware_filler = true;
-    experiment.filler_capacity_threshold = threshold;
+    tcmalloc::AllocatorConfig experiment =
+        tcmalloc::AllocatorConfig::Builder()
+            .WithLifetimeAwareFiller()
+            .WithFillerCapacityThreshold(threshold)
+            .Build();
     fleet::AbDelta delta =
         bench::BenchmarkAb(spec, control, experiment, 8200);
     sim_requests += static_cast<uint64_t>(delta.control.requests +

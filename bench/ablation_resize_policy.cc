@@ -33,11 +33,13 @@ int main(int argc, char** argv) {
       {Seconds(30), 5, "30 s"},
   };
   for (const Setting& s : settings) {
-    tcmalloc::AllocatorConfig experiment;
-    experiment.dynamic_cpu_caches = true;
-    experiment.per_cpu_cache_bytes = control.per_cpu_cache_bytes / 2;
-    experiment.cpu_cache_resize_interval = s.interval;
-    experiment.cpu_cache_grow_candidates = s.candidates;
+    tcmalloc::AllocatorConfig experiment =
+        tcmalloc::AllocatorConfig::Builder()
+            .WithDynamicCpuCaches()
+            .WithCpuCacheBytes(control.per_cpu_cache_bytes / 2)
+            .WithCpuCacheResizeInterval(s.interval)
+            .WithCpuCacheGrowCandidates(s.candidates)
+            .Build();
     fleet::AbDelta delta =
         bench::BenchmarkAb(spec, control, experiment, 8300);
     sim_requests += static_cast<uint64_t>(delta.control.requests +

@@ -44,11 +44,13 @@ int main(int argc, char** argv) {
   for (int threads : {64, 256}) {
     for (bool per_thread : {false, true}) {
       workload::WorkloadSpec spec = ManyThreadSpec(threads);
-      tcmalloc::AllocatorConfig config;
       // Per-thread mode: one front-end cache slot per thread, as in the
       // legacy design. Per-CPU mode: the machine model caps the slots at
       // the CPUs the process is scheduled on (dense vCPU ids).
-      config.per_thread_front_end = per_thread;
+      tcmalloc::AllocatorConfig config =
+          tcmalloc::AllocatorConfig::Builder()
+              .WithPerThreadFrontEnd(per_thread)
+              .Build();
       fleet::Machine machine(platform, {spec}, config, /*seed=*/86);
       machine.Run(bench::BenchDuration(Seconds(12)),
                   bench::BenchMaxRequests(80000));

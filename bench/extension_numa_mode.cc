@@ -11,6 +11,7 @@
 #include "common/rng.h"
 #include "hw/topology.h"
 #include "tcmalloc/allocator.h"
+#include "tcmalloc/malloc_extension.h"
 
 using namespace wsc;
 
@@ -28,12 +29,10 @@ int main(int argc, char** argv) {
   TablePrinter table({"mode", "node-local allocations %",
                       "node-0 heap", "node-1 heap"});
   for (bool numa : {false, true}) {
-    tcmalloc::AllocatorConfig config;
-    config.numa_aware = numa;
-    config.num_numa_nodes = topo.spec().sockets;
-    config.num_vcpus = 8;
-    config.arena_bytes = size_t{128} << 30;
-    tcmalloc::Allocator alloc(config);
+    tcmalloc::AllocatorConfig::Builder builder;
+    builder.WithVcpus(8).WithArena(uintptr_t{1} << 44, size_t{128} << 30);
+    if (numa) builder.WithNumaNodes(topo.spec().sockets);
+    tcmalloc::Allocator alloc(builder.Build());
 
     // vCPUs 0-3 on socket 0, 4-7 on socket 1 (as the driver would map a
     // process spanning both sockets).
@@ -62,9 +61,7 @@ int main(int argc, char** argv) {
         // Local = the memory lives on the allocating vCPU's socket. In
         // single-arena mode node 0 owns everything, so socket-1 vCPUs
         // always get remote memory.
-        int mem_node = config.numa_aware
-                           ? alloc.NodeOfAddr(p)
-                           : 0;
+        int mem_node = numa ? alloc.NodeOfAddr(p) : 0;
         local += mem_node == vcpu_socket[vcpu];
         ++total;
         live.push_back({p, vcpu_socket[vcpu]});
@@ -83,7 +80,7 @@ int main(int argc, char** argv) {
          FormatBytes(static_cast<double>(node1.TotalInUse()))});
     for (auto& [p, s] : live) alloc.Free(p, 0, 0);
     sim_requests += total;
-    merged_telemetry.MergeFrom(alloc.TelemetrySnapshot());
+    merged_telemetry.MergeFrom(tcmalloc::MallocExtension(&alloc).GetTelemetrySnapshot());
   }
   table.Print();
 

@@ -15,6 +15,7 @@
 
 #include "bench/bench_util.h"
 #include "tcmalloc/allocator.h"
+#include "tcmalloc/malloc_extension.h"
 
 namespace {
 
@@ -22,10 +23,10 @@ using wsc::tcmalloc::Allocator;
 using wsc::tcmalloc::AllocatorConfig;
 
 AllocatorConfig BenchConfig() {
-  AllocatorConfig config;
-  config.num_vcpus = 2;
-  config.arena_bytes = size_t{32} << 30;
-  return config;
+  return AllocatorConfig::Builder()
+      .WithVcpus(2)
+      .WithArena(uintptr_t{1} << 44, size_t{32} << 30)
+      .Build();
 }
 
 // Fast path: allocation served by the per-CPU cache (pre-warmed: each
@@ -152,6 +153,6 @@ int main(int argc, char** argv) {
   }
   for (uintptr_t p : live) alloc.Free(p, 0, 0);
   timer.Report(iters);
-  wsc::bench::ReportTelemetry(timer.bench(), alloc.TelemetrySnapshot());
+  wsc::bench::ReportTelemetry(timer.bench(), wsc::tcmalloc::MallocExtension(&alloc).GetTelemetrySnapshot());
   return 0;
 }

@@ -10,6 +10,7 @@
 
 #include "bench/bench_util.h"
 #include "fleet/machine.h"
+#include "tcmalloc/malloc_extension.h"
 
 using namespace wsc;
 
@@ -19,8 +20,9 @@ int main(int argc, char** argv) {
   bench::BenchTimer timer("fig09_vcpu_dynamics");
 
   workload::WorkloadSpec spec = workload::SpannerProfile();
-  tcmalloc::AllocatorConfig config;
-  config.num_vcpus = spec.max_threads;
+  tcmalloc::AllocatorConfig config = tcmalloc::AllocatorConfig::Builder()
+                                         .WithVcpus(spec.max_threads)
+                                         .Build();
   tcmalloc::Allocator alloc(config);
   hw::CpuTopology topo(hw::PlatformSpecFor(hw::PlatformGeneration::kGenD));
   std::vector<int> cpus;
@@ -86,6 +88,6 @@ int main(int argc, char** argv) {
       "\nshape check: low-indexed vCPU caches absorb most misses; the\n"
       "statically sized high-indexed caches are used inefficiently.\n");
   timer.Report(driver.metrics().requests);
-  bench::ReportTelemetry(timer.bench(), alloc.TelemetrySnapshot());
+  bench::ReportTelemetry(timer.bench(), tcmalloc::MallocExtension(&alloc).GetTelemetrySnapshot());
   return 0;
 }

@@ -18,9 +18,11 @@ int main(int argc, char** argv) {
   bench::BenchTimer timer("fig10_heterogeneous_cache");
 
   tcmalloc::AllocatorConfig control;  // static 3 MiB caches
-  tcmalloc::AllocatorConfig experiment;
-  experiment.dynamic_cpu_caches = true;
-  experiment.per_cpu_cache_bytes = control.per_cpu_cache_bytes / 2;
+  tcmalloc::AllocatorConfig experiment =
+      tcmalloc::AllocatorConfig::Builder()
+          .WithDynamicCpuCaches()
+          .WithCpuCacheBytes(control.per_cpu_cache_bytes / 2)
+          .Build();
 
   fleet::AbResult ab =
       fleet::RunFleetAb(bench::DefaultFleet(), control, experiment, 1010);

@@ -22,6 +22,7 @@
 #include "bench/bench_util.h"
 #include "common/rng.h"
 #include "tcmalloc/allocator.h"
+#include "tcmalloc/malloc_extension.h"
 
 using namespace wsc;
 
@@ -30,8 +31,8 @@ int main(int argc, char** argv) {
   PrintBanner("Fig. 13: span return rate vs live allocations");
   bench::BenchTimer timer("fig13_span_return_rate");
 
-  tcmalloc::AllocatorConfig config;
-  config.num_vcpus = 4;
+  tcmalloc::AllocatorConfig config =
+      tcmalloc::AllocatorConfig::Builder().WithVcpus(4).Build();
   tcmalloc::Allocator alloc(config);
   Rng rng(1301);
 
@@ -136,6 +137,6 @@ int main(int argc, char** argv) {
       "\nshape check: the more live allocations a span carries, the less\n"
       "likely it is released — allocating from fuller spans is safer.\n");
   timer.Report(static_cast<uint64_t>(kEpochs));
-  bench::ReportTelemetry(timer.bench(), alloc.TelemetrySnapshot());
+  bench::ReportTelemetry(timer.bench(), tcmalloc::MallocExtension(&alloc).GetTelemetrySnapshot());
   return 0;
 }

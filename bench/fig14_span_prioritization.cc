@@ -17,8 +17,8 @@ int main(int argc, char** argv) {
   bench::BenchTimer timer("fig14_span_prioritization");
 
   tcmalloc::AllocatorConfig control;
-  tcmalloc::AllocatorConfig experiment;
-  experiment.span_prioritization = true;
+  tcmalloc::AllocatorConfig experiment =
+      tcmalloc::AllocatorConfig::Builder().WithSpanPrioritization().Build();
 
   fleet::AbResult ab =
       fleet::RunFleetAb(bench::DefaultFleet(), control, experiment, 1401);

@@ -18,8 +18,8 @@ int main(int argc, char** argv) {
   bench::BenchTimer timer("table1_nuca_transfer_cache");
 
   tcmalloc::AllocatorConfig control;
-  tcmalloc::AllocatorConfig experiment;
-  experiment.nuca_transfer_cache = true;
+  tcmalloc::AllocatorConfig experiment =
+      tcmalloc::AllocatorConfig::Builder().WithNucaTransferCache().Build();
 
   // The paper's experiment targets chiplet platforms.
   fleet::AbResult ab =

@@ -18,8 +18,8 @@ int main(int argc, char** argv) {
   bench::BenchTimer timer("table2_lifetime_filler");
 
   tcmalloc::AllocatorConfig control;
-  tcmalloc::AllocatorConfig experiment;
-  experiment.lifetime_aware_filler = true;
+  tcmalloc::AllocatorConfig experiment =
+      tcmalloc::AllocatorConfig::Builder().WithLifetimeAwareFiller().Build();
 
   fleet::AbResult ab =
       fleet::RunFleetAb(bench::DefaultFleet(), control, experiment, 1701);

@@ -10,6 +10,7 @@ namespace wsc::fleet {
 
 void Accumulate(MetricSet& set, const ProcessResult& r) {
   set.requests += static_cast<double>(r.driver.requests);
+  set.failed_allocations += static_cast<double>(r.driver.failed_allocations);
   set.cpu_ns += r.driver.cpu_ns;
   set.base_work_ns += r.driver.base_work_ns;
   set.malloc_ns += r.driver.malloc_ns;

@@ -22,6 +22,7 @@ namespace wsc::fleet {
 // Stores raw sums; derived metrics are computed on demand.
 struct MetricSet {
   double requests = 0;
+  double failed_allocations = 0;  // hard-limit allocation failures
   double cpu_ns = 0;
   double base_work_ns = 0;
   double malloc_ns = 0;

@@ -1,5 +1,7 @@
 #include "fleet/fleet.h"
 
+#include <algorithm>
+
 #include "common/distribution.h"
 #include "common/logging.h"
 #include "common/rng.h"
@@ -69,6 +71,29 @@ std::vector<Fleet::MachinePlan> Fleet::PlanMachines() const {
     }
 
     plan.machine_seed = rng.Fork();
+
+    // Pressure events come after the seed fork and only draw when enabled,
+    // so machine seeds (and thus every pressure-free result) are identical
+    // whether or not pressure injection is on.
+    if (config_.pressure.enabled) {
+      const PressureConfig& pc = config_.pressure;
+      double dur = static_cast<double>(config_.duration);
+      PressureEvent diurnal;
+      diurnal.start = static_cast<SimTime>(dur * pc.diurnal_start_frac);
+      diurnal.end = static_cast<SimTime>(dur * pc.diurnal_end_frac);
+      diurnal.limit_fraction = pc.diurnal_fraction;
+      plan.pressure_events.push_back(diurnal);
+      if (rng.UniformDouble() < pc.spike_probability) {
+        PressureEvent spike;
+        double start_frac = rng.UniformDouble() *
+                            std::max(0.0, 1.0 - pc.spike_duration_frac);
+        spike.start = static_cast<SimTime>(dur * start_frac);
+        spike.end = static_cast<SimTime>(
+            dur * (start_frac + pc.spike_duration_frac));
+        spike.limit_fraction = pc.spike_fraction;
+        plan.pressure_events.push_back(spike);
+      }
+    }
     plans.push_back(std::move(plan));
   }
   return plans;
@@ -77,7 +102,7 @@ std::vector<Fleet::MachinePlan> Fleet::PlanMachines() const {
 std::vector<FleetObservation> Fleet::RunMachine(
     int m, const MachinePlan& plan) const {
   Machine machine(plan.platform, plan.workloads, allocator_config_,
-                  plan.machine_seed);
+                  plan.machine_seed, plan.pressure_events);
   machine.Run(config_.duration, config_.max_requests_per_process);
   std::vector<FleetObservation> observations;
   observations.reserve(machine.results().size());

@@ -20,6 +20,26 @@
 
 namespace wsc::fleet {
 
+// Fleet-wide memory-pressure injection (ISSUE: diurnal trough + random
+// spikes). Events are planned per machine in PlanMachines — sampled
+// seed-ordered after the machine seed fork, so enabling pressure never
+// perturbs machine composition — and retarget each process's soft limit
+// as a fraction of its observed peak footprint (see fleet::PressureEvent).
+struct PressureConfig {
+  bool enabled = false;
+  // Diurnal trough: every machine's limit drops to this fraction of peak
+  // for the window [diurnal_start_frac, diurnal_end_frac) of the run.
+  double diurnal_fraction = 0.6;
+  double diurnal_start_frac = 0.35;
+  double diurnal_end_frac = 0.8;
+  // Per-machine antagonist spike: with this probability, a machine gets a
+  // harsher window of `spike_duration_frac` of the run at `spike_fraction`
+  // of peak, starting at a uniformly drawn offset.
+  double spike_probability = 0.25;
+  double spike_fraction = 0.45;
+  double spike_duration_frac = 0.15;
+};
+
 // Fleet shape and run-length parameters.
 struct FleetConfig {
   int num_machines = 16;
@@ -44,6 +64,9 @@ struct FleetConfig {
   // Ranks 0-4 are the exact top-5 production profiles (they are also the
   // most popular by Zipf weight); higher ranks are jittered variants.
   bool include_top_five = true;
+
+  // Memory-pressure event injection (off by default).
+  PressureConfig pressure;
 };
 
 // One process observation, tagged with provenance.
@@ -77,6 +100,10 @@ class Fleet {
     std::vector<workload::WorkloadSpec> workloads;
     std::vector<int> ranks;      // binary rank per workload
     uint64_t machine_seed = 0;
+    // Pressure windows for this machine (empty unless config.pressure is
+    // enabled). Planned seed-ordered, after the machine seed fork, so a
+    // pressure run shares machine composition with a pressure-free run.
+    std::vector<PressureEvent> pressure_events;
   };
 
   // The deterministic composition of every machine (exposed for tests).

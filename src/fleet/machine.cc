@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "tcmalloc/malloc_extension.h"
 
 namespace wsc::fleet {
 
@@ -20,10 +21,20 @@ constexpr SimTime kSamplePeriod = Milliseconds(500);
 
 }  // namespace
 
+tcmalloc::AllocatorConfig ResolveTopology(tcmalloc::AllocatorConfig config,
+                                          const hw::CpuTopology& topology) {
+  config.num_llc_domains = topology.num_domains();
+  if (config.numa_aware) {
+    config.num_numa_nodes = topology.spec().sockets;
+  }
+  return config;
+}
+
 Machine::Machine(const hw::PlatformSpec& platform,
                  std::vector<workload::WorkloadSpec> workloads,
-                 const tcmalloc::AllocatorConfig& base_config, uint64_t seed)
-    : topology_(platform) {
+                 const tcmalloc::AllocatorConfig& base_config, uint64_t seed,
+                 std::vector<PressureEvent> pressure_events)
+    : topology_(platform), pressure_events_(std::move(pressure_events)) {
   WSC_CHECK(!workloads.empty());
   Rng rng(seed);
 
@@ -43,11 +54,7 @@ Machine::Machine(const hw::PlatformSpec& platform,
       cpus.push_back((first + c) % total_cpus);
     }
 
-    tcmalloc::AllocatorConfig config = base_config;
-    config.num_llc_domains = topology_.num_domains();
-    if (config.numa_aware) {
-      config.num_numa_nodes = topology_.spec().sockets;
-    }
+    tcmalloc::AllocatorConfig config = ResolveTopology(base_config, topology_);
     if (config.per_thread_front_end) {
       // Legacy per-thread caches: one front-end cache per thread.
       config.num_vcpus = std::max(1, process->spec.max_threads);
@@ -83,7 +90,31 @@ void Machine::SampleFootprint(Process& p) {
   p.live_byte_seconds +=
       static_cast<double>(heap.live_bytes) * static_cast<double>(dt);
   p.allocator->RecordHeapSample(heap);
+  p.peak_heap_bytes = std::max(p.peak_heap_bytes, heap.HeapBytes());
   p.last_sample = now;
+  ApplyPressure(p);
+}
+
+void Machine::ApplyPressure(Process& p) {
+  if (pressure_events_.empty()) return;
+  SimTime now = p.driver->now();
+  double fraction = 1.0;
+  for (const PressureEvent& e : pressure_events_) {
+    if (now >= e.start && now < e.end) {
+      fraction = std::min(fraction, e.limit_fraction);
+    }
+  }
+  tcmalloc::MallocExtension extension(p.allocator.get());
+  if (fraction < 1.0 && p.peak_heap_bytes > 0) {
+    size_t target = static_cast<size_t>(
+        static_cast<double>(p.peak_heap_bytes) * fraction);
+    extension.SetMemoryLimit(tcmalloc::MemoryLimitKind::kSoft,
+                             std::max<size_t>(target, 1));
+  } else {
+    // Event window over: restore the configured limit (0 = none).
+    extension.SetMemoryLimit(tcmalloc::MemoryLimitKind::kSoft,
+                             p.allocator->config().soft_limit_bytes);
+  }
 }
 
 void Machine::Run(SimTime duration, uint64_t max_requests) {

@@ -26,6 +26,28 @@
 
 namespace wsc::fleet {
 
+// One machine-level memory-pressure window: while the machine's local
+// timeline is inside [start, end), every process's soft memory limit is
+// retargeted to `limit_fraction` of its observed peak footprint (the
+// control plane asking the binary to give memory back). Overlapping events
+// compose by taking the tightest fraction. Outside all events, each
+// process's configured soft limit (AllocatorConfig::soft_limit_bytes) is
+// restored.
+struct PressureEvent {
+  SimTime start = 0;
+  SimTime end = 0;
+  double limit_fraction = 1.0;
+};
+
+// Resolves topology-derived knobs in `config` for a process placed on
+// `topology`: the LLC domain count always comes from the machine, and the
+// NUMA node count from its socket count when NUMA mode is on. This is the
+// resolution Machine applies at placement time, exposed so tests can build
+// placement-resolved configs (e.g. NUCA on a monolithic platform) without
+// assigning config fields directly.
+tcmalloc::AllocatorConfig ResolveTopology(tcmalloc::AllocatorConfig config,
+                                          const hw::CpuTopology& topology);
+
 // Final metrics of one process after a machine run.
 struct ProcessResult {
   std::string workload_name;
@@ -58,7 +80,8 @@ class Machine {
  public:
   Machine(const hw::PlatformSpec& platform,
           std::vector<workload::WorkloadSpec> workloads,
-          const tcmalloc::AllocatorConfig& base_config, uint64_t seed);
+          const tcmalloc::AllocatorConfig& base_config, uint64_t seed,
+          std::vector<PressureEvent> pressure_events = {});
 
   // Runs every process until its local clock reaches `duration` or it has
   // executed `max_requests` requests, whichever comes first, then drains.
@@ -84,13 +107,21 @@ class Machine {
     double live_byte_seconds = 0;
     SimTime last_sample = 0;
     bool done = false;
+    // Peak observed footprint; pressure events retarget soft limits as a
+    // fraction of this.
+    size_t peak_heap_bytes = 0;
   };
 
   void SampleFootprint(Process& p);
 
+  // Retargets `p`'s soft limit for the pressure events active at its
+  // local time (called at footprint-sample boundaries).
+  void ApplyPressure(Process& p);
+
   hw::CpuTopology topology_;
   std::vector<std::unique_ptr<Process>> processes_;
   std::vector<ProcessResult> results_;
+  std::vector<PressureEvent> pressure_events_;
 };
 
 }  // namespace wsc::fleet

@@ -1,10 +1,30 @@
 #include "tcmalloc/allocator.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
 
 #include "common/logging.h"
 
 namespace wsc::tcmalloc {
+
+namespace {
+
+// Fails loudly (with the actionable message, not just an expression dump)
+// on configs that would silently misbehave — e.g. the kTopologyDerived
+// sentinel reaching a raw Allocator, or NUCA left with one LLC domain by
+// an explicit setting.
+const AllocatorConfig& ValidatedOrDie(const AllocatorConfig& config) {
+  std::string error = config.ValidationError();
+  if (!error.empty()) {
+    std::fprintf(stderr, "Invalid AllocatorConfig: %s\n", error.c_str());
+    std::abort();
+  }
+  return config;
+}
+
+}  // namespace
 
 Allocator::NodeBackend::NodeBackend(const AllocatorConfig& config,
                                     const SizeClasses* size_classes,
@@ -24,7 +44,7 @@ Allocator::NodeBackend::NodeBackend(const AllocatorConfig& config,
 
 Allocator::Allocator(const AllocatorConfig& config,
                      const SizeClasses* size_classes)
-    : config_(config),
+    : config_(ValidatedOrDie(config)),
       size_classes_(size_classes),
       pagemap_(PageIdContaining(config.arena_base),
                config.arena_bytes >> kPageShift),
@@ -60,6 +80,10 @@ Allocator::Allocator(const AllocatorConfig& config,
   }
   heap_sample_hist_ =
       registry_.RegisterHistogram("allocator", "heap_sample_bytes", bounds);
+
+  // Last: the reclaimer registers its own telemetry and reads the limits
+  // out of the (validated) config.
+  reclaimer_ = std::make_unique<BackgroundReclaimer>(this);
 }
 
 Allocator::~Allocator() {
@@ -101,6 +125,11 @@ double Allocator::MmapNsTotal() const {
 
 uintptr_t Allocator::Allocate(size_t size, int vcpu, SimTime now) {
   WSC_CHECK_GT(size, 0u);
+  if (!reclaimer_->AdmitAllocation(size)) {
+    // Hard memory limit: a counted, surfaced failure (not an allocation).
+    last_op_ns_ = config_.costs.other_ns;
+    return 0;
+  }
   alloc_ops_->Add();
   last_op_ns_ = config_.costs.other_ns;
   cycles_.other_ns += config_.costs.other_ns;
@@ -329,6 +358,23 @@ void Allocator::Maintain(SimTime now) {
     last_release_ = now;
     for (auto& node : nodes_) node->page_heap.BackgroundRelease();
   }
+  // The pressure actor rides the same cadence as the production background
+  // thread: every Maintain boundary it compares footprint to the soft
+  // limit and runs the tier cascade when over.
+  reclaimer_->Tick(now);
+}
+
+size_t Allocator::FootprintBytes() const {
+  size_t footprint =
+      live_bytes_ + large_live_bytes_ + cpu_caches_.TotalCachedBytes();
+  for (const auto& node : nodes_) {
+    footprint += node->transfer_cache.TotalCachedBytes();
+    for (const auto& cfl : node->cfls) {
+      footprint += cfl->FreeObjectBytes();
+    }
+    footprint += node->page_heap.stats().TotalFree();
+  }
+  return footprint;
 }
 
 HeapStats Allocator::CollectStats() const {
@@ -460,6 +506,7 @@ telemetry::Snapshot Allocator::TelemetrySnapshot() {
     node->page_heap.ContributeTelemetry(reg);
     node->system.ContributeTelemetry(reg);
   }
+  reclaimer_->ContributeTelemetry(reg);
   return reg.TakeSnapshot();
 }
 

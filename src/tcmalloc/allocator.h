@@ -32,6 +32,7 @@
 #include "common/flat_map.h"
 #include "common/histogram.h"
 #include "common/sim_clock.h"
+#include "tcmalloc/background.h"
 #include "tcmalloc/central_free_list.h"
 #include "tcmalloc/config.h"
 #include "tcmalloc/page_heap.h"
@@ -110,7 +111,9 @@ class Allocator {
   Allocator& operator=(const Allocator&) = delete;
 
   // Allocates `size` bytes on virtual CPU `vcpu` at simulated time `now`.
-  // Returns the object address (never 0). Fatal on size == 0.
+  // Returns the object address, or 0 when a hard memory limit is set and
+  // admitting the allocation would exceed it (a counted, surfaced failure;
+  // see background.h). Never 0 otherwise. Fatal on size == 0.
   uintptr_t Allocate(size_t size, int vcpu, SimTime now);
 
   // Frees an address previously returned by Allocate. Fatal on wild or
@@ -140,6 +143,12 @@ class Allocator {
   int num_numa_nodes() const { return static_cast<int>(nodes_.size()); }
 
   // --- Introspection ---
+  //
+  // NOTE: outside src/tcmalloc/ these raw accessors (and the per-component
+  // ones below) are DEPRECATED in favor of the MallocExtension facade
+  // (malloc_extension.h) — the single sanctioned surface for benches,
+  // tests, and the fleet layer. In-tree white-box tests may still reach
+  // into components directly.
   HeapStats CollectStats() const;
   const MallocCycleBreakdown& cycle_breakdown() const { return cycles_; }
   const TierHitCounts& alloc_tier_hits() const { return alloc_hits_; }
@@ -161,6 +170,15 @@ class Allocator {
   // and by bytes.
   const LogHistogram& alloc_count_hist() const { return alloc_count_hist_; }
   const LogHistogram& alloc_bytes_hist() const { return alloc_bytes_hist_; }
+
+  // Exact process footprint charged against memory limits: live bytes plus
+  // every tier's cached/free bytes (HeapStats::HeapBytes without the
+  // requested-size estimation). O(#vcpus + #classes + #hugepages).
+  size_t FootprintBytes() const;
+
+  // The memory-pressure control plane (limits, reclaim cascade).
+  BackgroundReclaimer& reclaimer() { return *reclaimer_; }
+  const BackgroundReclaimer& reclaimer() const { return *reclaimer_; }
 
   const SizeClasses& size_classes() const { return *size_classes_; }
   const AllocatorConfig& config() const { return config_; }
@@ -207,6 +225,10 @@ class Allocator {
   bool IsLiveObject(uintptr_t addr) const;
 
  private:
+  // The reclaim actor walks the tiers directly (it is part of the
+  // allocator's own control plane, not an external client).
+  friend class BackgroundReclaimer;
+
   // One per-NUMA-node middle/back end: its own arena slice, page heap,
   // central free lists, and transfer cache.
   struct NodeBackend {
@@ -286,6 +308,9 @@ class Allocator {
   SimTime last_resize_ = 0;
   SimTime last_plunder_ = 0;
   SimTime last_release_ = 0;
+
+  // Constructed last in the ctor (it registers telemetry and reads config).
+  std::unique_ptr<BackgroundReclaimer> reclaimer_;
 
   // Scratch batch buffer (max batch size).
   std::vector<uintptr_t> batch_;

@@ -1,0 +1,339 @@
+#include "tcmalloc/config.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "tcmalloc/pages.h"
+
+namespace wsc::tcmalloc {
+
+namespace {
+
+std::string BadKnob(const char* what, const std::string& how_to_fix) {
+  return std::string(what) + ": " + how_to_fix;
+}
+
+}  // namespace
+
+std::string AllocatorConfig::ValidationError() const {
+  if (num_vcpus < 1) {
+    return BadKnob("num_vcpus must be >= 1",
+                   "pass a positive count to WithVcpus()");
+  }
+  if (per_cpu_cache_min_bytes > per_cpu_cache_bytes) {
+    return BadKnob(
+        "per_cpu_cache_min_bytes exceeds per_cpu_cache_bytes",
+        "lower WithCpuCacheMinBytes() or raise WithCpuCacheBytes()");
+  }
+  if (cpu_cache_grow_candidates < 1) {
+    return BadKnob("cpu_cache_grow_candidates must be >= 1",
+                   "pass a positive count to WithCpuCacheGrowCandidates()");
+  }
+  if (num_llc_domains == kTopologyDerived) {
+    return BadKnob(
+        "num_llc_domains is unresolved (kTopologyDerived)",
+        "construct the allocator through fleet::Machine so the LLC domain "
+        "count comes from the machine topology, or choose one explicitly "
+        "with WithLlcDomains(n)");
+  }
+  if (num_llc_domains < 1) {
+    return BadKnob("num_llc_domains must be >= 1",
+                   "pass a positive count to WithLlcDomains()");
+  }
+  if (transfer_cache_batches < 1) {
+    return BadKnob("transfer_cache_batches must be >= 1",
+                   "pass a positive count to WithTransferCacheBatches()");
+  }
+  if (nuca_shard_batches < 1 || nuca_shard_batches > transfer_cache_batches) {
+    return BadKnob(
+        "nuca_shard_batches must be in [1, transfer_cache_batches]",
+        "NUCA shards hold a fraction of the central capacity; adjust "
+        "WithNucaShardBatches()");
+  }
+  if (cfl_num_lists < 1) {
+    return BadKnob("cfl_num_lists must be >= 1",
+                   "pass a positive count to WithCflNumLists()");
+  }
+  if (filler_capacity_threshold < 1) {
+    return BadKnob("filler_capacity_threshold must be >= 1",
+                   "pass a positive threshold to WithFillerCapacityThreshold()");
+  }
+  if (subrelease_free_fraction < 0.0 || subrelease_free_fraction > 1.0) {
+    return BadKnob("subrelease_free_fraction must be in [0, 1]",
+                   "pass a fraction to WithSubreleaseFreeFraction()");
+  }
+  if (numa_aware && num_numa_nodes == kTopologyDerived) {
+    return BadKnob(
+        "num_numa_nodes is unresolved (kTopologyDerived)",
+        "construct the allocator through fleet::Machine so the node count "
+        "comes from the machine topology, or choose one explicitly with "
+        "WithNumaNodes(n)");
+  }
+  if (num_numa_nodes < 0 || (!numa_aware && num_numa_nodes < 1)) {
+    return BadKnob("num_numa_nodes must be >= 1",
+                   "pass a positive count to WithNumaNodes()");
+  }
+  if (sample_interval_bytes < 1) {
+    return BadKnob("sample_interval_bytes must be >= 1",
+                   "pass a positive interval to WithSampleIntervalBytes()");
+  }
+  int nodes = numa_aware ? num_numa_nodes : 1;
+  if (arena_bytes / static_cast<size_t>(nodes) < kHugePageSize) {
+    return BadKnob(
+        "arena_bytes too small",
+        "each (per-node) arena slice needs at least one hugepage; enlarge "
+        "WithArena()");
+  }
+  if (pressure_cache_floor_fraction < 0.0 ||
+      pressure_cache_floor_fraction > 1.0) {
+    return BadKnob("pressure_cache_floor_fraction must be in [0, 1]",
+                   "pass a fraction to WithPressureCacheFloorFraction()");
+  }
+  if (soft_limit_bytes != 0 && hard_limit_bytes != 0 &&
+      soft_limit_bytes > hard_limit_bytes) {
+    return BadKnob(
+        "soft_limit_bytes exceeds hard_limit_bytes",
+        "the soft limit must trigger reclaim before the hard limit fails "
+        "allocations; swap WithSoftMemoryLimit()/WithHardMemoryLimit()");
+  }
+  return "";
+}
+
+AllocatorConfig::Builder::Builder(const AllocatorConfig& base)
+    : config_(base),
+      explicit_llc_domains_(base.num_llc_domains !=
+                            AllocatorConfig::kTopologyDerived),
+      explicit_numa_nodes_(base.num_numa_nodes !=
+                           AllocatorConfig::kTopologyDerived) {}
+
+AllocatorConfig::Builder& AllocatorConfig::Builder::WithVcpus(int n) {
+  config_.num_vcpus = n;
+  return *this;
+}
+
+AllocatorConfig::Builder& AllocatorConfig::Builder::WithPerThreadFrontEnd(
+    bool on) {
+  config_.per_thread_front_end = on;
+  return *this;
+}
+
+AllocatorConfig::Builder& AllocatorConfig::Builder::WithCpuCacheBytes(
+    size_t bytes) {
+  config_.per_cpu_cache_bytes = bytes;
+  return *this;
+}
+
+AllocatorConfig::Builder& AllocatorConfig::Builder::WithDynamicCpuCaches(
+    bool on) {
+  config_.dynamic_cpu_caches = on;
+  return *this;
+}
+
+AllocatorConfig::Builder& AllocatorConfig::Builder::WithCpuCacheResizeInterval(
+    SimTime interval) {
+  config_.cpu_cache_resize_interval = interval;
+  return *this;
+}
+
+AllocatorConfig::Builder& AllocatorConfig::Builder::WithCpuCacheGrowCandidates(
+    int n) {
+  config_.cpu_cache_grow_candidates = n;
+  return *this;
+}
+
+AllocatorConfig::Builder& AllocatorConfig::Builder::WithCpuCacheMinBytes(
+    size_t bytes) {
+  config_.per_cpu_cache_min_bytes = bytes;
+  return *this;
+}
+
+AllocatorConfig::Builder& AllocatorConfig::Builder::WithNucaTransferCache(
+    bool on) {
+  config_.nuca_transfer_cache = on;
+  if (on && !explicit_llc_domains_) {
+    config_.num_llc_domains = AllocatorConfig::kTopologyDerived;
+  }
+  return *this;
+}
+
+AllocatorConfig::Builder& AllocatorConfig::Builder::WithLlcDomains(int n) {
+  config_.num_llc_domains = n;
+  explicit_llc_domains_ = true;
+  return *this;
+}
+
+AllocatorConfig::Builder& AllocatorConfig::Builder::WithTransferCacheBatches(
+    int n) {
+  config_.transfer_cache_batches = n;
+  return *this;
+}
+
+AllocatorConfig::Builder& AllocatorConfig::Builder::WithNucaShardBatches(
+    int n) {
+  config_.nuca_shard_batches = n;
+  return *this;
+}
+
+AllocatorConfig::Builder& AllocatorConfig::Builder::WithNucaPlunderInterval(
+    SimTime interval) {
+  config_.nuca_plunder_interval = interval;
+  return *this;
+}
+
+AllocatorConfig::Builder& AllocatorConfig::Builder::WithSpanPrioritization(
+    bool on) {
+  config_.span_prioritization = on;
+  return *this;
+}
+
+AllocatorConfig::Builder& AllocatorConfig::Builder::WithCflNumLists(int n) {
+  config_.cfl_num_lists = n;
+  return *this;
+}
+
+AllocatorConfig::Builder& AllocatorConfig::Builder::WithLifetimeAwareFiller(
+    bool on) {
+  config_.lifetime_aware_filler = on;
+  return *this;
+}
+
+AllocatorConfig::Builder&
+AllocatorConfig::Builder::WithFillerCapacityThreshold(int threshold) {
+  config_.filler_capacity_threshold = threshold;
+  return *this;
+}
+
+AllocatorConfig::Builder&
+AllocatorConfig::Builder::WithSubreleaseFreeFraction(double fraction) {
+  config_.subrelease_free_fraction = fraction;
+  return *this;
+}
+
+AllocatorConfig::Builder& AllocatorConfig::Builder::WithReleaseInterval(
+    SimTime interval) {
+  config_.release_interval = interval;
+  return *this;
+}
+
+AllocatorConfig::Builder& AllocatorConfig::Builder::WithNumaAware(bool on) {
+  config_.numa_aware = on;
+  if (on && !explicit_numa_nodes_) {
+    config_.num_numa_nodes = AllocatorConfig::kTopologyDerived;
+  } else if (!on && !explicit_numa_nodes_) {
+    config_.num_numa_nodes = 1;
+  }
+  return *this;
+}
+
+AllocatorConfig::Builder& AllocatorConfig::Builder::WithNumaNodes(int n) {
+  config_.numa_aware = true;
+  config_.num_numa_nodes = n;
+  explicit_numa_nodes_ = true;
+  return *this;
+}
+
+AllocatorConfig::Builder& AllocatorConfig::Builder::WithSampleIntervalBytes(
+    size_t bytes) {
+  config_.sample_interval_bytes = bytes;
+  return *this;
+}
+
+AllocatorConfig::Builder& AllocatorConfig::Builder::WithArena(uintptr_t base,
+                                                              size_t bytes) {
+  config_.arena_base = base;
+  config_.arena_bytes = bytes;
+  return *this;
+}
+
+AllocatorConfig::Builder& AllocatorConfig::Builder::WithCostModel(
+    const CostModel& costs) {
+  config_.costs = costs;
+  return *this;
+}
+
+AllocatorConfig::Builder& AllocatorConfig::Builder::WithSoftMemoryLimit(
+    size_t bytes) {
+  config_.soft_limit_bytes = bytes;
+  return *this;
+}
+
+AllocatorConfig::Builder& AllocatorConfig::Builder::WithHardMemoryLimit(
+    size_t bytes) {
+  config_.hard_limit_bytes = bytes;
+  return *this;
+}
+
+AllocatorConfig::Builder&
+AllocatorConfig::Builder::WithPressureCacheFloorFraction(double fraction) {
+  config_.pressure_cache_floor_fraction = fraction;
+  return *this;
+}
+
+AllocatorConfig::Builder& AllocatorConfig::Builder::WithAllOptimizations() {
+  config_ = AllocatorConfig::AllOptimizations(config_);
+  if (explicit_llc_domains_ &&
+      config_.num_llc_domains == AllocatorConfig::kTopologyDerived) {
+    // AllOptimizations resets a monolithic explicit count; keep the
+    // explicit flag consistent with the now-derived value.
+    explicit_llc_domains_ = false;
+  }
+  return *this;
+}
+
+std::optional<AllocatorConfig> AllocatorConfig::Builder::TryBuild(
+    std::string* error) const {
+  auto fail = [error](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return std::nullopt;
+  };
+
+  // Builder-level combination checks: these knobs were chosen explicitly,
+  // so a contradictory pair is a caller bug even when the config would be
+  // constructible (e.g. NUCA quietly disabled on one domain).
+  if (config_.nuca_transfer_cache && explicit_llc_domains_ &&
+      config_.num_llc_domains < 2) {
+    return fail(BadKnob(
+        "nuca_transfer_cache requires num_llc_domains >= 2",
+        "a NUCA transfer cache shards per LLC domain; pass WithLlcDomains(n "
+        ">= 2), or drop WithLlcDomains() to derive the count from the "
+        "machine topology"));
+  }
+  if (config_.numa_aware && explicit_numa_nodes_ &&
+      config_.num_numa_nodes < 2) {
+    return fail(BadKnob(
+        "numa_aware requires num_numa_nodes >= 2",
+        "NUMA mode duplicates the middle/back end per node; pass "
+        "WithNumaNodes(n >= 2), or use WithNumaAware() to derive the count "
+        "from the machine topology"));
+  }
+
+  AllocatorConfig config = config_;
+  // Topology sentinels are legal in a *built* config — fleet::Machine
+  // resolves them at placement — so validate everything else with the
+  // sentinels masked to a resolvable value.
+  AllocatorConfig check = config;
+  if (check.num_llc_domains == AllocatorConfig::kTopologyDerived) {
+    check.num_llc_domains = 2;
+  }
+  if (check.numa_aware &&
+      check.num_numa_nodes == AllocatorConfig::kTopologyDerived) {
+    check.num_numa_nodes = 2;
+  }
+  if (std::string err = check.ValidationError(); !err.empty()) {
+    return fail(err);
+  }
+  return config;
+}
+
+AllocatorConfig AllocatorConfig::Builder::Build() const {
+  std::string error;
+  std::optional<AllocatorConfig> config = TryBuild(&error);
+  if (!config.has_value()) {
+    std::fprintf(stderr, "AllocatorConfig::Builder::Build failed: %s\n",
+                 error.c_str());
+    std::abort();
+  }
+  return *config;
+}
+
+}  // namespace wsc::tcmalloc

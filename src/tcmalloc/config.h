@@ -10,6 +10,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
+#include <string>
 
 #include "common/sim_clock.h"
 
@@ -29,7 +31,18 @@ struct CostModel {
 };
 
 // Feature toggles + tuning knobs (defaults = paper's baseline TCMalloc).
+//
+// Construct through AllocatorConfig::Builder (below) outside src/tcmalloc/:
+// the builder validates knob combinations and resolves topology-derived
+// counts, and is the only construction path CI permits for benches and
+// tests.
 struct AllocatorConfig {
+  // Sentinel for num_llc_domains / num_numa_nodes: "derive from the machine
+  // topology at placement time". fleet::Machine resolves it when it places a
+  // process; constructing an Allocator directly with an unresolved sentinel
+  // is a fatal error (ValidationError explains how to fix it).
+  static constexpr int kTopologyDerived = 0;
+
   // ---- Front-end: per-CPU caches (Section 4.1) ----
   // Number of virtual CPUs to populate caches for (dense vCPU id space).
   int num_vcpus = 8;
@@ -91,6 +104,17 @@ struct AllocatorConfig {
   // Sample one allocation for every this many allocated bytes.
   size_t sample_interval_bytes = 2 * 1024 * 1024;
 
+  // ---- Memory limits (background.h control plane) ----
+  // Soft limit: the background reclaimer degrades the cache hierarchy in
+  // tier order until the footprint drops back under it. 0 = no limit.
+  size_t soft_limit_bytes = 0;
+  // Hard limit: allocations that would push the footprint past it fail
+  // (Allocate returns 0) after one emergency reclaim attempt. 0 = no limit.
+  size_t hard_limit_bytes = 0;
+  // Under soft-limit pressure, per-CPU caches are capped at this fraction
+  // of per_cpu_cache_min_bytes — deliberately below the normal floor.
+  double pressure_cache_floor_fraction = 0.25;
+
   // ---- Arena ----
   // The arena is purely virtual (addresses, not memory), so it is sized
   // generously: a bump allocator plus hugepage-run reuse can churn through
@@ -106,10 +130,99 @@ struct AllocatorConfig {
     base.dynamic_cpu_caches = true;
     base.per_cpu_cache_bytes = 3 * 1024 * 1024 / 2;
     base.nuca_transfer_cache = true;
+    // NUCA shards are per LLC domain; the old behavior kept the monolithic
+    // default (num_llc_domains = 1), silently turning the toggle into a
+    // no-op for directly-constructed allocators. Derive the shard count
+    // from the machine topology instead unless a count was chosen already.
+    if (base.num_llc_domains <= 1) base.num_llc_domains = kTopologyDerived;
     base.span_prioritization = true;
     base.lifetime_aware_filler = true;
     return base;
   }
+
+  // Empty when this config can construct an Allocator; otherwise an
+  // actionable description of the first problem found (unresolved topology
+  // sentinels, out-of-range knobs, soft limit above hard limit, ...).
+  std::string ValidationError() const;
+
+  class Builder;
+};
+
+// Fluent, validating construction for everything outside src/tcmalloc/.
+//
+//   auto config = tcmalloc::AllocatorConfig::Builder()
+//                     .WithDynamicCpuCaches()
+//                     .WithNumaNodes(2)
+//                     .Build();
+//
+// Build() aborts with an actionable message on invalid knob combinations
+// (e.g. NUCA with fewer than two LLC domains, NUMA with a single node);
+// TryBuild() reports the error instead. Enabling a topology-dependent
+// feature without an explicit count leaves the count at kTopologyDerived,
+// to be resolved by fleet::Machine at placement time.
+class AllocatorConfig::Builder {
+ public:
+  Builder() = default;
+  // Starts from an existing config (all fields taken as explicit).
+  explicit Builder(const AllocatorConfig& base);
+
+  // ---- Front-end ----
+  Builder& WithVcpus(int n);
+  Builder& WithPerThreadFrontEnd(bool on = true);
+  Builder& WithCpuCacheBytes(size_t bytes);
+  Builder& WithDynamicCpuCaches(bool on = true);
+  Builder& WithCpuCacheResizeInterval(SimTime interval);
+  Builder& WithCpuCacheGrowCandidates(int n);
+  Builder& WithCpuCacheMinBytes(size_t bytes);
+
+  // ---- Transfer cache ----
+  Builder& WithNucaTransferCache(bool on = true);
+  Builder& WithLlcDomains(int n);
+  Builder& WithTransferCacheBatches(int n);
+  Builder& WithNucaShardBatches(int n);
+  Builder& WithNucaPlunderInterval(SimTime interval);
+
+  // ---- Central free list ----
+  Builder& WithSpanPrioritization(bool on = true);
+  Builder& WithCflNumLists(int n);
+
+  // ---- Hugepage filler / release ----
+  Builder& WithLifetimeAwareFiller(bool on = true);
+  Builder& WithFillerCapacityThreshold(int threshold);
+  Builder& WithSubreleaseFreeFraction(double fraction);
+  Builder& WithReleaseInterval(SimTime interval);
+
+  // ---- NUMA ----
+  // Enables NUMA mode with a topology-derived node count.
+  Builder& WithNumaAware(bool on = true);
+  // Enables NUMA mode with an explicit node count (must be >= 2).
+  Builder& WithNumaNodes(int n);
+
+  // ---- Sampling / arena / costs ----
+  Builder& WithSampleIntervalBytes(size_t bytes);
+  Builder& WithArena(uintptr_t base, size_t bytes);
+  Builder& WithCostModel(const CostModel& costs);
+
+  // ---- Memory limits ----
+  Builder& WithSoftMemoryLimit(size_t bytes);
+  Builder& WithHardMemoryLimit(size_t bytes);
+  Builder& WithPressureCacheFloorFraction(double fraction);
+
+  // All four paper redesigns (Section 4.5), NUCA shard count derived from
+  // topology unless WithLlcDomains chose one.
+  Builder& WithAllOptimizations();
+
+  // Validates and returns the config, or the reason it is invalid.
+  std::optional<AllocatorConfig> TryBuild(std::string* error = nullptr) const;
+
+  // Validates and returns the config; aborts with the error message on
+  // invalid combinations.
+  AllocatorConfig Build() const;
+
+ private:
+  AllocatorConfig config_;
+  bool explicit_llc_domains_ = false;
+  bool explicit_numa_nodes_ = false;
 };
 
 }  // namespace wsc::tcmalloc

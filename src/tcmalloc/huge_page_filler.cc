@@ -257,6 +257,17 @@ Length HugePageFiller::SubreleaseExcess(double target_fraction,
       static_cast<double>(releasable_free) / static_cast<double>(total);
   if (fraction <= target_fraction) return 0;
 
+  Length need =
+      releasable_free - static_cast<Length>(target_fraction * total);
+  return ReleaseSparsest(need);
+}
+
+Length HugePageFiller::SubreleaseUpTo(Length need) {
+  return ReleaseSparsest(need);
+}
+
+Length HugePageFiller::ReleaseSparsest(Length need) {
+  if (need == 0) return 0;
   // Break the sparsest intact hugepages first: their free pages buy the
   // most released memory per broken hugepage. At equal sparseness, prefer
   // short-lived-set victims — they drain to fully free and leave the
@@ -285,8 +296,6 @@ Length HugePageFiller::SubreleaseExcess(double target_fraction,
               return a->hugepage().index > b->hugepage().index;
             });
   Length released = 0;
-  Length need =
-      releasable_free - static_cast<Length>(target_fraction * total);
   for (PageTracker* t : intact) {
     if (released >= need) break;
     t->set_released(true);

@@ -153,6 +153,14 @@ class HugePageFiller {
   Length SubreleaseExcess(double target_fraction,
                           Length demand_guard_pages = 0);
 
+  // Aggressive pressure-driven subrelease (the background reclaimer's last
+  // tier): releases free pages from the sparsest intact hugepages until at
+  // least `need` pages are released or no intact free pages remain. Unlike
+  // SubreleaseExcess there is no fraction target and no demand guard — a
+  // process over its memory limit gives pages back even if load may
+  // return. Returns pages released to the OS.
+  Length SubreleaseUpTo(Length need);
+
   // True if `addr` lies on a hugepage owned by the filler that is still
   // THP-intact.
   bool IsIntactHugepage(uintptr_t addr) const;
@@ -181,6 +189,11 @@ class HugePageFiller {
   // Picks the fullest tracker in `set` able to fit `n` contiguous pages;
   // prefers intact trackers over released ones, donated last.
   PageTracker* PickTracker(int set, Length n);
+
+  // Marks the sparsest intact hugepages released until `need` pages are
+  // released; shared victim-ordering core of SubreleaseExcess and
+  // SubreleaseUpTo. Returns pages released.
+  Length ReleaseSparsest(Length need);
 
   // Handles a tracker that became empty: returns the hugepage upstream.
   void ReleaseEmpty(PageTracker* t);

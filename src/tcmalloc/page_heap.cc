@@ -142,6 +142,24 @@ void PageHeap::BackgroundRelease() {
   filler_.SubreleaseExcess(config_.subrelease_free_fraction, guard);
 }
 
+size_t PageHeap::ReleaseForPressure(size_t target_bytes) {
+  size_t released = 0;
+  if (target_bytes == 0) return 0;
+  HugeCacheStats c = cache_.stats();
+  if (c.cached_hugepages > 0) {
+    size_t want_hp =
+        (target_bytes + kHugePageSize - 1) / kHugePageSize;
+    size_t keep =
+        c.cached_hugepages > want_hp ? c.cached_hugepages - want_hp : 0;
+    released += cache_.ReleaseExcess(keep) * kHugePageSize;
+  }
+  if (released < target_bytes) {
+    Length need = BytesToLengthCeil(target_bytes - released);
+    released += LengthToBytes(filler_.SubreleaseUpTo(need));
+  }
+  return released;
+}
+
 bool PageHeap::IsHugepageBacked(uintptr_t addr) const {
   if (filler_.Owns(addr)) return filler_.IsIntactHugepage(addr);
   // Regions and whole cache hugepages never subrelease while occupied; a

@@ -67,6 +67,14 @@ class PageHeap : public SpanSource, private HugePageBacking {
   // free fraction exceeds the configured threshold.
   void BackgroundRelease();
 
+  // Pressure-driven release (the background reclaimer's final tier, also
+  // backing MallocExtension::ReleaseMemoryToSystem): returns up to
+  // `target_bytes` of free back-end memory to the OS — whole cached
+  // hugepages first (cheapest: no live THP mapping breaks), then
+  // aggressive filler subrelease with no demand guard. Returns the bytes
+  // actually released.
+  size_t ReleaseForPressure(size_t target_bytes);
+
   // True if the (live) address is backed by an intact transparent
   // hugepage. Subreleased filler hugepages are the only broken mappings a
   // live object can sit on.

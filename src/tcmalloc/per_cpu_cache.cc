@@ -51,7 +51,7 @@ bool CpuCacheSet::Deallocate(int vcpu, int cls, uintptr_t obj) {
   VcpuCache& cache = Touch(vcpu);
   ++cache.interval_ops;
   size_t size = size_classes_->class_size(cls);
-  if (cache.used_bytes + size > cache.capacity_bytes ||
+  if (cache.used_bytes + size > EffectiveCapacity(cache) ||
       static_cast<int>(cache.objects[cls].size()) >=
           size_classes_->info(cls).max_per_cpu_objects) {
     ++cache.overflows;
@@ -77,7 +77,8 @@ int CpuCacheSet::Refill(int vcpu, int cls, const uintptr_t* objs, int n) {
         static_cast<size_t>(2 * size_classes_->batch_size(cls)));
   }
   int accepted = 0;
-  while (accepted < n && cache.used_bytes + size <= cache.capacity_bytes &&
+  const size_t capacity = EffectiveCapacity(cache);
+  while (accepted < n && cache.used_bytes + size <= capacity &&
          static_cast<int>(cache.objects[cls].size()) < max_objects) {
     cache.objects[cls].push_back(objs[accepted]);
     cache.used_bytes += size;

@@ -71,6 +71,22 @@ class CpuCacheSet {
   template <typename Flush>
   void FlushAll(Flush&& flush);
 
+  // Soft-limit pressure (tier 1 of the background reclaimer's cascade):
+  // caps every cache at `floor_bytes` — deliberately below the configured
+  // minimum — until LiftPressureCap(). Caches idle since the last
+  // maintenance interval are flushed entirely (cold caches give back
+  // everything); active caches evict down to the cap. Returns the bytes
+  // flushed.
+  template <typename Flush>
+  size_t ShrinkForPressure(size_t floor_bytes, Flush&& flush);
+
+  // Removes the pressure cap; caches refill to their configured capacity
+  // through normal operation.
+  void LiftPressureCap() { pressure_cap_bytes_ = kNoPressureCap; }
+  bool pressure_capped() const {
+    return pressure_cap_bytes_ != kNoPressureCap;
+  }
+
   // --- Introspection ---
   struct VcpuStats {
     bool populated = false;
@@ -110,8 +126,16 @@ class CpuCacheSet {
     std::vector<std::vector<uintptr_t>> objects;  // per size class
   };
 
+  static constexpr size_t kNoPressureCap = ~size_t{0};
+
   // Lazily populates a vCPU cache on first touch.
   VcpuCache& Touch(int vcpu);
+
+  // Insertion-side capacity: the configured capacity, clipped by the
+  // pressure cap while the background reclaimer holds one.
+  size_t EffectiveCapacity(const VcpuCache& cache) const {
+    return std::min(cache.capacity_bytes, pressure_cap_bytes_);
+  }
 
   // Evicts objects (largest classes first) until used <= capacity.
   template <typename Flush>
@@ -124,6 +148,7 @@ class CpuCacheSet {
   int grow_candidates_;
   std::vector<VcpuCache> vcpus_;
   int steal_cursor_ = 0;  // round-robin position for capacity stealing
+  size_t pressure_cap_bytes_ = kNoPressureCap;
 };
 
 // --- template implementations ---
@@ -132,17 +157,44 @@ template <typename Flush>
 void CpuCacheSet::EvictToCapacity(VcpuCache& cache, Flush&& flush) {
   // The paper's scheme prioritizes shrinking capacity for larger size
   // classes, since the bulk of allocations are small objects (Fig. 7).
+  const size_t capacity = EffectiveCapacity(cache);
   for (int cls = size_classes_->num_classes() - 1;
-       cls >= 0 && cache.used_bytes > cache.capacity_bytes; --cls) {
+       cls >= 0 && cache.used_bytes > capacity; --cls) {
     std::vector<uintptr_t>& list = cache.objects[cls];
     size_t size = size_classes_->class_size(cls);
-    while (!list.empty() && cache.used_bytes > cache.capacity_bytes) {
+    while (!list.empty() && cache.used_bytes > capacity) {
       uintptr_t obj = list.back();
       list.pop_back();
       cache.used_bytes -= size;
       flush(cls, &obj, 1);
     }
   }
+}
+
+template <typename Flush>
+size_t CpuCacheSet::ShrinkForPressure(size_t floor_bytes, Flush&& flush) {
+  pressure_cap_bytes_ = floor_bytes;
+  size_t flushed = 0;
+  for (VcpuCache& cache : vcpus_) {
+    if (!cache.populated || cache.used_bytes == 0) continue;
+    size_t before = cache.used_bytes;
+    if (cache.interval_ops == 0) {
+      // Cold cache: nothing touched it since the last maintenance pass, so
+      // its objects are pure stranding under pressure. Flush everything.
+      for (int cls = 0; cls < size_classes_->num_classes(); ++cls) {
+        std::vector<uintptr_t>& list = cache.objects[cls];
+        if (list.empty()) continue;
+        flush(cls, list.data(), static_cast<int>(list.size()));
+        cache.used_bytes -= size_classes_->class_size(cls) * list.size();
+        list.clear();
+      }
+      WSC_CHECK_EQ(cache.used_bytes, 0u);
+    } else {
+      EvictToCapacity(cache, flush);
+    }
+    flushed += before - cache.used_bytes;
+  }
+  return flushed;
 }
 
 template <typename Flush>

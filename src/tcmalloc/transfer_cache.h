@@ -62,6 +62,13 @@ class TransferCache {
   template <typename Sink>
   void DrainCold(Sink&& sink);
 
+  // Drains every cached object — NUCA shards and the centralized cache —
+  // to `sink` (tier 2 of the background reclaimer's pressure cascade:
+  // plunder the shards, then hand the whole tier to the central free lists
+  // so empty spans can flow back to the page heap). Returns bytes drained.
+  template <typename Sink>
+  size_t DrainAll(Sink&& sink);
+
   // Total free bytes cached in this tier.
   size_t TotalCachedBytes() const;
 
@@ -107,6 +114,29 @@ void TransferCache::DrainCold(Sink&& sink) {
     }
     c.low_water = c.objects.size();
   }
+}
+
+template <typename Sink>
+size_t TransferCache::DrainAll(Sink&& sink) {
+  size_t bytes = 0;
+  auto drain = [&](int cls, ClassCache& c) {
+    if (!c.objects.empty()) {
+      sink(cls, c.objects.data(), static_cast<int>(c.objects.size()));
+      bytes += size_classes_->class_size(cls) * c.objects.size();
+      c.objects.clear();
+    }
+    c.low_water = 0;
+  };
+  for (auto& shard : shards_) {
+    if (shard.empty()) continue;
+    for (int cls = 0; cls < size_classes_->num_classes(); ++cls) {
+      drain(cls, shard[cls]);
+    }
+  }
+  for (int cls = 0; cls < size_classes_->num_classes(); ++cls) {
+    drain(cls, central_[cls]);
+  }
+  return bytes;
 }
 
 }  // namespace wsc::tcmalloc

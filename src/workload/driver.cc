@@ -63,6 +63,13 @@ Driver::Driver(const WorkloadSpec& spec, tcmalloc::Allocator* allocator,
       size_t size = static_cast<size_t>(std::max(8.0, raw));
       uintptr_t addr = allocator_->Allocate(size, vcpu, clock_.now());
       vcpu = (vcpu + 1) % num_vcpus;
+      if (addr == 0) {
+        // Hard-limit refusal: count it and keep making progress toward the
+        // startup target (otherwise the loop would spin forever).
+        ++metrics_.failed_allocations;
+        allocated += static_cast<double>(size);
+        continue;
+      }
       live_.push(LiveObject{Days(365), addr, static_cast<uint32_t>(size)});
       live_bytes_ += size;
       allocated += static_cast<double>(size);
@@ -166,6 +173,12 @@ double Driver::Step() {
 
     uintptr_t addr = allocator_->Allocate(size, vcpu, now);
     malloc_ns += allocator_->last_op_ns();
+    if (addr == 0) {
+      // Hard memory limit: the request sheds this allocation (production
+      // would degrade or crash; we count and continue).
+      ++metrics_.failed_allocations;
+      continue;
+    }
     ++metrics_.allocations;
 
     live_.push(LiveObject{death, addr, static_cast<uint32_t>(size)});

@@ -30,6 +30,9 @@ struct DriverMetrics {
   uint64_t requests = 0;
   uint64_t allocations = 0;
   uint64_t frees = 0;
+  // Allocations refused by a hard memory limit (Allocate returned 0);
+  // surfaced failures, not counted in `allocations`.
+  uint64_t failed_allocations = 0;
   double cpu_ns = 0;        // total CPU time consumed
   double base_work_ns = 0;  // application compute share
   double malloc_ns = 0;     // allocator share

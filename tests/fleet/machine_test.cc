@@ -61,8 +61,8 @@ TEST(Machine, RequestCapBoundsRun) {
 }
 
 TEST(Machine, NucaDomainsPropagateToAllocatorConfig) {
-  tcmalloc::AllocatorConfig config;
-  config.nuca_transfer_cache = true;
+  tcmalloc::AllocatorConfig config =
+      tcmalloc::AllocatorConfig::Builder().WithNucaTransferCache().Build();
   hw::PlatformSpec platform = hw::PlatformSpecFor(hw::PlatformGeneration::kGenE);
   Machine machine(platform, {FastSpec("nuca")}, config, 4);
   EXPECT_EQ(machine.allocator(0).config().num_llc_domains,

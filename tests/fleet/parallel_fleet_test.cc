@@ -92,8 +92,8 @@ TEST(ParallelFleet, AggregatedMetricsIdentical) {
 
 TEST(ParallelFleet, AbExperimentDeltasIdentical) {
   tcmalloc::AllocatorConfig control;
-  tcmalloc::AllocatorConfig experiment;
-  experiment.span_prioritization = true;
+  tcmalloc::AllocatorConfig experiment =
+      tcmalloc::AllocatorConfig::Builder().WithSpanPrioritization().Build();
 
   FleetConfig seq_config = SmallFleet();
   seq_config.num_threads = 1;

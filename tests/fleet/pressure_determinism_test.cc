@@ -1,0 +1,154 @@
+// Tests for fleet memory-pressure injection: pressure events must not
+// perturb machine composition, pressure runs must stay bit-identical for
+// any worker-thread count (PR 1's determinism guarantee), and the events
+// must actually drive the reclaim cascade (visible in merged telemetry).
+
+#include <gtest/gtest.h>
+
+#include "fleet/experiment.h"
+#include "fleet/fleet.h"
+
+namespace wsc::fleet {
+namespace {
+
+FleetConfig SmallPressureFleet() {
+  FleetConfig config;
+  config.num_machines = 5;
+  config.num_binaries = 12;
+  config.min_colocated = 1;
+  config.max_colocated = 2;
+  config.duration = Seconds(3);
+  config.max_requests_per_process = 4000;
+  config.pressure.enabled = true;
+  // Early, deep windows so short test runs spend most of their time under
+  // pressure.
+  config.pressure.diurnal_start_frac = 0.1;
+  config.pressure.diurnal_end_frac = 0.9;
+  config.pressure.diurnal_fraction = 0.5;
+  return config;
+}
+
+TEST(PressurePlanning, EventsDoNotPerturbMachineComposition) {
+  // Pressure draws come after the machine seed fork, so enabling pressure
+  // leaves platforms, workloads, and seeds untouched.
+  FleetConfig with = SmallPressureFleet();
+  FleetConfig without = SmallPressureFleet();
+  without.pressure.enabled = false;
+
+  tcmalloc::AllocatorConfig allocator;
+  auto pw = Fleet(with, allocator, 4242).PlanMachines();
+  auto po = Fleet(without, allocator, 4242).PlanMachines();
+  ASSERT_EQ(pw.size(), po.size());
+  for (size_t m = 0; m < pw.size(); ++m) {
+    SCOPED_TRACE(m);
+    EXPECT_EQ(pw[m].machine_seed, po[m].machine_seed);
+    EXPECT_EQ(pw[m].ranks, po[m].ranks);
+    EXPECT_EQ(pw[m].platform.name, po[m].platform.name);
+    EXPECT_GE(pw[m].pressure_events.size(), 1u);  // at least the diurnal
+    EXPECT_TRUE(po[m].pressure_events.empty());
+  }
+}
+
+TEST(PressurePlanning, PlansAreReproducible) {
+  FleetConfig config = SmallPressureFleet();
+  tcmalloc::AllocatorConfig allocator;
+  auto pa = Fleet(config, allocator, 99).PlanMachines();
+  auto pb = Fleet(config, allocator, 99).PlanMachines();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t m = 0; m < pa.size(); ++m) {
+    SCOPED_TRACE(m);
+    ASSERT_EQ(pa[m].pressure_events.size(), pb[m].pressure_events.size());
+    for (size_t e = 0; e < pa[m].pressure_events.size(); ++e) {
+      EXPECT_EQ(pa[m].pressure_events[e].start,
+                pb[m].pressure_events[e].start);
+      EXPECT_EQ(pa[m].pressure_events[e].end, pb[m].pressure_events[e].end);
+      EXPECT_EQ(pa[m].pressure_events[e].limit_fraction,
+                pb[m].pressure_events[e].limit_fraction);
+    }
+  }
+}
+
+TEST(PressureDeterminism, ThreadCountDoesNotChangePressureRuns) {
+  // The acceptance bar: a pressure run's merged telemetry — including
+  // every "pressure" counter written by the reclaim cascade — is
+  // bit-identical for --threads=1 and --threads=8.
+  FleetConfig config = SmallPressureFleet();
+  tcmalloc::AllocatorConfig allocator;
+
+  Fleet sequential(config, allocator, 31337);
+  sequential.Run(1);
+  Fleet parallel(config, allocator, 31337);
+  parallel.Run(8);
+
+  const auto& a = sequential.observations();
+  const auto& b = parallel.observations();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(a[i].result.driver.requests, b[i].result.driver.requests);
+    EXPECT_EQ(a[i].result.driver.failed_allocations,
+              b[i].result.driver.failed_allocations);
+    EXPECT_EQ(a[i].result.driver.cpu_ns, b[i].result.driver.cpu_ns);
+    EXPECT_EQ(a[i].result.avg_heap_bytes, b[i].result.avg_heap_bytes);
+    EXPECT_EQ(a[i].result.telemetry, b[i].result.telemetry);
+  }
+  EXPECT_EQ(MergedTelemetry(a), MergedTelemetry(b));
+}
+
+TEST(PressureRun, EventsDriveTheReclaimCascade) {
+  FleetConfig config = SmallPressureFleet();
+  tcmalloc::AllocatorConfig allocator;
+  Fleet fleet(config, allocator, 777);
+  fleet.Run(2);
+
+  telemetry::Snapshot merged = MergedTelemetry(fleet.observations());
+  const telemetry::MetricSample* hits =
+      merged.Find("pressure", "soft_limit_hits");
+  const telemetry::MetricSample* reclaimed =
+      merged.Find("pressure", "reclaimed_bytes");
+  ASSERT_NE(hits, nullptr);
+  ASSERT_NE(reclaimed, nullptr);
+  EXPECT_GT(hits->ScalarValue(), 0.0);
+  EXPECT_GT(reclaimed->ScalarValue(), 0.0);
+}
+
+TEST(PressureRun, DisabledPressureLeavesCountersAtZero) {
+  FleetConfig config = SmallPressureFleet();
+  config.pressure.enabled = false;
+  tcmalloc::AllocatorConfig allocator;
+  Fleet fleet(config, allocator, 777);
+  fleet.Run(2);
+
+  telemetry::Snapshot merged = MergedTelemetry(fleet.observations());
+  const telemetry::MetricSample* hits =
+      merged.Find("pressure", "soft_limit_hits");
+  ASSERT_NE(hits, nullptr);  // registered in every allocator's registry
+  EXPECT_EQ(hits->ScalarValue(), 0.0);
+  const telemetry::MetricSample* failures =
+      merged.Find("pressure", "hard_limit_failures");
+  ASSERT_NE(failures, nullptr);
+  EXPECT_EQ(failures->ScalarValue(), 0.0);
+}
+
+TEST(PressureAb, PairedArmsSeeIdenticalEvents) {
+  // Paired A/B fleets share the seed, so both arms get the same pressure
+  // events; the failed-allocation accounting flows into MetricSet.
+  FleetConfig config = SmallPressureFleet();
+  tcmalloc::AllocatorConfig control;
+  tcmalloc::AllocatorConfig experiment =
+      tcmalloc::AllocatorConfig::AllOptimizations(control);
+  AbResult result = RunFleetAb(config, control, experiment, 555);
+  EXPECT_GT(result.fleet.control.requests, 0.0);
+  EXPECT_GT(result.fleet.experiment.requests, 0.0);
+  const telemetry::MetricSample* c =
+      result.fleet.control_telemetry.Find("pressure", "soft_limit_hits");
+  const telemetry::MetricSample* e =
+      result.fleet.experiment_telemetry.Find("pressure", "soft_limit_hits");
+  ASSERT_NE(c, nullptr);
+  ASSERT_NE(e, nullptr);
+  EXPECT_GT(c->ScalarValue(), 0.0);
+  EXPECT_GT(e->ScalarValue(), 0.0);
+}
+
+}  // namespace
+}  // namespace wsc::fleet

@@ -60,9 +60,11 @@ AbDelta RunMixedAb(const AllocatorConfig& control,
 
 TEST(HeterogeneousCaches, HalvedDynamicCachesSaveMemoryWithoutTputLoss) {
   AllocatorConfig control;  // static 3 MiB per-vCPU caches
-  AllocatorConfig experiment;
-  experiment.dynamic_cpu_caches = true;
-  experiment.per_cpu_cache_bytes = control.per_cpu_cache_bytes / 2;
+  AllocatorConfig experiment =
+      AllocatorConfig::Builder()
+          .WithDynamicCpuCaches()
+          .WithCpuCacheBytes(control.per_cpu_cache_bytes / 2)
+          .Build();
 
   AbDelta delta = RunMixedAb(control, experiment, 101);
   // Fig. 10: memory drops; the paper reports no performance impact.
@@ -72,8 +74,8 @@ TEST(HeterogeneousCaches, HalvedDynamicCachesSaveMemoryWithoutTputLoss) {
 
 TEST(NucaTransferCache, ImprovesLocalityOnChipletPlatform) {
   AllocatorConfig control;
-  AllocatorConfig experiment;
-  experiment.nuca_transfer_cache = true;
+  AllocatorConfig experiment =
+      AllocatorConfig::Builder().WithNucaTransferCache().Build();
 
   AbDelta delta = RunMixedAb(control, experiment, 102);
   // Table 1: LLC MPKI falls, throughput rises; memory may rise slightly.
@@ -83,8 +85,8 @@ TEST(NucaTransferCache, ImprovesLocalityOnChipletPlatform) {
 
 TEST(SpanPrioritization, ReducesMemory) {
   AllocatorConfig control;
-  AllocatorConfig experiment;
-  experiment.span_prioritization = true;
+  AllocatorConfig experiment =
+      AllocatorConfig::Builder().WithSpanPrioritization().Build();
 
   AbDelta delta = RunMixedAb(control, experiment, 103);
   // Fig. 14: fragmentation (and hence footprint) falls; productivity is
@@ -95,8 +97,8 @@ TEST(SpanPrioritization, ReducesMemory) {
 
 TEST(LifetimeAwareFiller, ImprovesHugepageCoverageAndTlb) {
   AllocatorConfig control;
-  AllocatorConfig experiment;
-  experiment.lifetime_aware_filler = true;
+  AllocatorConfig experiment =
+      AllocatorConfig::Builder().WithLifetimeAwareFiller().Build();
 
   AbDelta delta = RunMixedAb(control, experiment, 104);
   // Fig. 17 / Table 2: hugepage coverage up, dTLB walk fraction down.

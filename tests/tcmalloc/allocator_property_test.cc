@@ -30,15 +30,15 @@ constexpr ConfigCase kConfigs[] = {
 };
 
 AllocatorConfig MakeConfig(const ConfigCase& c) {
-  AllocatorConfig config;
-  config.num_vcpus = 8;
-  config.num_llc_domains = 4;
-  config.dynamic_cpu_caches = c.dynamic_cpu;
-  config.nuca_transfer_cache = c.nuca;
-  config.span_prioritization = c.span_prio;
-  config.lifetime_aware_filler = c.lifetime_filler;
-  config.arena_bytes = size_t{32} << 30;
-  return config;
+  return AllocatorConfig::Builder()
+      .WithVcpus(8)
+      .WithLlcDomains(4)
+      .WithDynamicCpuCaches(c.dynamic_cpu)
+      .WithNucaTransferCache(c.nuca)
+      .WithSpanPrioritization(c.span_prio)
+      .WithLifetimeAwareFiller(c.lifetime_filler)
+      .WithArena(uintptr_t{1} << 44, size_t{32} << 30)
+      .Build();
 }
 
 class TracePropertyTest
@@ -92,9 +92,11 @@ TEST(TraceDeterminism, SameSeedSameStats) {
 TEST(TraceDeterminism, PrioritizationPreservesContract) {
   workload::Trace trace = workload::Trace::GenerateRandom(50000, 11, 4096);
   for (bool prio : {false, true}) {
-    AllocatorConfig config;
-    config.span_prioritization = prio;
-    config.arena_bytes = size_t{32} << 30;
+    AllocatorConfig config =
+        AllocatorConfig::Builder()
+            .WithSpanPrioritization(prio)
+            .WithArena(uintptr_t{1} << 44, size_t{32} << 30)
+            .Build();
     Allocator alloc(config);
     trace.Replay(alloc);
     HeapStats stats = alloc.CollectStats();

@@ -13,12 +13,12 @@
 namespace wsc::tcmalloc {
 namespace {
 
-AllocatorConfig TestConfig() {
-  AllocatorConfig config;
-  config.num_vcpus = 4;
-  config.arena_bytes = size_t{32} << 30;
-  return config;
+AllocatorConfig::Builder TestBuilder() {
+  return AllocatorConfig::Builder().WithVcpus(4).WithArena(
+      uintptr_t{1} << 44, size_t{32} << 30);
 }
+
+AllocatorConfig TestConfig() { return TestBuilder().Build(); }
 
 TEST(Allocator, SmallAllocationRoundTrip) {
   Allocator alloc(TestConfig());
@@ -195,8 +195,7 @@ TEST(Allocator, FreeFromAnyVcpuIsAccepted) {
 }
 
 TEST(Allocator, MaintainRunsBackgroundTasks) {
-  AllocatorConfig config = TestConfig();
-  config.dynamic_cpu_caches = true;
+  AllocatorConfig config = TestBuilder().WithDynamicCpuCaches().Build();
   Allocator alloc(config);
   std::vector<uintptr_t> live;
   for (int i = 0; i < 10000; ++i) {
@@ -221,8 +220,7 @@ TEST(Allocator, AllocationHistogramsTrackSizes) {
 }
 
 TEST(Allocator, SampledAllocationsChargedSampledCycles) {
-  AllocatorConfig config = TestConfig();
-  config.sample_interval_bytes = 4096;
+  AllocatorConfig config = TestBuilder().WithSampleIntervalBytes(4096).Build();
   Allocator alloc(config);
   for (int i = 0; i < 1000; ++i) alloc.Allocate(512, 0, 0);
   EXPECT_GT(alloc.sampler().samples_taken(), 50u);
@@ -230,17 +228,15 @@ TEST(Allocator, SampledAllocationsChargedSampledCycles) {
 }
 
 TEST(Allocator, VcpuDomainMappingValidated) {
-  AllocatorConfig config = TestConfig();
-  config.num_llc_domains = 2;
-  config.nuca_transfer_cache = true;
+  AllocatorConfig config =
+      TestBuilder().WithNucaTransferCache().WithLlcDomains(2).Build();
   Allocator alloc(config);
   alloc.SetVcpuDomain(0, 1);
   EXPECT_EQ(alloc.DomainOfVcpu(0), 1);
 }
 
 TEST(AllocatorDeathTest, InvalidDomainIsFatal) {
-  AllocatorConfig config = TestConfig();
-  config.num_llc_domains = 2;
+  AllocatorConfig config = TestBuilder().WithLlcDomains(2).Build();
   Allocator alloc(config);
   EXPECT_DEATH(alloc.SetVcpuDomain(0, 5), "CHECK failed");
 }

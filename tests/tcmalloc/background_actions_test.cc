@@ -15,11 +15,11 @@ namespace wsc::tcmalloc {
 namespace {
 
 AllocatorConfig SmallConfig() {
-  AllocatorConfig config;
-  config.num_vcpus = 4;
-  config.per_cpu_cache_bytes = 256 * 1024;
-  config.per_cpu_cache_min_bytes = 16 * 1024;
-  return config;
+  return AllocatorConfig::Builder()
+      .WithVcpus(4)
+      .WithCpuCacheBytes(256 * 1024)
+      .WithCpuCacheMinBytes(16 * 1024)
+      .Build();
 }
 
 TEST(IdleReclaim, FlushesCachesWithNoRecentOps) {

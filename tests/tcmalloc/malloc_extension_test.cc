@@ -1,0 +1,344 @@
+// Tests for the memory-pressure control plane and its public surface:
+// AllocatorConfig::Builder validation, MallocExtension introspection and
+// limit control, the BackgroundReclaimer tier cascade, and hard-limit
+// failure accounting.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "tcmalloc/malloc_extension.h"
+
+namespace wsc::tcmalloc {
+namespace {
+
+AllocatorConfig SmallConfig() {
+  return AllocatorConfig::Builder()
+      .WithVcpus(4)
+      .WithCpuCacheBytes(256 * 1024)
+      .WithCpuCacheMinBytes(16 * 1024)
+      .Build();
+}
+
+// Allocates `count` objects of `size` and returns them.
+std::vector<uintptr_t> AllocateMany(Allocator& alloc, size_t size,
+                                    int count) {
+  std::vector<uintptr_t> objs;
+  objs.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    uintptr_t p = alloc.Allocate(size, i % 4, 0);
+    if (p != 0) objs.push_back(p);
+  }
+  return objs;
+}
+
+// ---- Builder validation ----
+
+TEST(ConfigBuilder, BuildsValidatedDefaults) {
+  AllocatorConfig config = AllocatorConfig::Builder().Build();
+  EXPECT_EQ(config.ValidationError(), "");
+  EXPECT_FALSE(config.dynamic_cpu_caches);
+}
+
+TEST(ConfigBuilder, RejectsNucaWithOneExplicitDomain) {
+  std::string error;
+  auto config = AllocatorConfig::Builder()
+                    .WithNucaTransferCache()
+                    .WithLlcDomains(1)
+                    .TryBuild(&error);
+  EXPECT_FALSE(config.has_value());
+  EXPECT_NE(error.find("llc"), std::string::npos) << error;
+}
+
+TEST(ConfigBuilder, RejectsNumaWithOneExplicitNode) {
+  std::string error;
+  auto config =
+      AllocatorConfig::Builder().WithNumaNodes(1).TryBuild(&error);
+  EXPECT_FALSE(config.has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ConfigBuilder, RejectsSoftLimitAboveHardLimit) {
+  std::string error;
+  auto config = AllocatorConfig::Builder()
+                    .WithSoftMemoryLimit(2 << 20)
+                    .WithHardMemoryLimit(1 << 20)
+                    .TryBuild(&error);
+  EXPECT_FALSE(config.has_value());
+  EXPECT_NE(error.find("soft"), std::string::npos) << error;
+}
+
+TEST(ConfigBuilder, NucaWithoutExplicitDomainsDefersToTopology) {
+  // Enabling NUCA without a count leaves the sentinel for fleet::Machine
+  // to resolve; such a config cannot construct a raw Allocator ...
+  auto config =
+      AllocatorConfig::Builder().WithNucaTransferCache().TryBuild();
+  ASSERT_TRUE(config.has_value());
+  EXPECT_EQ(config->num_llc_domains, AllocatorConfig::kTopologyDerived);
+  EXPECT_FALSE(config->ValidationError().empty());
+
+  // ... while an explicit count is construction-ready.
+  auto explicit_config = AllocatorConfig::Builder()
+                             .WithNucaTransferCache()
+                             .WithLlcDomains(4)
+                             .TryBuild();
+  ASSERT_TRUE(explicit_config.has_value());
+  EXPECT_EQ(explicit_config->ValidationError(), "");
+}
+
+TEST(ConfigBuilder, AllOptimizationsDerivesShardCountFromTopology) {
+  // The old AllOptimizations silently kept num_llc_domains = 1, making the
+  // NUCA toggle a no-op; now the count defers to machine topology.
+  auto config =
+      AllocatorConfig::Builder().WithAllOptimizations().TryBuild();
+  ASSERT_TRUE(config.has_value());
+  EXPECT_TRUE(config->nuca_transfer_cache);
+  EXPECT_EQ(config->num_llc_domains, AllocatorConfig::kTopologyDerived);
+}
+
+TEST(ConfigBuilder, AllOptimizationsHonorsExplicitDomainChoice) {
+  AllocatorConfig config = AllocatorConfig::Builder()
+                               .WithAllOptimizations()
+                               .WithLlcDomains(4)
+                               .Build();
+  EXPECT_EQ(config.num_llc_domains, 4);
+  EXPECT_EQ(config.ValidationError(), "");
+}
+
+TEST(ConfigBuilder, StartsFromExistingConfig) {
+  AllocatorConfig base = AllocatorConfig::Builder().WithVcpus(13).Build();
+  AllocatorConfig config =
+      AllocatorConfig::Builder(base).WithSpanPrioritization().Build();
+  EXPECT_EQ(config.num_vcpus, 13);
+  EXPECT_TRUE(config.span_prioritization);
+}
+
+// ---- MallocExtension introspection ----
+
+TEST(MallocExtension, StatsMatchAllocatorAccessors) {
+  Allocator alloc(SmallConfig());
+  MallocExtension extension(&alloc);
+  auto objs = AllocateMany(alloc, 128, 1000);
+
+  EXPECT_EQ(extension.GetNumAllocations(), alloc.num_allocations());
+  EXPECT_EQ(extension.GetHeapStats().live_bytes,
+            alloc.CollectStats().live_bytes);
+  EXPECT_EQ(extension.GetFootprintBytes(), alloc.FootprintBytes());
+  EXPECT_GT(extension.GetFootprintBytes(), 0u);
+
+  for (uintptr_t p : objs) alloc.Free(p, 0, 0);
+  EXPECT_EQ(extension.GetNumFrees(), alloc.num_frees());
+}
+
+TEST(MallocExtension, GetPropertyReadsTelemetry) {
+  Allocator alloc(SmallConfig());
+  MallocExtension extension(&alloc);
+  auto objs = AllocateMany(alloc, 64, 100);
+
+  auto allocations = extension.GetProperty("allocator/allocations");
+  EXPECT_FALSE(allocations.has_value());  // dot-separated, not slash
+  allocations = extension.GetProperty("allocator.allocations");
+  ASSERT_TRUE(allocations.has_value());
+  EXPECT_EQ(*allocations, 100.0);
+
+  EXPECT_FALSE(extension.GetProperty("nonsense.metric").has_value());
+  EXPECT_FALSE(extension.GetProperty("nodots").has_value());
+  EXPECT_FALSE(extension.GetProperty(".leading").has_value());
+  EXPECT_FALSE(extension.GetProperty("trailing.").has_value());
+
+  // The pressure component is registered at construction, so its counters
+  // are visible (at zero) before any limit is ever set.
+  auto reclaimed = extension.GetProperty("pressure.reclaimed_bytes");
+  ASSERT_TRUE(reclaimed.has_value());
+  EXPECT_EQ(*reclaimed, 0.0);
+
+  for (uintptr_t p : objs) alloc.Free(p, 0, 0);
+}
+
+TEST(MallocExtension, LimitRoundTripsAndExportsGauges) {
+  Allocator alloc(SmallConfig());
+  MallocExtension extension(&alloc);
+  extension.SetMemoryLimit(MemoryLimitKind::kSoft, 5 << 20);
+  extension.SetMemoryLimit(MemoryLimitKind::kHard, 9 << 20);
+  EXPECT_EQ(extension.GetMemoryLimit(MemoryLimitKind::kSoft),
+            size_t{5} << 20);
+  EXPECT_EQ(extension.GetMemoryLimit(MemoryLimitKind::kHard),
+            size_t{9} << 20);
+  EXPECT_EQ(extension.GetProperty("pressure.soft_limit_bytes"),
+            static_cast<double>(5 << 20));
+  EXPECT_EQ(extension.GetProperty("pressure.hard_limit_bytes"),
+            static_cast<double>(9 << 20));
+}
+
+TEST(MallocExtension, ConfiguredLimitsReachTheReclaimer) {
+  AllocatorConfig config = AllocatorConfig::Builder()
+                               .WithSoftMemoryLimit(64 << 20)
+                               .WithHardMemoryLimit(128 << 20)
+                               .Build();
+  Allocator alloc(config);
+  MallocExtension extension(&alloc);
+  EXPECT_EQ(extension.GetMemoryLimit(MemoryLimitKind::kSoft),
+            size_t{64} << 20);
+  EXPECT_EQ(extension.GetMemoryLimit(MemoryLimitKind::kHard),
+            size_t{128} << 20);
+}
+
+// ---- Soft limit: the reclaim cascade ----
+
+TEST(SoftLimit, ReclaimsTowardLimitAtMaintainBoundaries) {
+  Allocator alloc(SmallConfig());
+  MallocExtension extension(&alloc);
+
+  // Build a footprint with a reclaimable half: allocate then free every
+  // other object, leaving cached objects and fragmented spans behind.
+  auto objs = AllocateMany(alloc, 4096, 20000);
+  for (size_t i = 0; i < objs.size(); i += 2) {
+    alloc.Free(objs[i], static_cast<int>(i) % 4, 0);
+  }
+
+  // Let the regular background actions settle first so the drop we observe
+  // below is attributable to the pressure cascade, not routine maintenance.
+  alloc.Maintain(Seconds(1));
+  size_t before = extension.GetFootprintBytes();
+  size_t limit = static_cast<size_t>(0.8 * static_cast<double>(before));
+  extension.SetMemoryLimit(MemoryLimitKind::kSoft, limit);
+  alloc.Maintain(Seconds(10));
+
+  size_t after = extension.GetFootprintBytes();
+  EXPECT_LT(after, before);
+  EXPECT_GT(extension.GetProperty("pressure.reclaimed_bytes").value(), 0.0);
+  EXPECT_GE(extension.GetProperty("pressure.soft_limit_hits").value(), 1.0);
+  EXPECT_GE(extension.GetProperty("pressure.reclaim_runs").value(), 1.0);
+
+  for (size_t i = 1; i < objs.size(); i += 2) {
+    alloc.Free(objs[i], 0, 0);
+  }
+}
+
+TEST(SoftLimit, CascadeShrinksCpuCachesBelowFloor) {
+  Allocator alloc(SmallConfig());
+  MallocExtension extension(&alloc);
+  auto objs = AllocateMany(alloc, 256, 20000);
+  for (uintptr_t p : objs) alloc.Free(p, 0, 0);
+  ASSERT_GT(alloc.cpu_caches().TotalCachedBytes(), 0u);
+
+  // An unreachable target forces every tier to run dry, including tier 1.
+  extension.SetMemoryLimit(MemoryLimitKind::kSoft, 1);
+  alloc.Maintain(Seconds(10));
+  EXPECT_TRUE(alloc.cpu_caches().pressure_capped());
+  EXPECT_EQ(alloc.cpu_caches().TotalCachedBytes(), 0u);
+  EXPECT_EQ(alloc.transfer_cache().TotalCachedBytes(), 0u);
+
+  // Lifting the limit (footprint back under) uncaps the caches.
+  extension.SetMemoryLimit(MemoryLimitKind::kSoft, size_t{1} << 40);
+  alloc.Maintain(Seconds(20));
+  EXPECT_FALSE(alloc.cpu_caches().pressure_capped());
+}
+
+TEST(SoftLimit, NoReclaimWhenUnderLimit) {
+  Allocator alloc(SmallConfig());
+  MallocExtension extension(&alloc);
+  auto objs = AllocateMany(alloc, 128, 1000);
+  extension.SetMemoryLimit(MemoryLimitKind::kSoft, size_t{1} << 40);
+  alloc.Maintain(Seconds(10));
+  EXPECT_EQ(extension.GetProperty("pressure.soft_limit_hits").value(), 0.0);
+  EXPECT_EQ(extension.GetProperty("pressure.reclaimed_bytes").value(), 0.0);
+  for (uintptr_t p : objs) alloc.Free(p, 0, 0);
+}
+
+// ---- ReleaseMemoryToSystem ----
+
+TEST(ReleaseMemoryToSystem, ReleasesFreeBackendMemory) {
+  Allocator alloc(SmallConfig());
+  MallocExtension extension(&alloc);
+
+  // Large buffers go straight to the page heap; freeing them leaves whole
+  // hugepages cached in the back end.
+  std::vector<uintptr_t> bufs;
+  for (int i = 0; i < 32; ++i) {
+    bufs.push_back(alloc.Allocate(size_t{2} << 20, 0, 0));
+  }
+  for (uintptr_t p : bufs) alloc.Free(p, 0, 0);
+
+  size_t released = extension.ReleaseMemoryToSystem(size_t{16} << 20);
+  EXPECT_GE(released, size_t{16} << 20);
+  EXPECT_EQ(extension.GetProperty("pressure.reclaimed_bytes").value(),
+            static_cast<double>(released));
+}
+
+TEST(ReleaseMemoryToSystem, ZeroWhenNothingToRelease) {
+  Allocator alloc(SmallConfig());
+  MallocExtension extension(&alloc);
+  EXPECT_EQ(extension.ReleaseMemoryToSystem(size_t{1} << 20), 0u);
+}
+
+// ---- Hard limit: counted, surfaced failures ----
+
+TEST(HardLimit, AllocationsFailPastTheLimit) {
+  const size_t kLimit = size_t{8} << 20;
+  AllocatorConfig config = AllocatorConfig::Builder()
+                               .WithVcpus(4)
+                               .WithHardMemoryLimit(kLimit)
+                               .Build();
+  Allocator alloc(config);
+  MallocExtension extension(&alloc);
+
+  uint64_t failures = 0;
+  std::vector<uintptr_t> objs;
+  for (int i = 0; i < 30000; ++i) {
+    uintptr_t p = alloc.Allocate(1024, i % 4, 0);
+    if (p == 0) {
+      ++failures;
+    } else {
+      objs.push_back(p);
+    }
+  }
+  EXPECT_GT(failures, 0u);
+  EXPECT_LE(extension.GetFootprintBytes(), kLimit);
+  EXPECT_EQ(extension.GetProperty("pressure.hard_limit_failures").value(),
+            static_cast<double>(failures));
+  // Failed allocations are not counted as allocations.
+  EXPECT_EQ(extension.GetNumAllocations(), objs.size());
+
+  // Freeing memory makes allocations admissible again.
+  for (uintptr_t p : objs) alloc.Free(p, 0, 0);
+  EXPECT_NE(alloc.Allocate(1024, 0, 0), 0u);
+}
+
+TEST(HardLimit, EmergencyReclaimAvoidsSpuriousFailures) {
+  // Footprint dominated by reclaimable cached memory: the admission path's
+  // emergency reclaim must free it rather than fail the allocation.
+  const size_t kLimit = size_t{48} << 20;
+  AllocatorConfig config = AllocatorConfig::Builder()
+                               .WithVcpus(4)
+                               .WithHardMemoryLimit(kLimit)
+                               .Build();
+  Allocator alloc(config);
+  MallocExtension extension(&alloc);
+
+  // Fill most of the budget with large buffers, free them (now cached in
+  // the back end), then allocate again: without emergency reclaim the
+  // cached hugepages would push the footprint over the limit.
+  std::vector<uintptr_t> bufs;
+  for (int i = 0; i < 20; ++i) {
+    bufs.push_back(alloc.Allocate(size_t{2} << 20, 0, 0));
+  }
+  for (uintptr_t p : bufs) alloc.Free(p, 0, 0);
+
+  bufs.clear();
+  uint64_t failures = 0;
+  for (int i = 0; i < 20; ++i) {
+    uintptr_t p = alloc.Allocate(size_t{2} << 20, 0, 0);
+    if (p == 0) {
+      ++failures;
+    } else {
+      bufs.push_back(p);
+    }
+  }
+  EXPECT_EQ(failures, 0u);
+  for (uintptr_t p : bufs) alloc.Free(p, 0, 0);
+}
+
+}  // namespace
+}  // namespace wsc::tcmalloc

@@ -13,12 +13,11 @@ namespace wsc::tcmalloc {
 namespace {
 
 AllocatorConfig NumaConfig(int nodes) {
-  AllocatorConfig config;
-  config.numa_aware = true;
-  config.num_numa_nodes = nodes;
-  config.num_vcpus = 4;
-  config.arena_bytes = size_t{64} << 30;
-  return config;
+  return AllocatorConfig::Builder()
+      .WithNumaNodes(nodes)
+      .WithVcpus(4)
+      .WithArena(uintptr_t{1} << 44, size_t{64} << 30)
+      .Build();
 }
 
 TEST(Numa, DisabledHasOneNode) {

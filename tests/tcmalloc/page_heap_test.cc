@@ -17,10 +17,9 @@ class PageHeapTest : public ::testing::Test {
         heap_(&SizeClasses::Default(), config_, &system_, &pagemap_) {}
 
   static AllocatorConfig MakeConfig() {
-    AllocatorConfig config;
-    config.arena_base = uintptr_t{1} << 40;
-    config.arena_bytes = size_t{16} << 30;
-    return config;
+    return AllocatorConfig::Builder()
+        .WithArena(uintptr_t{1} << 40, size_t{16} << 30)
+        .Build();
   }
 
   AllocatorConfig config_;

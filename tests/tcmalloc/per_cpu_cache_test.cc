@@ -10,13 +10,14 @@
 namespace wsc::tcmalloc {
 namespace {
 
-AllocatorConfig SmallConfig() {
-  AllocatorConfig config;
-  config.num_vcpus = 8;
-  config.per_cpu_cache_bytes = 64 * 1024;
-  config.per_cpu_cache_min_bytes = 8 * 1024;
-  return config;
+AllocatorConfig::Builder SmallBuilder() {
+  return AllocatorConfig::Builder()
+      .WithVcpus(8)
+      .WithCpuCacheBytes(64 * 1024)
+      .WithCpuCacheMinBytes(8 * 1024);
 }
+
+AllocatorConfig SmallConfig() { return SmallBuilder().Build(); }
 
 class PerCpuCacheTest : public ::testing::Test {
  protected:
@@ -109,8 +110,8 @@ TEST_F(PerCpuCacheTest, FlushAllEmptiesEverything) {
 }
 
 TEST(PerCpuCacheStatic, StaticSizingNeverMovesCapacity) {
-  AllocatorConfig config = SmallConfig();
-  config.dynamic_cpu_caches = false;
+  AllocatorConfig config =
+      SmallBuilder().WithDynamicCpuCaches(false).Build();
   CpuCacheSet cache(&SizeClasses::Default(), config);
   // Create misses on vCPU 0.
   for (int i = 0; i < 100; ++i) cache.Allocate(0, 0);
@@ -125,9 +126,10 @@ TEST(PerCpuCacheStatic, StaticSizingNeverMovesCapacity) {
 }
 
 TEST(PerCpuCacheDynamic, CapacityMovesTowardsMissingCaches) {
-  AllocatorConfig config = SmallConfig();
-  config.dynamic_cpu_caches = true;
-  config.cpu_cache_grow_candidates = 1;
+  AllocatorConfig config = SmallBuilder()
+                               .WithDynamicCpuCaches()
+                               .WithCpuCacheGrowCandidates(1)
+                               .Build();
   CpuCacheSet cache(&SizeClasses::Default(), config);
   // vCPU 0 misses a lot; vCPUs 1-3 are idle but populated.
   for (int v = 1; v <= 3; ++v) cache.Allocate(v, 0);
@@ -146,10 +148,11 @@ TEST(PerCpuCacheDynamic, CapacityMovesTowardsMissingCaches) {
 }
 
 TEST(PerCpuCacheDynamic, ShrinkEvictsLargestClassesFirst) {
-  AllocatorConfig config = SmallConfig();
-  config.dynamic_cpu_caches = true;
-  config.cpu_cache_grow_candidates = 1;
-  config.per_cpu_cache_min_bytes = 0;
+  AllocatorConfig config = SmallBuilder()
+                               .WithDynamicCpuCaches()
+                               .WithCpuCacheGrowCandidates(1)
+                               .WithCpuCacheMinBytes(0)
+                               .Build();
   CpuCacheSet cache(&SizeClasses::Default(), config);
   const SizeClasses& sc = SizeClasses::Default();
   int small_cls = sc.ClassFor(8);
@@ -182,8 +185,7 @@ TEST(PerCpuCacheDynamic, ShrinkEvictsLargestClassesFirst) {
 }
 
 TEST(PerCpuCacheDynamic, NeverShrinksBelowFloor) {
-  AllocatorConfig config = SmallConfig();
-  config.dynamic_cpu_caches = true;
+  AllocatorConfig config = SmallBuilder().WithDynamicCpuCaches().Build();
   CpuCacheSet cache(&SizeClasses::Default(), config);
   cache.Allocate(1, 0);  // populate victim
   for (int round = 0; round < 100; ++round) {

@@ -7,25 +7,28 @@
 
 #include <vector>
 
+#include "fleet/machine.h"
+#include "hw/topology.h"
+
 namespace wsc::tcmalloc {
 namespace {
 
 uintptr_t Addr(int i) { return (uintptr_t{1} << 44) + 64 * (i + 1); }
 
 AllocatorConfig LegacyConfig() {
-  AllocatorConfig config;
-  config.nuca_transfer_cache = false;
-  config.transfer_cache_batches = 2;  // small capacity for tests
-  return config;
+  return AllocatorConfig::Builder()
+      .WithTransferCacheBatches(2)  // small capacity for tests
+      .WithNucaShardBatches(1)      // stay within the shrunken capacity
+      .Build();
 }
 
 AllocatorConfig NucaConfig() {
-  AllocatorConfig config;
-  config.nuca_transfer_cache = true;
-  config.num_llc_domains = 4;
-  config.transfer_cache_batches = 2;
-  config.nuca_shard_batches = 1;
-  return config;
+  return AllocatorConfig::Builder()
+      .WithNucaTransferCache()
+      .WithLlcDomains(4)
+      .WithTransferCacheBatches(2)
+      .WithNucaShardBatches(1)
+      .Build();
 }
 
 TEST(TransferCacheLegacy, InsertThenRemoveRoundTrips) {
@@ -152,8 +155,11 @@ TEST(TransferCacheNuca, ShardsActivateLazily) {
 }
 
 TEST(TransferCacheLegacyAsNuca, SingleDomainDisablesSharding) {
-  AllocatorConfig config = NucaConfig();
-  config.num_llc_domains = 1;  // monolithic platform
+  // Placement on a monolithic platform resolves the shard count to one
+  // domain, which must disable sharding.
+  hw::CpuTopology mono(hw::PlatformSpecFor(hw::PlatformGeneration::kGenA));
+  AllocatorConfig config = fleet::ResolveTopology(NucaConfig(), mono);
+  ASSERT_EQ(config.num_llc_domains, 1);
   TransferCache tc(&SizeClasses::Default(), config);
   EXPECT_FALSE(tc.nuca_enabled());
 }

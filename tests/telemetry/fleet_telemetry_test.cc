@@ -85,8 +85,8 @@ TEST(FleetTelemetry, BitIdenticalAcrossThreadCounts) {
 
 TEST(AbTelemetry, FleetAbFillsBothArms) {
   tcmalloc::AllocatorConfig control;
-  tcmalloc::AllocatorConfig experiment;
-  experiment.span_prioritization = true;
+  tcmalloc::AllocatorConfig experiment =
+      tcmalloc::AllocatorConfig::Builder().WithSpanPrioritization().Build();
   AbResult ab = RunFleetAb(SmallFleet(), control, experiment, /*seed=*/99);
   EXPECT_FALSE(ab.fleet.control_telemetry.samples.empty());
   EXPECT_FALSE(ab.fleet.experiment_telemetry.samples.empty());
@@ -100,8 +100,8 @@ TEST(AbTelemetry, FleetAbFillsBothArms) {
 
 TEST(AbTelemetry, BenchmarkAbFillsBothArms) {
   tcmalloc::AllocatorConfig control;
-  tcmalloc::AllocatorConfig experiment;
-  experiment.dynamic_cpu_caches = true;
+  tcmalloc::AllocatorConfig experiment =
+      tcmalloc::AllocatorConfig::Builder().WithDynamicCpuCaches().Build();
   AbDelta delta = RunBenchmarkAb(
       workload::TopFiveProfiles()[1],
       hw::PlatformSpecFor(hw::PlatformGeneration::kGenD), control,

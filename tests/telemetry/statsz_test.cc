@@ -83,8 +83,8 @@ TEST(WriteStatszFile, PicksFormatByExtension) {
 // per-CPU cache, transfer cache, central free list, hugepage filler, huge
 // cache/region, and page heap.
 TEST(AllocatorStatsz, SnapshotCoversAllTiers) {
-  tcmalloc::AllocatorConfig config;
-  config.num_vcpus = 2;
+  tcmalloc::AllocatorConfig config =
+      tcmalloc::AllocatorConfig::Builder().WithVcpus(2).Build();
   tcmalloc::Allocator alloc(config);
 
   std::vector<uintptr_t> live;

@@ -28,10 +28,10 @@ WorkloadSpec TinySpec() {
 }
 
 tcmalloc::AllocatorConfig DriverConfig() {
-  tcmalloc::AllocatorConfig config;
-  config.num_vcpus = 6;
-  config.arena_bytes = size_t{32} << 30;
-  return config;
+  return tcmalloc::AllocatorConfig::Builder()
+      .WithVcpus(6)
+      .WithArena(uintptr_t{1} << 44, size_t{32} << 30)
+      .Build();
 }
 
 class DriverTest : public ::testing::Test {
@@ -157,8 +157,8 @@ TEST(DriverHardwareModels, TlbAndLlcStallsAccumulate) {
 TEST(DriverSingleThreaded, RedisStaysOnOneThread) {
   WorkloadSpec spec = RedisProfile();
   spec.startup_bytes = 1e6;  // shrink startup for test speed
-  tcmalloc::AllocatorConfig config;
-  config.num_vcpus = 4;
+  tcmalloc::AllocatorConfig config =
+      tcmalloc::AllocatorConfig::Builder().WithVcpus(4).Build();
   tcmalloc::Allocator alloc(config);
   hw::CpuTopology topo(hw::PlatformSpecFor(hw::PlatformGeneration::kGenA));
   Driver driver(spec, &alloc, &topo, {0, 1, 2, 3}, nullptr, nullptr, 11);

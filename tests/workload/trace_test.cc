@@ -8,9 +8,9 @@ namespace wsc::workload {
 namespace {
 
 tcmalloc::AllocatorConfig SmallArena() {
-  tcmalloc::AllocatorConfig config;
-  config.arena_bytes = size_t{16} << 30;
-  return config;
+  return tcmalloc::AllocatorConfig::Builder()
+      .WithArena(uintptr_t{1} << 44, size_t{16} << 30)
+      .Build();
 }
 
 TEST(Trace, ManualTraceReplay) {

@@ -20,8 +20,11 @@ import sys
 SCHEMA_VERSION = 2
 TELEMETRY_SCHEMA_VERSION = 1
 
-# The allocator tiers the paper's telemetry reports on. Every telemetry
-# line from a full allocator snapshot must cover all of them.
+# The allocator tiers the paper's telemetry reports on, plus the
+# memory-pressure control plane. Every telemetry line from a full
+# allocator snapshot must cover all of them ("pressure" counters are
+# registered at allocator construction, so they appear even when no limit
+# was ever set).
 REQUIRED_TIERS = (
     "cpu_cache",
     "transfer_cache",
@@ -29,6 +32,7 @@ REQUIRED_TIERS = (
     "huge_page_filler",
     "huge_cache",
     "page_heap",
+    "pressure",
 )
 
 THROUGHPUT_FIELDS = ("sim_requests", "wall_seconds", "sim_requests_per_sec")

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# CI check: benches and tests must construct AllocatorConfig through
+# AllocatorConfig::Builder (the validating public API), never by assigning
+# config fields directly. Direct assignment skips validation and silently
+# produces configs the allocator would reject (or worse, misinterpret —
+# e.g. NUCA with one LLC domain). Only src/tcmalloc/ itself and the fleet
+# placement layer (src/fleet/) may touch the fields.
+#
+#   tools/check_config_api.sh [repo-root]
+#
+# Exits non-zero listing every offending file:line.
+
+set -u
+
+ROOT="${1:-$(dirname "$0")/..}"
+
+# Every knob field of AllocatorConfig (tcmalloc/config.h). Reading them is
+# fine; assigning them outside src/ is not.
+FIELDS='num_vcpus|per_thread_front_end|per_cpu_cache_bytes|dynamic_cpu_caches'
+FIELDS+='|cpu_cache_resize_interval|cpu_cache_grow_candidates'
+FIELDS+='|per_cpu_cache_min_bytes|nuca_transfer_cache|num_llc_domains'
+FIELDS+='|transfer_cache_batches|nuca_shard_batches|nuca_plunder_interval'
+FIELDS+='|span_prioritization|cfl_num_lists|lifetime_aware_filler'
+FIELDS+='|filler_capacity_threshold|subrelease_free_fraction|release_interval'
+FIELDS+='|numa_aware|num_numa_nodes|sample_interval_bytes|soft_limit_bytes'
+FIELDS+='|hard_limit_bytes|pressure_cache_floor_fraction|arena_base'
+FIELDS+='|arena_bytes'
+
+# Match `<expr>.<field> =` but not `==` (comparisons stay legal).
+offenders="$(grep -rEn "\.(${FIELDS})[[:space:]]*=([^=]|$)" \
+  "$ROOT/bench" "$ROOT/tests" --include='*.cc' --include='*.h' 2>/dev/null)"
+
+if [ -n "$offenders" ]; then
+  echo "check_config_api: direct AllocatorConfig field assignment found;" >&2
+  echo "use AllocatorConfig::Builder instead:" >&2
+  echo "$offenders" >&2
+  exit 1
+fi
+echo "check_config_api: OK (bench/ and tests/ construct AllocatorConfig via Builder)"

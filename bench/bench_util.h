@@ -20,10 +20,21 @@
 //   --max-requests=N  override the per-process request bound
 //   --statsz=PATH     write the merged telemetry dump; ".json" suffix
 //                     selects the JSON form, "-" prints text to stdout
+//   --trace=PATH      attach a flight recorder to every simulated process
+//                     and write the merged Chrome-tracing JSON (load it in
+//                     chrome://tracing or ui.perfetto.dev)
+//   --profile=PATH    write the merged pprof-style heap profile; ".json"
+//                     suffix selects the JSON form (tools/mallocz.py reads
+//                     it), "-" prints text to stdout
+//
+// Both ParseBenchFlags and StripBenchFlags know every flag above, so
+// benches that hand the remaining argv to google-benchmark (e.g.
+// fig04_alloc_latency) never leak a wsc flag into its parser.
 
 #ifndef WSC_BENCH_BENCH_UTIL_H_
 #define WSC_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -36,6 +47,8 @@
 #include "fleet/experiment.h"
 #include "fleet/parallel.h"
 #include "telemetry/statsz.h"
+#include "trace/chrome_trace.h"
+#include "trace/heap_profile.h"
 #include "workload/profiles.h"
 
 namespace wsc::bench {
@@ -57,6 +70,21 @@ inline std::string g_statsz_path;
 // rewritten to g_statsz_path after each report so the file always holds
 // the bench-wide aggregate.
 inline telemetry::Snapshot g_statsz_accum;
+// --trace / --profile destinations ("" = disabled).
+inline std::string g_trace_path;
+inline std::string g_profile_path;
+// Flight-recorder ring capacity per process when --trace is on: 64 Ki
+// 32-byte events (2 MiB) keeps the full event stream for the CI smoke
+// shapes; longer runs wrap and report the dropped count in the trace
+// metadata, exactly like a production flight recorder.
+inline constexpr size_t kBenchTraceRingEvents = size_t{1} << 16;
+// Trace and heap-profile aggregates across every report in this process,
+// rewritten to their files after each report (same contract as --statsz).
+// pids are remapped through g_trace_pid_base so successive fleets in one
+// bench stay distinct rows in the trace viewer.
+inline std::vector<trace::ProcessTrace> g_trace_accum;
+inline int g_trace_pid_base = 0;
+inline trace::HeapProfile g_profile_accum;
 
 // Parses shared bench flags from main's argv (unknown flags are left for
 // the bench to interpret).
@@ -73,6 +101,10 @@ inline void ParseBenchFlags(int argc, char** argv) {
           static_cast<uint64_t>(std::atoll(argv[i] + 15));
     } else if (std::strncmp(argv[i], "--statsz=", 9) == 0) {
       g_statsz_path = argv[i] + 9;
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      g_trace_path = argv[i] + 8;
+    } else if (std::strncmp(argv[i], "--profile=", 10) == 0) {
+      g_profile_path = argv[i] + 10;
     }
   }
 }
@@ -86,7 +118,9 @@ inline void StripBenchFlags(int* argc, char** argv) {
         std::strncmp(argv[i], "--machines=", 11) == 0 ||
         std::strncmp(argv[i], "--duration=", 11) == 0 ||
         std::strncmp(argv[i], "--max-requests=", 15) == 0 ||
-        std::strncmp(argv[i], "--statsz=", 9) == 0) {
+        std::strncmp(argv[i], "--statsz=", 9) == 0 ||
+        std::strncmp(argv[i], "--trace=", 8) == 0 ||
+        std::strncmp(argv[i], "--profile=", 10) == 0) {
       continue;
     }
     argv[out++] = argv[i];
@@ -117,6 +151,9 @@ inline void ApplyBenchOverrides(fleet::FleetConfig& config) {
     config.max_requests_per_process = g_bench_max_requests;
   }
   config.num_threads = g_bench_threads;
+  if (!g_trace_path.empty()) {
+    config.trace_events_per_process = kBenchTraceRingEvents;
+  }
 }
 
 // Standard fleet shape used by the fleet-wide benches. Sized for parallel
@@ -140,6 +177,73 @@ inline fleet::FleetConfig ChipletFleet() {
   fleet::FleetConfig config = DefaultFleet();
   config.platform_mix = {0.0, 0.0, 0.4, 0.35, 0.25};
   return config;
+}
+
+// Writes `body` to `path` ("-" prints to stdout). Shared by the --trace
+// and --profile rewrites.
+inline void WriteBenchFile(const std::string& path, const std::string& body) {
+  if (path == "-") {
+    std::fputs(body.c_str(), stdout);
+    return;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+}
+
+// Folds per-process traces and a merged heap profile into the bench-wide
+// aggregates and rewrites the --trace/--profile files, so (like --statsz)
+// the final write holds everything the bench simulated. Incoming traces
+// are machine-index ordered and pids are remapped past everything already
+// accumulated, so successive fleets stay distinct viewer rows and the
+// files are bit-identical for any --threads value.
+inline void ReportTraceAndProfile(std::vector<trace::ProcessTrace> traces,
+                                  const trace::HeapProfile& profile) {
+  if (!g_trace_path.empty() && !traces.empty()) {
+    int next_base = g_trace_pid_base;
+    for (trace::ProcessTrace& t : traces) {
+      t.pid += g_trace_pid_base;
+      next_base = std::max(next_base, t.pid + 1);
+      g_trace_accum.push_back(std::move(t));
+    }
+    g_trace_pid_base = next_base;
+    WriteBenchFile(g_trace_path, trace::RenderChromeTrace(g_trace_accum));
+  }
+  if (!g_profile_path.empty()) {
+    g_profile_accum.MergeFrom(profile);
+    bool json = g_profile_path.size() >= 5 &&
+                g_profile_path.compare(g_profile_path.size() - 5, 5,
+                                       ".json") == 0;
+    WriteBenchFile(g_profile_path,
+                   json ? trace::RenderHeapProfileJson(g_profile_accum)
+                        : trace::RenderHeapProfileText(g_profile_accum));
+  }
+}
+
+// Trace/profile of a set of fleet observations.
+inline void ReportTraceAndProfile(
+    const std::vector<fleet::FleetObservation>& observations) {
+  if (g_trace_path.empty() && g_profile_path.empty()) return;
+  ReportTraceAndProfile(fleet::MergedTrace(observations),
+                        fleet::MergedHeapProfile(observations));
+}
+
+// Trace/profile of one machine run (pid = next free viewer row, tid =
+// process index within the machine).
+inline void ReportTraceAndProfile(
+    const std::vector<fleet::ProcessResult>& results) {
+  if (g_trace_path.empty() && g_profile_path.empty()) return;
+  std::vector<trace::ProcessTrace> traces;
+  trace::HeapProfile profile;
+  for (size_t i = 0; i < results.size(); ++i) {
+    traces.push_back({0, static_cast<int>(i), results[i].trace});
+    profile.MergeFrom(results[i].heap_profile);
+  }
+  ReportTraceAndProfile(std::move(traces), profile);
 }
 
 // Builder for one `BENCH_JSON {...}` line. Every bench emission goes
@@ -231,6 +335,7 @@ inline void ReportTelemetry(
     const std::vector<fleet::FleetObservation>& observations,
     const char* arm = nullptr) {
   ReportTelemetry(bench, fleet::MergedTelemetry(observations), arm);
+  ReportTraceAndProfile(observations);
 }
 
 // Telemetry of one machine run (merged across its co-located processes).
@@ -242,6 +347,7 @@ inline void ReportTelemetry(const std::string& bench,
     merged.MergeFrom(r.telemetry);
   }
   ReportTelemetry(bench, merged, arm);
+  ReportTraceAndProfile(results);
 }
 
 // Telemetry of both arms of an A/B delta (two lines).

@@ -14,6 +14,7 @@
 
 #include "bench/bench_util.h"
 #include "fleet/machine.h"
+#include "tcmalloc/malloc_extension.h"
 #include "tcmalloc/sampler.h"
 
 using namespace wsc;
@@ -29,13 +30,20 @@ tcmalloc::LifetimeProfile CollectProfile(
   for (const auto& spec : specs) {
     fleet::Machine machine(
         hw::PlatformSpecFor(hw::PlatformGeneration::kGenD), {spec},
-        tcmalloc::AllocatorConfig(), seed++);
+        tcmalloc::AllocatorConfig(), seed++, /*pressure_events=*/{},
+        wsc::bench::g_trace_path.empty()
+            ? 0
+            : wsc::bench::kBenchTraceRingEvents);
     machine.Run(wsc::bench::BenchDuration(Seconds(12)),
                 wsc::bench::BenchMaxRequests(60000));
     machine.driver(0).Drain();  // finalize censored lifetimes
-    profile.Merge(machine.allocator(0).sampler().profile());
+    // Read the sampler through the public MallocExtension surface, like a
+    // production profiler would (not via allocator internals).
+    tcmalloc::MallocExtension extension(&machine.allocator(0));
+    profile.Merge(extension.GetLifetimeProfile());
     g_sim_requests += machine.results()[0].driver.requests;
     g_telemetry.MergeFrom(machine.results()[0].telemetry);
+    wsc::bench::ReportTraceAndProfile(machine.results());
   }
   return profile;
 }

@@ -57,9 +57,19 @@ class LogHistogram {
   // Renders a human-readable multi-line summary (for examples/debugging).
   std::string ToString(const char* unit = "") const;
 
- private:
+  // --- Raw bucket access (telemetry rebinning, profile export) ---
   static constexpr int kNumBuckets = 64;
 
+  // Recorded weight in bucket b (covering [2^b, 2^(b+1))).
+  double BucketWeight(int b) const { return buckets_[b]; }
+
+  // Exact sum of value*weight recorded into bucket b.
+  double BucketValueSum(int b) const { return bucket_value_sum_[b]; }
+
+  // Exact sum of value*weight over all buckets.
+  double weighted_sum() const { return weighted_value_sum_; }
+
+ private:
   static int BucketFor(double value);
 
   double buckets_[kNumBuckets];

@@ -102,13 +102,15 @@ std::vector<Fleet::MachinePlan> Fleet::PlanMachines() const {
 std::vector<FleetObservation> Fleet::RunMachine(
     int m, const MachinePlan& plan) const {
   Machine machine(plan.platform, plan.workloads, allocator_config_,
-                  plan.machine_seed, plan.pressure_events);
+                  plan.machine_seed, plan.pressure_events,
+                  config_.trace_events_per_process);
   machine.Run(config_.duration, config_.max_requests_per_process);
   std::vector<FleetObservation> observations;
   observations.reserve(machine.results().size());
   for (size_t i = 0; i < machine.results().size(); ++i) {
     FleetObservation obs;
     obs.machine = m;
+    obs.process = static_cast<int>(i);
     obs.binary_rank = plan.ranks[i];
     obs.result = machine.results()[i];
     observations.push_back(std::move(obs));
@@ -143,6 +145,25 @@ telemetry::Snapshot MergedTelemetry(
   telemetry::Snapshot merged;
   for (const FleetObservation& obs : observations) {
     merged.MergeFrom(obs.result.telemetry);
+  }
+  return merged;
+}
+
+std::vector<trace::ProcessTrace> MergedTrace(
+    const std::vector<FleetObservation>& observations) {
+  std::vector<trace::ProcessTrace> traces;
+  traces.reserve(observations.size());
+  for (const FleetObservation& obs : observations) {
+    traces.push_back({obs.machine, obs.process, obs.result.trace});
+  }
+  return traces;
+}
+
+trace::HeapProfile MergedHeapProfile(
+    const std::vector<FleetObservation>& observations) {
+  trace::HeapProfile merged;
+  for (const FleetObservation& obs : observations) {
+    merged.MergeFrom(obs.result.heap_profile);
   }
   return merged;
 }

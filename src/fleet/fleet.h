@@ -16,6 +16,7 @@
 #include "fleet/machine.h"
 #include "hw/topology.h"
 #include "tcmalloc/config.h"
+#include "trace/chrome_trace.h"
 #include "workload/profiles.h"
 
 namespace wsc::fleet {
@@ -67,11 +68,17 @@ struct FleetConfig {
 
   // Memory-pressure event injection (off by default).
   PressureConfig pressure;
+
+  // Flight-recorder ring capacity per process (0 = tracing off). When set,
+  // every process's drained ring lands in its ProcessResult::trace and the
+  // fleet trace is exported via MergedTrace.
+  size_t trace_events_per_process = 0;
 };
 
 // One process observation, tagged with provenance.
 struct FleetObservation {
   int machine = 0;
+  int process = 0;  // process index within its machine
   int binary_rank = 0;
   ProcessResult result;
 };
@@ -80,6 +87,18 @@ struct FleetObservation {
 // snapshot in observation order (machine-index order, the order Run()
 // produces), so the result is bit-identical for any worker-thread count.
 telemetry::Snapshot MergedTelemetry(
+    const std::vector<FleetObservation>& observations);
+
+// Per-process trace buffers tagged pid = machine index, tid = process
+// index, in observation order — ready for trace::RenderChromeTrace.
+// Observation order is machine-index order, so the rendered trace is
+// bit-identical for any worker-thread count.
+std::vector<trace::ProcessTrace> MergedTrace(
+    const std::vector<FleetObservation>& observations);
+
+// Fleet-wide heap profile: every observation's profile merged in
+// observation order (bit-identical for any worker-thread count).
+trace::HeapProfile MergedHeapProfile(
     const std::vector<FleetObservation>& observations);
 
 // A runnable fleet. Machine composition (platforms, binary placement,

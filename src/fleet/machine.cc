@@ -33,7 +33,8 @@ tcmalloc::AllocatorConfig ResolveTopology(tcmalloc::AllocatorConfig config,
 Machine::Machine(const hw::PlatformSpec& platform,
                  std::vector<workload::WorkloadSpec> workloads,
                  const tcmalloc::AllocatorConfig& base_config, uint64_t seed,
-                 std::vector<PressureEvent> pressure_events)
+                 std::vector<PressureEvent> pressure_events,
+                 size_t trace_events_per_process)
     : topology_(platform), pressure_events_(std::move(pressure_events)) {
   WSC_CHECK(!workloads.empty());
   Rng rng(seed);
@@ -70,6 +71,11 @@ Machine::Machine(const hw::PlatformSpec& platform,
     config.arena_base = (uintptr_t{1} << 44) * (1 + static_cast<uintptr_t>(i));
 
     process->allocator = std::make_unique<tcmalloc::Allocator>(config);
+    if (trace_events_per_process > 0) {
+      process->recorder =
+          std::make_unique<trace::FlightRecorder>(trace_events_per_process);
+      process->allocator->SetFlightRecorder(process->recorder.get());
+    }
     process->tlb = std::make_unique<hw::TlbSimulator>();
     process->llc = std::make_unique<hw::LlcModel>(
         &topology_, kLlcLinesPerDomain, rng.Fork());
@@ -174,6 +180,8 @@ void Machine::Run(SimTime duration, uint64_t max_requests) {
     r.malloc_cycles = p->allocator->cycle_breakdown();
     r.tier_hits = p->allocator->alloc_tier_hits();
     r.telemetry = p->allocator->TelemetrySnapshot();
+    if (p->recorder != nullptr) r.trace = p->recorder->Drain();
+    r.heap_profile = p->allocator->CollectHeapProfile();
     r.ghz = topology_.spec().ghz;
     results_.push_back(r);
   }

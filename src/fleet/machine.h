@@ -21,6 +21,8 @@
 #include "hw/topology.h"
 #include "tcmalloc/allocator.h"
 #include "telemetry/registry.h"
+#include "trace/flight_recorder.h"
+#include "trace/heap_profile.h"
 #include "workload/driver.h"
 #include "workload/profiles.h"
 
@@ -64,6 +66,11 @@ struct ProcessResult {
   // process drains (its last sim-interval boundary). Snapshots merge
   // across processes/machines in index order (see fleet::MergedTelemetry).
   telemetry::Snapshot telemetry;
+  // Drained flight-recorder contents (empty with capacity 0 when tracing
+  // was off) and the process's heap profile, both taken at the same point
+  // as `telemetry`. Merged machine-index ordered like telemetry.
+  trace::TraceBuffer trace;
+  trace::HeapProfile heap_profile;
   double ghz = 2.4;
 
   double LlcMpki() const {
@@ -78,10 +85,14 @@ struct ProcessResult {
 // One simulated server.
 class Machine {
  public:
+  // `trace_events_per_process` > 0 attaches a flight recorder of that
+  // capacity to every process's allocator; the drained ring lands in
+  // ProcessResult::trace.
   Machine(const hw::PlatformSpec& platform,
           std::vector<workload::WorkloadSpec> workloads,
           const tcmalloc::AllocatorConfig& base_config, uint64_t seed,
-          std::vector<PressureEvent> pressure_events = {});
+          std::vector<PressureEvent> pressure_events = {},
+          size_t trace_events_per_process = 0);
 
   // Runs every process until its local clock reaches `duration` or it has
   // executed `max_requests` requests, whichever comes first, then drains.
@@ -98,6 +109,10 @@ class Machine {
  private:
   struct Process {
     workload::WorkloadSpec spec;
+    // Declared before the allocator: ~Allocator drains leftover large
+    // objects through the page heap, which emits trace events, so the
+    // recorder must outlive it.
+    std::unique_ptr<trace::FlightRecorder> recorder;  // null: tracing off
     std::unique_ptr<tcmalloc::Allocator> allocator;
     std::unique_ptr<hw::TlbSimulator> tlb;
     std::unique_ptr<hw::LlcModel> llc;

@@ -123,8 +123,10 @@ double Allocator::MmapNsTotal() const {
   return total;
 }
 
-uintptr_t Allocator::Allocate(size_t size, int vcpu, SimTime now) {
+uintptr_t Allocator::Allocate(size_t size, int vcpu, SimTime now,
+                              uint64_t callsite) {
   WSC_CHECK_GT(size, 0u);
+  if (trace_) trace_->set_now(now);
   if (!reclaimer_->AdmitAllocation(size)) {
     // Hard memory limit: a counted, surfaced failure (not an allocation).
     last_op_ns_ = config_.costs.other_ns;
@@ -169,6 +171,10 @@ uintptr_t Allocator::Allocate(size_t size, int vcpu, SimTime now) {
       cycles_.cpu_cache_ns += config_.costs.cpu_cache_hit_ns;
       last_op_ns_ += config_.costs.cpu_cache_hit_ns;
     } else {
+      if (trace_) {
+        trace_->Emit(trace::EventType::kCpuCacheMiss, vcpu,
+                     vcpu_domain_[vcpu], cls, -1, allocated_bytes, 0);
+      }
       addr = SlowPathAllocate(cls, vcpu, node);
     }
     ++live_objects_per_class_[cls];
@@ -182,9 +188,21 @@ uintptr_t Allocator::Allocate(size_t size, int vcpu, SimTime now) {
     last_op_ns_ += config_.costs.prefetch_ns;
   }
 
-  if (sampler_.RecordAllocation(addr, size, allocated_bytes, now)) {
+  if (callsite != 0) {
+    CallsiteStats& cs = callsites_[callsite];
+    ++cs.allocs;
+    cs.live_bytes += allocated_bytes;
+    cs.cum_bytes += allocated_bytes;
+    if (cs.live_bytes > cs.peak_live_bytes) cs.peak_live_bytes = cs.live_bytes;
+  }
+
+  if (sampler_.RecordAllocation(addr, size, allocated_bytes, now, callsite)) {
     cycles_.sampled_ns += config_.costs.sampled_alloc_ns;
     last_op_ns_ += config_.costs.sampled_alloc_ns;
+    if (trace_) {
+      trace_->Emit(trace::EventType::kSampledAlloc, vcpu, -1, -1, -1,
+                   allocated_bytes, callsite);
+    }
   }
   return addr;
 }
@@ -246,11 +264,17 @@ uintptr_t Allocator::SlowPathAllocate(int cls, int vcpu, int node) {
   return result;
 }
 
-void Allocator::Free(uintptr_t addr, int vcpu, SimTime now) {
+void Allocator::Free(uintptr_t addr, int vcpu, SimTime now,
+                     uint64_t callsite) {
   free_ops_->Add();
   last_op_ns_ = config_.costs.other_ns;
   cycles_.other_ns += config_.costs.other_ns;
-  sampler_.RecordFree(addr, now);
+  if (trace_) trace_->set_now(now);
+  Sampler::FreeRecord sampled = sampler_.RecordFree(addr, now);
+  if (sampled.sampled && trace_) {
+    trace_->Emit(trace::EventType::kSampledFree, vcpu, -1, -1, -1,
+                 sampled.allocated, sampled.callsite);
+  }
 
   Span* span = pagemap_.LookupAddr(addr);
   WSC_CHECK(span != nullptr);  // wild free otherwise
@@ -266,6 +290,12 @@ void Allocator::Free(uintptr_t addr, int vcpu, SimTime now) {
     nodes_[NodeOfAddr(addr)]->page_heap.FreeLargeSpan(span);
     cycles_.page_heap_ns += config_.costs.page_heap_ns;
     last_op_ns_ += config_.costs.page_heap_ns;
+    if (callsite != 0) {
+      CallsiteStats& cs = callsites_[callsite];
+      ++cs.frees;
+      WSC_CHECK_GE(cs.live_bytes, bytes);
+      cs.live_bytes -= bytes;
+    }
     return;
   }
 
@@ -283,11 +313,21 @@ void Allocator::Free(uintptr_t addr, int vcpu, SimTime now) {
   --cumulative_allocs_per_class_[cls];
   WSC_CHECK_GE(live_bytes_, size);
   live_bytes_ -= size;
+  if (callsite != 0) {
+    CallsiteStats& cs = callsites_[callsite];
+    ++cs.frees;
+    WSC_CHECK_GE(cs.live_bytes, size);
+    cs.live_bytes -= size;
+  }
 
   if (cpu_caches_.Deallocate(vcpu, cls, addr)) {
     cycles_.cpu_cache_ns += config_.costs.cpu_cache_hit_ns;
     last_op_ns_ += config_.costs.cpu_cache_hit_ns;
     return;
+  }
+  if (trace_) {
+    trace_->Emit(trace::EventType::kCpuCacheOverflow, vcpu,
+                 vcpu_domain_[vcpu], cls, -1, size, 0);
   }
   SlowPathFree(cls, vcpu, addr);
 }
@@ -332,6 +372,7 @@ void Allocator::ReturnToCfl(int cls, const uintptr_t* objs, int n) {
 }
 
 void Allocator::Maintain(SimTime now) {
+  if (trace_) trace_->set_now(now);
   if (now - last_resize_ >= config_.cpu_cache_resize_interval) {
     last_resize_ = now;
     cpu_caches_.ResizeStep([this](int cls, const uintptr_t* objs, int n) {
@@ -507,7 +548,117 @@ telemetry::Snapshot Allocator::TelemetrySnapshot() {
     node->system.ContributeTelemetry(reg);
   }
   reclaimer_->ContributeTelemetry(reg);
+
+  // Sampler component: sample counts plus the all-sizes lifetime
+  // distribution, rebinned from the sampler's log histogram onto fixed
+  // bounds so fleet-wide merges stay exact (satisfying Snapshot::MergeFrom's
+  // equal-bounds requirement).
+  reg.ExportCounter("sampler", "samples_taken", sampler_.samples_taken());
+  reg.ExportGauge("sampler", "live_samples",
+                  static_cast<double>(sampler_.live_sample_count()));
+  {
+    const LogHistogram& lifetimes = sampler_.profile().all_lifetimes;
+    // Fixed bounds: 2^8 .. 2^44 ns in powers of 16 (256 ns to ~4.9 hours).
+    std::vector<double> bounds;
+    for (int b = 8; b <= 44; b += 4) {
+      bounds.push_back(static_cast<double>(uint64_t{1} << b));
+    }
+    std::vector<uint64_t> buckets(bounds.size() + 1, 0);
+    double sum = 0;
+    for (int b = 0; b < LogHistogram::kNumBuckets; ++b) {
+      double weight = lifetimes.BucketWeight(b);
+      if (weight <= 0) continue;
+      // Rebin by the bucket's representative value; the exact per-bucket
+      // value sum keeps the histogram mean exact.
+      double rep = 1.5 * static_cast<double>(uint64_t{1} << b);
+      size_t i = 0;
+      while (i < bounds.size() && rep > bounds[i]) ++i;
+      buckets[i] += static_cast<uint64_t>(weight + 0.5);
+      sum += lifetimes.BucketValueSum(b);
+    }
+    reg.ExportHistogram("sampler", "lifetime_ns", bounds, buckets,
+                        static_cast<uint64_t>(lifetimes.total_weight() + 0.5),
+                        sum);
+  }
   return reg.TakeSnapshot();
+}
+
+void Allocator::SetFlightRecorder(trace::FlightRecorder* recorder) {
+  trace_ = recorder;
+  cpu_caches_.set_flight_recorder(recorder);
+  for (auto& node : nodes_) {
+    node->transfer_cache.set_flight_recorder(recorder);
+    for (auto& cfl : node->cfls) cfl->set_flight_recorder(recorder);
+    node->page_heap.set_flight_recorder(recorder);
+  }
+  reclaimer_->set_flight_recorder(recorder);
+}
+
+void Allocator::RegisterCallsite(uint64_t id, std::string_view name) {
+  WSC_CHECK_NE(id, 0u);
+  callsites_[id].name = std::string(name);
+}
+
+trace::HeapProfile Allocator::CollectHeapProfile() const {
+  trace::HeapProfile profile;
+  profile.total_live_bytes = live_bytes_ + large_live_bytes_;
+  profile.samples_taken = sampler_.samples_taken();
+
+  // Exact dimensions from the per-callsite accounting.
+  for (const auto& [id, cs] : callsites_) {
+    trace::CallsiteProfile& row = profile.callsites[id];
+    row.name = cs.name;
+    row.allocs = cs.allocs;
+    row.frees = cs.frees;
+    row.live_bytes = cs.live_bytes;
+    row.peak_live_bytes = cs.peak_live_bytes;
+    row.cum_bytes = cs.cum_bytes;
+    profile.attributed_live_bytes += cs.live_bytes;
+  }
+
+  // Sampled dimensions. Callsite 0 collects untagged allocations.
+  for (const auto& [id, ss] : sampler_.by_callsite()) {
+    trace::CallsiteProfile& row = profile.callsites[id];
+    if (row.name.empty()) {
+      row.name = id == 0 ? "<untagged>" : "<unregistered>";
+    }
+    row.samples = ss.samples;
+    row.sampled_live_bytes = ss.live_bytes;
+    row.sampled_lifetimes = ss.lifetimes;
+    row.lifetime_sum_ns = ss.lifetime_sum_ns;
+  }
+
+  // Size x lifetime table from the Fig. 8 profile.
+  const LifetimeProfile& lp = sampler_.profile();
+  static_assert(trace::HeapProfile::kSizeBuckets ==
+                LifetimeProfile::kSizeBuckets);
+  for (int i = 0; i < LifetimeProfile::kSizeBuckets; ++i) {
+    profile.size_lifetime[i].samples = lp.lifetime_by_size[i].count();
+    profile.size_lifetime[i].lifetime_sum_ns =
+        lp.lifetime_by_size[i].weighted_sum();
+  }
+
+  // Fragmentation attribution: walk live sampled objects in address order;
+  // a callsite whose sample sits on a filler hugepage that carries free
+  // (or subreleased) pages is pinning a fragmented hugepage. Each
+  // (callsite, hugepage) pair counts once.
+  std::map<std::pair<uint64_t, uint64_t>, bool> seen;
+  for (const auto& [addr, sample] : sampler_.SortedLiveSamples()) {
+    const PageHeap& heap = nodes_[NodeOfAddr(addr)]->page_heap;
+    size_t free_bytes = heap.FragmentedBytesOnHugepage(addr);
+    if (free_bytes == 0) continue;
+    uint64_t hp = addr / kHugePageSize;
+    if (!seen.emplace(std::make_pair(sample.callsite, hp), true).second) {
+      continue;
+    }
+    trace::CallsiteProfile& row = profile.callsites[sample.callsite];
+    if (row.name.empty()) {
+      row.name = sample.callsite == 0 ? "<untagged>" : "<unregistered>";
+    }
+    ++row.fragmented_hugepages;
+    row.fragmented_free_bytes += free_bytes;
+  }
+  return profile;
 }
 
 bool Allocator::IsLiveObject(uintptr_t addr) const {

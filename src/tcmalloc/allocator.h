@@ -26,7 +26,10 @@
 #define WSC_TCMALLOC_ALLOCATOR_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/flat_map.h"
@@ -43,6 +46,8 @@
 #include "tcmalloc/system_alloc.h"
 #include "tcmalloc/transfer_cache.h"
 #include "telemetry/registry.h"
+#include "trace/flight_recorder.h"
+#include "trace/heap_profile.h"
 
 namespace wsc::tcmalloc {
 
@@ -114,11 +119,16 @@ class Allocator {
   // Returns the object address, or 0 when a hard memory limit is set and
   // admitting the allocation would exceed it (a counted, surfaced failure;
   // see background.h). Never 0 otherwise. Fatal on size == 0.
-  uintptr_t Allocate(size_t size, int vcpu, SimTime now);
+  // `callsite` is a synthetic callsite ID (the heap profiler's stand-in
+  // for a stack trace; see RegisterCallsite); 0 leaves the allocation
+  // unattributed at zero cost.
+  uintptr_t Allocate(size_t size, int vcpu, SimTime now,
+                     uint64_t callsite = 0);
 
   // Frees an address previously returned by Allocate. Fatal on wild or
-  // double frees (span bookkeeping catches both).
-  void Free(uintptr_t addr, int vcpu, SimTime now);
+  // double frees (span bookkeeping catches both). `callsite` must match
+  // the allocating call's (the workload driver stores it per object).
+  void Free(uintptr_t addr, int vcpu, SimTime now, uint64_t callsite = 0);
 
   // Simulated nanoseconds charged to the most recent Allocate/Free.
   double last_op_ns() const { return last_op_ns_; }
@@ -160,6 +170,27 @@ class Allocator {
   // allocator-level aggregates. The fleet layer snapshots each process and
   // merges the results in machine-index order.
   telemetry::Snapshot TelemetrySnapshot();
+
+  // --- Flight recorder (src/trace) ---
+  //
+  // Attaches (or detaches, with nullptr) the tier-event flight recorder,
+  // propagating the pointer to every cache tier. With no recorder attached
+  // every hook is a single null check — tracing disabled costs nothing on
+  // the hot path.
+  void SetFlightRecorder(trace::FlightRecorder* recorder);
+  trace::FlightRecorder* flight_recorder() const { return trace_; }
+
+  // --- Heap profiler ---
+  //
+  // Registers a human-readable name for a synthetic callsite ID (the
+  // workload driver hashes "<workload>/<behavior>" into IDs and registers
+  // them here once, at startup).
+  void RegisterCallsite(uint64_t id, std::string_view name);
+
+  // Builds the pprof-style heap profile: exact per-callsite live/peak/
+  // cumulative bytes, sampled lifetime aggregates, the size x lifetime
+  // table, and fragmented-hugepage attribution via live sampled objects.
+  trace::HeapProfile CollectHeapProfile() const;
 
   // Records one sim-interval footprint observation into the live
   // "allocator/heap_sample_bytes" histogram (called by the machine model
@@ -291,6 +322,22 @@ class Allocator {
 
   MallocCycleBreakdown cycles_;
   TierHitCounts alloc_hits_;
+
+  // Exact per-callsite accounting (the non-sampled dimensions of the heap
+  // profile). Only updated for tagged allocations (callsite != 0), so
+  // untagged callers skip the map entirely.
+  struct CallsiteStats {
+    std::string name;
+    uint64_t allocs = 0;
+    uint64_t frees = 0;
+    uint64_t live_bytes = 0;
+    uint64_t peak_live_bytes = 0;  // this callsite's own high-water mark
+    uint64_t cum_bytes = 0;
+  };
+  std::map<uint64_t, CallsiteStats> callsites_;
+
+  // Null unless a trace is being recorded; every tier shares this pointer.
+  trace::FlightRecorder* trace_ = nullptr;
 
   // Metric registry plus the hot-path handles registered into it. The
   // allocation/free counts live directly in the registry (single-writer

@@ -143,6 +143,10 @@ size_t BackgroundReclaimer::ReclaimTiers(size_t target_bytes) {
     size_t flushed =
         allocator_->cpu_caches_.ShrinkForPressure(floor, to_cfl);
     tier_cpu_cache_hist_->Record(static_cast<double>(flushed));
+    if (trace_) {
+      trace_->Emit(trace::EventType::kPressureStep, -1, -1, -1, 0, flushed,
+                   footprint);
+    }
     ReleaseBackend(footprint - target_bytes);
     footprint = allocator_->FootprintBytes();
   }
@@ -157,6 +161,10 @@ size_t BackgroundReclaimer::ReclaimTiers(size_t target_bytes) {
       drained += node->transfer_cache.DrainAll(to_cfl);
     }
     tier_transfer_cache_hist_->Record(static_cast<double>(drained));
+    if (trace_) {
+      trace_->Emit(trace::EventType::kPressureStep, -1, -1, -1, 1, drained,
+                   footprint);
+    }
     ReleaseBackend(footprint - target_bytes);
     footprint = allocator_->FootprintBytes();
   }
@@ -164,8 +172,12 @@ size_t BackgroundReclaimer::ReclaimTiers(size_t target_bytes) {
   // Tier 3: partial spans drained by tiers 1-2 that completed and returned
   // to the page heap (the central free lists return fully-free spans
   // eagerly; this attributes those bytes to the cascade).
-  tier_central_free_list_hist_->Record(
-      static_cast<double>(ReturnedSpanBytesSince(spans_before)));
+  size_t span_bytes = ReturnedSpanBytesSince(spans_before);
+  tier_central_free_list_hist_->Record(static_cast<double>(span_bytes));
+  if (trace_) {
+    trace_->Emit(trace::EventType::kPressureStep, -1, -1, -1, 2, span_bytes,
+                 footprint);
+  }
 
   // Tier 4: whatever deficit remains comes straight out of the back end —
   // aggressive subrelease of sparse hugepages, no demand guard.
@@ -175,6 +187,10 @@ size_t BackgroundReclaimer::ReclaimTiers(size_t target_bytes) {
 
   size_t released = TotalReleasedBytes() - released_start;
   tier_page_heap_hist_->Record(static_cast<double>(released));
+  if (trace_) {
+    trace_->Emit(trace::EventType::kPressureStep, -1, -1, -1, 3, released,
+                 footprint);
+  }
   reclaimed_bytes_->Add(released);
   footprint_cache_valid_ = false;
   return released;

@@ -180,6 +180,11 @@ PageId HugePageFiller::Allocate(Length n, int span_capacity) {
   int offset = t->Allocate(n);
   WSC_CHECK_GE(offset, 0);
   ListInsert(t);
+  if (trace_) {
+    trace_->Emit(trace::EventType::kFillerPlace, -1, -1, -1,
+                 static_cast<int16_t>(set), t->hugepage().index,
+                 static_cast<uint64_t>(n));
+  }
   if (was_released) {
     // Pages on a broken hugepage get recommitted on use; they stop counting
     // as released. (The hugepage itself stays broken until fully free.)
@@ -302,6 +307,12 @@ Length HugePageFiller::ReleaseSparsest(Length need) {
     ++stats_.released_hugepages;
     ++stats_.subrelease_events;
     released += t->free_pages();
+    if (trace_) {
+      trace_->Emit(trace::EventType::kFillerSubrelease, -1, -1, -1,
+                   static_cast<int16_t>(t->lifetime_set()),
+                   t->hugepage().index,
+                   static_cast<uint64_t>(t->free_pages()));
+    }
   }
   return released;
 }
@@ -314,6 +325,11 @@ bool HugePageFiller::IsIntactHugepage(uintptr_t addr) const {
 
 bool HugePageFiller::Owns(uintptr_t addr) const {
   return FindTracker(HugePageContainingAddr(addr)) != nullptr;
+}
+
+Length HugePageFiller::FreePagesOnHugepage(uintptr_t addr) const {
+  PageTracker* t = FindTracker(HugePageContainingAddr(addr));
+  return t == nullptr ? 0 : t->free_pages();
 }
 
 FillerStats HugePageFiller::stats() const {

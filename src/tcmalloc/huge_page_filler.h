@@ -24,6 +24,7 @@
 #include "common/flat_map.h"
 #include "tcmalloc/pages.h"
 #include "telemetry/registry.h"
+#include "trace/flight_recorder.h"
 
 namespace wsc::tcmalloc {
 
@@ -168,6 +169,11 @@ class HugePageFiller {
   // Whether the filler owns the hugepage containing `addr` at all.
   bool Owns(uintptr_t addr) const;
 
+  // Free pages on the filler-owned hugepage containing `addr` (intact or
+  // subreleased), or 0 if the filler does not own it. The heap profiler
+  // charges these to the live objects sharing the hugepage.
+  Length FreePagesOnHugepage(uintptr_t addr) const;
+
   FillerStats stats() const;
 
   // In-use pages on intact hugepages (numerator of hugepage coverage).
@@ -176,6 +182,12 @@ class HugePageFiller {
   // Publishes this tier's metrics (component "huge_page_filler") into
   // `registry`.
   void ContributeTelemetry(telemetry::MetricRegistry& registry) const;
+
+  // Attaches (or detaches, with nullptr) the flight recorder this tier
+  // emits kFillerPlace/Subrelease events into.
+  void set_flight_recorder(trace::FlightRecorder* recorder) {
+    trace_ = recorder;
+  }
 
  private:
   // lists_[set][free_pages] -> trackers with exactly that many free pages.
@@ -212,6 +224,7 @@ class HugePageFiller {
   FlatPtrMap<PageTracker*> tracker_index_;
 
   FillerStats stats_;
+  trace::FlightRecorder* trace_ = nullptr;
 };
 
 }  // namespace wsc::tcmalloc

@@ -67,6 +67,22 @@ size_t MallocExtension::ReleaseMemoryToSystem(size_t bytes) {
   return allocator_->reclaimer().ReleaseMemoryToSystem(bytes);
 }
 
+trace::HeapProfile MallocExtension::GetHeapProfileData() const {
+  return allocator_->CollectHeapProfile();
+}
+
+std::string MallocExtension::GetHeapProfile() const {
+  return trace::RenderHeapProfileText(allocator_->CollectHeapProfile());
+}
+
+const LifetimeProfile& MallocExtension::GetLifetimeProfile() const {
+  return allocator_->sampler().profile();
+}
+
+uint64_t MallocExtension::GetSamplesTaken() const {
+  return allocator_->sampler().samples_taken();
+}
+
 telemetry::Snapshot MallocExtension::GetTelemetrySnapshot() {
   return allocator_->TelemetrySnapshot();
 }

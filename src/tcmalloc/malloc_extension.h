@@ -16,10 +16,12 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <string_view>
 
 #include "tcmalloc/allocator.h"
 #include "tcmalloc/background.h"
+#include "trace/heap_profile.h"
 
 namespace wsc::tcmalloc {
 
@@ -49,6 +51,16 @@ class MallocExtension {
   // Releases up to `bytes` of free back-end memory to the OS; returns the
   // bytes actually released.
   size_t ReleaseMemoryToSystem(size_t bytes);
+
+  // ---- Profiling ----
+  // The pprof-style heap profile: per-callsite live/peak/cumulative bytes
+  // (exact), sampled lifetimes, and hugepage-fragmentation attribution.
+  trace::HeapProfile GetHeapProfileData() const;
+  // The profile rendered as a human-readable text report.
+  std::string GetHeapProfile() const;
+  // The sampler's Fig. 8 size x lifetime profile.
+  const LifetimeProfile& GetLifetimeProfile() const;
+  uint64_t GetSamplesTaken() const;
 
   // ---- Telemetry ----
   telemetry::Snapshot GetTelemetrySnapshot();

@@ -84,6 +84,13 @@ class PageHeap : public SpanSource, private HugePageBacking {
   // (Fig. 17a's hugepage coverage).
   double HugepageCoverage() const;
 
+  // Free bytes stranded on the filler-owned hugepage containing `addr`, or
+  // 0 when the address is not filler-backed (regions and whole cache
+  // hugepages carry no per-hugepage fragmentation by construction). The
+  // heap profiler attributes these bytes to the live sampled objects that
+  // pin the hugepage.
+  size_t FragmentedBytesOnHugepage(uintptr_t addr) const;
+
   PageHeapStats stats() const;
   const FillerStats filler_stats() const { return filler_.stats(); }
   const HugeCacheStats cache_stats() const { return cache_.stats(); }
@@ -94,6 +101,13 @@ class PageHeap : public SpanSource, private HugePageBacking {
   void ContributeTelemetry(telemetry::MetricRegistry& registry) const;
 
   uint64_t spans_created() const { return next_span_id_; }
+
+  // Attaches (or detaches, with nullptr) the flight recorder for this tier
+  // and the filler it composes.
+  void set_flight_recorder(trace::FlightRecorder* recorder) {
+    trace_ = recorder;
+    filler_.set_flight_recorder(recorder);
+  }
 
  private:
   enum class LargeKind { kFiller, kRegion, kCache };
@@ -123,6 +137,7 @@ class PageHeap : public SpanSource, private HugePageBacking {
   FlatPtrMap<LargeAlloc> large_allocs_;
   Length cache_span_pages_ = 0;  // large-span pages on non-donated hugepages
   uint64_t next_span_id_ = 0;
+  trace::FlightRecorder* trace_ = nullptr;
 
   // Sliding window of recent filler demand (used pages), sampled once per
   // BackgroundRelease call; its peak guards subrelease against transient

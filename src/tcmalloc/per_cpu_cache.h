@@ -20,6 +20,7 @@
 #include "tcmalloc/config.h"
 #include "tcmalloc/size_classes.h"
 #include "telemetry/registry.h"
+#include "trace/flight_recorder.h"
 
 namespace wsc::tcmalloc {
 
@@ -113,6 +114,13 @@ class CpuCacheSet {
   // TakeSnapshot().
   void ContributeTelemetry(telemetry::MetricRegistry& registry) const;
 
+  // Attaches (or detaches, with nullptr) the flight recorder this tier
+  // emits kCpuCacheResize events into. The allocator owns the timestamp:
+  // it stamps the recorder's `now` at operation entry.
+  void set_flight_recorder(trace::FlightRecorder* recorder) {
+    trace_ = recorder;
+  }
+
  private:
   struct VcpuCache {
     bool populated = false;
@@ -149,6 +157,7 @@ class CpuCacheSet {
   std::vector<VcpuCache> vcpus_;
   int steal_cursor_ = 0;  // round-robin position for capacity stealing
   size_t pressure_cap_bytes_ = kNoPressureCap;
+  trace::FlightRecorder* trace_ = nullptr;
 };
 
 // --- template implementations ---
@@ -264,8 +273,12 @@ void CpuCacheSet::ResizeStep(Flush&& flush) {
       size_t share = stolen / growers.size();
       size_t remainder = stolen - share * growers.size();
       for (size_t i = 0; i < growers.size(); ++i) {
-        vcpus_[growers[i]].capacity_bytes +=
-            share + (i == 0 ? remainder : 0);
+        size_t granted = share + (i == 0 ? remainder : 0);
+        vcpus_[growers[i]].capacity_bytes += granted;
+        if (trace_) {
+          trace_->Emit(trace::EventType::kCpuCacheResize, growers[i], -1, -1,
+                       -1, granted, victims.size());
+        }
       }
     }
   }

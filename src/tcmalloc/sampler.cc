@@ -1,5 +1,6 @@
 #include "tcmalloc/sampler.h"
 
+#include <algorithm>
 #include <bit>
 
 #include "common/logging.h"
@@ -25,7 +26,8 @@ Sampler::Sampler(size_t sample_interval_bytes)
 }
 
 bool Sampler::RecordAllocation(uintptr_t addr, size_t requested,
-                               size_t allocated, SimTime now) {
+                               size_t allocated, SimTime now,
+                               uint64_t callsite) {
   (void)requested;
   if (allocated < bytes_until_sample_) {
     bytes_until_sample_ -= allocated;
@@ -33,18 +35,29 @@ bool Sampler::RecordAllocation(uintptr_t addr, size_t requested,
   }
   bytes_until_sample_ = interval_;
   ++samples_taken_;
-  live_samples_[addr] = Sample{allocated, now};
+  live_samples_[addr] = Sample{allocated, now, callsite};
+  CallsiteSamples& cs = by_callsite_[callsite];
+  ++cs.samples;
+  cs.live_bytes += allocated;
   return true;
 }
 
-void Sampler::RecordFree(uintptr_t addr, SimTime now) {
+Sampler::FreeRecord Sampler::RecordFree(uintptr_t addr, SimTime now) {
   auto it = live_samples_.find(addr);
-  if (it == live_samples_.end()) return;
-  double lifetime_ns = static_cast<double>(now - it->second.alloc_time);
-  int bucket = LifetimeProfile::SizeBucketFor(it->second.allocated);
+  if (it == live_samples_.end()) return {};
+  const Sample& sample = it->second;
+  double lifetime_ns = static_cast<double>(now - sample.alloc_time);
+  int bucket = LifetimeProfile::SizeBucketFor(sample.allocated);
   profile_.lifetime_by_size[bucket].Add(lifetime_ns);
   profile_.all_lifetimes.Add(lifetime_ns);
+  CallsiteSamples& cs = by_callsite_[sample.callsite];
+  WSC_CHECK_GE(cs.live_bytes, sample.allocated);
+  cs.live_bytes -= sample.allocated;
+  ++cs.lifetimes;
+  cs.lifetime_sum_ns += lifetime_ns;
+  FreeRecord record{true, sample.allocated, sample.callsite};
   live_samples_.erase(it);
+  return record;
 }
 
 void Sampler::FlushOutstanding(SimTime now) {
@@ -53,8 +66,22 @@ void Sampler::FlushOutstanding(SimTime now) {
     int bucket = LifetimeProfile::SizeBucketFor(sample.allocated);
     profile_.lifetime_by_size[bucket].Add(lifetime_ns);
     profile_.all_lifetimes.Add(lifetime_ns);
+    CallsiteSamples& cs = by_callsite_[sample.callsite];
+    WSC_CHECK_GE(cs.live_bytes, sample.allocated);
+    cs.live_bytes -= sample.allocated;
+    ++cs.lifetimes;
+    cs.lifetime_sum_ns += lifetime_ns;
   }
   live_samples_.clear();
+}
+
+std::vector<std::pair<uintptr_t, Sampler::Sample>>
+Sampler::SortedLiveSamples() const {
+  std::vector<std::pair<uintptr_t, Sample>> out(live_samples_.begin(),
+                                                live_samples_.end());
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
 }
 
 }  // namespace wsc::tcmalloc

@@ -12,7 +12,9 @@
 #define WSC_TCMALLOC_SAMPLER_H_
 
 #include <cstdint>
+#include <map>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/histogram.h"
@@ -38,15 +40,41 @@ struct LifetimeProfile {
 // Samples allocations on a byte-count trigger.
 class Sampler {
  public:
+  // Per-callsite aggregates over sampled allocations (the sampled
+  // dimensions of the heap profile; exact live-byte attribution is kept by
+  // the allocator). Callsite 0 means "untagged".
+  struct CallsiteSamples {
+    uint64_t samples = 0;          // sampled allocations attributed here
+    uint64_t live_bytes = 0;       // allocated bytes of live samples
+    uint64_t lifetimes = 0;        // finalized (freed or flushed) samples
+    double lifetime_sum_ns = 0;    // over finalized samples
+  };
+
+  struct Sample {
+    size_t allocated;
+    SimTime alloc_time;
+    uint64_t callsite;
+  };
+
+  // What RecordFree learned about the freed address.
+  struct FreeRecord {
+    bool sampled = false;
+    size_t allocated = 0;
+    uint64_t callsite = 0;
+  };
+
   explicit Sampler(size_t sample_interval_bytes);
 
   // Returns true if this allocation is sampled (caller charges the extra
-  // sampling cost). Must be called once per allocation.
+  // sampling cost). Must be called once per allocation. `callsite` is the
+  // synthetic callsite ID tagged by the workload driver (0 = untagged).
   bool RecordAllocation(uintptr_t addr, size_t requested, size_t allocated,
-                        SimTime now);
+                        SimTime now, uint64_t callsite = 0);
 
-  // Finalizes a sampled allocation if `addr` was sampled.
-  void RecordFree(uintptr_t addr, SimTime now);
+  // Finalizes a sampled allocation if `addr` was sampled; the returned
+  // record carries the sample's payload so the caller can emit trace
+  // events without a second lookup.
+  FreeRecord RecordFree(uintptr_t addr, SimTime now);
 
   // Marks every outstanding sampled object as living until `now` (used at
   // the end of a simulation so long-lived objects contribute their
@@ -55,18 +83,24 @@ class Sampler {
 
   const LifetimeProfile& profile() const { return profile_; }
   uint64_t samples_taken() const { return samples_taken_; }
+  size_t live_sample_count() const { return live_samples_.size(); }
+
+  // Sampled per-callsite aggregates, deterministically ordered.
+  const std::map<uint64_t, CallsiteSamples>& by_callsite() const {
+    return by_callsite_;
+  }
+
+  // Live sampled objects sorted by address — the deterministic walk order
+  // used for fragmentation attribution.
+  std::vector<std::pair<uintptr_t, Sample>> SortedLiveSamples() const;
 
  private:
-  struct Sample {
-    size_t allocated;
-    SimTime alloc_time;
-  };
-
   size_t interval_;
   size_t bytes_until_sample_;
   uint64_t samples_taken_ = 0;
   std::unordered_map<uintptr_t, Sample> live_samples_;
   LifetimeProfile profile_;
+  std::map<uint64_t, CallsiteSamples> by_callsite_;
 };
 
 }  // namespace wsc::tcmalloc

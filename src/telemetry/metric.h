@@ -91,6 +91,17 @@ class FixedHistogram {
     return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
   }
 
+  // Adds pre-bucketed counts (exported-histogram path). `buckets` must
+  // already be binned onto this histogram's bounds; `sum` carries the exact
+  // value mass so means survive the rebinning.
+  void MergeBuckets(const std::vector<uint64_t>& buckets, uint64_t count,
+                    double sum) {
+    WSC_CHECK_EQ(buckets.size(), buckets_.size());
+    for (size_t i = 0; i < buckets.size(); ++i) buckets_[i] += buckets[i];
+    count_ += count;
+    sum_ += sum;
+  }
+
   void Reset() {
     buckets_.assign(buckets_.size(), 0);
     count_ = 0;

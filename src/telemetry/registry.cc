@@ -137,6 +137,7 @@ void MetricRegistry::BeginExport() {
     if (!e.exported) continue;
     e.counter.Reset();
     e.gauge.Reset();
+    if (e.histogram != nullptr) e.histogram->Reset();
   }
 }
 
@@ -150,6 +151,21 @@ void MetricRegistry::ExportGauge(std::string_view component,
                                  std::string_view name, double value) {
   GetOrCreate(component, name, MetricKind::kGauge, /*exported=*/true)
       .gauge.Add(value);
+}
+
+void MetricRegistry::ExportHistogram(std::string_view component,
+                                     std::string_view name,
+                                     const std::vector<double>& bounds,
+                                     const std::vector<uint64_t>& buckets,
+                                     uint64_t count, double sum) {
+  Entry& e = GetOrCreate(component, name, MetricKind::kHistogram,
+                         /*exported=*/true);
+  if (e.histogram == nullptr) {
+    e.histogram = std::make_unique<FixedHistogram>(bounds);
+  } else {
+    WSC_CHECK(e.histogram->bounds() == bounds);
+  }
+  e.histogram->MergeBuckets(buckets, count, sum);
 }
 
 Snapshot MetricRegistry::TakeSnapshot() const {

@@ -108,6 +108,14 @@ class MetricRegistry {
                      uint64_t value);
   void ExportGauge(std::string_view component, std::string_view name,
                    double value);
+  // Accumulates pre-bucketed counts into the exported histogram, creating
+  // it with `bounds` on first use. Later calls (and other processes'
+  // snapshots) must present identical bounds — the fixed-bounds contract
+  // that keeps fleet merges exact.
+  void ExportHistogram(std::string_view component, std::string_view name,
+                       const std::vector<double>& bounds,
+                       const std::vector<uint64_t>& buckets, uint64_t count,
+                       double sum);
 
   Snapshot TakeSnapshot() const;
 

@@ -1,0 +1,121 @@
+#include "trace/chrome_trace.h"
+
+#include <set>
+#include <utility>
+
+#include "telemetry/statsz.h"
+
+namespace wsc::trace {
+
+namespace {
+
+using telemetry::AppendJsonEscaped;
+using telemetry::FormatJsonNumber;
+
+// Payload field names per event type (nullptr = field unused, omitted).
+struct ArgNames {
+  const char* a;
+  const char* b;
+};
+
+constexpr ArgNames kArgNames[kNumEventTypes] = {
+    {"bytes", nullptr},          // kCpuCacheMiss
+    {"bytes", nullptr},          // kCpuCacheOverflow
+    {"bytes_gained", "victims"}, // kCpuCacheResize
+    {"objects", "overflowed"},   // kTransferInsert
+    {"requested", "served"},     // kTransferRemove
+    {"objects", nullptr},        // kTransferPlunder
+    {"span_id", "capacity"},     // kCflSpanAllocate
+    {"span_id", "capacity"},     // kCflSpanReturn
+    {"span_id", "pages"},        // kPageHeapSpanAlloc
+    {"span_id", "pages"},        // kPageHeapSpanFree
+    {"hugepage", "pages"},       // kFillerPlace
+    {"hugepage", "pages"},       // kFillerSubrelease
+    {"bytes", "footprint"},      // kPressureStep
+    {"bytes", "callsite"},       // kSampledAlloc
+    {"bytes", "callsite"},       // kSampledFree
+};
+
+void AppendArg(std::string& out, bool& first, const char* name, uint64_t v) {
+  if (!first) out += ',';
+  first = false;
+  out += '"';
+  out += name;
+  out += "\":";
+  out += std::to_string(v);
+}
+
+void AppendEvent(std::string& out, const ProcessTrace& p,
+                 const TraceEvent& e) {
+  out += "{\"name\":\"";
+  out += EventTypeName(e.type);
+  out += "\",\"cat\":\"";
+  out += EventTypeCategory(e.type);
+  out += "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":";
+  out += FormatJsonNumber(static_cast<double>(e.ts) / 1000.0);
+  out += ",\"pid\":";
+  out += std::to_string(p.pid);
+  out += ",\"tid\":";
+  out += std::to_string(p.tid);
+  out += ",\"args\":{";
+  bool first = true;
+  if (e.vcpu >= 0) AppendArg(out, first, "vcpu", e.vcpu);
+  if (e.domain >= 0) AppendArg(out, first, "domain", e.domain);
+  if (e.cls >= 0) AppendArg(out, first, "cls", e.cls);
+  if (e.index >= 0) AppendArg(out, first, "index", e.index);
+  const ArgNames& names = kArgNames[static_cast<int>(e.type)];
+  if (names.a != nullptr) AppendArg(out, first, names.a, e.a);
+  if (names.b != nullptr) AppendArg(out, first, names.b, e.b);
+  out += "}}";
+}
+
+void AppendMetadata(std::string& out, const char* name, int pid, int tid,
+                    const std::string& value, const std::string& extra) {
+  out += "{\"name\":\"";
+  out += name;
+  out += "\",\"ph\":\"M\",\"pid\":";
+  out += std::to_string(pid);
+  if (tid >= 0) {
+    out += ",\"tid\":";
+    out += std::to_string(tid);
+  }
+  out += ",\"args\":{\"name\":\"";
+  AppendJsonEscaped(out, value);
+  out += '"';
+  out += extra;
+  out += "}}";
+}
+
+}  // namespace
+
+std::string RenderChromeTrace(const std::vector<ProcessTrace>& processes) {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  std::set<int> named_pids;
+  for (const ProcessTrace& p : processes) {
+    if (named_pids.insert(p.pid).second) {
+      if (!first) out += ',';
+      first = false;
+      AppendMetadata(out, "process_name", p.pid, -1,
+                     "machine" + std::to_string(p.pid), "");
+    }
+    if (!first) out += ',';
+    first = false;
+    std::string drop_args = ",\"emitted\":" +
+                            std::to_string(p.buffer.total_emitted) +
+                            ",\"dropped\":" + std::to_string(p.buffer.dropped);
+    AppendMetadata(out, "thread_name", p.pid, p.tid,
+                   "process" + std::to_string(p.tid), drop_args);
+  }
+  for (const ProcessTrace& p : processes) {
+    for (const TraceEvent& e : p.buffer.events) {
+      if (!first) out += ',';
+      first = false;
+      AppendEvent(out, p, e);
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace wsc::trace

@@ -1,0 +1,38 @@
+// Chrome-tracing / Perfetto JSON export of drained flight-recorder rings.
+//
+// The JSON Object Format understood by chrome://tracing and ui.perfetto.dev:
+// a top-level {"traceEvents":[...]} array of instant events, one per
+// recorded tier event, with pid = machine index and tid = process index
+// within the machine. Timestamps are simulated nanoseconds converted to the
+// format's microsecond unit.
+//
+// Rendering is deterministic: events appear in the order the caller lists
+// the per-process buffers (the fleet merge lists them machine-index
+// ordered), and all numbers go through the statsz round-trip formatter, so
+// a trace of the same fleet run is bit-identical for any --threads value.
+
+#ifndef WSC_TRACE_CHROME_TRACE_H_
+#define WSC_TRACE_CHROME_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "trace/flight_recorder.h"
+
+namespace wsc::trace {
+
+// One drained recorder with its trace coordinates.
+struct ProcessTrace {
+  int pid = 0;  // machine index
+  int tid = 0;  // process index within the machine
+  TraceBuffer buffer;
+};
+
+// Renders the full Chrome-tracing JSON document: process/thread metadata
+// records first, then every buffered event. Dropped-event counts are
+// summarized per process in the metadata args.
+std::string RenderChromeTrace(const std::vector<ProcessTrace>& processes);
+
+}  // namespace wsc::trace
+
+#endif  // WSC_TRACE_CHROME_TRACE_H_

@@ -1,0 +1,71 @@
+#include "trace/flight_recorder.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace wsc::trace {
+
+namespace {
+
+struct EventTypeInfo {
+  const char* name;
+  const char* category;
+};
+
+constexpr EventTypeInfo kEventTypeInfo[kNumEventTypes] = {
+    {"cpu_cache_miss", "cpu_cache"},
+    {"cpu_cache_overflow", "cpu_cache"},
+    {"cpu_cache_resize", "cpu_cache"},
+    {"transfer_insert", "transfer_cache"},
+    {"transfer_remove", "transfer_cache"},
+    {"transfer_plunder", "transfer_cache"},
+    {"cfl_span_allocate", "central_free_list"},
+    {"cfl_span_return", "central_free_list"},
+    {"page_heap_span_alloc", "page_heap"},
+    {"page_heap_span_free", "page_heap"},
+    {"filler_place", "huge_page_filler"},
+    {"filler_subrelease", "huge_page_filler"},
+    {"pressure_step", "pressure"},
+    {"sampled_alloc", "sampler"},
+    {"sampled_free", "sampler"},
+};
+
+}  // namespace
+
+const char* EventTypeName(EventType type) {
+  int i = static_cast<int>(type);
+  WSC_CHECK(i >= 0 && i < kNumEventTypes);
+  return kEventTypeInfo[i].name;
+}
+
+const char* EventTypeCategory(EventType type) {
+  int i = static_cast<int>(type);
+  WSC_CHECK(i >= 0 && i < kNumEventTypes);
+  return kEventTypeInfo[i].category;
+}
+
+FlightRecorder::FlightRecorder(size_t capacity) : ring_(capacity) {
+  WSC_CHECK(capacity > 0);
+}
+
+TraceBuffer FlightRecorder::Drain() const {
+  TraceBuffer out;
+  out.capacity = ring_.size();
+  out.total_emitted = next_;
+  size_t kept = std::min<uint64_t>(next_, ring_.size());
+  out.dropped = next_ - kept;
+  out.events.reserve(kept);
+  // Oldest surviving event sits at next_ % capacity once the ring wrapped,
+  // at slot 0 before that.
+  uint64_t start = next_ - kept;
+  for (uint64_t i = start; i < next_; ++i) {
+    out.events.push_back(ring_[i % ring_.size()]);
+  }
+  for (int t = 0; t < kNumEventTypes; ++t) {
+    out.emitted_by_type[t] = emitted_by_type_[t];
+  }
+  return out;
+}
+
+}  // namespace wsc::trace

@@ -1,0 +1,89 @@
+// Allocation flight recorder: a fixed-size ring buffer of tier events.
+//
+// Production allocators cannot afford unbounded logs on the allocation hot
+// path; what they can afford is a small, preallocated ring that always
+// holds the most recent events — a flight recorder. Every tier of the
+// simulated allocator holds a `FlightRecorder*` that defaults to null, so
+// the hook in the hot path is a single predicted branch:
+//
+//   if (trace_) trace_->Emit(EventType::kTransferInsert, ...);
+//
+// When tracing is off the pointer stays null and the allocator's behavior
+// and cost accounting are bit-identical to a build without hooks.
+//
+// The recorder belongs to one simulated process (same single-writer
+// contract as the telemetry registry), so Emit is lock-free by
+// construction. Tiers do not know the simulated time; the Allocator stamps
+// the recorder with `set_now()` on entry to Allocate/Free/Maintain and
+// every event emitted below it inherits that timestamp.
+
+#ifndef WSC_TRACE_FLIGHT_RECORDER_H_
+#define WSC_TRACE_FLIGHT_RECORDER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/sim_clock.h"
+#include "trace/trace_event.h"
+
+namespace wsc::trace {
+
+// The drained contents of one process's recorder, oldest event first.
+// When the ring wrapped, `dropped` counts the overwritten events; the
+// per-type totals cover every Emit call, including dropped ones, so a
+// Fig. 6-style tier breakdown stays exact even for a small ring.
+struct TraceBuffer {
+  size_t capacity = 0;
+  uint64_t total_emitted = 0;
+  uint64_t dropped = 0;
+  std::vector<TraceEvent> events;                 // chronological
+  uint64_t emitted_by_type[kNumEventTypes] = {};  // includes dropped
+
+  bool operator==(const TraceBuffer&) const = default;
+};
+
+class FlightRecorder {
+ public:
+  // A recorder always records; "tracing disabled" is a null pointer at the
+  // hook site, not a flag here. Capacity must be positive.
+  explicit FlightRecorder(size_t capacity);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  // Stamps the simulated time applied to subsequent Emit calls.
+  void set_now(SimTime now) { now_ = now; }
+  SimTime now() const { return now_; }
+
+  void Emit(EventType type, int vcpu, int domain, int cls, int index,
+            uint64_t a, uint64_t b) {
+    TraceEvent& e = ring_[next_ % ring_.size()];
+    e.ts = now_;
+    e.a = a;
+    e.b = b;
+    e.type = type;
+    e.vcpu = static_cast<int16_t>(vcpu);
+    e.domain = static_cast<int16_t>(domain);
+    e.cls = static_cast<int16_t>(cls);
+    e.index = static_cast<int16_t>(index);
+    ++next_;
+    ++emitted_by_type_[static_cast<int>(type)];
+  }
+
+  size_t capacity() const { return ring_.size(); }
+  uint64_t total_emitted() const { return next_; }
+
+  // Copies out the ring, oldest first. The recorder keeps recording.
+  TraceBuffer Drain() const;
+
+ private:
+  std::vector<TraceEvent> ring_;
+  uint64_t next_ = 0;  // total events ever emitted; next slot is next_ % cap
+  SimTime now_ = 0;
+  uint64_t emitted_by_type_[kNumEventTypes] = {};
+};
+
+}  // namespace wsc::trace
+
+#endif  // WSC_TRACE_FLIGHT_RECORDER_H_

@@ -1,0 +1,195 @@
+#include "trace/heap_profile.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <vector>
+
+#include "common/logging.h"
+#include "telemetry/statsz.h"
+
+namespace wsc::trace {
+
+namespace {
+
+using telemetry::AppendJsonEscaped;
+using telemetry::FormatJsonNumber;
+
+std::string HumanBytes(uint64_t bytes) {
+  char buf[32];
+  if (bytes >= (uint64_t{1} << 30)) {
+    std::snprintf(buf, sizeof(buf), "%.1f GiB",
+                  static_cast<double>(bytes) / (uint64_t{1} << 30));
+  } else if (bytes >= (uint64_t{1} << 20)) {
+    std::snprintf(buf, sizeof(buf), "%.1f MiB",
+                  static_cast<double>(bytes) / (uint64_t{1} << 20));
+  } else if (bytes >= (uint64_t{1} << 10)) {
+    std::snprintf(buf, sizeof(buf), "%.1f KiB",
+                  static_cast<double>(bytes) / (uint64_t{1} << 10));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%" PRIu64 " B", bytes);
+  }
+  return buf;
+}
+
+}  // namespace
+
+void CallsiteProfile::MergeFrom(const CallsiteProfile& other) {
+  if (name.empty()) name = other.name;
+  WSC_CHECK(other.name.empty() || name == other.name);
+  allocs += other.allocs;
+  frees += other.frees;
+  live_bytes += other.live_bytes;
+  // Callsite peaks in different processes are independent heaps; the
+  // fleet-level peak attribution is their sum.
+  peak_live_bytes += other.peak_live_bytes;
+  cum_bytes += other.cum_bytes;
+  samples += other.samples;
+  sampled_live_bytes += other.sampled_live_bytes;
+  sampled_lifetimes += other.sampled_lifetimes;
+  lifetime_sum_ns += other.lifetime_sum_ns;
+  fragmented_hugepages += other.fragmented_hugepages;
+  fragmented_free_bytes += other.fragmented_free_bytes;
+}
+
+void HeapProfile::MergeFrom(const HeapProfile& other) {
+  total_live_bytes += other.total_live_bytes;
+  attributed_live_bytes += other.attributed_live_bytes;
+  samples_taken += other.samples_taken;
+  for (const auto& [id, row] : other.callsites) {
+    callsites[id].MergeFrom(row);
+  }
+  for (int i = 0; i < kSizeBuckets; ++i) {
+    size_lifetime[i].samples += other.size_lifetime[i].samples;
+    size_lifetime[i].lifetime_sum_ns += other.size_lifetime[i].lifetime_sum_ns;
+  }
+}
+
+std::string RenderHeapProfileText(const HeapProfile& profile) {
+  std::vector<const std::pair<const uint64_t, CallsiteProfile>*> rows;
+  rows.reserve(profile.callsites.size());
+  for (const auto& entry : profile.callsites) rows.push_back(&entry);
+  std::sort(rows.begin(), rows.end(), [](const auto* a, const auto* b) {
+    if (a->second.live_bytes != b->second.live_bytes) {
+      return a->second.live_bytes > b->second.live_bytes;
+    }
+    if (a->second.name != b->second.name) {
+      return a->second.name < b->second.name;
+    }
+    return a->first < b->first;
+  });
+
+  double coverage =
+      profile.total_live_bytes > 0
+          ? 100.0 * static_cast<double>(profile.attributed_live_bytes) /
+                static_cast<double>(profile.total_live_bytes)
+          : 100.0;
+
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "Heap profile: %s live in %zu callsites "
+                "(%.1f%% attributed); %" PRIu64 " samples\n",
+                HumanBytes(profile.total_live_bytes).c_str(),
+                profile.callsites.size(), coverage, profile.samples_taken);
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "%14s %14s %14s %10s %10s %8s %12s %8s %14s  %s\n", "live",
+                "peak", "cum", "allocs", "frees", "samples", "avg_life_ms",
+                "frag_hp", "frag_free", "callsite");
+  out += buf;
+  for (const auto* row : rows) {
+    const CallsiteProfile& c = row->second;
+    double avg_life_ms =
+        c.sampled_lifetimes > 0
+            ? c.lifetime_sum_ns / static_cast<double>(c.sampled_lifetimes) / 1e6
+            : 0.0;
+    std::snprintf(buf, sizeof(buf),
+                  "%14" PRIu64 " %14" PRIu64 " %14" PRIu64 " %10" PRIu64
+                  " %10" PRIu64 " %8" PRIu64 " %12.3f %8" PRIu64 " %14" PRIu64
+                  "  %s\n",
+                  c.live_bytes, c.peak_live_bytes, c.cum_bytes, c.allocs,
+                  c.frees, c.samples, avg_life_ms, c.fragmented_hugepages,
+                  c.fragmented_free_bytes, c.name.c_str());
+    out += buf;
+  }
+
+  out += "Size x lifetime (sampled):\n";
+  std::snprintf(buf, sizeof(buf), "%20s %10s %16s\n", "size_bucket",
+                "samples", "mean_life_ms");
+  out += buf;
+  for (int i = 0; i < HeapProfile::kSizeBuckets; ++i) {
+    const SizeLifetimeRow& r = profile.size_lifetime[i];
+    if (r.samples == 0) continue;
+    double lo = i == 0 ? 0 : static_cast<double>(uint64_t{1} << (i - 1));
+    double hi = static_cast<double>(uint64_t{1} << i);
+    std::snprintf(buf, sizeof(buf), "%9.0f-%-10.0f %10" PRIu64 " %16.3f\n", lo,
+                  hi, r.samples,
+                  r.lifetime_sum_ns / static_cast<double>(r.samples) / 1e6);
+    out += buf;
+  }
+  return out;
+}
+
+std::string RenderHeapProfileJson(const HeapProfile& profile) {
+  std::string out = "{\"schema_version\":";
+  out += std::to_string(kHeapProfileSchemaVersion);
+  out += ",\"kind\":\"heap_profile\",\"total_live_bytes\":";
+  out += std::to_string(profile.total_live_bytes);
+  out += ",\"attributed_live_bytes\":";
+  out += std::to_string(profile.attributed_live_bytes);
+  out += ",\"samples_taken\":";
+  out += std::to_string(profile.samples_taken);
+  out += ",\"callsites\":[";
+  bool first = true;
+  for (const auto& [id, c] : profile.callsites) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"id\":";
+    out += std::to_string(id);
+    out += ",\"name\":\"";
+    AppendJsonEscaped(out, c.name);
+    out += "\",\"live_bytes\":";
+    out += std::to_string(c.live_bytes);
+    out += ",\"peak_live_bytes\":";
+    out += std::to_string(c.peak_live_bytes);
+    out += ",\"cum_bytes\":";
+    out += std::to_string(c.cum_bytes);
+    out += ",\"allocs\":";
+    out += std::to_string(c.allocs);
+    out += ",\"frees\":";
+    out += std::to_string(c.frees);
+    out += ",\"samples\":";
+    out += std::to_string(c.samples);
+    out += ",\"sampled_live_bytes\":";
+    out += std::to_string(c.sampled_live_bytes);
+    out += ",\"sampled_lifetimes\":";
+    out += std::to_string(c.sampled_lifetimes);
+    out += ",\"lifetime_sum_ns\":";
+    out += FormatJsonNumber(c.lifetime_sum_ns);
+    out += ",\"fragmented_hugepages\":";
+    out += std::to_string(c.fragmented_hugepages);
+    out += ",\"fragmented_free_bytes\":";
+    out += std::to_string(c.fragmented_free_bytes);
+    out += '}';
+  }
+  out += "],\"size_lifetime\":[";
+  first = true;
+  for (int i = 0; i < HeapProfile::kSizeBuckets; ++i) {
+    const SizeLifetimeRow& r = profile.size_lifetime[i];
+    if (r.samples == 0) continue;
+    if (!first) out += ',';
+    first = false;
+    out += "{\"bucket\":";
+    out += std::to_string(i);
+    out += ",\"samples\":";
+    out += std::to_string(r.samples);
+    out += ",\"lifetime_sum_ns\":";
+    out += FormatJsonNumber(r.lifetime_sum_ns);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace wsc::trace

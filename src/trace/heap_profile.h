@@ -1,0 +1,106 @@
+// pprof-style heap profile: callsite-attributed live heap, peaks,
+// sampled lifetimes, and hugepage-fragmentation attribution.
+//
+// Production TCMalloc's heapz answers "which callsites own the heap?";
+// the paper's Figs. 7-8 are fleet aggregates of exactly such profiles.
+// Our workloads have no real stacks, so a callsite is a synthetic 64-bit
+// ID (an FNV-1a hash of "<workload>/<behavior>") registered with a
+// human-readable name by the workload driver.
+//
+// This header is pure data + rendering. Collection lives in the allocator
+// (`Allocator::CollectHeapProfile`), which owns the pagemap, filler, and
+// sampler the profile is derived from. Profiles from different processes
+// merge by summing per-callsite rows keyed by ID; merging machine-index
+// ordered keeps fleet profiles bit-identical for any --threads value.
+
+#ifndef WSC_TRACE_HEAP_PROFILE_H_
+#define WSC_TRACE_HEAP_PROFILE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace wsc::trace {
+
+inline constexpr int kHeapProfileSchemaVersion = 1;
+
+// Synthetic callsite ID for `name`: 64-bit FNV-1a. Deterministic across
+// processes and runs; 0 is reserved for "untagged" (FNV-1a never produces
+// 0 for the short names used here, and RegisterCallsite rejects it).
+constexpr uint64_t CallsiteId(std::string_view name) {
+  uint64_t h = 14695981039346656037ull;
+  for (char c : name) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// Per-callsite row. `peak_live_bytes` is the callsite's own high-water
+// mark (callsite peaks are not simultaneous, so their sum can exceed the
+// process peak — same caveat as production heapz growth profiles).
+struct CallsiteProfile {
+  std::string name;
+  uint64_t allocs = 0;
+  uint64_t frees = 0;
+  uint64_t live_bytes = 0;
+  uint64_t peak_live_bytes = 0;
+  uint64_t cum_bytes = 0;  // total bytes ever allocated here
+
+  // Sampled dimensions (GWP-style, one sample per interval bytes).
+  uint64_t samples = 0;
+  uint64_t sampled_live_bytes = 0;
+  uint64_t sampled_lifetimes = 0;   // finalized (freed or flushed) samples
+  double lifetime_sum_ns = 0;       // over finalized samples
+
+  // Fragmentation attribution: hugepages that hold a live sampled object
+  // of this callsite while also carrying free (or subreleased) pages —
+  // i.e. the callsite pins a partially-used hugepage — and the stranded
+  // free bytes on them.
+  uint64_t fragmented_hugepages = 0;
+  uint64_t fragmented_free_bytes = 0;
+
+  void MergeFrom(const CallsiteProfile& other);
+
+  bool operator==(const CallsiteProfile&) const = default;
+};
+
+// One row of the Fig. 8-style size x lifetime table, per power-of-two
+// size bucket [2^i, 2^{i+1}).
+struct SizeLifetimeRow {
+  uint64_t samples = 0;
+  double lifetime_sum_ns = 0;
+
+  bool operator==(const SizeLifetimeRow&) const = default;
+};
+
+struct HeapProfile {
+  static constexpr int kSizeBuckets = 44;  // mirrors LifetimeProfile
+
+  uint64_t total_live_bytes = 0;       // exact allocator in-use bytes
+  uint64_t attributed_live_bytes = 0;  // sum of callsite live_bytes
+  uint64_t samples_taken = 0;
+
+  // Keyed by callsite ID; std::map keeps iteration (and thus rendering
+  // and merge results) deterministic.
+  std::map<uint64_t, CallsiteProfile> callsites;
+
+  SizeLifetimeRow size_lifetime[kSizeBuckets] = {};
+
+  void MergeFrom(const HeapProfile& other);
+
+  bool operator==(const HeapProfile&) const = default;
+};
+
+// Human-readable pprof-style text: header with attribution coverage,
+// callsite table sorted by live bytes (descending, name tie-break), then
+// the size x lifetime table. Deterministic.
+std::string RenderHeapProfileText(const HeapProfile& profile);
+
+// Machine-readable JSON for tools/mallocz.py and --profile=out.json.
+std::string RenderHeapProfileJson(const HeapProfile& profile);
+
+}  // namespace wsc::trace
+
+#endif  // WSC_TRACE_HEAP_PROFILE_H_

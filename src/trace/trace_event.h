@@ -1,0 +1,68 @@
+// Typed tier events for the allocation flight recorder.
+//
+// The paper's §3 analysis attributes allocator cycles to individual cache
+// tiers (Fig. 6); answering "what sequence of tier events produced this
+// slow allocation?" needs the events themselves, not just counters. Each
+// event names the tier it came from (the Chrome-tracing category) and
+// carries a handful of small integer payloads whose meaning depends on the
+// event type. Events are plain data: the emitting tier never formats or
+// allocates, so a disabled recorder costs one predicted-not-taken branch.
+
+#ifndef WSC_TRACE_TRACE_EVENT_H_
+#define WSC_TRACE_TRACE_EVENT_H_
+
+#include <cstdint>
+
+#include "common/sim_clock.h"
+
+namespace wsc::trace {
+
+// One enumerator per hook point across the cache hierarchy. Keep the
+// kMaxEventType sentinel last: the name/category tables are indexed by it.
+enum class EventType : uint8_t {
+  kCpuCacheMiss = 0,    // vcpu, cls; a = size-class bytes
+  kCpuCacheOverflow,    // vcpu, cls; a = size-class bytes
+  kCpuCacheResize,      // vcpu (grower); a = bytes gained, b = victim count
+  kTransferInsert,      // domain, cls; a = objects, b = objects overflowed
+  kTransferRemove,      // domain, cls; a = objects requested, b = served
+  kTransferPlunder,     // domain; a = objects plundered from its shard
+  kCflSpanAllocate,     // cls, index = occupancy list; a = span id, b = cap
+  kCflSpanReturn,       // cls, index = occupancy list; a = span id, b = cap
+  kPageHeapSpanAlloc,   // cls (-1 for large); a = span id, b = pages
+  kPageHeapSpanFree,    // cls (-1 for large); a = span id, b = pages
+  kFillerPlace,         // index = lifetime set; a = hugepage id, b = pages
+  kFillerSubrelease,    // index = lifetime set; a = hugepage id, b = pages
+  kPressureStep,        // index = cascade tier (0..3); a = bytes reclaimed
+  kSampledAlloc,        // vcpu; a = allocated bytes, b = callsite id
+  kSampledFree,         // vcpu; a = allocated bytes, b = callsite id
+  kMaxEventType,        // sentinel, not a real event
+};
+
+inline constexpr int kNumEventTypes = static_cast<int>(EventType::kMaxEventType);
+
+// Stable lowercase event name ("cpu_cache_miss", ...), used as the Chrome
+// trace event name.
+const char* EventTypeName(EventType type);
+
+// The owning tier ("cpu_cache", "transfer_cache", "central_free_list",
+// "page_heap", "huge_page_filler", "pressure", "sampler"), used as the
+// Chrome trace category. Matches the telemetry component names.
+const char* EventTypeCategory(EventType type);
+
+// One recorded event. 32 bytes; the ring buffer is a flat array of these.
+struct TraceEvent {
+  SimTime ts = 0;        // simulated nanoseconds
+  uint64_t a = 0;        // primary payload (see EventType comments)
+  uint64_t b = 0;        // secondary payload
+  EventType type = EventType::kCpuCacheMiss;
+  int16_t vcpu = -1;     // emitting vCPU, when known
+  int16_t domain = -1;   // NUCA/NUMA domain, when known
+  int16_t cls = -1;      // size class, when applicable
+  int16_t index = -1;    // occupancy-list index / cascade tier
+
+  bool operator==(const TraceEvent&) const = default;
+};
+
+}  // namespace wsc::trace
+
+#endif  // WSC_TRACE_TRACE_EVENT_H_

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "common/logging.h"
+#include "trace/heap_profile.h"
 
 namespace wsc::workload {
 
@@ -51,6 +53,21 @@ Driver::Driver(const WorkloadSpec& spec, tcmalloc::Allocator* allocator,
   thread_phase_ = rng_.UniformDouble() * 2.0 * M_PI;
   active_threads_ = std::max(1, spec_.min_threads);
 
+  // Register one synthetic callsite per behavior (the stand-in for a stack
+  // trace) so the heap profiler can attribute by name.
+  behavior_callsites_.reserve(spec_.behaviors.size());
+  for (size_t i = 0; i < spec_.behaviors.size(); ++i) {
+    std::string name = spec_.name + "/behavior" + std::to_string(i);
+    uint64_t id = trace::CallsiteId(name);
+    behavior_callsites_.push_back(id);
+    allocator_->RegisterCallsite(id, name);
+  }
+  {
+    std::string name = spec_.name + "/startup";
+    startup_callsite_ = trace::CallsiteId(name);
+    allocator_->RegisterCallsite(startup_callsite_, name);
+  }
+
   // Startup allocations: long-lived state (caches, tables, model weights)
   // that pins spans and hugepages for the whole run.
   if (spec_.startup_bytes > 0) {
@@ -61,7 +78,8 @@ Driver::Driver(const WorkloadSpec& spec, tcmalloc::Allocator* allocator,
     while (allocated < spec_.startup_bytes) {
       double raw = spec_.startup_object_size->Sample(rng_);
       size_t size = static_cast<size_t>(std::max(8.0, raw));
-      uintptr_t addr = allocator_->Allocate(size, vcpu, clock_.now());
+      uintptr_t addr =
+          allocator_->Allocate(size, vcpu, clock_.now(), startup_callsite_);
       vcpu = (vcpu + 1) % num_vcpus;
       if (addr == 0) {
         // Hard-limit refusal: count it and keep making progress toward the
@@ -70,7 +88,8 @@ Driver::Driver(const WorkloadSpec& spec, tcmalloc::Allocator* allocator,
         allocated += static_cast<double>(size);
         continue;
       }
-      live_.push(LiveObject{Days(365), addr, static_cast<uint32_t>(size)});
+      live_.push(LiveObject{Days(365), addr, static_cast<uint32_t>(size),
+                            startup_callsite_});
       live_bytes_ += size;
       allocated += static_cast<double>(size);
       ++metrics_.allocations;
@@ -127,7 +146,7 @@ double Driver::FreeDead(int vcpu) {
   while (!live_.empty() && live_.top().death <= now) {
     LiveObject obj = live_.top();
     live_.pop();
-    allocator_->Free(obj.addr, vcpu, now);
+    allocator_->Free(obj.addr, vcpu, now, obj.callsite);
     ns += allocator_->last_op_ns();
     live_bytes_ -= obj.size;
     ++metrics_.frees;
@@ -171,7 +190,8 @@ double Driver::Step() {
     double raw_life = behavior.lifetime_ns->Sample(rng_);
     SimTime death = now + static_cast<SimTime>(std::max(raw_life, 0.0));
 
-    uintptr_t addr = allocator_->Allocate(size, vcpu, now);
+    uint64_t callsite = behavior_callsites_[component];
+    uintptr_t addr = allocator_->Allocate(size, vcpu, now, callsite);
     malloc_ns += allocator_->last_op_ns();
     if (addr == 0) {
       // Hard memory limit: the request sheds this allocation (production
@@ -181,7 +201,7 @@ double Driver::Step() {
     }
     ++metrics_.allocations;
 
-    live_.push(LiveObject{death, addr, static_cast<uint32_t>(size)});
+    live_.push(LiveObject{death, addr, static_cast<uint32_t>(size), callsite});
     live_bytes_ += size;
     ReservoirAdd(recent_per_vcpu_[vcpu], kVcpuRingSize, addr,
                  static_cast<uint32_t>(size));
@@ -254,7 +274,7 @@ void Driver::Drain() {
   while (!live_.empty()) {
     LiveObject obj = live_.top();
     live_.pop();
-    allocator_->Free(obj.addr, /*vcpu=*/0, now);
+    allocator_->Free(obj.addr, /*vcpu=*/0, now, obj.callsite);
     live_bytes_ -= obj.size;
     ++metrics_.frees;
   }

@@ -97,6 +97,7 @@ class Driver {
     SimTime death;
     uintptr_t addr;
     uint32_t size;
+    uint64_t callsite;
     bool operator>(const LiveObject& o) const { return death > o.death; }
   };
 
@@ -120,6 +121,11 @@ class Driver {
   SimClock clock_;
 
   MixtureDistribution behavior_mix_;
+
+  // Synthetic callsite IDs ("<workload>/behavior<i>", "<workload>/startup")
+  // registered with the allocator so heap profiles attribute by name.
+  std::vector<uint64_t> behavior_callsites_;
+  uint64_t startup_callsite_ = 0;
 
   std::priority_queue<LiveObject, std::vector<LiveObject>,
                       std::greater<LiveObject>>

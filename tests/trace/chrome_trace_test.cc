@@ -1,0 +1,193 @@
+#include "trace/chrome_trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "trace/flight_recorder.h"
+
+namespace wsc::trace {
+namespace {
+
+// Minimal JSON syntax checker (objects, arrays, strings, numbers,
+// true/false/null) — enough to prove the rendered trace parses as the
+// Chrome-tracing JSON Object Format without pulling in a JSON library.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= text_.size()) return false;
+    char c = text_[pos_];
+    if (c == '{') return Object();
+    if (c == '[') return Array();
+    if (c == '"') return String();
+    if (c == 't') return Literal("true");
+    if (c == 'f') return Literal("false");
+    if (c == 'n') return Literal("null");
+    return Number();
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek() == '}') { ++pos_; return true; }
+    while (true) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (Peek() != ':') return false;
+      ++pos_;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek() == ']') { ++pos_; return true; }
+    while (true) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool String() {
+    if (Peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool Number() {
+    size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool Literal(const char* word) {
+    std::string w(word);
+    if (text_.compare(pos_, w.size(), w) != 0) return false;
+    pos_ += w.size();
+    return true;
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' ||
+            text_[pos_] == '\t' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+size_t CountOccurrences(const std::string& haystack,
+                        const std::string& needle) {
+  size_t count = 0;
+  for (size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+std::vector<ProcessTrace> SampleTraces() {
+  FlightRecorder a(16);
+  a.set_now(1000);
+  a.Emit(EventType::kCpuCacheMiss, 2, 0, 5, -1, 128, 0);
+  a.set_now(2500);
+  a.Emit(EventType::kCflSpanAllocate, -1, -1, 5, 2, 77, 32);
+
+  FlightRecorder b(4);
+  for (int i = 0; i < 6; ++i) {
+    b.set_now(100 * (i + 1));
+    b.Emit(EventType::kFillerPlace, -1, -1, -1, 1,
+           static_cast<uint64_t>(i), 4);
+  }
+
+  return {{0, 0, a.Drain()}, {0, 1, b.Drain()}};
+}
+
+TEST(ChromeTraceTest, RendersSyntacticallyValidJson) {
+  std::string json = RenderChromeTrace(SampleTraces());
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+}
+
+TEST(ChromeTraceTest, EmitsObjectFormatWithMetadata) {
+  std::string json = RenderChromeTrace(SampleTraces());
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+
+  // One process_name per distinct pid, one thread_name per process.
+  EXPECT_EQ(CountOccurrences(json, "\"process_name\""), 1u);
+  EXPECT_EQ(CountOccurrences(json, "\"thread_name\""), 2u);
+  EXPECT_NE(json.find("\"machine0\""), std::string::npos);
+  EXPECT_NE(json.find("\"process1\""), std::string::npos);
+
+  // The wrapped recorder's drop count lands in its thread metadata.
+  EXPECT_NE(json.find("\"emitted\":6,\"dropped\":2"), std::string::npos);
+
+  // Instant events with tier categories, microsecond timestamps.
+  EXPECT_NE(json.find("\"cat\":\"cpu_cache\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"central_free_list\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"huge_page_filler\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\",\"s\":\"t\",\"ts\":2.5"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"span_id\":77"), std::string::npos);
+}
+
+TEST(ChromeTraceTest, EventCountMatchesBuffers) {
+  std::vector<ProcessTrace> traces = SampleTraces();
+  size_t expected = 0;
+  for (const ProcessTrace& t : traces) expected += t.buffer.events.size();
+  std::string json = RenderChromeTrace(traces);
+  EXPECT_EQ(CountOccurrences(json, "\"ph\":\"i\""), expected);
+}
+
+TEST(ChromeTraceTest, EmptyTraceIsStillValid) {
+  std::string json = RenderChromeTrace({});
+  EXPECT_EQ(json, "{\"traceEvents\":[]}");
+  EXPECT_TRUE(JsonChecker(json).Valid());
+}
+
+TEST(ChromeTraceTest, RenderingIsDeterministic) {
+  std::string a = RenderChromeTrace(SampleTraces());
+  std::string b = RenderChromeTrace(SampleTraces());
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace wsc::trace

@@ -1,0 +1,96 @@
+#include "trace/flight_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/trace_event.h"
+
+namespace wsc::trace {
+namespace {
+
+TEST(FlightRecorderTest, RecordsEventsInOrder) {
+  FlightRecorder rec(8);
+  rec.set_now(100);
+  rec.Emit(EventType::kCpuCacheMiss, 1, -1, 3, -1, 64, 0);
+  rec.set_now(200);
+  rec.Emit(EventType::kTransferInsert, -1, 0, 3, -1, 32, 2);
+
+  TraceBuffer buf = rec.Drain();
+  EXPECT_EQ(buf.capacity, 8u);
+  EXPECT_EQ(buf.total_emitted, 2u);
+  EXPECT_EQ(buf.dropped, 0u);
+  ASSERT_EQ(buf.events.size(), 2u);
+  EXPECT_EQ(buf.events[0].type, EventType::kCpuCacheMiss);
+  EXPECT_EQ(buf.events[0].ts, 100);
+  EXPECT_EQ(buf.events[0].vcpu, 1);
+  EXPECT_EQ(buf.events[0].cls, 3);
+  EXPECT_EQ(buf.events[0].a, 64u);
+  EXPECT_EQ(buf.events[1].type, EventType::kTransferInsert);
+  EXPECT_EQ(buf.events[1].ts, 200);
+  EXPECT_EQ(buf.events[1].domain, 0);
+  EXPECT_EQ(buf.events[1].b, 2u);
+}
+
+TEST(FlightRecorderTest, WrapsKeepingTheMostRecentEvents) {
+  FlightRecorder rec(4);
+  for (int i = 0; i < 10; ++i) {
+    rec.set_now(i);
+    rec.Emit(EventType::kCpuCacheMiss, i, -1, -1, -1,
+             static_cast<uint64_t>(i), 0);
+  }
+
+  TraceBuffer buf = rec.Drain();
+  EXPECT_EQ(buf.total_emitted, 10u);
+  EXPECT_EQ(buf.dropped, 6u);
+  ASSERT_EQ(buf.events.size(), 4u);
+  // The ring holds the newest four (6..9), chronological.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(buf.events[static_cast<size_t>(i)].ts, 6 + i);
+    EXPECT_EQ(buf.events[static_cast<size_t>(i)].a,
+              static_cast<uint64_t>(6 + i));
+  }
+}
+
+TEST(FlightRecorderTest, PerTypeTotalsIncludeDroppedEvents) {
+  FlightRecorder rec(2);
+  for (int i = 0; i < 5; ++i) {
+    rec.Emit(EventType::kFillerPlace, -1, -1, -1, 0, 1, 1);
+  }
+  for (int i = 0; i < 3; ++i) {
+    rec.Emit(EventType::kFillerSubrelease, -1, -1, -1, 0, 1, 1);
+  }
+
+  TraceBuffer buf = rec.Drain();
+  EXPECT_EQ(buf.dropped, 6u);
+  // The Fig. 6 breakdown survives wraparound: per-type totals count every
+  // Emit, not just what the ring still holds.
+  EXPECT_EQ(buf.emitted_by_type[static_cast<int>(EventType::kFillerPlace)],
+            5u);
+  EXPECT_EQ(
+      buf.emitted_by_type[static_cast<int>(EventType::kFillerSubrelease)],
+      3u);
+}
+
+TEST(FlightRecorderTest, DrainCopiesWithoutStoppingTheRecorder) {
+  FlightRecorder rec(4);
+  rec.Emit(EventType::kPageHeapSpanAlloc, -1, -1, 0, -1, 1, 2);
+  TraceBuffer first = rec.Drain();
+  rec.Emit(EventType::kPageHeapSpanFree, -1, -1, 0, -1, 1, 2);
+  TraceBuffer second = rec.Drain();
+
+  EXPECT_EQ(first.events.size(), 1u);
+  EXPECT_EQ(second.events.size(), 2u);
+  EXPECT_EQ(second.total_emitted, 2u);
+}
+
+TEST(FlightRecorderTest, EveryEventTypeHasNameAndCategory) {
+  for (int t = 0; t < kNumEventTypes; ++t) {
+    EventType type = static_cast<EventType>(t);
+    EXPECT_NE(EventTypeName(type), nullptr);
+    EXPECT_STRNE(EventTypeName(type), "");
+    EXPECT_NE(EventTypeCategory(type), nullptr);
+    EXPECT_STRNE(EventTypeCategory(type), "");
+  }
+}
+
+}  // namespace
+}  // namespace wsc::trace

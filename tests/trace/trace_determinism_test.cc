@@ -1,0 +1,107 @@
+// Tracing must be an observer: attaching a recorder cannot perturb the
+// simulation, and the merged trace/profile of a fleet run must be
+// bit-identical for every worker-thread count (the repo-wide determinism
+// contract, extended to the observability exports).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fleet/fleet.h"
+#include "fleet/machine.h"
+#include "hw/topology.h"
+#include "tcmalloc/config.h"
+#include "trace/chrome_trace.h"
+#include "workload/profiles.h"
+
+namespace wsc {
+namespace {
+
+fleet::FleetConfig SmallFleet(size_t trace_events) {
+  fleet::FleetConfig config;
+  config.num_machines = 4;
+  config.num_binaries = 8;
+  config.duration = Seconds(2);
+  config.max_requests_per_process = 1200;
+  config.trace_events_per_process = trace_events;
+  return config;
+}
+
+TEST(TraceDeterminismTest, AttachingARecorderDoesNotPerturbTheRun) {
+  fleet::Fleet traced(SmallFleet(/*trace_events=*/512),
+                      tcmalloc::AllocatorConfig(), /*seed=*/7);
+  fleet::Fleet untraced(SmallFleet(/*trace_events=*/0),
+                        tcmalloc::AllocatorConfig(), /*seed=*/7);
+  traced.Run(1);
+  untraced.Run(1);
+
+  ASSERT_EQ(traced.observations().size(), untraced.observations().size());
+  for (size_t i = 0; i < traced.observations().size(); ++i) {
+    const fleet::ProcessResult& a = traced.observations()[i].result;
+    const fleet::ProcessResult& b = untraced.observations()[i].result;
+    // Every simulation outcome is identical; only the drained ring
+    // differs (present vs empty).
+    EXPECT_EQ(a.driver.requests, b.driver.requests);
+    EXPECT_EQ(a.driver.allocations, b.driver.allocations);
+    EXPECT_EQ(a.driver.malloc_ns, b.driver.malloc_ns);
+    EXPECT_EQ(a.heap.HeapBytes(), b.heap.HeapBytes());
+    EXPECT_EQ(a.heap.live_bytes, b.heap.live_bytes);
+    EXPECT_EQ(a.avg_heap_bytes, b.avg_heap_bytes);
+    EXPECT_EQ(a.heap_profile, b.heap_profile);
+    EXPECT_GT(a.trace.total_emitted, 0u);
+    EXPECT_EQ(b.trace.total_emitted, 0u);
+  }
+}
+
+TEST(TraceDeterminismTest, MergedTraceIsBitIdenticalAcrossThreadCounts) {
+  fleet::Fleet one(SmallFleet(/*trace_events=*/1024),
+                   tcmalloc::AllocatorConfig(), /*seed=*/11);
+  fleet::Fleet eight(SmallFleet(/*trace_events=*/1024),
+                     tcmalloc::AllocatorConfig(), /*seed=*/11);
+  one.Run(1);
+  eight.Run(8);
+
+  std::string trace_one =
+      trace::RenderChromeTrace(fleet::MergedTrace(one.observations()));
+  std::string trace_eight =
+      trace::RenderChromeTrace(fleet::MergedTrace(eight.observations()));
+  EXPECT_EQ(trace_one, trace_eight);
+  EXPECT_NE(trace_one.find("\"ph\":\"i\""), std::string::npos);
+}
+
+TEST(TraceDeterminismTest, MergedHeapProfileIsIdenticalAcrossThreadCounts) {
+  fleet::Fleet one(SmallFleet(/*trace_events=*/0),
+                   tcmalloc::AllocatorConfig(), /*seed=*/13);
+  fleet::Fleet eight(SmallFleet(/*trace_events=*/0),
+                     tcmalloc::AllocatorConfig(), /*seed=*/13);
+  one.Run(1);
+  eight.Run(8);
+
+  trace::HeapProfile profile_one =
+      fleet::MergedHeapProfile(one.observations());
+  trace::HeapProfile profile_eight =
+      fleet::MergedHeapProfile(eight.observations());
+  EXPECT_EQ(profile_one, profile_eight);
+  EXPECT_GT(profile_one.total_live_bytes, 0u);
+  EXPECT_EQ(RenderHeapProfileJson(profile_one),
+            RenderHeapProfileJson(profile_eight));
+}
+
+TEST(TraceDeterminismTest, TraceCoversEveryGuaranteedTier) {
+  fleet::Fleet f(SmallFleet(/*trace_events=*/4096),
+                 tcmalloc::AllocatorConfig(), /*seed=*/17);
+  f.Run(2);
+  std::string json =
+      trace::RenderChromeTrace(fleet::MergedTrace(f.observations()));
+  for (const char* tier :
+       {"cpu_cache", "transfer_cache", "central_free_list", "page_heap",
+        "huge_page_filler"}) {
+    EXPECT_NE(json.find("\"cat\":\"" + std::string(tier) + "\""),
+              std::string::npos)
+        << "missing tier " << tier;
+  }
+}
+
+}  // namespace
+}  // namespace wsc

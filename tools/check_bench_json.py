@@ -21,10 +21,11 @@ SCHEMA_VERSION = 2
 TELEMETRY_SCHEMA_VERSION = 1
 
 # The allocator tiers the paper's telemetry reports on, plus the
-# memory-pressure control plane. Every telemetry line from a full
-# allocator snapshot must cover all of them ("pressure" counters are
-# registered at allocator construction, so they appear even when no limit
-# was ever set).
+# memory-pressure control plane and the heap/lifetime sampler. Every
+# telemetry line from a full allocator snapshot must cover all of them
+# ("pressure" and "sampler" counters are registered at allocator
+# construction, so they appear even when no limit was ever set and no
+# allocation was ever sampled).
 REQUIRED_TIERS = (
     "cpu_cache",
     "transfer_cache",
@@ -33,6 +34,7 @@ REQUIRED_TIERS = (
     "huge_cache",
     "page_heap",
     "pressure",
+    "sampler",
 )
 
 THROUGHPUT_FIELDS = ("sim_requests", "wall_seconds", "sim_requests_per_sec")

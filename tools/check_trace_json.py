@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Validate --trace / --profile outputs of the bench binaries.
+
+`--trace=out.json` writes Chrome-tracing JSON (the Object Format read by
+chrome://tracing and ui.perfetto.dev); `--profile=out.json` writes the
+pprof-style heap profile consumed by tools/mallocz.py. CI smoke-runs a
+bench with both flags and pipes the files through this checker.
+
+Usage:
+  tools/check_trace_json.py --trace out.json [--require-tiers]
+  tools/check_trace_json.py --profile heap.json [--min-attribution 0.95]
+
+Checks, for traces:
+  - top-level {"traceEvents": [...]} with process/thread metadata records
+  - every event has name/cat/ph/ts/pid/tid and instant-event scope
+  - with --require-tiers: events from every tier an allocator exercise
+    must reach (cpu_cache, transfer_cache, central_free_list, page_heap,
+    huge_page_filler)
+
+Checks, for profiles:
+  - schema version, callsite rows with consistent sampled/exact fields
+  - attributed_live_bytes / total_live_bytes >= --min-attribution
+Exit status is non-zero on any failure.
+"""
+
+import argparse
+import json
+import sys
+
+# Tiers every allocator exercise drives, even a tiny CI smoke shape.
+# "pressure" fires only under memory limits and "sampler" only when the
+# sampling interval is crossed, so they are not required.
+REQUIRED_TRACE_TIERS = (
+    "cpu_cache",
+    "transfer_cache",
+    "central_free_list",
+    "page_heap",
+    "huge_page_filler",
+)
+
+KNOWN_TIERS = REQUIRED_TRACE_TIERS + ("pressure", "sampler")
+
+PROFILE_SCHEMA_VERSION = 1
+
+
+def check_trace(path, require_tiers, errors):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        errors.append(f"trace {path}: {exc}")
+        return
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        errors.append(f"trace {path}: missing or empty 'traceEvents'")
+        return
+
+    categories = set()
+    metadata = 0
+    instants = 0
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            errors.append(f"trace {path}: event {i} is not an object")
+            continue
+        ph = event.get("ph")
+        if ph == "M":
+            metadata += 1
+            if event.get("name") not in ("process_name", "thread_name"):
+                errors.append(f"trace {path}: event {i} unknown metadata "
+                              f"{event.get('name')!r}")
+            if not isinstance(event.get("args", {}).get("name"), str):
+                errors.append(f"trace {path}: event {i} metadata missing "
+                              "args.name")
+            continue
+        if ph != "i":
+            errors.append(f"trace {path}: event {i} bad ph {ph!r}")
+            continue
+        instants += 1
+        if event.get("s") != "t":
+            errors.append(f"trace {path}: event {i} bad scope "
+                          f"{event.get('s')!r}")
+        for field in ("name", "cat"):
+            if not isinstance(event.get(field), str) or not event[field]:
+                errors.append(f"trace {path}: event {i} bad '{field}'")
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            errors.append(f"trace {path}: event {i} bad ts {ts!r}")
+        for field in ("pid", "tid"):
+            if not isinstance(event.get(field), int) or event[field] < 0:
+                errors.append(f"trace {path}: event {i} bad '{field}'")
+        if not isinstance(event.get("args"), dict):
+            errors.append(f"trace {path}: event {i} missing 'args'")
+        cat = event.get("cat")
+        if isinstance(cat, str):
+            if cat not in KNOWN_TIERS:
+                errors.append(f"trace {path}: event {i} unknown tier "
+                              f"{cat!r}")
+            categories.add(cat)
+
+    if metadata == 0:
+        errors.append(f"trace {path}: no process/thread metadata records")
+    if instants == 0:
+        errors.append(f"trace {path}: no instant events")
+    if require_tiers:
+        missing = [t for t in REQUIRED_TRACE_TIERS if t not in categories]
+        if missing:
+            errors.append(f"trace {path}: missing tiers: "
+                          f"{', '.join(missing)}")
+    if not errors:
+        print(f"check_trace_json: trace OK ({instants} event(s), "
+              f"{metadata} metadata record(s), tiers: "
+              f"{', '.join(sorted(categories))})")
+
+
+def check_profile(path, min_attribution, errors):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        errors.append(f"profile {path}: {exc}")
+        return
+    if doc.get("schema_version") != PROFILE_SCHEMA_VERSION:
+        errors.append(f"profile {path}: bad schema_version "
+                      f"{doc.get('schema_version')!r}")
+    for field in ("total_live_bytes", "attributed_live_bytes",
+                  "samples_taken"):
+        if not isinstance(doc.get(field), int) or doc[field] < 0:
+            errors.append(f"profile {path}: bad '{field}'")
+            return
+    callsites = doc.get("callsites")
+    if not isinstance(callsites, list) or not callsites:
+        errors.append(f"profile {path}: missing or empty 'callsites'")
+        return
+    for i, row in enumerate(callsites):
+        if not isinstance(row.get("name"), str) or not row["name"]:
+            errors.append(f"profile {path}: callsite {i} bad 'name'")
+        for field in ("id", "allocs", "frees", "live_bytes",
+                      "peak_live_bytes", "cum_bytes", "samples"):
+            if not isinstance(row.get(field), int) or row[field] < 0:
+                errors.append(f"profile {path}: callsite {i} bad "
+                              f"'{field}'")
+        if row.get("live_bytes", 0) > row.get("peak_live_bytes", 0):
+            errors.append(f"profile {path}: callsite {i} live_bytes above "
+                          "its peak")
+
+    total = doc["total_live_bytes"]
+    attributed = doc["attributed_live_bytes"]
+    if total > 0:
+        coverage = attributed / total
+        if coverage < min_attribution:
+            errors.append(
+                f"profile {path}: attribution {coverage:.1%} below the "
+                f"{min_attribution:.0%} floor "
+                f"({attributed}/{total} bytes)")
+        elif not errors:
+            print(f"check_trace_json: profile OK "
+                  f"({len(callsites)} callsite(s), attribution "
+                  f"{coverage:.1%})")
+    elif not errors:
+        print(f"check_trace_json: profile OK ({len(callsites)} "
+              "callsite(s), empty live heap)")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trace", default=None,
+                        help="Chrome-tracing JSON file to validate")
+    parser.add_argument("--require-tiers", action="store_true",
+                        help="require events from every allocator tier")
+    parser.add_argument("--profile", default=None,
+                        help="heap-profile JSON file to validate")
+    parser.add_argument("--min-attribution", type=float, default=0.95,
+                        help="minimum attributed/total live-byte ratio")
+    args = parser.parse_args()
+    if args.trace is None and args.profile is None:
+        parser.error("nothing to check: pass --trace and/or --profile")
+
+    errors = []
+    if args.trace:
+        check_trace(args.trace, args.require_tiers, errors)
+    if args.profile:
+        check_profile(args.profile, args.min_attribution, errors)
+    if errors:
+        for error in errors:
+            print(f"check_trace_json: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

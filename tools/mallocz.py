@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""mallocz: render wsc-tcmalloc heap profiles and traces for humans.
+
+Production TCMalloc exposes /mallocz and heapz handlers; this is their
+offline stand-in. It reads the JSON files written by the bench binaries
+(--profile=heap.json, --trace=trace.json) and prints pprof-style tables.
+
+Usage:
+  tools/mallocz.py heap.json                 # callsite tables
+  tools/mallocz.py heap.json --top 10        # only the 10 largest rows
+  tools/mallocz.py --trace trace.json        # Fig. 6-style tier breakdown
+
+Heap-profile views: live heap by callsite (with attribution coverage),
+peak and cumulative bytes, sampled mean lifetimes, and per-callsite
+hugepage-fragmentation attribution (stranded free bytes on hugepages the
+callsite pins). Trace view: event counts per tier and per event type,
+plus drop counts per process, answering "which tier did the work?" like
+the paper's Fig. 6 cycle breakdown.
+"""
+
+import argparse
+import collections
+import json
+import sys
+
+
+def human_bytes(n):
+    for unit, shift in (("GiB", 30), ("MiB", 20), ("KiB", 10)):
+        if n >= (1 << shift):
+            return f"{n / (1 << shift):.1f} {unit}"
+    return f"{n} B"
+
+
+def print_table(headers, rows):
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    fmt = "  ".join(f"{{:>{w}}}" for w in widths[:-1])
+    fmt += "  {}"  # last column left-aligned, unpadded
+    print(fmt.format(*headers))
+    for row in rows:
+        print(fmt.format(*row))
+
+
+def render_profile(path, top):
+    with open(path, encoding="utf-8") as handle:
+        doc = json.load(handle)
+    if doc.get("kind") != "heap_profile":
+        sys.exit(f"mallocz: {path} is not a heap profile "
+                 "(expected kind 'heap_profile')")
+
+    total = doc["total_live_bytes"]
+    attributed = doc["attributed_live_bytes"]
+    coverage = 100.0 * attributed / total if total else 100.0
+    print(f"Heap profile: {human_bytes(total)} live, "
+          f"{coverage:.1f}% attributed to "
+          f"{len(doc['callsites'])} callsites; "
+          f"{doc['samples_taken']} samples taken")
+
+    callsites = sorted(doc["callsites"],
+                       key=lambda c: (-c["live_bytes"], c["name"], c["id"]))
+    if top:
+        dropped = len(callsites) - top
+        callsites = callsites[:top]
+        if dropped > 0:
+            print(f"(showing top {top} by live bytes; {dropped} more "
+                  "rows omitted)")
+
+    print("\n-- Live heap by callsite --")
+    rows = []
+    for c in callsites:
+        share = 100.0 * c["live_bytes"] / total if total else 0.0
+        lifetimes = c["sampled_lifetimes"]
+        mean_ms = (c["lifetime_sum_ns"] / lifetimes / 1e6
+                   if lifetimes else 0.0)
+        rows.append([
+            human_bytes(c["live_bytes"]), f"{share:.1f}%",
+            human_bytes(c["peak_live_bytes"]), human_bytes(c["cum_bytes"]),
+            str(c["allocs"]), str(c["samples"]), f"{mean_ms:.3f}",
+            c["name"],
+        ])
+    print_table(["live", "share", "peak", "cum", "allocs", "samples",
+                 "mean_life_ms", "callsite"], rows)
+
+    frag = [c for c in callsites if c["fragmented_hugepages"] > 0]
+    if frag:
+        print("\n-- Hugepage fragmentation attribution --")
+        frag.sort(key=lambda c: (-c["fragmented_free_bytes"], c["name"]))
+        rows = [[str(c["fragmented_hugepages"]),
+                 human_bytes(c["fragmented_free_bytes"]), c["name"]]
+                for c in frag]
+        print_table(["hugepages", "stranded_free", "callsite"], rows)
+
+    buckets = doc.get("size_lifetime", [])
+    if buckets:
+        print("\n-- Size x lifetime (sampled) --")
+        rows = []
+        for b in buckets:
+            i = b["bucket"]
+            lo = 0 if i == 0 else 1 << (i - 1)
+            rows.append([
+                f"{human_bytes(lo)}-{human_bytes(1 << i)}",
+                str(b["samples"]),
+                f"{b['lifetime_sum_ns'] / b['samples'] / 1e6:.3f}",
+            ])
+        print_table(["size_bucket", "samples", "mean_life_ms"], rows)
+
+
+def render_trace(path):
+    with open(path, encoding="utf-8") as handle:
+        doc = json.load(handle)
+    events = doc.get("traceEvents", [])
+    by_tier = collections.Counter()
+    by_name = collections.Counter()
+    drops = []
+    for event in events:
+        if event.get("ph") == "M":
+            if event.get("name") == "thread_name":
+                args = event.get("args", {})
+                drops.append((event.get("pid"), event.get("tid"),
+                              args.get("emitted", 0),
+                              args.get("dropped", 0)))
+            continue
+        by_tier[event.get("cat", "?")] += 1
+        by_name[(event.get("cat", "?"), event.get("name", "?"))] += 1
+
+    total = sum(by_tier.values())
+    print(f"Trace: {total} events from {len(drops)} process(es)")
+    print("\n-- Events by tier (Fig. 6-style breakdown) --")
+    rows = [[str(n), f"{100.0 * n / total:.1f}%" if total else "0%", tier]
+            for tier, n in by_tier.most_common()]
+    print_table(["events", "share", "tier"], rows)
+
+    print("\n-- Events by type --")
+    rows = [[str(n), f"{100.0 * n / total:.1f}%" if total else "0%",
+             f"{tier}/{name}"]
+            for (tier, name), n in by_name.most_common()]
+    print_table(["events", "share", "event"], rows)
+
+    wrapped = [(pid, tid, e, d) for pid, tid, e, d in drops if d]
+    if wrapped:
+        print("\n-- Ring wraparound (oldest events dropped) --")
+        rows = [[f"machine{pid}/process{tid}", str(e), str(d)]
+                for pid, tid, e, d in wrapped]
+        print_table(["process", "emitted", "dropped"], rows)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("profile", nargs="?", default=None,
+                        help="heap-profile JSON (--profile=heap.json)")
+    parser.add_argument("--trace", default=None,
+                        help="Chrome-tracing JSON (--trace=trace.json)")
+    parser.add_argument("--top", type=int, default=0,
+                        help="show only the N largest callsites (0 = all)")
+    args = parser.parse_args()
+    if args.profile is None and args.trace is None:
+        parser.error("nothing to render: pass a heap profile and/or "
+                     "--trace")
+    if args.profile:
+        render_profile(args.profile, args.top)
+    if args.trace:
+        if args.profile:
+            print()
+        render_trace(args.trace)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -86,25 +86,45 @@ inline std::vector<trace::ProcessTrace> g_trace_accum;
 inline int g_trace_pid_base = 0;
 inline trace::HeapProfile g_profile_accum;
 
+// One row per shared flag: the "--name=" prefix and the setter that
+// consumes its value. Parse and Strip both walk this table, so a flag
+// added here is automatically recognized by both — there is no way for a
+// new wsc flag to be parsed but leak through StripBenchFlags into another
+// parser (google-benchmark rejects unknown flags fatally).
+struct BenchFlag {
+  const char* prefix;
+  void (*apply)(const char* value);
+};
+
+inline constexpr BenchFlag kBenchFlags[] = {
+    {"--threads=", [](const char* v) { g_bench_threads = std::atoi(v); }},
+    {"--machines=", [](const char* v) { g_bench_machines = std::atoi(v); }},
+    {"--duration=", [](const char* v) { g_bench_duration_s = std::atof(v); }},
+    {"--max-requests=",
+     [](const char* v) {
+       g_bench_max_requests = static_cast<uint64_t>(std::atoll(v));
+     }},
+    {"--statsz=", [](const char* v) { g_statsz_path = v; }},
+    {"--trace=", [](const char* v) { g_trace_path = v; }},
+    {"--profile=", [](const char* v) { g_profile_path = v; }},
+};
+
+// The flag row matching `arg`, or nullptr if it is not a wsc bench flag.
+inline const BenchFlag* MatchBenchFlag(const char* arg) {
+  for (const BenchFlag& flag : kBenchFlags) {
+    if (std::strncmp(arg, flag.prefix, std::strlen(flag.prefix)) == 0) {
+      return &flag;
+    }
+  }
+  return nullptr;
+}
+
 // Parses shared bench flags from main's argv (unknown flags are left for
 // the bench to interpret).
 inline void ParseBenchFlags(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
-      g_bench_threads = std::atoi(argv[i] + 10);
-    } else if (std::strncmp(argv[i], "--machines=", 11) == 0) {
-      g_bench_machines = std::atoi(argv[i] + 11);
-    } else if (std::strncmp(argv[i], "--duration=", 11) == 0) {
-      g_bench_duration_s = std::atof(argv[i] + 11);
-    } else if (std::strncmp(argv[i], "--max-requests=", 15) == 0) {
-      g_bench_max_requests =
-          static_cast<uint64_t>(std::atoll(argv[i] + 15));
-    } else if (std::strncmp(argv[i], "--statsz=", 9) == 0) {
-      g_statsz_path = argv[i] + 9;
-    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
-      g_trace_path = argv[i] + 8;
-    } else if (std::strncmp(argv[i], "--profile=", 10) == 0) {
-      g_profile_path = argv[i] + 10;
+    if (const BenchFlag* flag = MatchBenchFlag(argv[i])) {
+      flag->apply(argv[i] + std::strlen(flag->prefix));
     }
   }
 }
@@ -114,15 +134,7 @@ inline void ParseBenchFlags(int argc, char** argv) {
 inline void StripBenchFlags(int* argc, char** argv) {
   int out = 1;
   for (int i = 1; i < *argc; ++i) {
-    if (std::strncmp(argv[i], "--threads=", 10) == 0 ||
-        std::strncmp(argv[i], "--machines=", 11) == 0 ||
-        std::strncmp(argv[i], "--duration=", 11) == 0 ||
-        std::strncmp(argv[i], "--max-requests=", 15) == 0 ||
-        std::strncmp(argv[i], "--statsz=", 9) == 0 ||
-        std::strncmp(argv[i], "--trace=", 8) == 0 ||
-        std::strncmp(argv[i], "--profile=", 10) == 0) {
-      continue;
-    }
+    if (MatchBenchFlag(argv[i]) != nullptr) continue;
     argv[out++] = argv[i];
   }
   *argc = out;

@@ -1,0 +1,118 @@
+// Fault-resilience experiment: a fleet A/B run under deterministic fault
+// injection — denied mmaps, hugepage-backing scarcity, driver-injected
+// heap bugs (double free / use after free / overrun), and one planned OOM
+// kill-and-restart per afflicted machine.
+//
+// Both arms face bit-identical fault plans (paired seeds; fault points are
+// call-indexed, so they are also identical for any --threads value). The
+// control arm is baseline TCMalloc; the experiment arm enables the paper's
+// four redesigns. Both run with GWP-ASan-style guarded sampling so the
+// injected heap bugs are caught and attributed. The resilience claim: the
+// fleet completes with zero crashes, every denied allocation is a counted
+// failure with a graceful fallback, and the emergency reclaim cascade
+// recovers allocations that initial growth denial would have failed.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace wsc;
+
+namespace {
+
+double FailureMetric(const telemetry::Snapshot& snapshot, const char* name) {
+  const telemetry::MetricSample* sample = snapshot.Find("failure", name);
+  return sample != nullptr ? sample->ScalarValue() : 0.0;
+}
+
+double DetectedBugs(const telemetry::Snapshot& snapshot) {
+  return FailureMetric(snapshot, "double_frees_detected") +
+         FailureMetric(snapshot, "use_after_frees_detected") +
+         FailureMetric(snapshot, "buffer_overruns_detected");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::ParseBenchFlags(argc, argv);
+  PrintBanner("Fault resilience: fleet A/B under deterministic faults");
+  bench::BenchTimer timer("fig_fault_resilience");
+
+  fleet::FleetConfig fleet_config = bench::DefaultFleet();
+  fleet_config.faults.enabled = true;
+  fleet_config.faults.mmap_windows = 2;
+  fleet_config.faults.mmap_window_calls = 4;
+  fleet_config.faults.mmap_call_horizon = 512;
+  fleet_config.faults.huge_backing_windows = 2;
+  fleet_config.faults.huge_backing_window_calls = 32;
+  fleet_config.faults.huge_backing_call_horizon = 512;
+  fleet_config.faults.double_free_probability = 0.01;
+  fleet_config.faults.use_after_free_probability = 0.01;
+  fleet_config.faults.overrun_probability = 0.01;
+  fleet_config.faults.oom_kill_probability = 0.5;
+
+  tcmalloc::AllocatorConfig control = tcmalloc::AllocatorConfig::Builder()
+                                          .WithSampleIntervalBytes(256 * 1024)
+                                          .WithGuardedSampling()
+                                          .Build();
+  tcmalloc::AllocatorConfig experiment =
+      tcmalloc::AllocatorConfig::Builder()
+          .WithAllOptimizations()
+          .WithSampleIntervalBytes(256 * 1024)
+          .WithGuardedSampling()
+          .Build();
+
+  fleet::AbResult result =
+      fleet::RunFleetAb(fleet_config, control, experiment, /*seed=*/4242);
+
+  TablePrinter table({"arm", "throughput", "mmap denied", "thp denied",
+                      "recovered", "bugs caught", "alloc failures"});
+  struct Arm {
+    const char* name;
+    const fleet::MetricSet* metrics;
+    const telemetry::Snapshot* telemetry;
+  };
+  Arm arms[] = {
+      {"control (baseline)", &result.fleet.control,
+       &result.fleet.control_telemetry},
+      {"experiment (optimized)", &result.fleet.experiment,
+       &result.fleet.experiment_telemetry},
+  };
+  for (const Arm& arm : arms) {
+    table.AddRow(
+        {arm.name, FormatDouble(arm.metrics->Throughput(), 0),
+         FormatDouble(FailureMetric(*arm.telemetry, "mmap_denied"), 0),
+         FormatDouble(FailureMetric(*arm.telemetry, "hugepage_backing_denied"),
+                      0),
+         FormatDouble(FailureMetric(*arm.telemetry, "recovered_allocations"),
+                      0),
+         FormatDouble(DetectedBugs(*arm.telemetry), 0),
+         FormatDouble(FailureMetric(*arm.telemetry, "alloc_failures"), 0)});
+  }
+  table.Print();
+
+  const telemetry::Snapshot& exp = result.fleet.experiment_telemetry;
+  std::printf(
+      "\nexperiment arm: %.0f denied mmaps, %.0f denied THP backings, "
+      "%.0f emergency cascades, %.0f allocations recovered\n",
+      FailureMetric(exp, "mmap_denied"),
+      FailureMetric(exp, "hugepage_backing_denied"),
+      FailureMetric(exp, "emergency_recoveries"),
+      FailureMetric(exp, "recovered_allocations"));
+  std::printf(
+      "guarded sampling caught %.0f injected heap bugs (%.0f double frees, "
+      "%.0f UAFs, %.0f overruns)\n",
+      DetectedBugs(exp), FailureMetric(exp, "double_frees_detected"),
+      FailureMetric(exp, "use_after_frees_detected"),
+      FailureMetric(exp, "buffer_overruns_detected"));
+  std::printf(
+      "throughput delta %+.2f%%, memory delta %+.2f%% (optimized vs "
+      "baseline, both under identical fault plans)\n",
+      result.fleet.ThroughputChangePct(), result.fleet.MemoryChangePct());
+
+  bench::PaperVsMeasured("fault handling", "degrade, don't crash (§2.1)",
+                         "0 crashes, failures counted");
+  timer.Report(bench::TotalRequests(result));
+  bench::ReportTelemetry(timer.bench(), result);
+  return 0;
+}

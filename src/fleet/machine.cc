@@ -34,8 +34,12 @@ Machine::Machine(const hw::PlatformSpec& platform,
                  std::vector<workload::WorkloadSpec> workloads,
                  const tcmalloc::AllocatorConfig& base_config, uint64_t seed,
                  std::vector<PressureEvent> pressure_events,
-                 size_t trace_events_per_process)
-    : topology_(platform), pressure_events_(std::move(pressure_events)) {
+                 size_t trace_events_per_process, MachineFaults faults)
+    : topology_(platform),
+      base_config_(base_config),
+      trace_capacity_(trace_events_per_process),
+      faults_(std::move(faults)),
+      pressure_events_(std::move(pressure_events)) {
   WSC_CHECK(!workloads.empty());
   Rng rng(seed);
 
@@ -44,46 +48,68 @@ Machine::Machine(const hw::PlatformSpec& platform,
   int total_cpus = topology_.num_cpus();
   int n = static_cast<int>(workloads.size());
   int per_process = std::max(1, total_cpus / n);
+  next_arena_index_ = n;  // restarts get fresh arena slots past the last
 
   for (int i = 0; i < n; ++i) {
-    auto process = std::make_unique<Process>();
-    process->spec = workloads[i];
-
     std::vector<int> cpus;
     int first = (i * per_process) % total_cpus;
     for (int c = 0; c < per_process; ++c) {
       cpus.push_back((first + c) % total_cpus);
     }
-
-    tcmalloc::AllocatorConfig config = ResolveTopology(base_config, topology_);
-    if (config.per_thread_front_end) {
-      // Legacy per-thread caches: one front-end cache per thread.
-      config.num_vcpus = std::max(1, process->spec.max_threads);
-    } else {
-      // Dense vCPU ids: populate only as many caches as the process can
-      // use (bounded by its CPU mask).
-      config.num_vcpus =
-          std::max(1, std::min<int>(process->spec.max_threads,
-                                    static_cast<int>(cpus.size())));
-    }
-    // Disjoint arenas per process on the same machine (16 TiB stride,
-    // larger than any arena).
-    config.arena_base = (uintptr_t{1} << 44) * (1 + static_cast<uintptr_t>(i));
-
-    process->allocator = std::make_unique<tcmalloc::Allocator>(config);
-    if (trace_events_per_process > 0) {
-      process->recorder =
-          std::make_unique<trace::FlightRecorder>(trace_events_per_process);
-      process->allocator->SetFlightRecorder(process->recorder.get());
-    }
-    process->tlb = std::make_unique<hw::TlbSimulator>();
-    process->llc = std::make_unique<hw::LlcModel>(
-        &topology_, kLlcLinesPerDomain, rng.Fork());
-    process->driver = std::make_unique<workload::Driver>(
-        process->spec, process->allocator.get(), &topology_, cpus,
-        process->llc.get(), process->tlb.get(), rng.Fork());
-    processes_.push_back(std::move(process));
+    // Seeds fork in the same order as before faults existed (LLC first,
+    // then driver), keeping fault-free machines bit-identical to history.
+    uint64_t llc_seed = rng.Fork();
+    uint64_t driver_seed = rng.Fork();
+    processes_.push_back(MakeProcess(i, workloads[static_cast<size_t>(i)],
+                                     std::move(cpus), llc_seed, driver_seed,
+                                     /*arena_index=*/i));
   }
+}
+
+std::unique_ptr<Machine::Process> Machine::MakeProcess(
+    int workload_index, const workload::WorkloadSpec& spec,
+    std::vector<int> cpus, uint64_t llc_seed, uint64_t driver_seed,
+    int arena_index) {
+  auto process = std::make_unique<Process>();
+  process->spec = spec;
+  process->workload_index = workload_index;
+  process->cpus = cpus;
+
+  tcmalloc::AllocatorConfig config = ResolveTopology(base_config_, topology_);
+  if (config.per_thread_front_end) {
+    // Legacy per-thread caches: one front-end cache per thread.
+    config.num_vcpus = std::max(1, process->spec.max_threads);
+  } else {
+    // Dense vCPU ids: populate only as many caches as the process can
+    // use (bounded by its CPU mask).
+    config.num_vcpus =
+        std::max(1, std::min<int>(process->spec.max_threads,
+                                  static_cast<int>(cpus.size())));
+  }
+  // Disjoint arenas per process on the same machine (16 TiB stride, larger
+  // than any arena). Restarted processes take a fresh slot: a fresh exec
+  // maps a fresh address space.
+  config.arena_base =
+      (uintptr_t{1} << 44) * (1 + static_cast<uintptr_t>(arena_index));
+
+  process->allocator = std::make_unique<tcmalloc::Allocator>(config);
+  if (trace_capacity_ > 0) {
+    process->recorder = std::make_unique<trace::FlightRecorder>(trace_capacity_);
+    process->allocator->SetFlightRecorder(process->recorder.get());
+  }
+  size_t wi = static_cast<size_t>(workload_index);
+  if (wi < faults_.fault_plans.size() && !faults_.fault_plans[wi].Empty()) {
+    process->injector =
+        std::make_unique<tcmalloc::FaultInjector>(faults_.fault_plans[wi]);
+    process->allocator->SetFaultInjector(process->injector.get());
+  }
+  process->tlb = std::make_unique<hw::TlbSimulator>();
+  process->llc =
+      std::make_unique<hw::LlcModel>(&topology_, kLlcLinesPerDomain, llc_seed);
+  process->driver = std::make_unique<workload::Driver>(
+      process->spec, process->allocator.get(), &topology_, std::move(cpus),
+      process->llc.get(), process->tlb.get(), driver_seed);
+  return process;
 }
 
 void Machine::SampleFootprint(Process& p) {
@@ -142,6 +168,16 @@ void Machine::Run(SimTime duration, uint64_t max_requests) {
       }
     }
     if (lowest == nullptr) break;
+    // Machine OOM kill: fires once, when the machine's local timeline (the
+    // minimum process clock — exactly `lowest`) crosses the planned kill
+    // time. Restarting invalidates `lowest`, so re-select next iteration.
+    if (!oom_fired_ && faults_.oom_kill_time > 0 &&
+        lowest->driver->now() >= faults_.oom_kill_time) {
+      oom_fired_ = true;
+      OomKillAndRestart(next_sample);
+      any_active = true;
+      continue;
+    }
     lowest->driver->Step();
     if (lowest->driver->now() >= next_sample[lowest_idx]) {
       SampleFootprint(*lowest);
@@ -160,31 +196,82 @@ void Machine::Run(SimTime duration, uint64_t max_requests) {
     }
   }
 
-  // Finalize results.
+  // Finalize results: surviving processes first (process order), then the
+  // OOM-killed instances captured mid-run (kill order).
   results_.clear();
+  results_.reserve(processes_.size() + killed_results_.size());
   for (const auto& p : processes_) {
-    ProcessResult r;
-    r.workload_name = p->spec.name;
-    r.driver = p->driver->metrics();
-    r.heap = p->allocator->CollectStats();
-    SimTime elapsed = std::max<SimTime>(p->driver->now(), 1);
-    r.avg_heap_bytes = p->heap_byte_seconds / static_cast<double>(elapsed);
-    r.avg_live_bytes = p->live_byte_seconds / static_cast<double>(elapsed);
-    if (r.avg_heap_bytes == 0) {
-      r.avg_heap_bytes = static_cast<double>(r.heap.HeapBytes());
-      r.avg_live_bytes = static_cast<double>(r.heap.live_bytes);
-    }
-    r.hugepage_coverage = p->allocator->HugepageCoverage();
-    r.tlb = p->tlb->stats();
-    r.llc = p->llc->stats();
-    r.malloc_cycles = p->allocator->cycle_breakdown();
-    r.tier_hits = p->allocator->alloc_tier_hits();
-    r.telemetry = p->allocator->TelemetrySnapshot();
-    if (p->recorder != nullptr) r.trace = p->recorder->Drain();
-    r.heap_profile = p->allocator->CollectHeapProfile();
-    r.ghz = topology_.spec().ghz;
-    results_.push_back(r);
+    results_.push_back(FinalizeResult(*p));
   }
+  for (ProcessResult& r : killed_results_) {
+    results_.push_back(std::move(r));
+  }
+  killed_results_.clear();
+}
+
+ProcessResult Machine::FinalizeResult(Process& p) const {
+  ProcessResult r;
+  r.workload_name = p.spec.name;
+  r.workload_index = p.workload_index;
+  r.driver = p.driver->metrics();
+  r.heap = p.allocator->CollectStats();
+  SimTime elapsed = std::max<SimTime>(p.driver->now(), 1);
+  r.avg_heap_bytes = p.heap_byte_seconds / static_cast<double>(elapsed);
+  r.avg_live_bytes = p.live_byte_seconds / static_cast<double>(elapsed);
+  if (r.avg_heap_bytes == 0) {
+    r.avg_heap_bytes = static_cast<double>(r.heap.HeapBytes());
+    r.avg_live_bytes = static_cast<double>(r.heap.live_bytes);
+  }
+  r.hugepage_coverage = p.allocator->HugepageCoverage();
+  r.tlb = p.tlb->stats();
+  r.llc = p.llc->stats();
+  r.malloc_cycles = p.allocator->cycle_breakdown();
+  r.tier_hits = p.allocator->alloc_tier_hits();
+  r.telemetry = p.allocator->TelemetrySnapshot();
+  if (p.recorder != nullptr) r.trace = p.recorder->Drain();
+  r.heap_profile = p.allocator->CollectHeapProfile();
+  r.ghz = topology_.spec().ghz;
+  return r;
+}
+
+void Machine::OomKillAndRestart(std::vector<SimTime>& next_sample) {
+  // The machine OOM killer picks the biggest-footprint live process (ties
+  // break to the lowest index, keeping the choice deterministic).
+  size_t victim = processes_.size();
+  size_t best = 0;
+  for (size_t i = 0; i < processes_.size(); ++i) {
+    if (processes_[i]->done) continue;
+    size_t fp = processes_[i]->allocator->FootprintBytes();
+    if (victim == processes_.size() || fp > best) {
+      victim = i;
+      best = fp;
+    }
+  }
+  if (victim == processes_.size()) return;
+  Process& p = *processes_[victim];
+
+  // Process death: drain frees every live object at once, and the dying
+  // instance's metrics become its kill report.
+  SampleFootprint(p);
+  p.driver->Drain();
+  ProcessResult killed = FinalizeResult(p);
+  killed.oom_killed = true;
+  killed_results_.push_back(std::move(killed));
+  ++oom_kills_;
+
+  // Restart in place: same binary and CPU mask, fresh allocator and
+  // hardware-model state, a seed forked from the planned restart seed, a
+  // fresh arena slot, and a fresh local timeline (like a fresh exec). The
+  // replacement re-experiences its fault plan from call index zero.
+  Rng rng(faults_.restart_seed + 0x9E3779B9u * static_cast<uint64_t>(victim));
+  uint64_t llc_seed = rng.Fork();
+  uint64_t driver_seed = rng.Fork();
+  int workload_index = p.workload_index;
+  workload::WorkloadSpec spec = p.spec;
+  std::vector<int> cpus = p.cpus;
+  processes_[victim] = MakeProcess(workload_index, spec, std::move(cpus),
+                                   llc_seed, driver_seed, next_arena_index_++);
+  next_sample[victim] = kSamplePeriod;
 }
 
 }  // namespace wsc::fleet

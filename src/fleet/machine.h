@@ -20,6 +20,7 @@
 #include "hw/tlb.h"
 #include "hw/topology.h"
 #include "tcmalloc/allocator.h"
+#include "tcmalloc/fault_injection.h"
 #include "telemetry/registry.h"
 #include "trace/flight_recorder.h"
 #include "trace/heap_profile.h"
@@ -41,6 +42,21 @@ struct PressureEvent {
   double limit_fraction = 1.0;
 };
 
+// Machine-level fault script, planned by the fleet after the machine-seed
+// fork (fleet.cc) so that enabling faults never perturbs machine
+// composition. `fault_plans[i]` is installed on process i's allocator as a
+// FaultInjector; an empty vector (or an empty plan) means no injection.
+// `oom_kill_time` > 0 schedules one machine OOM kill: when the machine's
+// local timeline (the minimum process clock) crosses it, the
+// biggest-footprint process is killed — its result is captured with
+// `oom_killed` set — and restarted in place with a seed forked from
+// `restart_seed`, a fresh arena, and a fresh local timeline.
+struct MachineFaults {
+  std::vector<tcmalloc::FaultPlan> fault_plans;
+  SimTime oom_kill_time = 0;  // 0 = no kill
+  uint64_t restart_seed = 0;
+};
+
 // Resolves topology-derived knobs in `config` for a process placed on
 // `topology`: the LLC domain count always comes from the machine, and the
 // NUMA node count from its socket count when NUMA mode is on. This is the
@@ -53,6 +69,13 @@ tcmalloc::AllocatorConfig ResolveTopology(tcmalloc::AllocatorConfig config,
 // Final metrics of one process after a machine run.
 struct ProcessResult {
   std::string workload_name;
+  // Index into the machine's workload list (and the fleet plan's `ranks`).
+  // With OOM restarts a machine emits more results than workloads, so rank
+  // attribution must go through this, not the result position.
+  int workload_index = 0;
+  // True when this result belongs to a process the machine OOM killer
+  // terminated mid-run (a restarted instance reports separately).
+  bool oom_killed = false;
   workload::DriverMetrics driver;
   tcmalloc::HeapStats heap;            // final heap snapshot
   double avg_heap_bytes = 0;           // time-averaged footprint
@@ -92,27 +115,34 @@ class Machine {
           std::vector<workload::WorkloadSpec> workloads,
           const tcmalloc::AllocatorConfig& base_config, uint64_t seed,
           std::vector<PressureEvent> pressure_events = {},
-          size_t trace_events_per_process = 0);
+          size_t trace_events_per_process = 0, MachineFaults faults = {});
 
   // Runs every process until its local clock reaches `duration` or it has
   // executed `max_requests` requests, whichever comes first, then drains.
   void Run(SimTime duration, uint64_t max_requests);
 
-  // Results are valid after Run().
+  // Results are valid after Run(). Surviving processes come first in
+  // process order; results of OOM-killed instances are appended after, in
+  // kill order, tagged with their workload_index and oom_killed.
   const std::vector<ProcessResult>& results() const { return results_; }
 
   const hw::CpuTopology& topology() const { return topology_; }
   int num_processes() const { return static_cast<int>(processes_.size()); }
+  int oom_kills() const { return oom_kills_; }
   workload::Driver& driver(int i) { return *processes_[i]->driver; }
   tcmalloc::Allocator& allocator(int i) { return *processes_[i]->allocator; }
 
  private:
   struct Process {
     workload::WorkloadSpec spec;
+    int workload_index = 0;
+    std::vector<int> cpus;  // control-plane CPU mask (kept for restarts)
     // Declared before the allocator: ~Allocator drains leftover large
     // objects through the page heap, which emits trace events, so the
-    // recorder must outlive it.
+    // recorder must outlive it. The fault injector likewise outlives the
+    // allocator that consults it.
     std::unique_ptr<trace::FlightRecorder> recorder;  // null: tracing off
+    std::unique_ptr<tcmalloc::FaultInjector> injector;  // null: no faults
     std::unique_ptr<tcmalloc::Allocator> allocator;
     std::unique_ptr<hw::TlbSimulator> tlb;
     std::unique_ptr<hw::LlcModel> llc;
@@ -133,9 +163,34 @@ class Machine {
   // local time (called at footprint-sample boundaries).
   void ApplyPressure(Process& p);
 
+  // Builds one fully wired process: placement-resolved allocator (arena at
+  // `arena_index` stride), optional flight recorder and fault injector,
+  // hardware models, and driver. Used at construction and for OOM
+  // restarts.
+  std::unique_ptr<Process> MakeProcess(int workload_index,
+                                       const workload::WorkloadSpec& spec,
+                                       std::vector<int> cpus,
+                                       uint64_t llc_seed, uint64_t driver_seed,
+                                       int arena_index);
+
+  // Captures the final metrics of one process (used at the end of Run and
+  // at OOM-kill time for the dying instance).
+  ProcessResult FinalizeResult(Process& p) const;
+
+  // Kills the biggest-footprint live process (draining it and recording
+  // its result with oom_killed set) and restarts it in place.
+  void OomKillAndRestart(std::vector<SimTime>& next_sample);
+
   hw::CpuTopology topology_;
+  tcmalloc::AllocatorConfig base_config_;
+  size_t trace_capacity_ = 0;
+  MachineFaults faults_;
+  bool oom_fired_ = false;
+  int oom_kills_ = 0;
+  int next_arena_index_ = 0;  // arena stride slot for the next (re)start
   std::vector<std::unique_ptr<Process>> processes_;
   std::vector<ProcessResult> results_;
+  std::vector<ProcessResult> killed_results_;
   std::vector<PressureEvent> pressure_events_;
 };
 

@@ -81,6 +81,22 @@ Allocator::Allocator(const AllocatorConfig& config,
   heap_sample_hist_ =
       registry_.RegisterHistogram("allocator", "heap_sample_bytes", bounds);
 
+  fail_alloc_failures_ =
+      registry_.RegisterCounter("failure", "alloc_failures");
+  fail_emergency_recoveries_ =
+      registry_.RegisterCounter("failure", "emergency_recoveries");
+  fail_recovered_allocations_ =
+      registry_.RegisterCounter("failure", "recovered_allocations");
+  fail_partial_batches_ =
+      registry_.RegisterCounter("failure", "partial_batches");
+  fail_guard_double_frees_ =
+      registry_.RegisterCounter("failure", "double_frees_detected");
+  fail_guard_use_after_frees_ =
+      registry_.RegisterCounter("failure", "use_after_frees_detected");
+  fail_guard_overruns_ =
+      registry_.RegisterCounter("failure", "buffer_overruns_detected");
+  sampler_.set_guarded(config_.guarded_sampling);
+
   // Last: the reclaimer registers its own telemetry and reads the limits
   // out of the (validated) config.
   reclaimer_ = std::make_unique<BackgroundReclaimer>(this);
@@ -132,12 +148,8 @@ uintptr_t Allocator::Allocate(size_t size, int vcpu, SimTime now,
     last_op_ns_ = config_.costs.other_ns;
     return 0;
   }
-  alloc_ops_->Add();
   last_op_ns_ = config_.costs.other_ns;
   cycles_.other_ns += config_.costs.other_ns;
-  alloc_count_hist_.Add(static_cast<double>(size), 1.0);
-  alloc_bytes_hist_.Add(static_cast<double>(size),
-                        static_cast<double>(size));
   int node = vcpu_node_[vcpu];
 
   uintptr_t addr;
@@ -147,8 +159,31 @@ uintptr_t Allocator::Allocate(size_t size, int vcpu, SimTime now,
     // Large allocation: straight to the (node-local) page heap, bypassing
     // the caches.
     double mmap_before = MmapNsTotal();
-    Span* span =
-        nodes_[node]->page_heap.NewLargeSpan(BytesToLengthCeil(size));
+    Length pages = BytesToLengthCeil(size);
+    Span* span = nodes_[node]->page_heap.NewLargeSpan(pages);
+    if (span == nullptr) {
+      // Arena growth denied (injected mmap failure / hugepage scarcity):
+      // mobilize cached memory back toward the page heap, then retry once.
+      if (trace_) {
+        trace_->Emit(trace::EventType::kGrowthFailure, vcpu,
+                     vcpu_domain_[vcpu], -1, -1, size, 0);
+      }
+      if (reclaimer_->EmergencyReclaimForGrowth()) {
+        fail_emergency_recoveries_->Add();
+        if (trace_) {
+          trace_->Emit(trace::EventType::kEmergencyRecovery, vcpu,
+                       vcpu_domain_[vcpu], -1, -1, size, 0);
+        }
+        span = nodes_[node]->page_heap.NewLargeSpan(pages);
+      }
+      if (span == nullptr) {
+        fail_alloc_failures_->Add();
+        cycles_.page_heap_ns += config_.costs.page_heap_ns;
+        last_op_ns_ += config_.costs.page_heap_ns;
+        return 0;
+      }
+      fail_recovered_allocations_->Add();
+    }
     addr = span->start_addr();
     allocated_bytes = span->span_bytes();
     large_live_bytes_ += allocated_bytes;
@@ -176,6 +211,13 @@ uintptr_t Allocator::Allocate(size_t size, int vcpu, SimTime now,
                      vcpu_domain_[vcpu], cls, -1, allocated_bytes, 0);
       }
       addr = SlowPathAllocate(cls, vcpu, node);
+      if (addr == 0) {
+        // Growth denied at every tier and the emergency cascade ran dry:
+        // a counted, surfaced failure (trace events were emitted inside
+        // the slow path).
+        fail_alloc_failures_->Add();
+        return 0;
+      }
     }
     ++live_objects_per_class_[cls];
     cumulative_requested_per_class_[cls] += static_cast<double>(size);
@@ -187,6 +229,13 @@ uintptr_t Allocator::Allocate(size_t size, int vcpu, SimTime now,
     cycles_.prefetch_ns += config_.costs.prefetch_ns;
     last_op_ns_ += config_.costs.prefetch_ns;
   }
+
+  // Success-only accounting: failed growth attempts return above, so
+  // num_allocations() keeps counting exactly the allocations that exist.
+  alloc_ops_->Add();
+  alloc_count_hist_.Add(static_cast<double>(size), 1.0);
+  alloc_bytes_hist_.Add(static_cast<double>(size),
+                        static_cast<double>(size));
 
   if (callsite != 0) {
     CallsiteStats& cs = callsites_[callsite];
@@ -246,7 +295,33 @@ uintptr_t Allocator::SlowPathAllocate(int cls, int vcpu, int node) {
   } else {
     ++alloc_hits_.transfer_cache;
   }
-  WSC_CHECK_EQ(got, batch);
+  if (got == 0) {
+    // Every tier is empty and the page heap cannot grow (injected mmap
+    // failure / simulated OOM). Run one rate-limited emergency reclaim to
+    // mobilize cached objects back down the hierarchy, then retry the
+    // central free list once before surfacing the failure.
+    if (trace_) {
+      trace_->Emit(trace::EventType::kGrowthFailure, vcpu, domain, cls, -1,
+                   size_classes_->class_size(cls), 0);
+    }
+    if (reclaimer_->EmergencyReclaimForGrowth()) {
+      fail_emergency_recoveries_->Add();
+      if (trace_) {
+        trace_->Emit(trace::EventType::kEmergencyRecovery, vcpu, domain, cls,
+                     -1, size_classes_->class_size(cls), 0);
+      }
+      got = backend.cfls[cls]->RemoveRange(batch_.data(), batch);
+      cycles_.central_free_list_ns += config_.costs.central_free_list_ns;
+      last_op_ns_ += config_.costs.central_free_list_ns;
+    }
+    if (got == 0) return 0;
+    fail_recovered_allocations_->Add();
+  } else if (got < batch) {
+    // Partial batch: growth was denied midway through the refill. Proceed
+    // with what we got — the caller's object is safe, the vCPU cache just
+    // refills less.
+    fail_partial_batches_->Add();
+  }
 
   // Hand one object to the caller; cache the rest in the vCPU cache.
   uintptr_t result = batch_[0];
@@ -266,10 +341,29 @@ uintptr_t Allocator::SlowPathAllocate(int cls, int vcpu, int node) {
 
 void Allocator::Free(uintptr_t addr, int vcpu, SimTime now,
                      uint64_t callsite) {
+  if (trace_) trace_->set_now(now);
+  if (sampler_.guarded()) {
+    Sampler::Tombstone tomb;
+    if (sampler_.TakeTombstone(addr, &tomb)) {
+      // Double free of a guarded (sampled) object: the tombstone proves
+      // the address was already freed and not yet reused. Report with the
+      // allocating callsite and swallow the free instead of corrupting
+      // span bookkeeping.
+      fail_guard_double_frees_->Add();
+      last_op_ns_ = config_.costs.other_ns;
+      cycles_.other_ns += config_.costs.other_ns;
+      if (trace_) {
+        trace_->Emit(
+            trace::EventType::kGuardReport, vcpu, -1, -1,
+            static_cast<int16_t>(trace::GuardReportKind::kDoubleFree),
+            tomb.allocated, tomb.callsite);
+      }
+      return;
+    }
+  }
   free_ops_->Add();
   last_op_ns_ = config_.costs.other_ns;
   cycles_.other_ns += config_.costs.other_ns;
-  if (trace_) trace_->set_now(now);
   Sampler::FreeRecord sampled = sampler_.RecordFree(addr, now);
   if (sampled.sampled && trace_) {
     trace_->Emit(trace::EventType::kSampledFree, vcpu, -1, -1, -1,
@@ -330,6 +424,39 @@ void Allocator::Free(uintptr_t addr, int vcpu, SimTime now,
                  vcpu_domain_[vcpu], cls, -1, size, 0);
   }
   SlowPathFree(cls, vcpu, addr);
+}
+
+bool Allocator::ProbeAccess(uintptr_t addr, size_t offset, int vcpu,
+                            SimTime now) {
+  if (!sampler_.guarded()) return false;
+  if (trace_) trace_->set_now(now);
+  Sampler::Tombstone tomb;
+  if (sampler_.TakeTombstone(addr, &tomb)) {
+    // Access through a tombstoned guard: use-after-free, caught because
+    // the freed address has not been reused (GWP-ASan's quarantined page).
+    fail_guard_use_after_frees_->Add();
+    if (trace_) {
+      trace_->Emit(
+          trace::EventType::kGuardReport, vcpu, -1, -1,
+          static_cast<int16_t>(trace::GuardReportKind::kUseAfterFree),
+          tomb.allocated, tomb.callsite);
+    }
+    return true;
+  }
+  const Sampler::Sample* sample = sampler_.FindLiveSample(addr);
+  if (sample != nullptr && offset >= sample->requested) {
+    // Access past the requested size of a live guard: buffer overrun into
+    // the canary redzone. The guard stays live (the object still is).
+    fail_guard_overruns_->Add();
+    if (trace_) {
+      trace_->Emit(
+          trace::EventType::kGuardReport, vcpu, -1, -1,
+          static_cast<int16_t>(trace::GuardReportKind::kBufferOverrun),
+          sample->allocated, sample->callsite);
+    }
+    return true;
+  }
+  return false;
 }
 
 void Allocator::SlowPathFree(int cls, int vcpu, uintptr_t obj) {
@@ -549,6 +676,47 @@ telemetry::Snapshot Allocator::TelemetrySnapshot() {
   }
   reclaimer_->ContributeTelemetry(reg);
 
+  // Failure component: the guard/recovery live handles registered at
+  // construction are joined by the per-tier denial counts, so
+  // GetProperty("failure.*") sees the whole fault-injection story in one
+  // place.
+  {
+    uint64_t mmap_denied = 0, backing_denied = 0, huge_alloc_failures = 0;
+    uint64_t filler_growth = 0, cross_set = 0, unbacked = 0;
+    uint64_t region_growth = 0, span_fetch = 0;
+    uint64_t large_fallbacks = 0, large_failures = 0;
+    for (const auto& node : nodes_) {
+      mmap_denied += node->system.stats().mmap_failures;
+      const HugeCacheStats cache = node->page_heap.cache_stats();
+      backing_denied += cache.backing_denied;
+      huge_alloc_failures += cache.allocation_failures;
+      const FillerStats filler = node->page_heap.filler_stats();
+      filler_growth += filler.growth_failures;
+      cross_set += filler.cross_set_fallbacks;
+      unbacked += filler.unbacked_hugepages;
+      region_growth += node->page_heap.region_growth_failures();
+      large_fallbacks += node->page_heap.large_fallbacks();
+      large_failures += node->page_heap.large_failures();
+      for (const auto& cfl : node->cfls) {
+        span_fetch += cfl->span_fetch_failures();
+      }
+    }
+    reg.ExportCounter("failure", "mmap_denied", mmap_denied);
+    reg.ExportCounter("failure", "hugepage_backing_denied", backing_denied);
+    reg.ExportCounter("failure", "huge_cache_allocation_failures",
+                      huge_alloc_failures);
+    reg.ExportCounter("failure", "filler_growth_failures", filler_growth);
+    reg.ExportCounter("failure", "filler_cross_set_fallbacks", cross_set);
+    reg.ExportCounter("failure", "unbacked_hugepages", unbacked);
+    reg.ExportCounter("failure", "region_growth_failures", region_growth);
+    reg.ExportCounter("failure", "span_fetch_failures", span_fetch);
+    reg.ExportCounter("failure", "large_fallbacks", large_fallbacks);
+    reg.ExportCounter("failure", "large_failures", large_failures);
+    reg.ExportCounter("failure", "guarded_samples", sampler_.guarded_allocs());
+    reg.ExportGauge("failure", "live_tombstones",
+                    static_cast<double>(sampler_.tombstone_count()));
+  }
+
   // Sampler component: sample counts plus the all-sizes lifetime
   // distribution, rebinned from the sampler's log histogram onto fixed
   // bounds so fleet-wide merges stay exact (satisfying Snapshot::MergeFrom's
@@ -592,6 +760,11 @@ void Allocator::SetFlightRecorder(trace::FlightRecorder* recorder) {
     node->page_heap.set_flight_recorder(recorder);
   }
   reclaimer_->set_flight_recorder(recorder);
+}
+
+void Allocator::SetFaultInjector(FaultInjector* injector) {
+  fault_injector_ = injector;
+  for (auto& node : nodes_) node->system.SetFaultInjector(injector);
 }
 
 void Allocator::RegisterCallsite(uint64_t id, std::string_view name) {

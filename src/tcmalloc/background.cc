@@ -122,6 +122,17 @@ bool BackgroundReclaimer::AdmitAllocation(size_t size) {
   return false;
 }
 
+bool BackgroundReclaimer::EmergencyReclaimForGrowth() {
+  size_t footprint = allocator_->FootprintBytes();
+  if (footprint == last_emergency_footprint_) return false;
+  last_emergency_footprint_ = footprint;
+  // One hugepage of headroom is enough for any span: the cascade stops at
+  // the first tier that frees it rather than draining every cache.
+  size_t target = footprint > kHugePageSize ? footprint - kHugePageSize : 0;
+  ReclaimTiers(target);
+  return true;
+}
+
 size_t BackgroundReclaimer::ReclaimTiers(size_t target_bytes) {
   reclaim_runs_->Add();
   const size_t released_start = TotalReleasedBytes();

@@ -76,6 +76,15 @@ class BackgroundReclaimer {
   // would push the footprint past the hard limit; the failure is counted.
   bool AdmitAllocation(size_t size);
 
+  // Emergency response to denied arena growth (fault injection / simulated
+  // OOM): runs the tier cascade once to mobilize cached memory back down
+  // to the page heap, so the failed allocation can retry against existing
+  // hugepages instead of fresh mmap. Rate-limited by footprint, capping
+  // the backoff: when the footprint has not moved since the last emergency
+  // run the cascade already ran dry, and the caller must surface the
+  // failure instead of retrying. Returns true when a retry is worthwhile.
+  bool EmergencyReclaimForGrowth();
+
   uint64_t soft_limit_hits() const { return soft_limit_hits_->value(); }
   uint64_t hard_limit_failures() const {
     return hard_limit_failures_->value();

@@ -74,7 +74,12 @@ int CentralFreeList::RemoveRange(uintptr_t* out, int n) {
     }
     if (span == nullptr) {
       span = source_->NewSpan(cls_);
-      WSC_CHECK(span != nullptr);
+      if (span == nullptr) {
+        // The page heap cannot grow; hand back what we produced so far and
+        // let the caller degrade (partial batch, emergency reclaim).
+        ++span_fetch_failures_;
+        break;
+      }
       WSC_CHECK_EQ(span->size_class(), cls_);
       WSC_CHECK(span->empty());
       span->list_index = -1;
@@ -178,6 +183,8 @@ void CentralFreeList::ContributeTelemetry(
                        static_cast<double>(num_spans_));
   registry.ExportGauge("central_free_list", "live_spans_with_free_objects",
                        static_cast<double>(num_live_spans_with_free_objects()));
+  registry.ExportCounter("central_free_list", "span_fetch_failures",
+                         span_fetch_failures_);
 }
 
 }  // namespace wsc::tcmalloc

@@ -55,9 +55,14 @@ class CentralFreeList {
   CentralFreeList& operator=(const CentralFreeList&) = delete;
 
   // Removes up to `n` objects into `out`, fetching spans from the page heap
-  // as needed. Returns the number of objects produced (always n unless the
-  // page heap fails, which is fatal upstream).
+  // as needed. Returns the number of objects produced: n in the common
+  // case, fewer (possibly zero) when the page heap cannot grow (fault
+  // injection or simulated OOM) — callers proceed with the partial batch
+  // or surface the failure upward.
   int RemoveRange(uintptr_t* out, int n);
+
+  // Span fetches refused by the page heap (growth denied).
+  uint64_t span_fetch_failures() const { return span_fetch_failures_; }
 
   // Returns one object to its span. `span` must belong to this free list's
   // size class (the allocator resolves it via the pagemap). Fully-free
@@ -121,6 +126,7 @@ class CentralFreeList {
   size_t free_objects_ = 0;
 
   CentralFreeListStats stats_;
+  uint64_t span_fetch_failures_ = 0;
   std::vector<uint64_t> returned_span_ids_;
   trace::FlightRecorder* trace_ = nullptr;
 };

@@ -1,0 +1,19 @@
+#include "tcmalloc/fault_injection.h"
+
+namespace wsc::tcmalloc {
+
+bool FaultInjector::Consult(FaultKind kind,
+                            const std::vector<FaultWindow>& windows) {
+  uint64_t call = stats_.calls[static_cast<int>(kind)]++;
+  // Plans carry a handful of windows; a linear scan beats maintaining a
+  // cursor that overlapping windows would invalidate.
+  for (const FaultWindow& w : windows) {
+    if (w.Contains(call)) {
+      ++stats_.denied[static_cast<int>(kind)];
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace wsc::tcmalloc

@@ -1,0 +1,94 @@
+// Deterministic fault injection for the simulated OS interface.
+//
+// Production fleets see mmap failures (VMA limits, cgroup memory caps) and
+// hugepage scarcity (fragmented kernels refuse THP backing); the paper's
+// telemetry only exists because the allocator survives both. A FaultPlan
+// describes, per fault kind, half-open windows over *call indices* — the
+// Nth mmap call, the Nth hugepage-backing decision — so the same plan
+// produces the same failures regardless of simulated-time jitter, worker
+// threads, or wall-clock. Plans are drawn by the fleet layer after the
+// machine-seed fork (fleet.cc), which keeps every run bit-identical for any
+// --threads while the faults themselves stay fully reproducible.
+//
+// A FaultInjector is owned per process (alongside the flight recorder) and
+// installed on an Allocator with SetFaultInjector, which fans it out to
+// every SystemAllocator and HugeCache. With no injector installed the
+// consult sites cost one null-pointer branch.
+
+#ifndef WSC_TCMALLOC_FAULT_INJECTION_H_
+#define WSC_TCMALLOC_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace wsc::tcmalloc {
+
+// What gets denied.
+enum class FaultKind {
+  kMmap = 0,         // SystemAllocator::AllocateHugePages returns invalid
+  kHugeBacking = 1,  // address range granted, but without THP backing
+};
+inline constexpr int kNumFaultKinds = 2;
+
+// Half-open interval [begin, end) over the per-kind call index: the call
+// numbered `begin` is the first to fail, `end` the first to succeed again.
+struct FaultWindow {
+  uint64_t begin = 0;
+  uint64_t end = 0;
+
+  bool Contains(uint64_t call) const { return call >= begin && call < end; }
+  auto operator<=>(const FaultWindow&) const = default;
+};
+
+// The full schedule for one process. Windows should be sorted by begin and
+// non-overlapping per kind; the injector tolerates overlap (a call fails if
+// any window covers it).
+struct FaultPlan {
+  std::vector<FaultWindow> mmap_windows;
+  std::vector<FaultWindow> huge_backing_windows;
+
+  bool Empty() const {
+    return mmap_windows.empty() && huge_backing_windows.empty();
+  }
+  auto operator<=>(const FaultPlan&) const = default;
+};
+
+// Per-fault-kind running totals, readable after (or during) a run.
+struct FaultStats {
+  uint64_t calls[kNumFaultKinds] = {0, 0};
+  uint64_t denied[kNumFaultKinds] = {0, 0};
+};
+
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  explicit FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+  // Each Should* call consumes one call index of its kind, so consult
+  // exactly once per real operation.
+  bool ShouldFailMmap() {
+    return Consult(FaultKind::kMmap, plan_.mmap_windows);
+  }
+  bool ShouldDenyHugeBacking() {
+    return Consult(FaultKind::kHugeBacking, plan_.huge_backing_windows);
+  }
+
+  const FaultPlan& plan() const { return plan_; }
+  const FaultStats& stats() const { return stats_; }
+  uint64_t mmap_denied() const {
+    return stats_.denied[static_cast<int>(FaultKind::kMmap)];
+  }
+  uint64_t huge_backing_denied() const {
+    return stats_.denied[static_cast<int>(FaultKind::kHugeBacking)];
+  }
+
+ private:
+  bool Consult(FaultKind kind, const std::vector<FaultWindow>& windows);
+
+  FaultPlan plan_;
+  FaultStats stats_;
+};
+
+}  // namespace wsc::tcmalloc
+
+#endif  // WSC_TCMALLOC_FAULT_INJECTION_H_

@@ -159,14 +159,30 @@ PageId HugePageFiller::Allocate(Length n, int span_capacity) {
   PageTracker* t = PickTracker(set, n);
   if (t == nullptr) {
     HugePageId hp = backing_->GetHugePage();
-    t = new PageTracker(hp);
-    t->set_lifetime_set(set);
-    tracker_index_.Insert(hp.index, t);
-    ++stats_.total_hugepages;
-    ListInsert(t);
-  } else if (lifetime_aware_ && !t->donated() && t->lifetime_set() != set) {
-    // PickTracker only searches `set`, so this cannot happen; guard anyway.
-    WSC_CHECK(false);
+    if (IsValid(hp)) {
+      t = new PageTracker(hp);
+      t->set_lifetime_set(set);
+      if (!backing_->LastHugePageBacked()) {
+        // Hugepage scarcity: the mapping is usable but the kernel refused
+        // THP backing, so the tracker starts life broken, exactly like a
+        // subreleased hugepage (the dTLB model charges 4 KiB walks).
+        t->set_released(true);
+        ++stats_.released_hugepages;
+        ++stats_.unbacked_hugepages;
+      }
+      tracker_index_.Insert(hp.index, t);
+      ++stats_.total_hugepages;
+      ListInsert(t);
+    } else if (lifetime_aware_) {
+      // Growth denied: place across the lifetime-set boundary rather than
+      // fail — a mispacked span beats a failed allocation.
+      t = PickTracker(1 - set, n);
+      if (t != nullptr) ++stats_.cross_set_fallbacks;
+    }
+    if (t == nullptr) {
+      ++stats_.growth_failures;
+      return kInvalidPageId;
+    }
   }
   bool was_released = t->released();
   ListRemove(t);
@@ -207,12 +223,17 @@ void HugePageFiller::Free(PageId page, Length n) {
   ListInsert(t);
 }
 
-void HugePageFiller::Donate(HugePageId hp, int donated_offset) {
+void HugePageFiller::Donate(HugePageId hp, int donated_offset, bool backed) {
   WSC_CHECK_GE(donated_offset, 0);
   WSC_CHECK_LT(static_cast<Length>(donated_offset), kPagesPerHugePage);
   WSC_CHECK(FindTracker(hp) == nullptr);
   auto* t = new PageTracker(hp);
   t->set_donated(true);
+  if (!backed) {
+    t->set_released(true);
+    ++stats_.released_hugepages;
+    ++stats_.unbacked_hugepages;
+  }
   // The head [0, donated_offset) belongs to the large span.
   if (donated_offset > 0) t->MarkAllocated(0, donated_offset);
   tracker_index_.Insert(hp.index, t);
@@ -375,6 +396,12 @@ void HugePageFiller::ContributeTelemetry(
                          s.subrelease_events);
   registry.ExportCounter("huge_page_filler", "hugepages_freed",
                          s.hugepages_freed);
+  registry.ExportCounter("huge_page_filler", "growth_failures",
+                         s.growth_failures);
+  registry.ExportCounter("huge_page_filler", "cross_set_fallbacks",
+                         s.cross_set_fallbacks);
+  registry.ExportCounter("huge_page_filler", "unbacked_hugepages",
+                         s.unbacked_hugepages);
 }
 
 }  // namespace wsc::tcmalloc

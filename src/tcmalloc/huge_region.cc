@@ -4,7 +4,8 @@
 
 namespace wsc::tcmalloc {
 
-HugeRegion::HugeRegion(HugePageId first) : first_(first) {
+HugeRegion::HugeRegion(HugePageId first, bool backed)
+    : first_(first), backed_(backed) {
   bitmap_.assign(kRegionPages / 64, 0);
 }
 
@@ -75,7 +76,14 @@ PageId HugeRegionSet::Allocate(Length n) {
     }
   }
   HugePageId hp = cache_->Allocate(HugeRegion::kRegionHugePages);
-  regions_.push_back(std::make_unique<HugeRegion>(hp));
+  if (!IsValid(hp)) {
+    // No region run to be had; the caller falls back to the huge cache's
+    // whole-hugepage path (which can serve smaller runs).
+    ++growth_failures_;
+    return kInvalidPageId;
+  }
+  regions_.push_back(
+      std::make_unique<HugeRegion>(hp, cache_->last_allocation_backed()));
   int offset = regions_.back()->Allocate(n);
   WSC_CHECK_GE(offset, 0);
   return PageId{regions_.back()->first_page().index +
@@ -87,7 +95,8 @@ bool HugeRegionSet::Free(PageId page, Length n) {
   if (region == nullptr) return false;
   region->Free(static_cast<int>(page.index - region->first_page().index), n);
   if (region->empty()) {
-    cache_->Release(region->first_hugepage(), HugeRegion::kRegionHugePages);
+    cache_->Release(region->first_hugepage(), HugeRegion::kRegionHugePages,
+                    /*intact=*/region->backed());
     for (auto it = regions_.begin(); it != regions_.end(); ++it) {
       if (it->get() == region) {
         regions_.erase(it);
@@ -111,6 +120,14 @@ Length HugeRegionSet::used_pages() const {
   return used;
 }
 
+Length HugeRegionSet::backed_used_pages() const {
+  Length used = 0;
+  for (const auto& region : regions_) {
+    if (region->backed()) used += region->used_pages();
+  }
+  return used;
+}
+
 Length HugeRegionSet::free_pages() const {
   Length free = 0;
   for (const auto& region : regions_) free += region->free_pages();
@@ -125,6 +142,7 @@ void HugeRegionSet::ContributeTelemetry(
                        static_cast<double>(free_pages()));
   registry.ExportGauge("huge_region", "regions",
                        static_cast<double>(regions_.size()));
+  registry.ExportCounter("huge_region", "growth_failures", growth_failures_);
 }
 
 }  // namespace wsc::tcmalloc

@@ -26,9 +26,12 @@ class HugeRegion {
   static constexpr Length kRegionPages =
       kRegionHugePages * kPagesPerHugePage;
 
-  explicit HugeRegion(HugePageId first);
+  // `backed` records whether the kernel granted THP backing for the run
+  // (false under injected hugepage scarcity).
+  explicit HugeRegion(HugePageId first, bool backed = true);
 
   HugePageId first_hugepage() const { return first_; }
+  bool backed() const { return backed_; }
   PageId first_page() const { return first_.first_page(); }
   Length used_pages() const { return used_; }
   Length free_pages() const { return kRegionPages - used_; }
@@ -48,6 +51,7 @@ class HugeRegion {
 
  private:
   HugePageId first_;
+  bool backed_;
   Length used_ = 0;
   std::vector<uint64_t> bitmap_;  // kRegionPages bits; set => used
 };
@@ -59,8 +63,13 @@ class HugeRegionSet {
   explicit HugeRegionSet(HugeCache* cache);
 
   // Allocates `n` contiguous pages from some region (creating one if
-  // needed). n must fit in a region.
+  // needed). n must fit in a region. Returns kInvalidPageId when no
+  // existing region fits and the huge cache refuses a fresh region run
+  // (fault injection or simulated OOM); the page heap then falls back to
+  // whole cache hugepages.
   PageId Allocate(Length n);
+
+  uint64_t growth_failures() const { return growth_failures_; }
 
   // Frees pages if they belong to a region; returns false otherwise.
   bool Free(PageId page, Length n);
@@ -68,8 +77,17 @@ class HugeRegionSet {
   // True if any region contains `page`.
   bool Owns(PageId page) const { return RegionFor(page) != nullptr; }
 
+  // True if the region containing `page` is THP-backed (true for pages no
+  // region owns — the caller resolves ownership first).
+  bool IsBacked(PageId page) const {
+    const HugeRegion* region = RegionFor(page);
+    return region == nullptr || region->backed();
+  }
+
   Length used_pages() const;
   Length free_pages() const;
+  // Used pages on THP-backed regions only (hugepage-coverage numerator).
+  Length backed_used_pages() const;
   size_t num_regions() const { return regions_.size(); }
 
   // Publishes this tier's metrics (component "huge_region") into
@@ -81,6 +99,7 @@ class HugeRegionSet {
 
   HugeCache* cache_;
   std::vector<std::unique_ptr<HugeRegion>> regions_;
+  uint64_t growth_failures_ = 0;
 };
 
 }  // namespace wsc::tcmalloc

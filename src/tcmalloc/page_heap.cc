@@ -31,8 +31,21 @@ PageHeap::PageHeap(const SizeClasses* size_classes,
 
 HugePageId PageHeap::GetHugePage() { return cache_.Allocate(1); }
 
+bool PageHeap::LastHugePageBacked() const {
+  return cache_.last_allocation_backed();
+}
+
 void PageHeap::PutHugePage(HugePageId hp, bool intact) {
   cache_.Release(hp, 1, intact);
+}
+
+bool PageHeap::TakeUnbacked(HugePageId hp, int n) {
+  if (unbacked_.empty()) return false;
+  bool found = unbacked_.count(hp.index) > 0;
+  for (int i = 0; i < n; ++i) {
+    unbacked_.erase(hp.index + static_cast<uintptr_t>(i));
+  }
+  return found;
 }
 
 Span* PageHeap::RegisterSpan(Span* span) {
@@ -45,6 +58,7 @@ Span* PageHeap::NewSpan(int cls) {
   const SizeClassInfo& info = size_classes_->info(cls);
   WSC_CHECK_LT(info.pages_per_span, kPagesPerHugePage);
   PageId first = filler_.Allocate(info.pages_per_span, info.objects_per_span);
+  if (!IsValid(first)) return nullptr;  // growth denied; CFLs degrade
   Span* span = RegisterSpan(new Span(first, info.pages_per_span, cls,
                                      info.size, info.objects_per_span));
   if (trace_) {
@@ -70,34 +84,70 @@ void PageHeap::ReturnSpan(Span* span) {
 Span* PageHeap::NewLargeSpan(Length pages) {
   WSC_CHECK_GT(pages, 0u);
   LargeAlloc record;
-  PageId first;
-  if (pages < kPagesPerHugePage) {
+  PageId first = kInvalidPageId;
+
+  auto try_filler = [&] {
     // Large object that still fits inside one hugepage: pack via the filler
     // (span capacity 1: this is a high-return-rate span, Fig. 16).
     record.kind = LargeKind::kFiller;
     first = filler_.Allocate(pages, /*span_capacity=*/1);
-  } else if (pages % kPagesPerHugePage != 0 && pages < kRegionMaxPages) {
+  };
+  auto try_region = [&] {
     record.kind = LargeKind::kRegion;
     first = regions_.Allocate(pages);
-  } else {
+  };
+  auto try_cache = [&] {
     record.kind = LargeKind::kCache;
     int k = static_cast<int>(
         (pages + kPagesPerHugePage - 1) / kPagesPerHugePage);
-    record.cache_hugepages = k;
     HugePageId hp = cache_.Allocate(k);
+    if (!IsValid(hp)) return;
+    record.cache_hugepages = k;
+    bool backed = cache_.last_allocation_backed();
     first = hp.first_page();
     Length slack = static_cast<Length>(k) * kPagesPerHugePage - pages;
+    int owned = k;  // hugepages fully owned by the span (not donated)
     if (slack > 0) {
       // The allocation's tail partially covers the last hugepage; donate
       // the slack to the filler so small spans can use it.
       Length head = kPagesPerHugePage - slack;
       record.donated_head_pages = head;
       HugePageId last{hp.index + static_cast<uintptr_t>(k - 1)};
-      filler_.Donate(last, static_cast<int>(head));
+      filler_.Donate(last, static_cast<int>(head), backed);
       cache_span_pages_ += pages - head;
+      owned = k - 1;
     } else {
       cache_span_pages_ += pages;
     }
+    if (!backed) {
+      for (int i = 0; i < owned; ++i) {
+        unbacked_.insert(hp.index + static_cast<uintptr_t>(i));
+      }
+    }
+  };
+
+  // The placement ladder. When a rung's supply line is cut (fault
+  // injection or simulated OOM) the next rung gets a chance: sub-hugepage
+  // spans retry in the shared regions (which may have room without
+  // growing), awkward region sizes round up to whole cache hugepages.
+  if (pages < kPagesPerHugePage) {
+    try_filler();
+    if (!IsValid(first)) {
+      try_region();
+      if (IsValid(first)) ++large_fallbacks_;
+    }
+  } else if (pages % kPagesPerHugePage != 0 && pages < kRegionMaxPages) {
+    try_region();
+    if (!IsValid(first)) {
+      try_cache();
+      if (IsValid(first)) ++large_fallbacks_;
+    }
+  } else {
+    try_cache();
+  }
+  if (!IsValid(first)) {
+    ++large_failures_;
+    return nullptr;
   }
   Span* span = RegisterSpan(new Span(first, pages));
   large_allocs_.Insert(span->start_addr(), record);
@@ -133,12 +183,13 @@ void PageHeap::FreeLargeSpan(Span* span) {
       if (record.donated_head_pages > 0) {
         // Release the fully-owned hugepages; the donated tail hugepage is
         // handed back page-wise through the filler.
-        if (k > 1) cache_.Release(hp, k - 1);
+        bool intact = !TakeUnbacked(hp, k - 1);
+        if (k > 1) cache_.Release(hp, k - 1, intact);
         HugePageId last{hp.index + static_cast<uintptr_t>(k - 1)};
         filler_.FreeDonatedHead(last, record.donated_head_pages);
         cache_span_pages_ -= span->num_pages() - record.donated_head_pages;
       } else {
-        cache_.Release(hp, k);
+        cache_.Release(hp, k, /*intact=*/!TakeUnbacked(hp, k));
         cache_span_pages_ -= span->num_pages();
       }
       break;
@@ -180,8 +231,14 @@ size_t PageHeap::ReleaseForPressure(size_t target_bytes) {
 
 bool PageHeap::IsHugepageBacked(uintptr_t addr) const {
   if (filler_.Owns(addr)) return filler_.IsIntactHugepage(addr);
-  // Regions and whole cache hugepages never subrelease while occupied; a
-  // live object there is always THP-backed.
+  PageId page = PageIdContaining(addr);
+  if (regions_.Owns(page)) return regions_.IsBacked(page);
+  // Whole cache hugepages never subrelease while occupied, but injected
+  // hugepage scarcity can have granted them without THP backing.
+  if (!unbacked_.empty() &&
+      unbacked_.count(HugePageContainingAddr(addr).index) > 0) {
+    return false;
+  }
   return true;
 }
 
@@ -193,8 +250,11 @@ double PageHeap::HugepageCoverage() const {
   PageHeapStats s = stats();
   size_t in_use = s.TotalInUse();
   if (in_use == 0) return 1.0;
+  // Unbacked region/cache hugepages (injected scarcity) do not count as
+  // covered; owned unbacked cache hugepages are fully used by their span.
   size_t intact_used = LengthToBytes(filler_.UsedPagesOnIntactHugepages()) +
-                       s.region_used + s.cache_used;
+                       LengthToBytes(regions_.backed_used_pages()) +
+                       (s.cache_used - unbacked_.size() * kHugePageSize);
   return static_cast<double>(intact_used) / static_cast<double>(in_use);
 }
 
@@ -233,6 +293,8 @@ void PageHeap::ContributeTelemetry(
   registry.ExportGauge("page_heap", "cache_released_bytes",
                        static_cast<double>(s.cache_released));
   registry.ExportCounter("page_heap", "spans_created", next_span_id_);
+  registry.ExportCounter("page_heap", "large_fallbacks", large_fallbacks_);
+  registry.ExportCounter("page_heap", "large_failures", large_failures_);
   filler_.ContributeTelemetry(registry);
   cache_.ContributeTelemetry(registry);
   regions_.ContributeTelemetry(registry);

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <unordered_set>
 
 #include "common/flat_map.h"
 #include "tcmalloc/central_free_list.h"
@@ -55,13 +56,25 @@ class PageHeap : public SpanSource, private HugePageBacking {
   PageHeap(const PageHeap&) = delete;
   PageHeap& operator=(const PageHeap&) = delete;
 
-  // SpanSource: small-object spans for the central free lists.
+  // SpanSource: small-object spans for the central free lists. Returns
+  // nullptr when the filler cannot grow (fault injection or simulated
+  // OOM); central free lists degrade to partial batches.
   Span* NewSpan(int cls) override;
   void ReturnSpan(Span* span) override;
 
-  // Large allocations (> kMaxSmallSize), in pages.
+  // Large allocations (> kMaxSmallSize), in pages. Returns nullptr when
+  // every placement ladder rung fails (filler -> regions for sub-hugepage
+  // spans, regions -> whole cache hugepages for awkward sizes); fallbacks
+  // taken along the way are counted in large_fallbacks().
   Span* NewLargeSpan(Length pages);
   void FreeLargeSpan(Span* span);
+
+  // Growth-failure observability for the failure telemetry component.
+  uint64_t large_fallbacks() const { return large_fallbacks_; }
+  uint64_t large_failures() const { return large_failures_; }
+  uint64_t region_growth_failures() const {
+    return regions_.growth_failures();
+  }
 
   // Periodic background maintenance: subrelease from the filler when its
   // free fraction exceeds the configured threshold.
@@ -121,7 +134,13 @@ class PageHeap : public SpanSource, private HugePageBacking {
 
   // HugePageBacking: the filler's hugepage supply line.
   HugePageId GetHugePage() override;
+  bool LastHugePageBacked() const override;
   void PutHugePage(HugePageId hp, bool intact) override;
+
+  // Erases up to `n` hugepages starting at `hp` from the unbacked set;
+  // returns true if the run was unbacked (scarcity runs are uniform, so
+  // checking the first index suffices).
+  bool TakeUnbacked(HugePageId hp, int n);
 
   const SizeClasses* size_classes_;
   AllocatorConfig config_;
@@ -137,6 +156,12 @@ class PageHeap : public SpanSource, private HugePageBacking {
   FlatPtrMap<LargeAlloc> large_allocs_;
   Length cache_span_pages_ = 0;  // large-span pages on non-donated hugepages
   uint64_t next_span_id_ = 0;
+  uint64_t large_fallbacks_ = 0;  // ladder rung failed, next rung served
+  uint64_t large_failures_ = 0;   // whole ladder failed -> nullptr
+  // Whole cache hugepages granted without THP backing (hugepage
+  // scarcity); consulted by IsHugepageBacked, erased on free. Regions and
+  // filler hugepages track their own backing.
+  std::unordered_set<uintptr_t> unbacked_;
   trace::FlightRecorder* trace_ = nullptr;
 
   // Sliding window of recent filler demand (used pages), sampled once per

@@ -45,6 +45,15 @@ constexpr PageId PageIdContaining(uintptr_t addr) {
   return PageId{addr >> kPageShift};
 }
 
+// Index 0 doubles as the "growth failed" sentinel: every process arena
+// starts at or above 1 << 44 (machine.cc), so no real page or hugepage can
+// ever have index 0. Tiers return these when SystemAllocator growth is
+// denied (fault injection or arena exhaustion) and callers must check
+// IsValid() before using the result.
+inline constexpr PageId kInvalidPageId{0};
+
+constexpr bool IsValid(PageId p) { return p.index != 0; }
+
 // Identifies one 2 MiB hugepage.
 struct HugePageId {
   uintptr_t index = 0;
@@ -55,6 +64,11 @@ struct HugePageId {
   }
   auto operator<=>(const HugePageId&) const = default;
 };
+
+// Invalid-hugepage sentinel; see kInvalidPageId above.
+inline constexpr HugePageId kInvalidHugePage{0};
+
+constexpr bool IsValid(HugePageId hp) { return hp.index != 0; }
 
 constexpr HugePageId HugePageContaining(PageId page) {
   return HugePageId{page.index / kPagesPerHugePage};

@@ -18,7 +18,16 @@ SystemAllocator::SystemAllocator(uintptr_t base, size_t arena_bytes,
 HugePageId SystemAllocator::AllocateHugePages(int n) {
   WSC_CHECK_GT(n, 0);
   size_t bytes = static_cast<size_t>(n) * kHugePageSize;
-  WSC_CHECK_LE(next_ + bytes, base_ + arena_bytes_);  // simulated OOM
+  // A planned mmap fault or arena exhaustion (simulated OOM) is a counted
+  // failure, never fatal: the tiers above fall back or surface nullptr.
+  if (injector_ != nullptr && injector_->ShouldFailMmap()) {
+    ++stats_.mmap_failures;
+    return kInvalidHugePage;
+  }
+  if (next_ + bytes > base_ + arena_bytes_) {
+    ++stats_.mmap_failures;
+    return kInvalidHugePage;
+  }
   uintptr_t addr = next_;
   next_ += bytes;
   ++stats_.mmap_calls;
@@ -32,6 +41,7 @@ void SystemAllocator::ContributeTelemetry(
   registry.ExportCounter("system", "mmap_calls", stats_.mmap_calls);
   registry.ExportCounter("system", "mapped_bytes", stats_.mapped_bytes);
   registry.ExportGauge("system", "mmap_ns", stats_.mmap_ns);
+  registry.ExportCounter("system", "mmap_failures", stats_.mmap_failures);
 }
 
 }  // namespace wsc::tcmalloc

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 
+#include "tcmalloc/fault_injection.h"
 #include "tcmalloc/pages.h"
 #include "telemetry/registry.h"
 
@@ -25,6 +26,7 @@ struct SystemStats {
   uint64_t mmap_calls = 0;
   uint64_t mapped_bytes = 0;
   double mmap_ns = 0.0;  // cumulative simulated syscall latency
+  uint64_t mmap_failures = 0;  // denied by fault injection or exhaustion
 };
 
 // Bump allocator over a reserved virtual arena.
@@ -34,9 +36,16 @@ class SystemAllocator {
   SystemAllocator(uintptr_t base, size_t arena_bytes,
                   double mmap_latency_ns = 8000.0);
 
-  // Returns `n` contiguous hugepages (hugepage-aligned). Fatal on arena
-  // exhaustion (simulated OOM — sized generously by callers).
+  // Returns `n` contiguous hugepages (hugepage-aligned), or
+  // kInvalidHugePage when the simulated mmap fails — a planned fault from
+  // the installed injector, or arena exhaustion (simulated OOM). Callers
+  // must check IsValid() and degrade; nothing in this path is fatal.
   HugePageId AllocateHugePages(int n);
+
+  // Installs (or clears, with nullptr) the fault injector consulted before
+  // every simulated mmap. Borrowed, not owned.
+  void SetFaultInjector(FaultInjector* injector) { injector_ = injector; }
+  FaultInjector* fault_injector() const { return injector_; }
 
   uintptr_t base() const { return base_; }
   size_t arena_bytes() const { return arena_bytes_; }
@@ -55,6 +64,7 @@ class SystemAllocator {
   uintptr_t next_;
   double mmap_latency_ns_;
   SystemStats stats_;
+  FaultInjector* injector_ = nullptr;  // null: no faults
 };
 
 }  // namespace wsc::tcmalloc

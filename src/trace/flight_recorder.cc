@@ -29,6 +29,9 @@ constexpr EventTypeInfo kEventTypeInfo[kNumEventTypes] = {
     {"pressure_step", "pressure"},
     {"sampled_alloc", "sampler"},
     {"sampled_free", "sampler"},
+    {"growth_failure", "failure"},
+    {"emergency_recovery", "failure"},
+    {"guard_report", "failure"},
 };
 
 }  // namespace

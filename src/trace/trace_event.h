@@ -35,6 +35,10 @@ enum class EventType : uint8_t {
   kPressureStep,        // index = cascade tier (0..3); a = bytes reclaimed
   kSampledAlloc,        // vcpu; a = allocated bytes, b = callsite id
   kSampledFree,         // vcpu; a = allocated bytes, b = callsite id
+  kGrowthFailure,       // vcpu, cls (-1 = large); a = requested bytes
+  kEmergencyRecovery,   // vcpu, cls (-1 = large); a = requested bytes
+  kGuardReport,         // vcpu; index = report kind (GuardReportKind),
+                        // a = allocated bytes, b = alloc callsite id
   kMaxEventType,        // sentinel, not a real event
 };
 
@@ -45,9 +49,17 @@ inline constexpr int kNumEventTypes = static_cast<int>(EventType::kMaxEventType)
 const char* EventTypeName(EventType type);
 
 // The owning tier ("cpu_cache", "transfer_cache", "central_free_list",
-// "page_heap", "huge_page_filler", "pressure", "sampler"), used as the
-// Chrome trace category. Matches the telemetry component names.
+// "page_heap", "huge_page_filler", "pressure", "sampler", "failure"), used
+// as the Chrome trace category. Matches the telemetry component names.
 const char* EventTypeCategory(EventType type);
+
+// kGuardReport's `index` payload: which heap bug the guarded sampler
+// caught.
+enum class GuardReportKind : int16_t {
+  kDoubleFree = 0,
+  kUseAfterFree = 1,
+  kBufferOverrun = 2,
+};
 
 // One recorded event. 32 bytes; the ring buffer is a flat array of these.
 struct TraceEvent {

@@ -1,0 +1,189 @@
+// Tests for deterministic fault injection and graceful degradation: every
+// tier must survive denied arena growth and hugepage scarcity by falling
+// back or surfacing a counted failure — never by crashing — and recovery
+// must be visible in the "failure" telemetry component.
+
+#include "tcmalloc/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tcmalloc/allocator.h"
+#include "tcmalloc/malloc_extension.h"
+
+namespace wsc::tcmalloc {
+namespace {
+
+constexpr uintptr_t kBase = uintptr_t{1} << 44;
+
+AllocatorConfig::Builder SmallArenaBuilder(size_t arena_bytes) {
+  return AllocatorConfig::Builder().WithVcpus(2).WithArena(kBase, arena_bytes);
+}
+
+TEST(FaultInjector, WindowsConsumeCallIndicesPerKind) {
+  FaultPlan plan;
+  plan.mmap_windows.push_back({2, 4});
+  plan.huge_backing_windows.push_back({0, 1});
+  FaultInjector injector(plan);
+
+  // Kinds have independent call counters.
+  EXPECT_TRUE(injector.ShouldDenyHugeBacking());   // huge call 0: denied
+  EXPECT_FALSE(injector.ShouldDenyHugeBacking());  // huge call 1
+  EXPECT_FALSE(injector.ShouldFailMmap());         // mmap call 0
+  EXPECT_FALSE(injector.ShouldFailMmap());         // mmap call 1
+  EXPECT_TRUE(injector.ShouldFailMmap());          // mmap call 2: denied
+  EXPECT_TRUE(injector.ShouldFailMmap());          // mmap call 3: denied
+  EXPECT_FALSE(injector.ShouldFailMmap());         // mmap call 4
+
+  EXPECT_EQ(injector.mmap_denied(), 2u);
+  EXPECT_EQ(injector.huge_backing_denied(), 1u);
+  EXPECT_EQ(injector.stats().calls[static_cast<int>(FaultKind::kMmap)], 5u);
+  EXPECT_EQ(injector.stats().calls[static_cast<int>(FaultKind::kHugeBacking)],
+            2u);
+}
+
+TEST(FaultInjector, EmptyPlanNeverDenies) {
+  FaultInjector injector;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(injector.ShouldFailMmap());
+    EXPECT_FALSE(injector.ShouldDenyHugeBacking());
+  }
+  EXPECT_EQ(injector.mmap_denied(), 0u);
+}
+
+TEST(FaultHardening, MmapDeniedFromStartFailsGracefully) {
+  // Every mmap call denied: the very first allocation cannot grow the
+  // arena. It must come back as 0 — a counted failure — without crashing.
+  AllocatorConfig config = SmallArenaBuilder(size_t{1} << 30).Build();
+  Allocator alloc(config);
+  FaultPlan plan;
+  plan.mmap_windows.push_back({0, uint64_t{1} << 40});
+  FaultInjector injector(plan);
+  alloc.SetFaultInjector(&injector);
+
+  EXPECT_EQ(alloc.Allocate(64, 0, 0), 0u);          // small path
+  EXPECT_EQ(alloc.Allocate(1 << 20, 0, 0), 0u);     // large path
+  EXPECT_EQ(alloc.num_allocations(), 0u);           // failures don't count
+
+  MallocExtension extension(&alloc);
+  EXPECT_GE(extension.GetProperty("failure.alloc_failures").value(), 2.0);
+  EXPECT_GT(extension.GetProperty("failure.mmap_denied").value(), 0.0);
+}
+
+TEST(FaultHardening, ArenaExhaustionSurfacesAndRecoversAfterFrees) {
+  // A tiny arena fills up; allocations start failing (simulated OOM) with
+  // counted failures. After everything is freed the allocator serves again
+  // from its own caches — no fresh mmap needed.
+  AllocatorConfig config = SmallArenaBuilder(8 * kHugePageSize).Build();
+  Allocator alloc(config);
+
+  std::vector<uintptr_t> live;
+  uintptr_t addr = 0;
+  int failures = 0;
+  for (int i = 0; i < 100000; ++i) {
+    addr = alloc.Allocate(8192, 0, 0);
+    if (addr == 0) {
+      ++failures;
+      if (failures >= 3) break;  // keep failing, keep not crashing
+      continue;
+    }
+    live.push_back(addr);
+  }
+  ASSERT_GE(failures, 3);
+  ASSERT_FALSE(live.empty());
+
+  MallocExtension extension(&alloc);
+  EXPECT_GE(extension.GetProperty("failure.alloc_failures").value(), 3.0);
+
+  for (uintptr_t p : live) alloc.Free(p, 0, 0);
+  EXPECT_NE(alloc.Allocate(8192, 0, 0), 0u);
+}
+
+TEST(FaultHardening, EmergencyReclaimRecoversDeniedGrowth) {
+  // Park the process's free memory in vCPU 0's oversized cache, then deny
+  // every further mmap and keep allocating from vCPU 1. Once the page
+  // heap's leftovers run out, growth is denied and the only way to serve
+  // vCPU 1 is the emergency cascade mobilizing vCPU 0's cached bytes —
+  // allocations must keep succeeding, with the recovery counted.
+  AllocatorConfig config = AllocatorConfig::Builder()
+                               .WithVcpus(2)
+                               .WithArena(kBase, size_t{1} << 30)
+                               .WithCpuCacheBytes(32 * kHugePageSize)
+                               .Build();
+  Allocator alloc(config);
+
+  std::vector<uintptr_t> parked;
+  for (int i = 0; i < 2000; ++i) {
+    uintptr_t addr = alloc.Allocate(8192, /*vcpu=*/0, 0);
+    ASSERT_NE(addr, 0u);
+    parked.push_back(addr);
+  }
+  for (uintptr_t p : parked) alloc.Free(p, /*vcpu=*/0, 0);
+
+  FaultPlan plan;
+  plan.mmap_windows.push_back({0, uint64_t{1} << 40});
+  FaultInjector injector(plan);
+  alloc.SetFaultInjector(&injector);
+
+  MallocExtension extension(&alloc);
+  for (int i = 0; i < 3000; ++i) {
+    ASSERT_NE(alloc.Allocate(8192, /*vcpu=*/1, 0), 0u) << "iteration " << i;
+    if (extension.GetProperty("failure.recovered_allocations").value() > 0) {
+      break;
+    }
+  }
+  EXPECT_GT(extension.GetProperty("failure.emergency_recoveries").value(),
+            0.0);
+  EXPECT_GT(extension.GetProperty("failure.recovered_allocations").value(),
+            0.0);
+  EXPECT_GT(injector.mmap_denied(), 0u);
+}
+
+TEST(FaultHardening, HugeBackingDenialLeavesRangesUnbacked) {
+  // THP backing denied for every huge-cache system allocation: memory is
+  // still granted and usable, but runs at 4 KiB TLB reach and shows up in
+  // the scarcity counters.
+  AllocatorConfig config = SmallArenaBuilder(size_t{1} << 30).Build();
+  Allocator alloc(config);
+  FaultPlan plan;
+  plan.huge_backing_windows.push_back({0, uint64_t{1} << 40});
+  FaultInjector injector(plan);
+  alloc.SetFaultInjector(&injector);
+
+  uintptr_t small = alloc.Allocate(64, 0, 0);
+  uintptr_t big = alloc.Allocate(4 * kHugePageSize, 0, 0);
+  EXPECT_NE(small, 0u);
+  EXPECT_NE(big, 0u);
+  EXPECT_GT(injector.huge_backing_denied(), 0u);
+
+  MallocExtension extension(&alloc);
+  EXPECT_GT(extension.GetProperty("failure.hugepage_backing_denied").value(),
+            0.0);
+  // Denied backing must depress hugepage coverage below a healthy run's.
+  EXPECT_LT(extension.GetHugepageCoverage(), 1.0);
+}
+
+TEST(FaultHardening, FailureComponentAlwaysPresentInSnapshots) {
+  // The live "failure" handles exist from construction, so fleet merges
+  // and statsz dumps always see the component even on healthy runs.
+  AllocatorConfig config = SmallArenaBuilder(size_t{1} << 30).Build();
+  Allocator alloc(config);
+  uintptr_t p = alloc.Allocate(64, 0, 0);
+  alloc.Free(p, 0, 0);
+
+  telemetry::Snapshot snapshot = alloc.TelemetrySnapshot();
+  for (const char* name :
+       {"alloc_failures", "emergency_recoveries", "recovered_allocations",
+        "partial_batches", "double_frees_detected", "use_after_frees_detected",
+        "buffer_overruns_detected", "mmap_denied", "hugepage_backing_denied",
+        "span_fetch_failures", "large_fallbacks", "large_failures"}) {
+    SCOPED_TRACE(name);
+    const telemetry::MetricSample* sample = snapshot.Find("failure", name);
+    ASSERT_NE(sample, nullptr);
+    EXPECT_EQ(sample->ScalarValue(), 0.0);  // healthy run: all zero
+  }
+}
+
+}  // namespace
+}  // namespace wsc::tcmalloc

@@ -28,10 +28,32 @@ TEST(SystemAllocator, StatsTrackCallsAndBytes) {
   EXPECT_DOUBLE_EQ(sys.stats().mmap_ns, 10000.0);
 }
 
-TEST(SystemAllocatorDeathTest, ExhaustionIsFatal) {
+TEST(SystemAllocator, ExhaustionReturnsInvalidAndCounts) {
+  // Arena exhaustion is a surfaced failure, not a crash: callers get the
+  // invalid sentinel and retry smaller / reclaim / fail the allocation.
   SystemAllocator sys(kBase, 2 * kHugePageSize);
-  sys.AllocateHugePages(2);
-  EXPECT_DEATH(sys.AllocateHugePages(1), "CHECK failed");
+  EXPECT_TRUE(IsValid(sys.AllocateHugePages(2)));
+  HugePageId hp = sys.AllocateHugePages(1);
+  EXPECT_FALSE(IsValid(hp));
+  EXPECT_EQ(hp, kInvalidHugePage);
+  EXPECT_EQ(sys.stats().mmap_failures, 1u);
+  // Failed calls map nothing.
+  EXPECT_EQ(sys.stats().mapped_bytes, 2 * kHugePageSize);
+}
+
+TEST(SystemAllocator, InjectedMmapFaultWindowDenies) {
+  SystemAllocator sys(kBase, 64 * kHugePageSize);
+  FaultPlan plan;
+  plan.mmap_windows.push_back({1, 3});  // calls 1 and 2 fail
+  FaultInjector injector(plan);
+  sys.SetFaultInjector(&injector);
+  EXPECT_TRUE(IsValid(sys.AllocateHugePages(1)));   // call 0
+  EXPECT_FALSE(IsValid(sys.AllocateHugePages(1)));  // call 1
+  EXPECT_FALSE(IsValid(sys.AllocateHugePages(1)));  // call 2
+  EXPECT_TRUE(IsValid(sys.AllocateHugePages(1)));   // call 3
+  EXPECT_EQ(sys.stats().mmap_failures, 2u);
+  EXPECT_EQ(injector.mmap_denied(), 2u);
+  EXPECT_EQ(injector.stats().calls[static_cast<int>(FaultKind::kMmap)], 4u);
 }
 
 TEST(SystemAllocatorDeathTest, MisalignedBaseIsFatal) {

@@ -21,11 +21,11 @@ SCHEMA_VERSION = 2
 TELEMETRY_SCHEMA_VERSION = 1
 
 # The allocator tiers the paper's telemetry reports on, plus the
-# memory-pressure control plane and the heap/lifetime sampler. Every
-# telemetry line from a full allocator snapshot must cover all of them
-# ("pressure" and "sampler" counters are registered at allocator
-# construction, so they appear even when no limit was ever set and no
-# allocation was ever sampled).
+# memory-pressure control plane, the heap/lifetime sampler, and the
+# failure/recovery counters. Every telemetry line from a full allocator
+# snapshot must cover all of them ("pressure", "sampler", and "failure"
+# counters are registered at allocator construction, so they appear even
+# when no limit was ever set, nothing was sampled, and nothing failed).
 REQUIRED_TIERS = (
     "cpu_cache",
     "transfer_cache",
@@ -35,6 +35,7 @@ REQUIRED_TIERS = (
     "page_heap",
     "pressure",
     "sampler",
+    "failure",
 )
 
 THROUGHPUT_FIELDS = ("sim_requests", "wall_seconds", "sim_requests_per_sec")

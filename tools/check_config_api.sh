@@ -24,7 +24,7 @@ FIELDS+='|span_prioritization|cfl_num_lists|lifetime_aware_filler'
 FIELDS+='|filler_capacity_threshold|subrelease_free_fraction|release_interval'
 FIELDS+='|numa_aware|num_numa_nodes|sample_interval_bytes|soft_limit_bytes'
 FIELDS+='|hard_limit_bytes|pressure_cache_floor_fraction|arena_base'
-FIELDS+='|arena_bytes'
+FIELDS+='|arena_bytes|guarded_sampling'
 
 # Match `<expr>.<field> =` but not `==` (comparisons stay legal).
 offenders="$(grep -rEn "\.(${FIELDS})[[:space:]]*=([^=]|$)" \

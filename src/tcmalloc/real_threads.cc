@@ -1,0 +1,388 @@
+#include "tcmalloc/real_threads.h"
+
+#include <algorithm>
+
+namespace wsc::tcmalloc {
+
+namespace {
+
+// Shards beyond the thread count add footprint without reducing
+// contention; 16 covers every core count this repo's benches target.
+constexpr int kMaxShards = 16;
+
+// Stack-buffer bound for batch moves; size-class batch sizes top out at 32.
+constexpr int kMaxBatch = 64;
+
+// Pops up to `want` objects from the back of `from` into `out`.
+int TakeBack(std::vector<uintptr_t>& from, uintptr_t* out, int want) {
+  int take = static_cast<int>(
+      std::min<size_t>(static_cast<size_t>(want), from.size()));
+  for (int i = 0; i < take; ++i) {
+    out[i] = from.back();
+    from.pop_back();
+  }
+  return take;
+}
+
+}  // namespace
+
+RealThreadsAllocator::RealThreadsAllocator(const AllocatorConfig& config,
+                                           int expected_threads,
+                                           const SizeClasses* size_classes,
+                                           int num_shards)
+    : size_classes_(size_classes),
+      num_classes_(size_classes->num_classes()) {
+  num_shards_ = num_shards > 0 ? std::min(num_shards, kMaxShards)
+                               : std::clamp(expected_threads, 1, kMaxShards);
+
+  thread_cap_.resize(num_classes_);
+  transfer_cap_.resize(num_classes_);
+  for (int cls = 0; cls < num_classes_; ++cls) {
+    const SizeClassInfo& info = size_classes_->info(cls);
+    WSC_CHECK_LE(info.batch_size, kMaxBatch);
+    thread_cap_[cls] = static_cast<uint32_t>(info.max_per_cpu_objects);
+    // The simulator's transfer cache budgets transfer_cache_batches
+    // batches per class; split that budget across the shards, with a
+    // two-batch floor so every shard can absorb an insert and still
+    // serve a remove.
+    int batches = std::max(2, config.transfer_cache_batches / num_shards_);
+    transfer_cap_[cls] = static_cast<uint32_t>(batches * info.batch_size);
+  }
+
+  grid_size_ = static_cast<size_t>(num_classes_) * num_shards_;
+  transfer_ = std::make_unique<TransferShard[]>(grid_size_);
+  cfl_ = std::make_unique<CflShard[]>(grid_size_);
+  for (int cls = 0; cls < num_classes_; ++cls) {
+    for (int shard = 0; shard < num_shards_; ++shard) {
+      transfer_shard(cls, shard).capacity = transfer_cap_[cls];
+    }
+  }
+
+  arena_base_ = config.arena_base;
+  arena_end_ = config.arena_base + config.arena_bytes;
+  arena_next_.store(arena_base_, std::memory_order_relaxed);
+}
+
+RealThreadCache* RealThreadsAllocator::RegisterThread() {
+  std::lock_guard<std::mutex> guard(threads_mu_);
+  auto tc = std::make_unique<RealThreadCache>();
+  tc->shard = next_shard_rr_;
+  next_shard_rr_ = (next_shard_rr_ + 1) % num_shards_;
+  tc->lists.resize(num_classes_);
+  for (int cls = 0; cls < num_classes_; ++cls) {
+    tc->lists[cls].cap = thread_cap_[cls];
+  }
+  RealThreadCache* raw = tc.get();
+  threads_.push_back(std::move(tc));
+  return raw;
+}
+
+int RealThreadsAllocator::registered_threads() const {
+  std::lock_guard<std::mutex> guard(threads_mu_);
+  return static_cast<int>(threads_.size());
+}
+
+void RealThreadsAllocator::FlushThreadCache(RealThreadCache* tc) {
+  for (int cls = 0; cls < num_classes_; ++cls) {
+    std::vector<uintptr_t>& slots = tc->lists[cls].slots;
+    if (slots.empty()) continue;
+    ReturnToCfl(cls, tc->shard, slots.data(),
+                static_cast<int>(slots.size()));
+    slots.clear();
+  }
+}
+
+uintptr_t RealThreadsAllocator::SlowAllocate(RealThreadCache* tc, int cls) {
+  const int batch = size_classes_->batch_size(cls);
+  uintptr_t buf[kMaxBatch];
+
+  // One lock on the home transfer shard for the whole batch.
+  TransferShard& ts = transfer_shard(cls, tc->shard);
+  ts.lock.Lock();
+  ++ts.removes;
+  int got = TakeBack(ts.objects, buf, batch);
+  ts.removed_objects += static_cast<uint64_t>(got);
+  if (got == 0) ++ts.remove_misses;
+  ts.lock.Unlock();
+
+  if (got < batch) {
+    got += RefillFromCfl(cls, tc->shard, buf + got, batch - got);
+  }
+  WSC_CHECK_GE(got, 1);
+
+  // Keep one, cache the rest. The slow path only runs when the list is
+  // empty and caps are >= two batches, so the remainder always fits.
+  RealThreadCache::ClassList& list = tc->lists[cls];
+  WSC_DCHECK_LE(static_cast<size_t>(got - 1), list.cap - list.slots.size());
+  list.slots.insert(list.slots.end(), buf + 1, buf + got);
+  return buf[0];
+}
+
+void RealThreadsAllocator::SlowFree(RealThreadCache* tc, int cls,
+                                    uintptr_t obj) {
+  // The list is at cap: push one batch down to the middle end, then cache
+  // the object being freed.
+  const int batch = size_classes_->batch_size(cls);
+  uintptr_t buf[kMaxBatch];
+  RealThreadCache::ClassList& list = tc->lists[cls];
+  int moved = TakeBack(list.slots, buf, batch);
+
+  TransferShard& ts = transfer_shard(cls, tc->shard);
+  ts.lock.Lock();
+  ++ts.inserts;
+  int room = static_cast<int>(ts.capacity) -
+             static_cast<int>(ts.objects.size());
+  int put = std::clamp(room, 0, moved);
+  ts.objects.insert(ts.objects.end(), buf, buf + put);
+  ts.inserted_objects += static_cast<uint64_t>(put);
+  if (put < moved) ++ts.insert_overflows;
+  ts.lock.Unlock();
+
+  if (put < moved) {
+    ReturnToCfl(cls, tc->shard, buf + put, moved - put);
+  }
+  list.slots.push_back(obj);
+}
+
+int RealThreadsAllocator::RefillFromCfl(int cls, int shard, uintptr_t* out,
+                                        int want) {
+  CflShard& home = cfl_shard(cls, shard);
+  home.lock.Lock();
+  ++home.refills;
+  int got = TakeBack(home.free_objects, out, want);
+  if (got < want) {
+    ++home.refill_stalls;
+    // Work-steal from sibling shards before carving fresh address space:
+    // this is the piece Snippet 1's sharded allocator was missing — a
+    // shard whose home store runs dry must not serialize on (or bloat)
+    // the backing store while siblings sit on free objects. TryLock only:
+    // a busy sibling is skipped, never waited on (also rules out
+    // lock-order deadlock, since the only blocking acquisition held here
+    // is the home shard's).
+    for (int probe = 1; probe < num_shards_ && got < want; ++probe) {
+      CflShard& victim = cfl_shard(cls, (shard + probe) % num_shards_);
+      ++home.steal_probes;
+      if (!victim.lock.TryLock()) continue;
+      size_t avail = victim.free_objects.size();
+      if (avail > 0) {
+        // Take what the batch still needs plus half the surplus, so one
+        // steal rebalances the pair instead of ping-ponging per object.
+        size_t need = static_cast<size_t>(want - got);
+        size_t take = std::min(avail, need + (avail - std::min(avail, need)) / 2);
+        ++home.steals;
+        home.stolen_objects += take;
+        for (size_t i = 0; i < take; ++i) {
+          uintptr_t obj = victim.free_objects.back();
+          victim.free_objects.pop_back();
+          if (got < want) {
+            out[got++] = obj;
+          } else {
+            home.free_objects.push_back(obj);
+          }
+        }
+      }
+      victim.lock.Unlock();
+    }
+    while (got < want) {
+      CarveSpan(cls, home);
+      got += TakeBack(home.free_objects, out + got, want - got);
+    }
+  }
+  home.lock.Unlock();
+  return got;
+}
+
+void RealThreadsAllocator::ReturnToCfl(int cls, int shard,
+                                       const uintptr_t* objs, int count) {
+  CflShard& home = cfl_shard(cls, shard);
+  home.lock.Lock();
+  home.free_objects.insert(home.free_objects.end(), objs, objs + count);
+  home.lock.Unlock();
+}
+
+void RealThreadsAllocator::CarveSpan(int cls, CflShard& shard) {
+  const SizeClassInfo& info = size_classes_->info(cls);
+  size_t span_bytes = LengthToBytes(info.pages_per_span);
+  uintptr_t base =
+      arena_next_.fetch_add(span_bytes, std::memory_order_relaxed);
+  WSC_CHECK_LE(base + span_bytes, arena_end_);
+  small_carved_bytes_.fetch_add(span_bytes, std::memory_order_relaxed);
+  ++shard.carves;
+  shard.carved_objects += static_cast<uint64_t>(info.objects_per_span);
+  for (int i = 0; i < info.objects_per_span; ++i) {
+    shard.free_objects.push_back(base + static_cast<size_t>(i) * info.size);
+  }
+}
+
+uintptr_t RealThreadsAllocator::AllocateLarge(RealThreadCache* tc,
+                                              size_t size) {
+  ++tc->allocations;
+  ++tc->large_allocations;
+  size_t bytes = LengthToBytes(BytesToLengthCeil(size));
+  uintptr_t addr = arena_next_.fetch_add(bytes, std::memory_order_relaxed);
+  WSC_CHECK_LE(addr + bytes, arena_end_);
+  large_live_bytes_.fetch_add(static_cast<int64_t>(bytes),
+                              std::memory_order_relaxed);
+  large_carves_.fetch_add(1, std::memory_order_relaxed);
+  tc->live_bytes += static_cast<int64_t>(bytes);
+  return addr;
+}
+
+void RealThreadsAllocator::FreeLarge(RealThreadCache* tc, uintptr_t addr,
+                                     size_t size) {
+  (void)addr;
+  ++tc->frees;
+  ++tc->large_frees;
+  size_t bytes = LengthToBytes(BytesToLengthCeil(size));
+  large_live_bytes_.fetch_sub(static_cast<int64_t>(bytes),
+                              std::memory_order_relaxed);
+  tc->live_bytes -= static_cast<int64_t>(bytes);
+}
+
+size_t RealThreadsAllocator::FootprintBytes() const {
+  int64_t large = large_live_bytes_.load(std::memory_order_relaxed);
+  return small_carved_bytes_.load(std::memory_order_relaxed) +
+         static_cast<size_t>(std::max<int64_t>(0, large));
+}
+
+telemetry::Snapshot RealThreadsAllocator::TelemetrySnapshot() const {
+  // Thread-cache aggregates. Quiescence contract: every worker has joined
+  // (or only the caller is running), so plain reads are race-free.
+  uint64_t allocations = 0, frees = 0;
+  uint64_t fast_alloc_hits = 0, fast_free_hits = 0;
+  uint64_t underflows = 0, overflows = 0;
+  uint64_t large_allocations = 0, large_frees = 0;
+  int64_t live_bytes = 0;
+  uint64_t thread_cached_objects = 0;
+  double thread_cached_bytes = 0;
+  size_t nthreads = 0;
+  {
+    std::lock_guard<std::mutex> guard(threads_mu_);
+    nthreads = threads_.size();
+    for (const auto& tc : threads_) {
+      allocations += tc->allocations;
+      frees += tc->frees;
+      fast_alloc_hits += tc->fast_alloc_hits;
+      fast_free_hits += tc->fast_free_hits;
+      underflows += tc->underflows;
+      overflows += tc->overflows;
+      large_allocations += tc->large_allocations;
+      large_frees += tc->large_frees;
+      live_bytes += tc->live_bytes;
+      for (int cls = 0; cls < num_classes_; ++cls) {
+        size_t n = tc->lists[cls].slots.size();
+        thread_cached_objects += n;
+        thread_cached_bytes +=
+            static_cast<double>(n) *
+            static_cast<double>(size_classes_->class_size(cls));
+      }
+    }
+  }
+
+  // Shard aggregates.
+  uint64_t transfer_acq = 0, transfer_contended = 0;
+  uint64_t transfer_inserts = 0, transfer_inserted = 0;
+  uint64_t transfer_overflows = 0;
+  uint64_t transfer_removes = 0, transfer_removed = 0, transfer_misses = 0;
+  uint64_t transfer_cached = 0;
+  for (size_t i = 0; i < grid_size_; ++i) {
+    const TransferShard& ts = transfer_[i];
+    transfer_acq += ts.lock.acquisitions();
+    transfer_contended += ts.lock.contended();
+    transfer_inserts += ts.inserts;
+    transfer_inserted += ts.inserted_objects;
+    transfer_overflows += ts.insert_overflows;
+    transfer_removes += ts.removes;
+    transfer_removed += ts.removed_objects;
+    transfer_misses += ts.remove_misses;
+    transfer_cached += ts.objects.size();
+  }
+  uint64_t cfl_acq = 0, cfl_contended = 0;
+  uint64_t refills = 0, refill_stalls = 0;
+  uint64_t steals = 0, stolen_objects = 0, steal_probes = 0;
+  uint64_t carves = 0, carved_objects = 0;
+  uint64_t cfl_free = 0;
+  for (size_t i = 0; i < grid_size_; ++i) {
+    const CflShard& cs = cfl_[i];
+    cfl_acq += cs.lock.acquisitions();
+    cfl_contended += cs.lock.contended();
+    refills += cs.refills;
+    refill_stalls += cs.refill_stalls;
+    steals += cs.steals;
+    stolen_objects += cs.stolen_objects;
+    steal_probes += cs.steal_probes;
+    carves += cs.carves;
+    carved_objects += cs.carved_objects;
+    cfl_free += cs.free_objects.size();
+  }
+
+  telemetry::MetricRegistry registry;
+  registry.BeginExport();
+  registry.ExportCounter("allocator", "allocations", allocations);
+  registry.ExportCounter("allocator", "frees", frees);
+  registry.ExportCounter("allocator", "large_allocations", large_allocations);
+  registry.ExportCounter("allocator", "large_frees", large_frees);
+  registry.ExportCounter("allocator", "carved_objects", carved_objects);
+  registry.ExportGauge("allocator", "live_objects",
+                       static_cast<double>(allocations - frees));
+  registry.ExportGauge("allocator", "live_bytes",
+                       static_cast<double>(live_bytes));
+  registry.ExportGauge("allocator", "cached_objects",
+                       static_cast<double>(thread_cached_objects +
+                                           transfer_cached + cfl_free));
+  registry.ExportGauge("allocator", "footprint_bytes",
+                       static_cast<double>(FootprintBytes()));
+  registry.ExportGauge("allocator", "arena_used_bytes",
+                       static_cast<double>(ArenaUsedBytes()));
+
+  registry.ExportCounter("thread_cache", "fast_alloc_hits", fast_alloc_hits);
+  registry.ExportCounter("thread_cache", "fast_free_hits", fast_free_hits);
+  registry.ExportCounter("thread_cache", "underflows", underflows);
+  registry.ExportCounter("thread_cache", "overflows", overflows);
+  registry.ExportGauge("thread_cache", "registered_threads",
+                       static_cast<double>(nthreads));
+  registry.ExportGauge("thread_cache", "cached_objects",
+                       static_cast<double>(thread_cached_objects));
+  registry.ExportGauge("thread_cache", "cached_bytes", thread_cached_bytes);
+
+  registry.ExportCounter("sharded_transfer", "inserts", transfer_inserts);
+  registry.ExportCounter("sharded_transfer", "inserted_objects",
+                         transfer_inserted);
+  registry.ExportCounter("sharded_transfer", "insert_overflows",
+                         transfer_overflows);
+  registry.ExportCounter("sharded_transfer", "removes", transfer_removes);
+  registry.ExportCounter("sharded_transfer", "removed_objects",
+                         transfer_removed);
+  registry.ExportCounter("sharded_transfer", "remove_misses",
+                         transfer_misses);
+  registry.ExportGauge("sharded_transfer", "cached_objects",
+                       static_cast<double>(transfer_cached));
+
+  registry.ExportCounter("sharded_cfl", "refills", refills);
+  registry.ExportCounter("sharded_cfl", "carves", carves);
+  registry.ExportCounter("sharded_cfl", "carved_objects", carved_objects);
+  registry.ExportGauge("sharded_cfl", "free_objects",
+                       static_cast<double>(cfl_free));
+  registry.ExportGauge("sharded_cfl", "num_shards",
+                       static_cast<double>(num_shards_));
+
+  // The contention component the fig_mt_scaling bench and
+  // check_bench_json.py key on: lock traffic, refill stalls, and how the
+  // stalls were resolved (steal vs carve).
+  registry.ExportCounter("contention", "transfer_lock_acquisitions",
+                         transfer_acq);
+  registry.ExportCounter("contention", "transfer_lock_contended",
+                         transfer_contended);
+  registry.ExportCounter("contention", "cfl_lock_acquisitions", cfl_acq);
+  registry.ExportCounter("contention", "cfl_lock_contended", cfl_contended);
+  registry.ExportCounter("contention", "refill_stalls", refill_stalls);
+  registry.ExportCounter("contention", "work_steals", steals);
+  registry.ExportCounter("contention", "stolen_objects", stolen_objects);
+  registry.ExportCounter("contention", "steal_probes", steal_probes);
+  registry.ExportCounter("contention", "arena_carves",
+                         carves + large_carves_.load(
+                                      std::memory_order_relaxed));
+  return registry.TakeSnapshot();
+}
+
+}  // namespace wsc::tcmalloc

@@ -68,25 +68,18 @@ SizeClasses::SizeClasses() {
   WSC_CHECK_LE(num_classes(), 90);
   WSC_CHECK_EQ(classes_.back().size, kMaxSmallSize);
 
-  small_lookup_.assign(1024 / 8 + 1, -1);
-  for (size_t req = 8; req <= 1024; req += 8) {
-    auto it = std::lower_bound(
-        classes_.begin(), classes_.end(), req,
-        [](const SizeClassInfo& c, size_t v) { return c.size < v; });
-    small_lookup_[req / 8] = static_cast<int>(it - classes_.begin());
-  }
-}
+  WSC_CHECK_LT(num_classes(), 1 << 15);  // classes must fit the int16_t LUT
 
-int SizeClasses::ClassFor(size_t size) const {
-  if (size == 0 || size > kMaxSmallSize) return -1;
-  if (size <= 1024) {
-    return small_lookup_[(size + 7) / 8];
+  // ClassFor's flat LUT: slot i covers requests (8(i-1), 8i]; the class of
+  // slot i is the class of request 8i, since class sizes are multiples of 8
+  // and therefore no class boundary falls strictly inside a slot. Built by
+  // one merged walk (classes_ is sorted by size).
+  lut_.assign(kMaxSmallSize / 8 + 1, -1);
+  int cls = 0;
+  for (size_t slot = 1; slot < lut_.size(); ++slot) {
+    while (classes_[cls].size < slot * 8) ++cls;
+    lut_[slot] = static_cast<int16_t>(cls);
   }
-  auto it = std::lower_bound(
-      classes_.begin(), classes_.end(), size,
-      [](const SizeClassInfo& c, size_t v) { return c.size < v; });
-  WSC_DCHECK(it != classes_.end());
-  return static_cast<int>(it - classes_.begin());
 }
 
 const SizeClasses& SizeClasses::Default() {

@@ -1,0 +1,252 @@
+// Tests for the real-threads execution mode: object conservation under a
+// genuine multi-thread alloc/free storm with cross-thread frees, the
+// sharded refill path (including cross-shard work stealing), the LUT
+// size-class lookup, and footprint sanity. The storm tests are the ones
+// the CI sanitizer jobs (TSan/ASan) run to prove the lock-free fast path
+// race-free rather than assuming it.
+
+#include "tcmalloc/real_threads.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "tcmalloc/config.h"
+#include "tcmalloc/pages.h"
+#include "tcmalloc/size_classes.h"
+#include "telemetry/registry.h"
+
+namespace wsc::tcmalloc {
+namespace {
+
+AllocatorConfig TestConfig() {
+  return AllocatorConfig::Builder()
+      .WithVcpus(4)
+      .WithArena(uintptr_t{1} << 44, size_t{16} << 30)
+      .Build();
+}
+
+double Metric(const telemetry::Snapshot& snap, const char* component,
+              const char* name) {
+  const telemetry::MetricSample* sample = snap.Find(component, name);
+  return sample != nullptr ? sample->ScalarValue() : -1.0;
+}
+
+// The flat LUT must agree with a straight linear scan of the class table
+// for every size in the small range, and reject 0 and > kMaxSmallSize.
+TEST(RealThreadsSizeLut, MatchesReferenceLookupEverywhere) {
+  const SizeClasses& sc = SizeClasses::Default();
+  EXPECT_EQ(sc.ClassFor(0), -1);
+  EXPECT_EQ(sc.ClassFor(kMaxSmallSize + 1), -1);
+  EXPECT_EQ(sc.ClassFor(~size_t{0}), -1);
+  int reference = 0;
+  for (size_t size = 1; size <= kMaxSmallSize; ++size) {
+    while (sc.class_size(reference) < size) ++reference;
+    ASSERT_EQ(sc.ClassFor(size), reference) << "size=" << size;
+  }
+  EXPECT_EQ(sc.ClassFor(kMaxSmallSize), sc.num_classes() - 1);
+}
+
+TEST(RealThreadsAllocatorTest, SingleThreadRoundTrip) {
+  AllocatorConfig config = TestConfig();
+  RealThreadsAllocator alloc(config, 1);
+  RealThreadCache* tc = alloc.RegisterThread();
+
+  std::vector<uintptr_t> objs;
+  for (int i = 0; i < 1000; ++i) {
+    objs.push_back(alloc.Allocate(tc, 64));
+  }
+  // Addresses are distinct while live.
+  std::vector<uintptr_t> sorted = objs;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+  for (uintptr_t obj : objs) alloc.Free(tc, obj, 64);
+
+  telemetry::Snapshot snap = alloc.TelemetrySnapshot();
+  EXPECT_EQ(Metric(snap, "allocator", "allocations"), 1000);
+  EXPECT_EQ(Metric(snap, "allocator", "frees"), 1000);
+  EXPECT_EQ(Metric(snap, "allocator", "live_objects"), 0);
+  EXPECT_EQ(Metric(snap, "allocator", "live_bytes"), 0);
+}
+
+// allocated == freed + live, and every carved object is accounted for in
+// some cache tier — nothing leaks, nothing is double-tracked.
+TEST(RealThreadsAllocatorTest, ConservationAfterStorm) {
+  constexpr int kThreads = 4;
+  constexpr uint64_t kOpsPerThread = 20000;
+  AllocatorConfig config = TestConfig();
+  RealThreadsAllocator alloc(config, kThreads);
+
+  // Cross-thread frees via mutex-guarded mailboxes: thread t posts every
+  // 8th object to thread (t+1) % N, and drains its own mailbox as it
+  // goes. The mutex is test scaffolding, not the allocator under test.
+  struct Mailbox {
+    std::mutex mu;
+    std::vector<std::pair<uintptr_t, uint32_t>> objects;
+  };
+  std::vector<Mailbox> mailboxes(kThreads);
+
+  auto worker = [&](int tid) {
+    RealThreadCache* tc = alloc.RegisterThread();
+    Rng rng(1234 + tid);
+    std::vector<std::pair<uintptr_t, uint32_t>> local;
+    for (uint64_t op = 0; op < kOpsPerThread; ++op) {
+      uint32_t size = static_cast<uint32_t>(8 + rng.UniformInt(8192));
+      uintptr_t obj = alloc.Allocate(tc, size);
+      if (op % 8 == 0) {
+        std::lock_guard<std::mutex> guard(mailboxes[(tid + 1) % kThreads].mu);
+        mailboxes[(tid + 1) % kThreads].objects.emplace_back(obj, size);
+      } else {
+        local.emplace_back(obj, size);
+        if (local.size() > 256) {
+          size_t victim = rng.UniformInt(local.size());
+          alloc.Free(tc, local[victim].first, local[victim].second);
+          local[victim] = local.back();
+          local.pop_back();
+        }
+      }
+      if (op % 32 == 0) {
+        std::vector<std::pair<uintptr_t, uint32_t>> inbox;
+        {
+          std::lock_guard<std::mutex> guard(mailboxes[tid].mu);
+          inbox.swap(mailboxes[tid].objects);
+        }
+        for (const auto& [addr, sz] : inbox) alloc.Free(tc, addr, sz);
+      }
+    }
+    for (const auto& [addr, sz] : local) alloc.Free(tc, addr, sz);
+  };
+
+  std::vector<std::thread> pool;
+  for (int tid = 0; tid < kThreads; ++tid) pool.emplace_back(worker, tid);
+  for (std::thread& t : pool) t.join();
+
+  // Objects still in mailboxes when their owner finished: freed here.
+  RealThreadCache* main_tc = alloc.RegisterThread();
+  for (Mailbox& mailbox : mailboxes) {
+    for (const auto& [addr, sz] : mailbox.objects) {
+      alloc.Free(main_tc, addr, sz);
+    }
+  }
+
+  telemetry::Snapshot snap = alloc.TelemetrySnapshot();
+  double allocations = Metric(snap, "allocator", "allocations");
+  double frees = Metric(snap, "allocator", "frees");
+  EXPECT_EQ(allocations, kThreads * kOpsPerThread);
+  EXPECT_EQ(allocations, frees);
+  EXPECT_EQ(Metric(snap, "allocator", "live_objects"), 0);
+  EXPECT_EQ(Metric(snap, "allocator", "live_bytes"), 0);
+  // Every carved small object is cached somewhere (thread caches were
+  // not flushed, so objects sit across all three tiers).
+  EXPECT_EQ(Metric(snap, "allocator", "carved_objects"),
+            Metric(snap, "allocator", "cached_objects"));
+  // Footprint sanity: the heap is fully freed, so the footprint is the
+  // carved spans only, bounded far below the bytes churned.
+  double footprint = Metric(snap, "allocator", "footprint_bytes");
+  EXPECT_GT(footprint, 0);
+  EXPECT_LT(footprint, 256.0 * 1024 * 1024);
+  EXPECT_EQ(Metric(snap, "thread_cache", "registered_threads"),
+            kThreads + 1);
+}
+
+// Two caches on different shards, single OS thread (deterministic): when
+// shard B runs dry it must steal shard A's free objects instead of
+// carving fresh spans — the Snippet 1 regression this design exists to
+// avoid.
+TEST(RealThreadsAllocatorTest, CrossShardWorkStealing) {
+  AllocatorConfig config = TestConfig();
+  RealThreadsAllocator alloc(config, /*expected_threads=*/2);
+  ASSERT_EQ(alloc.num_shards(), 2);
+  RealThreadCache* a = alloc.RegisterThread();  // shard 0
+  RealThreadCache* b = alloc.RegisterThread();  // shard 1
+  ASSERT_NE(a->shard, b->shard);
+
+  constexpr int kObjects = 10000;
+  std::vector<uintptr_t> objs;
+  objs.reserve(kObjects);
+  for (int i = 0; i < kObjects; ++i) objs.push_back(alloc.Allocate(a, 96));
+  for (uintptr_t obj : objs) alloc.Free(a, obj, 96);
+  alloc.FlushThreadCache(a);  // push A's cache down to shard 0's stores
+  size_t carved_before = alloc.ArenaUsedBytes();
+
+  objs.clear();
+  for (int i = 0; i < kObjects; ++i) objs.push_back(alloc.Allocate(b, 96));
+  for (uintptr_t obj : objs) alloc.Free(b, obj, 96);
+
+  telemetry::Snapshot snap = alloc.TelemetrySnapshot();
+  EXPECT_GT(Metric(snap, "contention", "work_steals"), 0);
+  EXPECT_GT(Metric(snap, "contention", "stolen_objects"), 0);
+  // B's run was served mostly by stealing A's freed objects: the arena
+  // grew by at most a quarter of the first phase's carving.
+  size_t grown = alloc.ArenaUsedBytes() - carved_before;
+  EXPECT_LT(grown, (carved_before - (uintptr_t{0})) / 4);
+}
+
+TEST(RealThreadsAllocatorTest, LargeObjectsBypassClassesAndComeBack) {
+  AllocatorConfig config = TestConfig();
+  RealThreadsAllocator alloc(config, 1);
+  RealThreadCache* tc = alloc.RegisterThread();
+
+  size_t small_footprint = alloc.FootprintBytes();
+  std::vector<std::pair<uintptr_t, size_t>> objs;
+  for (int i = 0; i < 64; ++i) {
+    size_t size = kMaxSmallSize + 1 + static_cast<size_t>(i) * 4096;
+    objs.emplace_back(alloc.Allocate(tc, size), size);
+  }
+  EXPECT_GT(alloc.FootprintBytes(), small_footprint);
+  for (const auto& [addr, size] : objs) alloc.Free(tc, addr, size);
+
+  telemetry::Snapshot snap = alloc.TelemetrySnapshot();
+  EXPECT_EQ(Metric(snap, "allocator", "large_allocations"), 64);
+  EXPECT_EQ(Metric(snap, "allocator", "large_frees"), 64);
+  EXPECT_EQ(Metric(snap, "allocator", "live_bytes"), 0);
+  // Freed large ranges return to the (virtual) OS immediately.
+  EXPECT_EQ(alloc.FootprintBytes(), small_footprint);
+}
+
+TEST(RealThreadsAllocatorTest, FlushReturnsEverythingToMiddleEnd) {
+  AllocatorConfig config = TestConfig();
+  RealThreadsAllocator alloc(config, 1);
+  RealThreadCache* tc = alloc.RegisterThread();
+  for (int i = 0; i < 500; ++i) {
+    alloc.Free(tc, alloc.Allocate(tc, 128), 128);
+  }
+  EXPECT_GT(tc->CachedObjects(), 0u);
+  alloc.FlushThreadCache(tc);
+  EXPECT_EQ(tc->CachedObjects(), 0u);
+
+  telemetry::Snapshot snap = alloc.TelemetrySnapshot();
+  EXPECT_EQ(Metric(snap, "thread_cache", "cached_objects"), 0);
+  // Conservation still holds with everything pushed down.
+  EXPECT_EQ(Metric(snap, "allocator", "carved_objects"),
+            Metric(snap, "allocator", "cached_objects"));
+}
+
+TEST(RealThreadsAllocatorTest, TelemetryExportsContentionComponent) {
+  AllocatorConfig config = TestConfig();
+  RealThreadsAllocator alloc(config, 2, &SizeClasses::Default(),
+                             /*num_shards=*/2);
+  RealThreadCache* tc = alloc.RegisterThread();
+  for (int i = 0; i < 2000; ++i) {
+    alloc.Free(tc, alloc.Allocate(tc, 4096), 4096);
+  }
+  telemetry::Snapshot snap = alloc.TelemetrySnapshot();
+  // The components check_bench_json.py requires for real-threads lines.
+  EXPECT_GT(snap.ComponentTotal("contention"), 0);
+  EXPECT_GT(Metric(snap, "contention", "cfl_lock_acquisitions"), 0);
+  EXPECT_GE(Metric(snap, "contention", "refill_stalls"), 0);
+  EXPECT_GT(snap.ComponentTotal("thread_cache"), 0);
+  EXPECT_GT(snap.ComponentTotal("sharded_transfer"), 0);
+  EXPECT_GT(snap.ComponentTotal("sharded_cfl"), 0);
+  // The fast path dominates a tight reuse loop.
+  EXPECT_GT(Metric(snap, "thread_cache", "fast_alloc_hits"), 1900);
+}
+
+}  // namespace
+}  // namespace wsc::tcmalloc

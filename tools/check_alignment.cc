@@ -1,0 +1,55 @@
+// Standalone false-sharing audit, compiled (syntax-only) by
+// tools/check_alignment.sh and the CI alignment-check job.
+//
+// The real-threads execution mode's scalability rests on a layout
+// contract: every structure written by one thread or guarded by one
+// shard lock occupies its own cache line(s), so concurrent writers never
+// invalidate each other's lines. real_threads.h carries the same
+// static_asserts inline; this translation unit re-states them so a
+// refactor that weakens the contract (dropping an alignas, growing
+// ContendedLock past a line, padding a shard to a non-multiple of 64)
+// fails CI even if the inline asserts are edited away in the same change.
+
+#include <atomic>
+#include <cstdint>
+
+#include "tcmalloc/real_threads.h"
+
+namespace wsc::tcmalloc {
+
+static_assert(kCacheLineSize == 64,
+              "audit assumes 64-byte cache lines; update the asserts if "
+              "the constant changes");
+
+// The spinlock every shard embeds: its atomic plus both traffic counters
+// must fit in one line so an acquisition touches exactly one line.
+static_assert(sizeof(ContendedLock) <= kCacheLineSize,
+              "ContendedLock grew past one cache line");
+
+// Per-shard transfer-cache slices: lock, bounds, and stats all live on
+// lines private to the shard.
+static_assert(alignof(TransferShard) == kCacheLineSize,
+              "TransferShard lost its 64-byte alignment");
+static_assert(sizeof(TransferShard) % kCacheLineSize == 0,
+              "adjacent TransferShards in the grid would share a line");
+
+// Per-shard CFL slices: same contract; these are the hottest locks on
+// the refill path.
+static_assert(alignof(CflShard) == kCacheLineSize,
+              "CflShard lost its 64-byte alignment");
+static_assert(sizeof(CflShard) % kCacheLineSize == 0,
+              "adjacent CflShards in the grid would share a line");
+
+// Per-thread caches: single-writer counters and freelists must never sit
+// on a line another thread's cache starts on.
+static_assert(alignof(RealThreadCache) == kCacheLineSize,
+              "RealThreadCache lost its 64-byte alignment");
+
+// The lock-free hit path depends on std::atomic<bool> being the plain
+// flag it looks like; a locked fallback would add a mutex per shard.
+static_assert(std::atomic<bool>::is_always_lock_free,
+              "std::atomic<bool> is not lock-free on this target");
+static_assert(std::atomic<uintptr_t>::is_always_lock_free,
+              "arena bump pointer would take a lock on this target");
+
+}  // namespace wsc::tcmalloc

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Compile-time false-sharing audit for the real-threads hot structs.
+#
+# Compiles tools/check_alignment.cc (static_asserts only, no codegen)
+# against the real headers; fails when any hot per-thread/per-shard
+# struct loses its 64-byte alignment or a lock grows past one cache
+# line. CI runs this as its own job; locally:
+#
+#   tools/check_alignment.sh
+#
+# CXX overrides the compiler (defaults to the system c++).
+
+set -eu
+cd "$(dirname "$0")/.."
+
+CXX="${CXX:-c++}"
+if ! "$CXX" -std=c++20 -fsyntax-only -Isrc tools/check_alignment.cc; then
+  echo "check_alignment: FAILED — a hot struct broke the cache-line" \
+       "layout contract (see static_assert messages above)" >&2
+  exit 1
+fi
+echo "check_alignment: OK (hot per-thread/per-shard structs are" \
+     "cache-line aligned)"

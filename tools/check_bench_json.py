@@ -26,6 +26,10 @@ TELEMETRY_SCHEMA_VERSION = 1
 # snapshot must cover all of them ("pressure", "sampler", and "failure"
 # counters are registered at allocator construction, so they appear even
 # when no limit was ever set, nothing was sampled, and nothing failed).
+# The tiers are a deterministic-simulation contract only: telemetry lines
+# tagged "exec":"real-threads" come from the real-concurrency allocator
+# (tcmalloc/real_threads.h), which instead must report its "contention"
+# component (lock acquisitions, refill stalls, work steals).
 REQUIRED_TIERS = (
     "cpu_cache",
     "transfer_cache",
@@ -37,6 +41,10 @@ REQUIRED_TIERS = (
     "sampler",
     "failure",
 )
+
+REAL_THREADS_COMPONENTS = ("contention",)
+
+EXEC_MODES = ("simulated", "real-threads")
 
 THROUGHPUT_FIELDS = ("sim_requests", "wall_seconds", "sim_requests_per_sec")
 
@@ -55,6 +63,8 @@ def check_common(errors, line_no, obj):
         fail(errors, line_no, f"unknown kind {obj.get('kind')!r}")
     if not isinstance(obj.get("threads"), int) or obj["threads"] < 1:
         fail(errors, line_no, f"bad 'threads': {obj.get('threads')!r}")
+    if "exec" in obj and obj["exec"] not in EXEC_MODES:
+        fail(errors, line_no, f"unknown exec mode {obj.get('exec')!r}")
 
 
 def check_throughput(errors, line_no, obj):
@@ -79,7 +89,9 @@ def check_telemetry(errors, line_no, obj):
         if not isinstance(value, (int, float)):
             fail(errors, line_no, f"metric {key!r} has non-numeric value")
     components = {key.split("/", 1)[0] for key in metrics}
-    missing = [tier for tier in REQUIRED_TIERS if tier not in components]
+    required = (REAL_THREADS_COMPONENTS
+                if obj.get("exec") == "real-threads" else REQUIRED_TIERS)
+    missing = [tier for tier in required if tier not in components]
     if missing:
         fail(errors, line_no, f"telemetry missing tiers: {', '.join(missing)}")
     if "arm" in obj and (not isinstance(obj["arm"], str) or not obj["arm"]):

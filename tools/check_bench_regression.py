@@ -16,6 +16,15 @@ Gated metrics, derived from each bench's BENCH_JSON lines:
   malloc_ns_per_alloc   sum of allocator/cycles_* over all telemetry
                         lines divided by the summed allocator/allocations
                         -- the simulated cost of the allocator itself
+  scaling_efficiency    real-threads benches only (fig_mt_scaling): the
+                        final throughput line's hardware-normalized
+                        multi-thread efficiency. Higher is better, so the
+                        gate only fires when it DROPS below the band --
+                        a floor against the sharded-refill collapse
+                        documented in SNIPPETS.md Snippet 1.
+
+A baseline may set a metric's tolerance to null to exclude it from the
+gate (e.g. real-threads benches have no simulated malloc cost).
 
 Usage:
   tools/check_bench_regression.py out/fig03.out out/fig_pressure.out
@@ -43,12 +52,16 @@ DEFAULT_TOLERANCE = {
     "malloc_ns_per_alloc": 0.05,
 }
 
+# Metrics where bigger is better: only the low side of the band gates.
+HIGHER_IS_BETTER = {"scaling_efficiency"}
+
 
 def parse_bench_output(path):
     """Extracts {bench, sim_requests, wall_seconds, malloc_ns_per_alloc}."""
     bench = None
     sim_requests = None
     wall_seconds = None
+    scaling_efficiency = None
     cycles = 0.0
     allocations = 0.0
     with open(path, encoding="utf-8") as stream:
@@ -60,6 +73,8 @@ def parse_bench_output(path):
             if obj.get("kind") == "throughput":
                 sim_requests = obj.get("sim_requests")
                 wall_seconds = obj.get("wall_seconds")
+                scaling_efficiency = obj.get("scaling_efficiency",
+                                             scaling_efficiency)
             elif obj.get("kind") == "telemetry":
                 metrics = obj.get("metrics", {})
                 for key, value in metrics.items():
@@ -72,12 +87,16 @@ def parse_bench_output(path):
                 "wall_seconds": float(wall_seconds)}
     if allocations > 0:
         measured["malloc_ns_per_alloc"] = cycles / allocations
+    if scaling_efficiency is not None:
+        measured["scaling_efficiency"] = float(scaling_efficiency)
     return bench, measured
 
 
 def check_one(bench, measured, baseline, errors, slowdown=1.0):
     tolerance = dict(DEFAULT_TOLERANCE)
     tolerance.update(baseline.get("tolerance", {}))
+    # null tolerance = metric explicitly ungated for this bench.
+    tolerance = {k: v for k, v in tolerance.items() if v is not None}
     captured = baseline.get("captured", {})
     for metric, tol in sorted(tolerance.items()):
         base = captured.get(metric)
@@ -90,10 +109,16 @@ def check_one(bench, measured, baseline, errors, slowdown=1.0):
             got *= slowdown
         # sim_requests is two-sided (any drift is a behavior change);
         # cost metrics only gate the slow direction -- getting faster is
-        # the point of the repo.
+        # the point of the repo -- and higher-is-better metrics only the
+        # low side.
         low = base * (1.0 - tol)
         high = base * (1.0 + tol)
-        bad = got < low or got > high if metric == "sim_requests" else got > high
+        if metric == "sim_requests":
+            bad = got < low or got > high
+        elif metric in HIGHER_IS_BETTER:
+            bad = got < low
+        else:
+            bad = got > high
         status = "REGRESSION" if bad else "ok"
         print(f"check_bench_regression: {bench}: {metric} "
               f"{got:.6g} vs baseline {base:.6g} "

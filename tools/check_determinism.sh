@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Deterministic-mode bit-identity guard.
+#
+# The simulated execution mode is this repo's oracle: for a pinned fleet
+# shape its BENCH_JSON output must be byte-identical for ANY --threads
+# value (machine-level parallelism only changes wall clock, never
+# results). The real-threads mode (tcmalloc/real_threads.h) must not
+# perturb it, so CI runs fig03 and fig_pressure_reclaim at --threads=1
+# and --threads=8 and compares their BENCH_JSON streams after masking the
+# only legitimately thread-dependent fields: the echoed "threads" count
+# and the wall-clock-derived wall_seconds / sim_requests_per_sec.
+#
+#   cmake -B build -S . && cmake --build build -j
+#   tools/check_determinism.sh build
+
+set -u
+
+BUILD_DIR="${1:-build}"
+BENCH_DIR="$BUILD_DIR/bench"
+FLAGS="--machines=2 --duration=1 --max-requests=300"
+TMPDIR_DET="$(mktemp -d)"
+trap 'rm -rf "$TMPDIR_DET"' EXIT
+
+# BENCH_JSON lines with wall-clock and thread-count fields masked.
+normalize() {
+  grep '^BENCH_JSON' "$1" | sed -E \
+    -e 's/"threads":[0-9]+/"threads":_/' \
+    -e 's/"(wall_seconds|sim_requests_per_sec)":[0-9.eE+-]+/"\1":_/g'
+}
+
+failures=0
+checked=0
+for name in fig03_fleet_cdf fig_pressure_reclaim; do
+  bench="$BENCH_DIR/$name"
+  if [ ! -x "$bench" ]; then
+    echo "check_determinism: missing bench binary $bench" >&2
+    failures=$((failures + 1))
+    continue
+  fi
+  o1="$TMPDIR_DET/$name.t1.out"
+  o8="$TMPDIR_DET/$name.t8.out"
+  if ! "$bench" $FLAGS --threads=1 >"$o1" 2>&1 ||
+     ! "$bench" $FLAGS --threads=8 >"$o8" 2>&1; then
+    echo "check_determinism: $name exited non-zero" >&2
+    failures=$((failures + 1))
+    continue
+  fi
+  normalize "$o1" >"$TMPDIR_DET/$name.t1.norm"
+  normalize "$o8" >"$TMPDIR_DET/$name.t8.norm"
+  if [ ! -s "$TMPDIR_DET/$name.t1.norm" ]; then
+    echo "check_determinism: $name produced no BENCH_JSON lines" >&2
+    failures=$((failures + 1))
+    continue
+  fi
+  if ! cmp -s "$TMPDIR_DET/$name.t1.norm" "$TMPDIR_DET/$name.t8.norm"; then
+    echo "check_determinism: $name differs between --threads=1 and" \
+         "--threads=8:" >&2
+    diff "$TMPDIR_DET/$name.t1.norm" "$TMPDIR_DET/$name.t8.norm" | \
+      head -10 >&2
+    failures=$((failures + 1))
+    continue
+  fi
+  checked=$((checked + 1))
+done
+
+if [ "$failures" -ne 0 ]; then
+  echo "check_determinism: FAILED ($failures bench(es))"
+  exit 1
+fi
+echo "check_determinism: OK ($checked bench(es) bit-identical across" \
+     "--threads)"

@@ -32,6 +32,14 @@
 //   --profile=PATH    write the merged pprof-style heap profile; ".json"
 //                     suffix selects the JSON form (tools/mallocz.py reads
 //                     it), "-" prints text to stdout
+//   --selfprof=PATH   attach the sampling self-profiler (profiler/
+//                     self_profiler.h) to every simulated process — and to
+//                     every OS thread in real-threads benches — and write
+//                     the merged folded-stack profile; ".json" suffix
+//                     selects the JSON form, "-" prints folded text to
+//                     stdout. Feed the output to tools/flamegraph.py /
+//                     tools/flamediff.py. Simulated-mode profiles are
+//                     bit-identical for any --threads value.
 //
 // Both ParseBenchFlags and StripBenchFlags know every flag above, so
 // benches that hand the remaining argv to google-benchmark (e.g.
@@ -52,6 +60,7 @@
 #include "common/table.h"
 #include "fleet/experiment.h"
 #include "fleet/parallel.h"
+#include "profiler/self_profiler.h"
 #include "telemetry/statsz.h"
 #include "trace/chrome_trace.h"
 #include "trace/heap_profile.h"
@@ -98,6 +107,14 @@ inline constexpr size_t kBenchTraceRingEvents = size_t{1} << 16;
 inline std::vector<trace::ProcessTrace> g_trace_accum;
 inline int g_trace_pid_base = 0;
 inline trace::HeapProfile g_profile_accum;
+// --selfprof destination ("" = disabled) and its bench-wide aggregate,
+// rewritten after each report (same contract as --statsz).
+inline std::string g_selfprof_path;
+inline prof::FoldedProfile g_selfprof_accum;
+// Self-profiler cadence: one sample per this many scope entries. Prime,
+// so the sampler never phase-locks onto loops whose scope count per
+// iteration divides the interval (the classic stratified-sampling bias).
+inline constexpr uint64_t kBenchSelfProfInterval = 97;
 
 // One row per shared flag: the "--name=" prefix and the setter that
 // consumes its value. Parse and Strip both walk this table, so a flag
@@ -123,6 +140,7 @@ inline constexpr BenchFlag kBenchFlags[] = {
     {"--statsz=", [](const char* v) { g_statsz_path = v; }},
     {"--trace=", [](const char* v) { g_trace_path = v; }},
     {"--profile=", [](const char* v) { g_profile_path = v; }},
+    {"--selfprof=", [](const char* v) { g_selfprof_path = v; }},
 };
 
 // The flag row matching `arg`, or nullptr if it is not a wsc bench flag.
@@ -182,6 +200,15 @@ inline void ApplyBenchOverrides(fleet::FleetConfig& config) {
   if (!g_trace_path.empty()) {
     config.trace_events_per_process = kBenchTraceRingEvents;
   }
+  if (!g_selfprof_path.empty()) {
+    config.selfprof_interval = kBenchSelfProfInterval;
+  }
+}
+
+// Self-profiler cadence for benches that run Machines outside a
+// FleetConfig (RunBenchmarkAb): nonzero only when --selfprof was given.
+inline uint64_t BenchSelfProfInterval() {
+  return g_selfprof_path.empty() ? 0 : kBenchSelfProfInterval;
 }
 
 // Standard fleet shape used by the fleet-wide benches. Sized for parallel
@@ -252,9 +279,25 @@ inline void ReportTraceAndProfile(std::vector<trace::ProcessTrace> traces,
   }
 }
 
+// Folds a folded self-profile into the bench-wide aggregate and rewrites
+// the --selfprof file (same contract as --statsz: the final write holds
+// everything the bench profiled). Folded counts merge commutatively, so
+// the file is bit-identical for any --threads value in simulated mode.
+inline void ReportSelfProfile(const prof::FoldedProfile& profile) {
+  if (g_selfprof_path.empty() || profile.empty()) return;
+  g_selfprof_accum.MergeFrom(profile);
+  bool json = g_selfprof_path.size() >= 5 &&
+              g_selfprof_path.compare(g_selfprof_path.size() - 5, 5,
+                                      ".json") == 0;
+  WriteBenchFile(g_selfprof_path,
+                 json ? prof::RenderFoldedJson(g_selfprof_accum)
+                      : prof::RenderFolded(g_selfprof_accum));
+}
+
 // Trace/profile of a set of fleet observations.
 inline void ReportTraceAndProfile(
     const std::vector<fleet::FleetObservation>& observations) {
+  ReportSelfProfile(fleet::MergedSelfProfile(observations));
   if (g_trace_path.empty() && g_profile_path.empty()) return;
   ReportTraceAndProfile(fleet::MergedTrace(observations),
                         fleet::MergedHeapProfile(observations));
@@ -264,6 +307,11 @@ inline void ReportTraceAndProfile(
 // process index within the machine).
 inline void ReportTraceAndProfile(
     const std::vector<fleet::ProcessResult>& results) {
+  prof::FoldedProfile self_profile;
+  for (const fleet::ProcessResult& r : results) {
+    self_profile.MergeFrom(r.self_profile);
+  }
+  ReportSelfProfile(self_profile);
   if (g_trace_path.empty() && g_profile_path.empty()) return;
   std::vector<trace::ProcessTrace> traces;
   trace::HeapProfile profile;
@@ -383,6 +431,10 @@ inline void ReportTelemetry(const std::string& bench,
                             const fleet::AbDelta& delta) {
   ReportTelemetry(bench, delta.control_telemetry, "control");
   ReportTelemetry(bench, delta.experiment_telemetry, "experiment");
+  // Both arms fold into one --selfprof file: the A/B pair ran the same
+  // workload plan, so the merged profile is the bench's hot-path shape.
+  ReportSelfProfile(delta.control_self_profile);
+  ReportSelfProfile(delta.experiment_self_profile);
 }
 
 // Telemetry of a fleet A/B result's fleet-wide slice.

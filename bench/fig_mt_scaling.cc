@@ -31,6 +31,7 @@
 #include <atomic>
 #include <cstdint>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <thread>
 #include <utility>
@@ -113,7 +114,13 @@ struct HandoffRing {
 };
 
 void StormWorker(RealThreadsAllocator& alloc, int tid, int nthreads,
-                 uint64_t ops, std::vector<HandoffRing>& rings) {
+                 uint64_t ops, std::vector<HandoffRing>& rings,
+                 wsc::prof::SelfProfiler* profiler) {
+  // Each OS thread samples into its own profiler (single-writer, like the
+  // per-thread cache); profiles merge after join. Null when --selfprof is
+  // off: the scopes below cost one TLS load + branch each.
+  wsc::prof::ScopedInstall install(profiler);
+  WSC_PROF_SCOPE("mt/StormWorker");
   RealThreadCache* tc = alloc.RegisterThread();
   Rng rng(0x5ca11ab1eULL ^ (0x9e3779b97f4a7c15ULL * (tid + 1)));
   std::vector<std::pair<uintptr_t, uint32_t>> window;
@@ -160,12 +167,21 @@ SweepPoint RunRealPoint(int nthreads, uint64_t ops_per_thread,
   RealThreadsAllocator alloc(config, nthreads);
   std::vector<HandoffRing> rings(nthreads);
 
+  std::vector<std::unique_ptr<wsc::prof::SelfProfiler>> profilers;
+  if (!wsc::bench::g_selfprof_path.empty()) {
+    for (int tid = 0; tid < nthreads; ++tid) {
+      profilers.push_back(std::make_unique<wsc::prof::SelfProfiler>(
+          wsc::bench::kBenchSelfProfInterval));
+    }
+  }
+
   auto start = std::chrono::steady_clock::now();
   std::vector<std::thread> pool;
   pool.reserve(nthreads);
   for (int tid = 0; tid < nthreads; ++tid) {
     pool.emplace_back(StormWorker, std::ref(alloc), tid, nthreads,
-                      ops_per_thread, std::ref(rings));
+                      ops_per_thread, std::ref(rings),
+                      profilers.empty() ? nullptr : profilers[tid].get());
   }
   for (std::thread& t : pool) t.join();
   double wall = std::chrono::duration<double>(
@@ -179,6 +195,16 @@ SweepPoint RunRealPoint(int nthreads, uint64_t ops_per_thread,
     HandoffRing::Entry e;
     while (ring.Pop(&e)) alloc.Free(main_tc, e.addr, e.size);
   }
+
+  // Merge the per-thread profiles (post-join, like the telemetry
+  // snapshot). Real-threads profiles are not bit-deterministic — work
+  // stealing and ring occupancy race — so the CI flamediff budget for
+  // this bench is looser than the simulated ones.
+  wsc::prof::FoldedProfile self_profile;
+  for (const auto& profiler : profilers) {
+    self_profile.MergeFrom(profiler->Folded());
+  }
+  wsc::bench::ReportSelfProfile(self_profile);
 
   *telemetry = alloc.TelemetrySnapshot();
   SweepPoint point;
@@ -206,6 +232,16 @@ SweepPoint RunSimulatedPoint(int nthreads, uint64_t ops_per_thread,
   std::vector<VThread> vthreads;
   vthreads.reserve(nthreads);
   for (int tid = 0; tid < nthreads; ++tid) vthreads.emplace_back(tid);
+
+  // One profiler for the whole point: the oracle arm is single-threaded
+  // and deterministic, so this profile is byte-stable run to run.
+  std::unique_ptr<wsc::prof::SelfProfiler> profiler;
+  if (!wsc::bench::g_selfprof_path.empty()) {
+    profiler = std::make_unique<wsc::prof::SelfProfiler>(
+        wsc::bench::kBenchSelfProfInterval);
+  }
+  wsc::prof::ScopedInstall install(profiler.get());
+  WSC_PROF_SCOPE("mt/SimLoop");
 
   auto start = std::chrono::steady_clock::now();
   wsc::SimTime now = 0;
@@ -237,6 +273,10 @@ SweepPoint RunSimulatedPoint(int nthreads, uint64_t ops_per_thread,
   double wall = std::chrono::duration<double>(
                     std::chrono::steady_clock::now() - start)
                     .count();
+
+  if (profiler != nullptr) {
+    wsc::bench::ReportSelfProfile(profiler->Folded());
+  }
 
   *telemetry = alloc.TelemetrySnapshot();
   SweepPoint point;

@@ -68,6 +68,11 @@ struct AbDelta {
   telemetry::Snapshot control_telemetry;
   telemetry::Snapshot experiment_telemetry;
 
+  // Merged self-profile of each arm (empty unless the fleet config set a
+  // selfprof_interval). Same fill rules as the telemetry snapshots.
+  prof::FoldedProfile control_self_profile;
+  prof::FoldedProfile experiment_self_profile;
+
   double ThroughputChangePct() const;
   double MemoryChangePct() const;
   double CpiChangePct() const;
@@ -89,13 +94,15 @@ AbResult RunFleetAb(const FleetConfig& config,
                     uint64_t seed);
 
 // Runs one workload on a dedicated server under both configs (the paper's
-// dedicated-server benchmark experiments).
+// dedicated-server benchmark experiments). `selfprof_interval` > 0
+// attaches a sampling self-profiler to each arm's process.
 AbDelta RunBenchmarkAb(const workload::WorkloadSpec& spec,
                        const hw::PlatformSpec& platform,
                        const tcmalloc::AllocatorConfig& control,
                        const tcmalloc::AllocatorConfig& experiment,
                        uint64_t seed, SimTime duration,
-                       uint64_t max_requests);
+                       uint64_t max_requests,
+                       uint64_t selfprof_interval = 0);
 
 }  // namespace wsc::fleet
 

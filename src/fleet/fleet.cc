@@ -145,7 +145,8 @@ std::vector<FleetObservation> Fleet::RunMachine(
   faults.restart_seed = plan.restart_seed;
   Machine machine(plan.platform, plan.workloads, allocator_config_,
                   plan.machine_seed, plan.pressure_events,
-                  config_.trace_events_per_process, std::move(faults));
+                  config_.trace_events_per_process, std::move(faults),
+                  config_.selfprof_interval);
   machine.Run(config_.duration, config_.max_requests_per_process);
   std::vector<FleetObservation> observations;
   observations.reserve(machine.results().size());
@@ -209,6 +210,15 @@ trace::HeapProfile MergedHeapProfile(
   trace::HeapProfile merged;
   for (const FleetObservation& obs : observations) {
     merged.MergeFrom(obs.result.heap_profile);
+  }
+  return merged;
+}
+
+prof::FoldedProfile MergedSelfProfile(
+    const std::vector<FleetObservation>& observations) {
+  prof::FoldedProfile merged;
+  for (const FleetObservation& obs : observations) {
+    merged.MergeFrom(obs.result.self_profile);
   }
   return merged;
 }

@@ -116,6 +116,14 @@ struct FleetConfig {
   // every process's drained ring lands in its ProcessResult::trace and the
   // fleet trace is exported via MergedTrace.
   size_t trace_events_per_process = 0;
+
+  // Self-profiler sampling cadence in scope entries (0 = profiling off).
+  // When set, every process samples its own hot-path scope stack once per
+  // this many WSC_PROF_SCOPE entries; folded results land in
+  // ProcessResult::self_profile and merge via MergedSelfProfile. The
+  // cadence is logical (never wall clock), so profiles of a deterministic
+  // run are bit-identical for any --threads value.
+  uint64_t selfprof_interval = 0;
 };
 
 // One process observation, tagged with provenance.
@@ -142,6 +150,12 @@ std::vector<trace::ProcessTrace> MergedTrace(
 // Fleet-wide heap profile: every observation's profile merged in
 // observation order (bit-identical for any worker-thread count).
 trace::HeapProfile MergedHeapProfile(
+    const std::vector<FleetObservation>& observations);
+
+// Fleet-wide self-profile: every observation's folded profile merged in
+// observation order. Folded counts are commutative, so the merge is
+// bit-identical for any worker-thread count.
+prof::FoldedProfile MergedSelfProfile(
     const std::vector<FleetObservation>& observations);
 
 // A runnable fleet. Machine composition (platforms, binary placement,

@@ -34,10 +34,12 @@ Machine::Machine(const hw::PlatformSpec& platform,
                  std::vector<workload::WorkloadSpec> workloads,
                  const tcmalloc::AllocatorConfig& base_config, uint64_t seed,
                  std::vector<PressureEvent> pressure_events,
-                 size_t trace_events_per_process, MachineFaults faults)
+                 size_t trace_events_per_process, MachineFaults faults,
+                 uint64_t selfprof_interval)
     : topology_(platform),
       base_config_(base_config),
       trace_capacity_(trace_events_per_process),
+      selfprof_interval_(selfprof_interval),
       faults_(std::move(faults)),
       pressure_events_(std::move(pressure_events)) {
   WSC_CHECK(!workloads.empty());
@@ -93,6 +95,10 @@ std::unique_ptr<Machine::Process> Machine::MakeProcess(
       (uintptr_t{1} << 44) * (1 + static_cast<uintptr_t>(arena_index));
 
   process->allocator = std::make_unique<tcmalloc::Allocator>(config);
+  if (selfprof_interval_ > 0) {
+    process->profiler =
+        std::make_unique<prof::SelfProfiler>(selfprof_interval_);
+  }
   if (trace_capacity_ > 0) {
     process->recorder = std::make_unique<trace::FlightRecorder>(trace_capacity_);
     process->allocator->SetFlightRecorder(process->recorder.get());
@@ -178,7 +184,14 @@ void Machine::Run(SimTime duration, uint64_t max_requests) {
       any_active = true;
       continue;
     }
-    lowest->driver->Step();
+    {
+      // The worker thread samples into whichever process it is currently
+      // simulating; the install is scoped to the Step so co-located
+      // processes never share a tick counter.
+      prof::ScopedInstall install(lowest->profiler.get());
+      WSC_PROF_SCOPE("machine/ProcessLoop");
+      lowest->driver->Step();
+    }
     if (lowest->driver->now() >= next_sample[lowest_idx]) {
       SampleFootprint(*lowest);
       next_sample[lowest_idx] = lowest->driver->now() + kSamplePeriod;
@@ -229,6 +242,7 @@ ProcessResult Machine::FinalizeResult(Process& p) const {
   r.tier_hits = p.allocator->alloc_tier_hits();
   r.telemetry = p.allocator->TelemetrySnapshot();
   if (p.recorder != nullptr) r.trace = p.recorder->Drain();
+  if (p.profiler != nullptr) r.self_profile = p.profiler->Folded();
   r.heap_profile = p.allocator->CollectHeapProfile();
   r.ghz = topology_.spec().ghz;
   return r;
@@ -253,7 +267,13 @@ void Machine::OomKillAndRestart(std::vector<SimTime>& next_sample) {
   // Process death: drain frees every live object at once, and the dying
   // instance's metrics become its kill report.
   SampleFootprint(p);
-  p.driver->Drain();
+  {
+    // Death drain is simulated work too: profile it against the dying
+    // process (deterministic — the kill point is planned, not raced).
+    prof::ScopedInstall install(p.profiler.get());
+    WSC_PROF_SCOPE("machine/OomDrain");
+    p.driver->Drain();
+  }
   ProcessResult killed = FinalizeResult(p);
   killed.oom_killed = true;
   killed_results_.push_back(std::move(killed));

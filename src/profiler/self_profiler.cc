@@ -1,0 +1,95 @@
+#include "profiler/self_profiler.h"
+
+#include <utility>
+
+namespace wsc::prof {
+
+SelfProfiler::SelfProfiler(uint64_t sample_interval)
+    : interval_(sample_interval == 0 ? 1 : sample_interval),
+      until_sample_(interval_) {}
+
+void SelfProfiler::TakeSample() {
+  StackKey key;
+  key.depth = depth_ < kMaxDepth ? depth_ : kMaxDepth;
+  for (int i = 0; i < key.depth; ++i) key.frames[i] = frames_[i];
+  for (int i = key.depth; i < kMaxDepth; ++i) key.frames[i] = nullptr;
+  ++counts_[key];
+  ++samples_;
+}
+
+FoldedProfile SelfProfiler::Folded() const {
+  FoldedProfile profile;
+  profile.total_samples = samples_;
+  profile.total_ticks = ticks();
+  profile.sample_interval = interval_;
+  for (const auto& [key, count] : counts_) {
+    std::string folded;
+    if (key.depth == 0) {
+      folded = "(idle)";
+    } else {
+      for (int i = 0; i < key.depth; ++i) {
+        if (i > 0) folded += ';';
+        folded += key.frames[i];
+      }
+    }
+    profile.stacks[std::move(folded)] += count;
+  }
+  return profile;
+}
+
+void FoldedProfile::MergeFrom(const FoldedProfile& other) {
+  for (const auto& [stack, count] : other.stacks) stacks[stack] += count;
+  total_samples += other.total_samples;
+  total_ticks += other.total_ticks;
+  if (sample_interval == 0) sample_interval = other.sample_interval;
+}
+
+std::string RenderFolded(const FoldedProfile& profile) {
+  std::string out;
+  for (const auto& [stack, count] : profile.stacks) {
+    out += stack;
+    out += ' ';
+    out += std::to_string(count);
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+
+void AppendJsonEscaped(std::string& out, const std::string& text) {
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        out += c;
+    }
+  }
+}
+
+}  // namespace
+
+std::string RenderFoldedJson(const FoldedProfile& profile) {
+  std::string out = "{\"schema_version\":1,\"kind\":\"selfprof\",";
+  out += "\"sample_interval\":" + std::to_string(profile.sample_interval);
+  out += ",\"total_ticks\":" + std::to_string(profile.total_ticks);
+  out += ",\"total_samples\":" + std::to_string(profile.total_samples);
+  out += ",\"stacks\":[";
+  bool first = true;
+  for (const auto& [stack, count] : profile.stacks) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"stack\":\"";
+    AppendJsonEscaped(out, stack);
+    out += "\",\"samples\":" + std::to_string(count) + "}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+}  // namespace wsc::prof

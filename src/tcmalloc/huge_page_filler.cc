@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "profiler/self_profiler.h"
 
 namespace wsc::tcmalloc {
 
@@ -148,6 +149,7 @@ PageTracker* HugePageFiller::PickTracker(int set, Length n) {
 }
 
 PageId HugePageFiller::Allocate(Length n, int span_capacity) {
+  WSC_PROF_SCOPE("filler/Allocate");
   WSC_CHECK_GT(n, 0u);
   WSC_CHECK_LT(n, kPagesPerHugePage);
   int set = 0;
@@ -210,6 +212,7 @@ PageId HugePageFiller::Allocate(Length n, int span_capacity) {
 }
 
 void HugePageFiller::Free(PageId page, Length n) {
+  WSC_PROF_SCOPE("filler/Free");
   HugePageId hp = HugePageContaining(page);
   PageTracker* t = FindTracker(hp);
   WSC_CHECK(t != nullptr);
@@ -289,6 +292,7 @@ Length HugePageFiller::SubreleaseExcess(double target_fraction,
 }
 
 Length HugePageFiller::SubreleaseUpTo(Length need) {
+  WSC_PROF_SCOPE("filler/SubreleaseUpTo");
   return ReleaseSparsest(need);
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "profiler/self_profiler.h"
 
 namespace wsc::tcmalloc {
 
@@ -19,52 +20,8 @@ CpuCacheSet::CpuCacheSet(const SizeClasses* size_classes,
   vcpus_.resize(config.num_vcpus);
 }
 
-CpuCacheSet::VcpuCache& CpuCacheSet::Touch(int vcpu) {
-  WSC_CHECK_GE(vcpu, 0);
-  WSC_CHECK_LT(vcpu, num_vcpus());
-  VcpuCache& cache = vcpus_[vcpu];
-  if (!cache.populated) {
-    cache.populated = true;
-    cache.capacity_bytes = default_capacity_;
-    cache.objects.resize(size_classes_->num_classes());
-  }
-  return cache;
-}
-
-uintptr_t CpuCacheSet::Allocate(int vcpu, int cls) {
-  VcpuCache& cache = Touch(vcpu);
-  ++cache.interval_ops;
-  std::vector<uintptr_t>& list = cache.objects[cls];
-  if (list.empty()) {
-    ++cache.underflows;
-    ++cache.interval_misses;
-    return 0;
-  }
-  uintptr_t obj = list.back();
-  list.pop_back();
-  cache.used_bytes -= size_classes_->class_size(cls);
-  ++cache.hits;
-  return obj;
-}
-
-bool CpuCacheSet::Deallocate(int vcpu, int cls, uintptr_t obj) {
-  VcpuCache& cache = Touch(vcpu);
-  ++cache.interval_ops;
-  size_t size = size_classes_->class_size(cls);
-  if (cache.used_bytes + size > EffectiveCapacity(cache) ||
-      static_cast<int>(cache.objects[cls].size()) >=
-          size_classes_->info(cls).max_per_cpu_objects) {
-    ++cache.overflows;
-    ++cache.interval_misses;
-    return false;
-  }
-  cache.objects[cls].push_back(obj);
-  cache.used_bytes += size;
-  ++cache.hits;
-  return true;
-}
-
 int CpuCacheSet::Refill(int vcpu, int cls, const uintptr_t* objs, int n) {
+  WSC_PROF_SCOPE("cpu_cache/Refill");
   VcpuCache& cache = Touch(vcpu);
   size_t size = size_classes_->class_size(cls);
   int max_objects = size_classes_->info(cls).max_per_cpu_objects;
@@ -88,6 +45,7 @@ int CpuCacheSet::Refill(int vcpu, int cls, const uintptr_t* objs, int n) {
 }
 
 int CpuCacheSet::ExtractBatch(int vcpu, int cls, uintptr_t* out, int n) {
+  WSC_PROF_SCOPE("cpu_cache/ExtractBatch");
   VcpuCache& cache = Touch(vcpu);
   std::vector<uintptr_t>& list = cache.objects[cls];
   int extracted = 0;

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "profiler/self_profiler.h"
 #include "tcmalloc/config.h"
 #include "tcmalloc/size_classes.h"
 #include "telemetry/registry.h"
@@ -30,12 +31,15 @@ class CpuCacheSet {
   CpuCacheSet(const SizeClasses* size_classes, const AllocatorConfig& config);
 
   // Fast-path allocation: pops an object of class `cls` from vCPU `vcpu`'s
-  // cache. Returns 0 on miss (0 is never a valid arena address).
+  // cache. Returns 0 on miss (0 is never a valid arena address). Defined
+  // inline below: the self-profiler's fig03 profile puts the cache pop/push
+  // pair at ~33% self-share of simulated work, and the out-of-line call
+  // frame was a measurable slice of that.
   uintptr_t Allocate(int vcpu, int cls);
 
   // Fast-path deallocation. Returns false on overflow (cache at capacity);
   // the caller then pushes a batch down to the transfer cache via
-  // ExtractBatch and retries.
+  // ExtractBatch and retries. Inline, same rationale as Allocate.
   bool Deallocate(int vcpu, int cls, uintptr_t obj);
 
   // Inserts up to `n` objects after an underflow; returns how many were
@@ -159,6 +163,57 @@ class CpuCacheSet {
   size_t pressure_cap_bytes_ = kNoPressureCap;
   trace::FlightRecorder* trace_ = nullptr;
 };
+
+// --- fast-path implementations ---
+
+inline CpuCacheSet::VcpuCache& CpuCacheSet::Touch(int vcpu) {
+  WSC_CHECK_GE(vcpu, 0);
+  WSC_CHECK_LT(vcpu, num_vcpus());
+  VcpuCache& cache = vcpus_[vcpu];
+  if (!cache.populated) {
+    cache.populated = true;
+    cache.capacity_bytes = default_capacity_;
+    cache.objects.resize(size_classes_->num_classes());
+  }
+  return cache;
+}
+
+inline uintptr_t CpuCacheSet::Allocate(int vcpu, int cls) {
+  WSC_PROF_SCOPE("cpu_cache/Pop");
+  VcpuCache& cache = Touch(vcpu);
+  ++cache.interval_ops;
+  std::vector<uintptr_t>& list = cache.objects[cls];
+  if (list.empty()) {
+    ++cache.underflows;
+    ++cache.interval_misses;
+    return 0;
+  }
+  uintptr_t obj = list.back();
+  list.pop_back();
+  cache.used_bytes -= size_classes_->class_size(cls);
+  ++cache.hits;
+  return obj;
+}
+
+inline bool CpuCacheSet::Deallocate(int vcpu, int cls, uintptr_t obj) {
+  WSC_PROF_SCOPE("cpu_cache/Push");
+  VcpuCache& cache = Touch(vcpu);
+  ++cache.interval_ops;
+  // One SizeClassInfo load serves both the byte and object-count bounds
+  // (class_size(cls) would chase the same row a second time).
+  const SizeClassInfo& info = size_classes_->info(cls);
+  std::vector<uintptr_t>& list = cache.objects[cls];
+  if (cache.used_bytes + info.size > EffectiveCapacity(cache) ||
+      static_cast<int>(list.size()) >= info.max_per_cpu_objects) {
+    ++cache.overflows;
+    ++cache.interval_misses;
+    return false;
+  }
+  list.push_back(obj);
+  cache.used_bytes += info.size;
+  ++cache.hits;
+  return true;
+}
 
 // --- template implementations ---
 

@@ -93,6 +93,7 @@ void RealThreadsAllocator::FlushThreadCache(RealThreadCache* tc) {
 }
 
 uintptr_t RealThreadsAllocator::SlowAllocate(RealThreadCache* tc, int cls) {
+  WSC_PROF_SCOPE("rt/SlowAllocate");
   const int batch = size_classes_->batch_size(cls);
   uintptr_t buf[kMaxBatch];
 
@@ -120,6 +121,7 @@ uintptr_t RealThreadsAllocator::SlowAllocate(RealThreadCache* tc, int cls) {
 
 void RealThreadsAllocator::SlowFree(RealThreadCache* tc, int cls,
                                     uintptr_t obj) {
+  WSC_PROF_SCOPE("rt/SlowFree");
   // The list is at cap: push one batch down to the middle end, then cache
   // the object being freed.
   const int batch = size_classes_->batch_size(cls);
@@ -146,6 +148,7 @@ void RealThreadsAllocator::SlowFree(RealThreadCache* tc, int cls,
 
 int RealThreadsAllocator::RefillFromCfl(int cls, int shard, uintptr_t* out,
                                         int want) {
+  WSC_PROF_SCOPE("rt/RefillFromCfl");
   CflShard& home = cfl_shard(cls, shard);
   home.lock.Lock();
   ++home.refills;
@@ -194,6 +197,7 @@ int RealThreadsAllocator::RefillFromCfl(int cls, int shard, uintptr_t* out,
 
 void RealThreadsAllocator::ReturnToCfl(int cls, int shard,
                                        const uintptr_t* objs, int count) {
+  WSC_PROF_SCOPE("rt/ReturnToCfl");
   CflShard& home = cfl_shard(cls, shard);
   home.lock.Lock();
   home.free_objects.insert(home.free_objects.end(), objs, objs + count);
@@ -201,6 +205,7 @@ void RealThreadsAllocator::ReturnToCfl(int cls, int shard,
 }
 
 void RealThreadsAllocator::CarveSpan(int cls, CflShard& shard) {
+  WSC_PROF_SCOPE("rt/CarveSpan");
   const SizeClassInfo& info = size_classes_->info(cls);
   size_t span_bytes = LengthToBytes(info.pages_per_span);
   uintptr_t base =

@@ -54,6 +54,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "profiler/self_profiler.h"
 #include "tcmalloc/config.h"
 #include "tcmalloc/pages.h"
 #include "tcmalloc/size_classes.h"
@@ -224,6 +225,7 @@ class RealThreadsAllocator {
   // Lock-free on the fast path: per-thread list hit costs a LUT load and
   // a pop_back. `size` must be > 0.
   uintptr_t Allocate(RealThreadCache* tc, size_t size) {
+    WSC_PROF_SCOPE("rt/Allocate");
     WSC_DCHECK_GT(size, size_t{0});
     int cls = size_classes_->ClassFor(size);
     if (cls >= 0) {
@@ -247,6 +249,7 @@ class RealThreadsAllocator {
   // object lands in the FREEING thread's cache, exactly like production
   // TCMalloc.
   void Free(RealThreadCache* tc, uintptr_t addr, size_t size) {
+    WSC_PROF_SCOPE("rt/Free");
     int cls = size_classes_->ClassFor(size);
     if (cls >= 0) {
       ++tc->frees;

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/logging.h"
+#include "profiler/self_profiler.h"
 #include "trace/heap_profile.h"
 
 namespace wsc::workload {
@@ -118,6 +119,7 @@ void Driver::UpdateThreads() {
 }
 
 double Driver::Touch(uintptr_t addr, size_t object_size, int lines, int cpu) {
+  WSC_PROF_SCOPE("driver/Touch");
   double stall_ns = 0.0;
   size_t max_lines = object_size / 64 + 1;
   lines = static_cast<int>(std::min<size_t>(lines, max_lines));
@@ -141,6 +143,7 @@ double Driver::Touch(uintptr_t addr, size_t object_size, int lines, int cpu) {
 }
 
 double Driver::FreeDead(int vcpu) {
+  WSC_PROF_SCOPE("driver/FreeDead");
   double ns = 0.0;
   SimTime now = clock_.now();
   while (!live_.empty() && live_.top().death <= now) {
@@ -155,6 +158,7 @@ double Driver::FreeDead(int vcpu) {
 }
 
 double Driver::Step() {
+  WSC_PROF_SCOPE("driver/Step");
   UpdateThreads();
   SimTime now = clock_.now();
 

@@ -1,0 +1,125 @@
+// Tests for the self-profiler's fleet-level guarantees: profiles of a
+// deterministic simulated run must be bit-identical for any worker
+// thread count, enabling profiling must not perturb simulation results,
+// and the enabled overhead must stay within a loose sanity bound (the
+// strict <2% wall-clock budget is measured on fig03 in EXPERIMENTS.md —
+// CI machines are too noisy to gate tightly here).
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "fleet/experiment.h"
+#include "fleet/fleet.h"
+#include "profiler/self_profiler.h"
+
+namespace wsc::fleet {
+namespace {
+
+FleetConfig SmallFleet() {
+  FleetConfig config;
+  config.num_machines = 5;
+  config.num_binaries = 12;
+  config.min_colocated = 1;
+  config.max_colocated = 2;
+  config.duration = Milliseconds(300);
+  config.max_requests_per_process = 2000;
+  return config;
+}
+
+std::string RunAndRenderProfile(int num_threads, uint64_t seed) {
+  FleetConfig config = SmallFleet();
+  config.selfprof_interval = 97;
+  tcmalloc::AllocatorConfig allocator;
+  Fleet fleet(config, allocator, seed);
+  fleet.Run(num_threads);
+  return prof::RenderFolded(MergedSelfProfile(fleet.observations()));
+}
+
+TEST(ProfilerDeterminism, FoldedOutputIdenticalForAnyThreadCount) {
+  std::string sequential = RunAndRenderProfile(1, 31337);
+  std::string parallel = RunAndRenderProfile(8, 31337);
+  ASSERT_FALSE(sequential.empty());
+  EXPECT_EQ(sequential, parallel);  // byte-identical, not just similar
+}
+
+TEST(ProfilerDeterminism, ProfileCoversAllocatorAndFleetTiers) {
+  std::string folded = RunAndRenderProfile(4, 4242);
+  // The ISSUE's required instrumentation tiers all show up in a real run.
+  for (const char* frame :
+       {"machine/ProcessLoop", "driver/Step", "allocator/Allocate",
+        "allocator/Free", "cpu_cache/Pop", "cpu_cache/Push"}) {
+    EXPECT_NE(folded.find(frame), std::string::npos)
+        << "frame missing from fleet profile: " << frame;
+  }
+}
+
+TEST(ProfilerDeterminism, ProfilingDoesNotPerturbSimResults) {
+  tcmalloc::AllocatorConfig allocator;
+  FleetConfig off_config = SmallFleet();
+  FleetConfig on_config = SmallFleet();
+  on_config.selfprof_interval = 97;
+
+  Fleet off(off_config, allocator, 777);
+  off.Run(2);
+  Fleet on(on_config, allocator, 777);
+  on.Run(2);
+
+  const auto& a = off.observations();
+  const auto& b = on.observations();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(a[i].result.driver.requests, b[i].result.driver.requests);
+    EXPECT_EQ(a[i].result.driver.allocations,
+              b[i].result.driver.allocations);
+    EXPECT_EQ(a[i].result.driver.malloc_ns, b[i].result.driver.malloc_ns);
+    EXPECT_EQ(a[i].result.avg_heap_bytes, b[i].result.avg_heap_bytes);
+    EXPECT_TRUE(a[i].result.self_profile.empty());
+    EXPECT_FALSE(b[i].result.self_profile.empty());
+  }
+}
+
+TEST(ProfilerDeterminism, MergedProfileTotalsAreConsistent) {
+  FleetConfig config = SmallFleet();
+  config.selfprof_interval = 97;
+  tcmalloc::AllocatorConfig allocator;
+  Fleet fleet(config, allocator, 2024);
+  fleet.Run(3);
+  prof::FoldedProfile merged = MergedSelfProfile(fleet.observations());
+  ASSERT_FALSE(merged.empty());
+  EXPECT_EQ(merged.sample_interval, 97u);
+  uint64_t stack_sum = 0;
+  for (const auto& [stack, count] : merged.stacks) stack_sum += count;
+  EXPECT_EQ(stack_sum, merged.total_samples);
+  // Every tick between samples is accounted for: N samples need at least
+  // N * interval ticks.
+  EXPECT_GE(merged.total_ticks, merged.total_samples * 97);
+}
+
+TEST(ProfilerDeterminism, EnabledOverheadWithinLooseBound) {
+  // Loose catastrophic-regression tripwire only: wall clock on shared CI
+  // runners jitters far beyond the real budget. The strict <2% number is
+  // measured with interleaved A/B runs of fig03 (see EXPERIMENTS.md).
+  tcmalloc::AllocatorConfig allocator;
+  auto wall = [&](uint64_t interval) {
+    FleetConfig config = SmallFleet();
+    config.selfprof_interval = interval;
+    Fleet fleet(config, allocator, 555);
+    auto start = std::chrono::steady_clock::now();
+    fleet.Run(2);
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+  double off = wall(0);
+  double on = wall(97);
+  EXPECT_LT(on, off * 3.0 + 0.25)
+      << "profiling-enabled run took " << on << "s vs " << off
+      << "s disabled";
+}
+
+}  // namespace
+}  // namespace wsc::fleet

@@ -1,0 +1,217 @@
+// Tests for the sampling self-profiler core: scope stacks must stay
+// balanced under early return and exceptions, the sampling cadence must
+// be exact (it is the determinism guarantee), disabled scopes must be
+// no-ops, and folded output must render and merge deterministically.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "profiler/self_profiler.h"
+
+namespace wsc::prof {
+namespace {
+
+TEST(SelfProfiler, DisabledScopesAreNoOps) {
+  ASSERT_EQ(tls_profiler, nullptr);
+  {
+    WSC_PROF_SCOPE("never/Recorded");
+    WSC_PROF_SCOPE("never/RecordedEither");
+  }
+  SelfProfiler profiler(1);
+  EXPECT_EQ(profiler.ticks(), 0u);
+  EXPECT_EQ(profiler.samples_taken(), 0u);
+  EXPECT_TRUE(profiler.Folded().empty());
+}
+
+TEST(SelfProfiler, SamplingCadenceIsExact) {
+  SelfProfiler profiler(5);
+  ScopedInstall install(&profiler);
+  for (int i = 0; i < 23; ++i) {
+    WSC_PROF_SCOPE("loop/Body");
+  }
+  EXPECT_EQ(profiler.ticks(), 23u);
+  EXPECT_EQ(profiler.samples_taken(), 4u);  // ticks 5, 10, 15, 20
+  FoldedProfile folded = profiler.Folded();
+  EXPECT_EQ(folded.total_ticks, 23u);
+  EXPECT_EQ(folded.total_samples, 4u);
+  EXPECT_EQ(folded.sample_interval, 5u);
+  ASSERT_EQ(folded.stacks.count("loop/Body"), 1u);
+  EXPECT_EQ(folded.stacks.at("loop/Body"), 4u);
+}
+
+TEST(SelfProfiler, ZeroIntervalClampsToEveryTick) {
+  SelfProfiler profiler(0);
+  EXPECT_EQ(profiler.sample_interval(), 1u);
+  ScopedInstall install(&profiler);
+  {
+    WSC_PROF_SCOPE("a");
+    WSC_PROF_SCOPE("b");
+  }
+  EXPECT_EQ(profiler.samples_taken(), 2u);
+  FoldedProfile folded = profiler.Folded();
+  EXPECT_EQ(folded.stacks.at("a"), 1u);
+  EXPECT_EQ(folded.stacks.at("a;b"), 1u);
+}
+
+int ScopedEarlyReturn(SelfProfiler* profiler, int value) {
+  ScopedInstall install(profiler);
+  WSC_PROF_SCOPE("early/Return");
+  if (value < 0) return -1;
+  WSC_PROF_SCOPE("early/Deep");
+  return value * 2;
+}
+
+TEST(SelfProfiler, StackBalancedOnEarlyReturn) {
+  SelfProfiler profiler(1);
+  EXPECT_EQ(ScopedEarlyReturn(&profiler, -5), -1);
+  EXPECT_EQ(profiler.depth(), 0);
+  EXPECT_EQ(ScopedEarlyReturn(&profiler, 5), 10);
+  EXPECT_EQ(profiler.depth(), 0);
+  FoldedProfile folded = profiler.Folded();
+  EXPECT_EQ(folded.stacks.at("early/Return"), 2u);
+  EXPECT_EQ(folded.stacks.at("early/Return;early/Deep"), 1u);
+}
+
+TEST(SelfProfiler, StackBalancedAcrossExceptions) {
+  SelfProfiler profiler(1);
+  ScopedInstall install(&profiler);
+  try {
+    WSC_PROF_SCOPE("throwing/Outer");
+    WSC_PROF_SCOPE("throwing/Inner");
+    throw std::runtime_error("unwind through the scopes");
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_EQ(profiler.depth(), 0);
+  {
+    WSC_PROF_SCOPE("after/Unwind");
+  }
+  // The post-unwind scope must record at depth 1, not nested under the
+  // unwound frames.
+  FoldedProfile folded = profiler.Folded();
+  EXPECT_EQ(folded.stacks.at("after/Unwind"), 1u);
+  EXPECT_EQ(folded.stacks.count("throwing/Outer;after/Unwind"), 0u);
+}
+
+TEST(SelfProfiler, DeepStacksTruncateButStayBalanced) {
+  SelfProfiler profiler(1);
+  ScopedInstall install(&profiler);
+  constexpr int kDepth = SelfProfiler::kMaxDepth + 8;
+
+  // Recursive lambda: kDepth nested scopes, all sharing one frame name.
+  auto recurse = [](auto&& self, int remaining) -> void {
+    if (remaining == 0) return;
+    WSC_PROF_SCOPE("deep/Frame");
+    self(self, remaining - 1);
+  };
+  recurse(recurse, kDepth);
+
+  EXPECT_EQ(profiler.depth(), 0);  // pops balanced past the truncation
+  EXPECT_EQ(profiler.ticks(), static_cast<uint64_t>(kDepth));
+  FoldedProfile folded = profiler.Folded();
+  // The deepest samples keep only the outermost kMaxDepth frames.
+  std::string deepest;
+  for (int i = 0; i < SelfProfiler::kMaxDepth; ++i) {
+    if (i > 0) deepest += ';';
+    deepest += "deep/Frame";
+  }
+  uint64_t truncated = 0;
+  for (const auto& [stack, count] : folded.stacks) {
+    if (stack == deepest) truncated += count;
+    EXPECT_LE(std::count(stack.begin(), stack.end(), ';'),
+              SelfProfiler::kMaxDepth - 1);
+  }
+  // Frames beyond kMaxDepth all collapse onto the deepest stack key.
+  EXPECT_EQ(truncated, static_cast<uint64_t>(kDepth - SelfProfiler::kMaxDepth + 1));
+}
+
+TEST(SelfProfiler, ProfScopeCapturesInstallAtEntry) {
+  SelfProfiler outer(1);
+  SelfProfiler inner(1);
+  ScopedInstall install_outer(&outer);
+  {
+    WSC_PROF_SCOPE("swap/Outer");
+    // Installing a different profiler mid-scope must not unbalance
+    // either stack: the open scope pops from the profiler it pushed to.
+    ScopedInstall install_inner(&inner);
+    WSC_PROF_SCOPE("swap/Inner");
+  }
+  EXPECT_EQ(outer.depth(), 0);
+  EXPECT_EQ(inner.depth(), 0);
+  EXPECT_EQ(outer.Folded().stacks.count("swap/Outer"), 1u);
+  EXPECT_EQ(inner.Folded().stacks.count("swap/Inner"), 1u);
+  EXPECT_EQ(tls_profiler, &outer);  // install restored on scope exit
+}
+
+TEST(SelfProfiler, IdenticalSequencesRenderIdentically) {
+  auto run = [] {
+    SelfProfiler profiler(3);
+    ScopedInstall install(&profiler);
+    for (int i = 0; i < 50; ++i) {
+      WSC_PROF_SCOPE("seq/Outer");
+      if (i % 2 == 0) {
+        WSC_PROF_SCOPE("seq/Even");
+      } else {
+        WSC_PROF_SCOPE("seq/Odd");
+      }
+    }
+    return RenderFolded(profiler.Folded());
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(FoldedProfile, MergeAddsCountsAndAdoptsInterval) {
+  SelfProfiler a(1), b(1);
+  {
+    ScopedInstall install(&a);
+    WSC_PROF_SCOPE("m/Shared");
+  }
+  {
+    ScopedInstall install(&b);
+    WSC_PROF_SCOPE("m/Shared");
+    WSC_PROF_SCOPE("m/OnlyB");
+  }
+  FoldedProfile merged;  // starts empty, interval unset
+  merged.MergeFrom(a.Folded());
+  merged.MergeFrom(b.Folded());
+  EXPECT_EQ(merged.stacks.at("m/Shared"), 2u);
+  EXPECT_EQ(merged.stacks.at("m/Shared;m/OnlyB"), 1u);
+  EXPECT_EQ(merged.total_samples, 3u);
+  EXPECT_EQ(merged.total_ticks, 3u);
+  EXPECT_EQ(merged.sample_interval, 1u);
+}
+
+TEST(FoldedProfile, RenderersEmitSortedStacksAndJsonFields) {
+  SelfProfiler profiler(1);
+  {
+    ScopedInstall install(&profiler);
+    WSC_PROF_SCOPE("r/B");
+  }
+  {
+    ScopedInstall install(&profiler);
+    WSC_PROF_SCOPE("r/A");
+  }
+  FoldedProfile folded = profiler.Folded();
+  EXPECT_EQ(RenderFolded(folded), "r/A 1\nr/B 1\n");
+  std::string json = RenderFoldedJson(folded);
+  EXPECT_NE(json.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"selfprof\""), std::string::npos);
+  EXPECT_NE(json.find("\"sample_interval\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"total_samples\":2"), std::string::npos);
+  EXPECT_NE(json.find("{\"stack\":\"r/A\",\"samples\":1}"),
+            std::string::npos);
+}
+
+TEST(FoldedProfile, EmptyProfileRendersIdleOnlyWhenSampled) {
+  // A profiler that never saw a scope renders empty; Pop() at depth zero
+  // is tolerated (defensive, cannot happen through ProfScope).
+  SelfProfiler profiler(1);
+  profiler.Pop();
+  EXPECT_EQ(profiler.depth(), 0);
+  EXPECT_EQ(RenderFolded(profiler.Folded()), "");
+}
+
+}  // namespace
+}  // namespace wsc::prof

@@ -102,8 +102,8 @@ def check_one(bench, measured, baseline, errors, slowdown=1.0):
         base = captured.get(metric)
         got = measured.get(metric)
         if base is None or got is None:
-            errors.append(f"{bench}: metric '{metric}' missing from "
-                          f"{'baseline' if base is None else 'bench output'}")
+            errors.append((bench, f"metric '{metric}' missing from "
+                           f"{'baseline' if base is None else 'bench output'}"))
             continue
         if metric == "malloc_ns_per_alloc":
             got *= slowdown
@@ -124,8 +124,8 @@ def check_one(bench, measured, baseline, errors, slowdown=1.0):
               f"{got:.6g} vs baseline {base:.6g} "
               f"(band ±{tol:.1%}): {status}")
         if bad:
-            errors.append(f"{bench}: {metric} {got:.6g} outside "
-                          f"[{low:.6g}, {high:.6g}]")
+            errors.append((bench, f"{metric} {got:.6g} outside "
+                           f"[{low:.6g}, {high:.6g}]"))
 
 
 def main():
@@ -169,20 +169,39 @@ def main():
         return 0
 
     errors = []
+    baselines = {}
     for bench, measured in parsed:
         path = os.path.join(args.baselines, f"{bench}.json")
         try:
             with open(path, encoding="utf-8") as handle:
                 baseline = json.load(handle)
         except OSError:
-            errors.append(f"{bench}: no baseline at {path} "
-                          "(capture one with --update)")
+            errors.append((bench, f"no baseline at {path} "
+                           "(capture one with --update)"))
             continue
         check_one(bench, measured, baseline, errors)
+        baselines[bench] = (path, baseline)
 
     if errors:
-        for error in errors:
-            print(f"check_bench_regression: FAIL: {error}", file=sys.stderr)
+        for bench, error in errors:
+            print(f"check_bench_regression: FAIL: {bench}: {error}",
+                  file=sys.stderr)
+        # Point straight at the offending baseline and how to accept the
+        # new numbers, so an INTENDED perf change is a one-liner to land
+        # rather than an archaeology session through CI logs.
+        outputs_by_bench = dict(zip((b for b, _ in parsed), args.outputs))
+        for bench in sorted({b for b, _ in errors}):
+            if bench not in baselines:
+                continue
+            path, baseline = baselines[bench]
+            flags = baseline.get("flags", "")
+            output = outputs_by_bench.get(bench, f"<{bench} output>")
+            print(f"check_bench_regression: offending baseline: {path} "
+                  f"(captured with flags: {flags or '<none recorded>'})",
+                  file=sys.stderr)
+            print(f"check_bench_regression: if this change is intended, "
+                  f"re-baseline with: tools/check_bench_regression.py "
+                  f"--update --flags '{flags}' {output}", file=sys.stderr)
         return 1
 
     if args.self_test:

@@ -39,9 +39,20 @@ for name in fig03_fleet_cdf fig_pressure_reclaim; do
   fi
   o1="$TMPDIR_DET/$name.t1.out"
   o8="$TMPDIR_DET/$name.t8.out"
-  if ! "$bench" $FLAGS --threads=1 >"$o1" 2>&1 ||
-     ! "$bench" $FLAGS --threads=8 >"$o8" 2>&1; then
+  p1="$TMPDIR_DET/$name.t1.folded"
+  p8="$TMPDIR_DET/$name.t8.folded"
+  if ! "$bench" $FLAGS --threads=1 --selfprof="$p1" >"$o1" 2>&1 ||
+     ! "$bench" $FLAGS --threads=8 --selfprof="$p8" >"$o8" 2>&1; then
     echo "check_determinism: $name exited non-zero" >&2
+    failures=$((failures + 1))
+    continue
+  fi
+  # The self-profiler samples on a logical cadence (per-process scope
+  # entries, never wall clock), so its folded output is part of the
+  # oracle too: byte-identical for any --threads, no masking needed.
+  if ! cmp -s "$p1" "$p8"; then
+    echo "check_determinism: $name --selfprof output differs between" \
+         "--threads=1 and --threads=8" >&2
     failures=$((failures + 1))
     continue
   fi

@@ -1,0 +1,252 @@
+#!/usr/bin/env python3
+"""Render a folded-stack profile as a standalone flame-graph SVG.
+
+Input is the Brendan Gregg folded format emitted by --selfprof:
+
+    outer;inner;leaf 1234
+
+one exact stack per line with its sample count. The simulator's profiles
+are deterministic (logical sampling cadence), so the same build renders
+the same SVG byte-for-byte.
+
+Usage:
+  tools/flamegraph.py profile.folded --out profile.svg
+  tools/flamegraph.py profile.folded --title "fig03 head" --width 1600
+  tools/flamegraph.py --self-test
+
+--min-percent drops frames narrower than the given share of total
+samples (default 0.1) to keep SVGs small. --self-test renders a
+synthetic profile in-memory and asserts the expected frames appear.
+
+Exit status: 0 on success (and on a passing --self-test); 1 otherwise.
+"""
+
+import argparse
+import hashlib
+import html
+import sys
+
+
+def parse_folded(text):
+    """Parses folded text into {(frame, frame, ...): count}."""
+    stacks = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        stack_part, sep, count_part = line.rpartition(" ")
+        if not sep:
+            raise ValueError(f"line {lineno}: no sample count: {line!r}")
+        try:
+            count = int(count_part)
+        except ValueError:
+            raise ValueError(
+                f"line {lineno}: bad sample count {count_part!r}") from None
+        frames = tuple(stack_part.split(";"))
+        stacks[frames] = stacks.get(frames, 0) + count
+    return stacks
+
+
+class Node:
+    """One frame box in the flame graph tree."""
+
+    __slots__ = ("name", "self_count", "children")
+
+    def __init__(self, name):
+        self.name = name
+        self.self_count = 0
+        self.children = {}
+
+    def total(self):
+        return self.self_count + sum(c.total() for c in self.children.values())
+
+
+def build_tree(stacks):
+    root = Node("root")
+    for frames, count in stacks.items():
+        node = root
+        for frame in frames:
+            node = node.children.setdefault(frame, Node(frame))
+        node.self_count += count
+    return root
+
+
+def frame_color(name):
+    """Deterministic warm-palette color hashed from the frame name."""
+    digest = hashlib.sha256(name.encode("utf-8")).digest()
+    red = 205 + digest[0] % 50
+    green = 30 + digest[1] % 160
+    blue = digest[2] % 55
+    return f"rgb({red},{green},{blue})"
+
+
+# Layout constants shared with flamediff's SVG output.
+FRAME_HEIGHT = 17
+FONT_SIZE = 11
+CHAR_WIDTH = 6.5  # approx monospace advance at FONT_SIZE
+MARGIN = 10
+TITLE_HEIGHT = 28
+FOOTER_HEIGHT = 22
+
+
+def _depth(node):
+    if not node.children:
+        return 0
+    return 1 + max(_depth(c) for c in node.children.values())
+
+
+def render_svg(stacks, title, width=1200, min_percent=0.1, color_fn=None,
+               subtitle=None):
+    """Renders folded stacks into a standalone SVG string.
+
+    color_fn(frame_name) may override the default palette; flamediff uses
+    it to paint frames by regression delta.
+    """
+    if color_fn is None:
+        color_fn = frame_color
+    root = build_tree(stacks)
+    total = root.total()
+    if total == 0:
+        raise ValueError("profile has no samples")
+    depth = _depth(root)
+    height = TITLE_HEIGHT + (depth + 1) * FRAME_HEIGHT + FOOTER_HEIGHT
+    plot_width = width - 2 * MARGIN
+    min_width = plot_width * (min_percent / 100.0)
+
+    out = []
+    out.append(
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="monospace" '
+        f'font-size="{FONT_SIZE}">')
+    out.append(
+        f'<rect x="0" y="0" width="{width}" height="{height}" '
+        f'fill="#f8f8f8"/>')
+    out.append(
+        f'<text x="{width / 2:.1f}" y="{TITLE_HEIGHT - 10}" '
+        f'text-anchor="middle" font-size="14">{html.escape(title)}</text>')
+
+    # Root row spans the whole plot ("all samples"), children stack above.
+    base_y = height - FOOTER_HEIGHT - FRAME_HEIGHT
+    out.append("<g>")
+    out.append(f"<title>all ({total} samples, 100.00%)</title>")
+    out.append(
+        f'<rect x="{MARGIN}" y="{base_y}" width="{plot_width:.2f}" '
+        f'height="{FRAME_HEIGHT - 1}" fill="#bbb" rx="2" data-frame="all"/>')
+    out.append(
+        f'<text x="{MARGIN + 3}" y="{base_y + FRAME_HEIGHT - 5}">'
+        f"all ({total} samples)</text>")
+    out.append("</g>")
+
+    # Flame graphs grow upward: deepest frames at the top. Easiest stable
+    # layout here is to emit top-down rows, then flip y per depth.
+    rows = []
+
+    def collect(node, x, depth_idx, node_total):
+        box_width = plot_width * node_total / total
+        if box_width < min_width:
+            return
+        rows.append((node, x, depth_idx, node_total))
+        child_x = x
+        for name in sorted(node.children):
+            child = node.children[name]
+            child_total = child.total()
+            collect(child, child_x, depth_idx + 1, child_total)
+            child_x += plot_width * child_total / total
+
+    child_x = MARGIN
+    for name in sorted(root.children):
+        child = root.children[name]
+        child_total = child.total()
+        collect(child, child_x, 0, child_total)
+        child_x += plot_width * child_total / total
+
+    for node, x, depth_idx, node_total in rows:
+        y = base_y - (depth_idx + 1) * FRAME_HEIGHT
+        box_width = plot_width * node_total / total
+        share = 100.0 * node_total / total
+        label = f"{node.name} ({node_total} samples, {share:.2f}%)"
+        out.append("<g>")
+        out.append(f"<title>{html.escape(label)}</title>")
+        out.append(
+            f'<rect x="{x:.2f}" y="{y}" width="{box_width:.2f}" '
+            f'height="{FRAME_HEIGHT - 1}" fill="{color_fn(node.name)}" '
+            f'rx="2" data-frame="{html.escape(node.name)}"/>')
+        max_chars = int((box_width - 4) / CHAR_WIDTH)
+        if max_chars >= 3:
+            text = node.name
+            if len(text) > max_chars:
+                text = text[: max_chars - 2] + ".."
+            out.append(
+                f'<text x="{x + 3:.2f}" y="{y + FRAME_HEIGHT - 5}" '
+                f'fill="#000">{html.escape(text)}</text>')
+        out.append("</g>")
+
+    footer = subtitle or f"{total} samples, {len(stacks)} unique stacks"
+    out.append(
+        f'<text x="{MARGIN}" y="{height - 7}" fill="#666">'
+        f"{html.escape(footer)}</text>")
+    out.append("</svg>")
+    return "\n".join(out) + "\n"
+
+
+def self_test():
+    folded = (
+        "main;alloc;fast 700\n"
+        "main;alloc;slow;refill 100\n"
+        "main;free 200\n"
+    )
+    stacks = parse_folded(folded)
+    assert sum(stacks.values()) == 1000, stacks
+    svg = render_svg(stacks, title="self-test", width=800, min_percent=0.0)
+    for frame in ("main", "alloc", "fast", "slow", "refill", "free"):
+        assert f'data-frame="{frame}"' in svg, f"frame {frame} missing"
+    assert svg.startswith("<svg "), "not an SVG"
+    assert "700 samples" in svg, "sample counts missing from titles"
+    # Duplicate stacks accumulate, comments and blank lines are ignored.
+    merged = parse_folded("# comment\n\na;b 1\na;b 2\n")
+    assert merged == {("a", "b"): 3}, merged
+    # min_percent prunes narrow frames.
+    pruned = render_svg(stacks, title="t", width=800, min_percent=15.0)
+    assert 'data-frame="refill"' not in pruned, "min-percent did not prune"
+    assert 'data-frame="fast"' in pruned
+    print("flamegraph.py: self-test OK")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("folded", nargs="?", help="folded profile file")
+    parser.add_argument("--out", help="output SVG path (default stdout)")
+    parser.add_argument("--title", default=None, help="SVG title")
+    parser.add_argument("--width", type=int, default=1200)
+    parser.add_argument("--min-percent", type=float, default=0.1,
+                        help="hide frames narrower than this %% of samples")
+    parser.add_argument("--self-test", action="store_true")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.folded:
+        parser.error("a folded profile file is required (or --self-test)")
+
+    with open(args.folded, encoding="utf-8") as f:
+        stacks = parse_folded(f.read())
+    title = args.title if args.title is not None else args.folded
+    svg = render_svg(stacks, title=title, width=args.width,
+                     min_percent=args.min_percent)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as f:
+            f.write(svg)
+        print(f"flamegraph: wrote {args.out}")
+    else:
+        sys.stdout.write(svg)
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; not a render failure.
+        sys.exit(0)

@@ -40,6 +40,14 @@
 //                     stdout. Feed the output to tools/flamegraph.py /
 //                     tools/flamediff.py. Simulated-mode profiles are
 //                     bit-identical for any --threads value.
+//   --out-dir=DIR     one flag for all sidecars: creates DIR and defaults
+//                     --statsz=DIR/statsz.json, --trace=DIR/trace.json,
+//                     --profile=DIR/heap_profile.json, and
+//                     --selfprof=DIR/selfprof.folded. The fine-grained
+//                     flags above stay as overrides: an explicit path
+//                     wins over the --out-dir default. The preload
+//                     harness (bench/preload) and the CI sidecar uploads
+//                     follow the same DIR layout.
 //
 // Both ParseBenchFlags and StripBenchFlags know every flag above, so
 // benches that hand the remaining argv to google-benchmark (e.g.
@@ -47,6 +55,8 @@
 
 #ifndef WSC_BENCH_BENCH_UTIL_H_
 #define WSC_BENCH_BENCH_UTIL_H_
+
+#include <sys/stat.h>
 
 #include <algorithm>
 #include <chrono>
@@ -86,6 +96,8 @@ inline int g_bench_mt_threads = 0;
 inline int g_bench_machines = 0;
 inline double g_bench_duration_s = 0;
 inline uint64_t g_bench_max_requests = 0;
+// --out-dir sidecar directory ("" = disabled); see ApplyOutDirDefaults.
+inline std::string g_out_dir;
 // --statsz destination ("" = disabled).
 inline std::string g_statsz_path;
 // Merged telemetry across every ReportTelemetry call in this process;
@@ -141,7 +153,29 @@ inline constexpr BenchFlag kBenchFlags[] = {
     {"--trace=", [](const char* v) { g_trace_path = v; }},
     {"--profile=", [](const char* v) { g_profile_path = v; }},
     {"--selfprof=", [](const char* v) { g_selfprof_path = v; }},
+    {"--out-dir=", [](const char* v) { g_out_dir = v; }},
 };
+
+// Resolves --out-dir: creates the directory (mkdir -p semantics) and
+// fills every sidecar path that was not explicitly set. Explicit
+// fine-grained flags always win, whatever the flag order.
+inline void ApplyOutDirDefaults() {
+  if (g_out_dir.empty()) return;
+  std::string path;
+  for (size_t i = 0; i <= g_out_dir.size(); ++i) {
+    if (i == g_out_dir.size() || g_out_dir[i] == '/') {
+      if (!path.empty()) ::mkdir(path.c_str(), 0755);
+    }
+    if (i < g_out_dir.size()) path += g_out_dir[i];
+  }
+  auto fill = [](std::string& slot, const char* leaf) {
+    if (slot.empty()) slot = g_out_dir + "/" + leaf;
+  };
+  fill(g_statsz_path, "statsz.json");
+  fill(g_trace_path, "trace.json");
+  fill(g_profile_path, "heap_profile.json");
+  fill(g_selfprof_path, "selfprof.folded");
+}
 
 // The flag row matching `arg`, or nullptr if it is not a wsc bench flag.
 inline const BenchFlag* MatchBenchFlag(const char* arg) {
@@ -161,6 +195,7 @@ inline void ParseBenchFlags(int argc, char** argv) {
       flag->apply(argv[i] + std::strlen(flag->prefix));
     }
   }
+  ApplyOutDirDefaults();
 }
 
 // Removes the wsc bench flags from argv (in place, updating argc) so the

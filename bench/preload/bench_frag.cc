@@ -1,0 +1,80 @@
+// Fragmentation / memory-return probe.
+//
+// Builds a large mixed-size population, frees a checkerboard of it (every
+// other object — the worst case for page-level reuse), then asks the
+// allocator to give memory back and reports RSS at each stage. Under the
+// shim the release step calls wscmalloc_release_memory(), which routes to
+// RealThreadsAllocator::ReleaseMemoryToSystem → madvise(MADV_DONTNEED);
+// under glibc it calls malloc_trim-equivalent via free() alone (no-op),
+// so the rss_after_release column is the interesting comparison.
+
+#include <malloc.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "preload_util.h"
+
+namespace {
+
+size_t PickSize(wsc_preload::Rng& rng) {
+  const uint64_t r = rng.Next();
+  // 90% small-class objects, 10% above kMaxSmallSize (256 KiB) so they
+  // take the page-heap large path — the only releasable population in
+  // wscmalloc (small-class spans are recycled, never returned).
+  if (r % 100 < 90) return 64u << ((r >> 8) % 7);  // 64 B .. 4 KiB
+  return size_t{512} * 1024;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace wsc_preload;
+  PreloadFlags flags = ParsePreloadFlags(argc, argv);
+  ShimApi shim = DiscoverShim();
+  AppendShimStats(flags, "frag", shim, "pre");
+
+  const size_t population = static_cast<size_t>(flags.ops);
+  std::vector<void*> objs(population, nullptr);
+  Rng rng(flags.seed);
+  for (size_t i = 0; i < population; ++i) {
+    const size_t size = PickSize(rng);
+    objs[i] = std::malloc(size);
+    if (objs[i] == nullptr) std::abort();
+    std::memset(objs[i], 0xEE, size);  // fault everything in
+  }
+  const size_t rss_peak = ReadRssBytes();
+
+  // Checkerboard free: half the bytes die but nearly every page stays
+  // partially live — the fragmentation regime of Figure 5.
+  for (size_t i = 0; i < population; i += 2) {
+    std::free(objs[i]);
+    objs[i] = nullptr;
+  }
+  const size_t rss_after_free = ReadRssBytes();
+
+  size_t released = 0;
+  if (shim.active() && shim.release_memory != nullptr) {
+    released = shim.release_memory(~size_t{0});
+  } else {
+    malloc_trim(0);
+  }
+  const size_t rss_after_release = ReadRssBytes();
+
+  for (size_t i = 1; i < population; i += 2) std::free(objs[i]);
+
+  AppendShimStats(flags, "frag", shim, "post");
+
+  char line[512];
+  std::snprintf(
+      line, sizeof(line),
+      "{\"bench\":\"frag\",\"allocator\":\"%s\",\"population\":%zu,"
+      "\"rss_peak\":%zu,\"rss_after_free\":%zu,\"rss_after_release\":%zu,"
+      "\"released_bytes\":%zu}",
+      AllocatorName(shim), population, rss_peak, rss_after_free,
+      rss_after_release, released);
+  EmitReport(flags, "frag", line);
+  return 0;
+}

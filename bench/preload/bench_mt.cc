@@ -1,0 +1,124 @@
+// Multi-threaded throughput with cross-thread frees.
+//
+// N workers each run a private rotating window, and every 16th object is
+// handed to the next worker's inbox and freed remotely — exercising the
+// transfer-cache / central-free-list path rather than pure thread-local
+// recycling. The pre/post shim stats snapshots (--out-dir) let CI assert
+// that the allocation/free delta balances: every object malloc'd during
+// the run is freed by the end, so post.allocations - pre.allocations ==
+// post.frees - pre.frees.
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "preload_util.h"
+
+namespace {
+
+constexpr size_t kWindow = 1024;
+constexpr int kHandoffEvery = 16;
+
+struct Inbox {
+  std::mutex mu;
+  std::vector<void*> objs;
+  char pad[64];
+};
+
+size_t PickSize(wsc_preload::Rng& rng) {
+  const uint64_t u = rng.Next();
+  return 16u << (u % 10);  // 16 B .. 8 KiB
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace wsc_preload;
+  PreloadFlags flags = ParsePreloadFlags(argc, argv);
+  ShimApi shim = DiscoverShim();
+
+  // Warm glibc's thread-stack/TLS cache before the "pre" snapshot: the
+  // first pthread_create per stack slot mallocs a DTV that is cached (not
+  // freed) at thread exit, which would otherwise show up as a permanent
+  // allocations-vs-frees imbalance in the conservation check.
+  {
+    std::vector<std::thread> warmup;
+    for (int t = 0; t < flags.threads; ++t) warmup.emplace_back([] {});
+    for (auto& w : warmup) w.join();
+  }
+
+  AppendShimStats(flags, "mt", shim, "pre");
+
+  uint64_t t0 = 0;
+  uint64_t t1 = 0;
+  // Scoped so every harness container is destroyed before the "post"
+  // stats snapshot — the pre/post allocation/free delta must balance
+  // exactly for the CI conservation check.
+  {
+  std::vector<Inbox> inboxes(flags.threads);
+
+  t0 = NowNanos();
+  std::vector<std::thread> workers;
+  workers.reserve(flags.threads);
+  for (int t = 0; t < flags.threads; ++t) {
+    workers.emplace_back([&, t] {
+      Rng rng(flags.seed * 1000003ull + static_cast<uint64_t>(t));
+      Inbox& peer = inboxes[(t + 1) % flags.threads];
+      Inbox& mine = inboxes[t];
+      std::vector<void*> window(kWindow, nullptr);
+      std::vector<void*> drained;
+      for (uint64_t op = 0; op < flags.ops; ++op) {
+        const size_t slot = rng.Next() % kWindow;
+        if (window[slot] != nullptr) {
+          if (op % kHandoffEvery == 0) {
+            std::lock_guard<std::mutex> lock(peer.mu);
+            peer.objs.push_back(window[slot]);
+          } else {
+            std::free(window[slot]);
+          }
+          window[slot] = nullptr;
+        }
+        void* p = std::malloc(PickSize(rng));
+        if (p == nullptr) std::abort();
+        std::memset(p, 0x5A, 16);
+        window[slot] = p;
+        // Drain remote frees opportunistically.
+        if (op % 64 == 0) {
+          {
+            std::lock_guard<std::mutex> lock(mine.mu);
+            drained.swap(mine.objs);
+          }
+          for (void* q : drained) std::free(q);
+          drained.clear();
+        }
+      }
+      for (void* p : window) std::free(p);
+    });
+  }
+  for (auto& w : workers) w.join();
+  t1 = NowNanos();
+
+  // Workers may exit while a slower peer is still pushing into their
+  // inbox; the post-join drain keeps allocations == frees.
+  for (auto& inbox : inboxes) {
+    for (void* p : inbox.objs) std::free(p);
+  }
+  }  // harness containers die here
+
+  AppendShimStats(flags, "mt", shim, "post");
+
+  const uint64_t total_ops = flags.ops * static_cast<uint64_t>(flags.threads);
+  char line[512];
+  std::snprintf(line, sizeof(line),
+                "{\"bench\":\"mt\",\"allocator\":\"%s\",\"threads\":%d,"
+                "\"ops\":%llu,\"ns_per_op\":%.2f,\"rss_bytes\":%zu}",
+                AllocatorName(shim), flags.threads,
+                static_cast<unsigned long long>(total_ops),
+                static_cast<double>(t1 - t0) / static_cast<double>(total_ops),
+                ReadRssBytes());
+  EmitReport(flags, "mt", line);
+  return 0;
+}

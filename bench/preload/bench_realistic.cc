@@ -1,0 +1,92 @@
+// "Realistic" workload: phases of growth, steady-state churn, and decay,
+// with the two-population lifetime mix the paper reports (most objects
+// die young; a long-lived minority holds most of the bytes). Exercises
+// realloc and aligned allocation alongside malloc/free so the full shim
+// surface is on the hot path.
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "preload_util.h"
+
+namespace {
+
+struct Obj {
+  void* p = nullptr;
+  size_t size = 0;
+};
+
+size_t PickSize(wsc_preload::Rng& rng) {
+  const uint64_t u = rng.Next();
+  return 24 + (u % 2048);  // 24 B .. ~2 KiB, unaligned sizes included
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace wsc_preload;
+  PreloadFlags flags = ParsePreloadFlags(argc, argv);
+  ShimApi shim = DiscoverShim();
+  AppendShimStats(flags, "realistic", shim, "pre");
+
+  Rng rng(flags.seed);
+  std::vector<Obj> long_lived;   // grows through the run, freed at exit
+  std::vector<Obj> short_lived(512);
+
+  const uint64_t t0 = NowNanos();
+  for (uint64_t op = 0; op < flags.ops; ++op) {
+    const uint64_t r = rng.Next();
+    const uint64_t action = r % 100;
+    if (action < 70) {
+      // Short-lived churn.
+      Obj& o = short_lived[r >> 32 & 511];
+      if (o.p != nullptr) std::free(o.p);
+      o.size = PickSize(rng);
+      o.p = std::malloc(o.size);
+      if (o.p == nullptr) std::abort();
+      std::memset(o.p, 1, o.size < 32 ? o.size : 32);
+    } else if (action < 85) {
+      // Grow a short-lived buffer in place (vector-append pattern).
+      Obj& o = short_lived[r >> 32 & 511];
+      if (o.p != nullptr) {
+        o.size += o.size / 2 + 8;
+        o.p = std::realloc(o.p, o.size);
+        if (o.p == nullptr) std::abort();
+      }
+    } else if (action < 95) {
+      // Long-lived allocation (arena/cache entry pattern).
+      Obj o;
+      o.size = PickSize(rng) * 4;
+      o.p = std::malloc(o.size);
+      if (o.p == nullptr) std::abort();
+      std::memset(o.p, 2, o.size < 32 ? o.size : 32);
+      long_lived.push_back(o);
+    } else {
+      // Aligned allocation (I/O buffer pattern).
+      void* p = nullptr;
+      if (posix_memalign(&p, 4096, 8192) != 0) std::abort();
+      std::memset(p, 3, 64);
+      std::free(p);
+    }
+  }
+  const uint64_t t1 = NowNanos();
+  const size_t rss_steady = ReadRssBytes();
+
+  for (Obj& o : short_lived) std::free(o.p);
+  for (Obj& o : long_lived) std::free(o.p);
+
+  AppendShimStats(flags, "realistic", shim, "post");
+
+  char line[512];
+  std::snprintf(line, sizeof(line),
+                "{\"bench\":\"realistic\",\"allocator\":\"%s\",\"ops\":%llu,"
+                "\"ns_per_op\":%.2f,\"long_lived\":%zu,\"rss_bytes\":%zu}",
+                AllocatorName(shim),
+                static_cast<unsigned long long>(flags.ops),
+                static_cast<double>(t1 - t0) / static_cast<double>(flags.ops),
+                long_lived.size(), rss_steady);
+  EmitReport(flags, "realistic", line);
+  return 0;
+}

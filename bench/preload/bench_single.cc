@@ -1,0 +1,77 @@
+// Single-threaded malloc/free throughput sweep.
+//
+// A rotating window of live objects with a size distribution spanning the
+// small-object classes and the page-heap path (16 B .. 512 KiB), matching
+// the hot path the paper's Figure 4 measures. Run twice — bare and under
+// LD_PRELOAD=libwscmalloc.so — and compare ns_per_op.
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "preload_util.h"
+
+namespace {
+
+constexpr size_t kWindow = 4096;
+
+size_t PickSize(wsc_preload::Rng& rng) {
+  // ~90% small (16 B – 4 KiB, log-uniform), ~9% mid, ~1% large. Mirrors
+  // the fleet-wide object-size CDF shape (most objects small, most bytes
+  // in the tail).
+  const uint64_t r = rng.Next();
+  const uint64_t pct = r % 100;
+  const uint64_t u = r >> 8;
+  if (pct < 90) return 16u << (u % 9);         // 16 B .. 4 KiB
+  if (pct < 99) return 8192u << (u % 4);       // 8 KiB .. 64 KiB
+  return 131072u << (u % 3);                   // 128 KiB .. 512 KiB
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace wsc_preload;
+  PreloadFlags flags = ParsePreloadFlags(argc, argv);
+  ShimApi shim = DiscoverShim();
+  AppendShimStats(flags, "single", shim, "pre");
+
+  void** window = static_cast<void**>(std::calloc(kWindow, sizeof(void*)));
+  size_t* sizes = static_cast<size_t*>(std::calloc(kWindow, sizeof(size_t)));
+  Rng rng(flags.seed);
+
+  const uint64_t t0 = NowNanos();
+  for (uint64_t op = 0; op < flags.ops; ++op) {
+    const size_t slot = rng.Next() % kWindow;
+    if (window[slot] != nullptr) {
+      // Touch before free so the object is actually resident.
+      static_cast<volatile char*>(window[slot])[sizes[slot] - 1] = 0;
+      std::free(window[slot]);
+      window[slot] = nullptr;
+    }
+    const size_t size = PickSize(rng);
+    void* p = std::malloc(size);
+    if (p == nullptr) std::abort();
+    std::memset(p, 0xA5, size < 64 ? size : 64);
+    window[slot] = p;
+    sizes[slot] = size;
+  }
+  const uint64_t t1 = NowNanos();
+
+  for (size_t i = 0; i < kWindow; ++i) std::free(window[i]);
+  std::free(window);
+  std::free(sizes);
+
+  AppendShimStats(flags, "single", shim, "post");
+
+  char line[512];
+  std::snprintf(line, sizeof(line),
+                "{\"bench\":\"single\",\"allocator\":\"%s\",\"ops\":%llu,"
+                "\"ns_per_op\":%.2f,\"rss_bytes\":%zu}",
+                AllocatorName(shim),
+                static_cast<unsigned long long>(flags.ops),
+                static_cast<double>(t1 - t0) / static_cast<double>(flags.ops),
+                ReadRssBytes());
+  EmitReport(flags, "single", line);
+  return 0;
+}

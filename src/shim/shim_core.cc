@@ -1,0 +1,376 @@
+#include "shim/shim_core.h"
+
+#include <errno.h>
+#include <pthread.h>
+#include <string.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+
+#include "tcmalloc/config.h"
+#include "tcmalloc/memory_backing.h"
+#include "tcmalloc/pages.h"
+#include "tcmalloc/real_threads.h"
+#include "telemetry/registry.h"
+
+namespace wsc::shim {
+namespace {
+
+using tcmalloc::RealThreadCache;
+using tcmalloc::RealThreadsAllocator;
+
+// ---- Bootstrap arena -------------------------------------------------
+//
+// Serves three kinds of allocation the real allocator cannot: (a) calls
+// made before/while the allocator constructs (ld.so and libc start
+// allocating before any constructor runs), (b) reentrant calls from
+// inside the allocator's own bookkeeping (vector growth in
+// RegisterThread, std::map nodes in the released-range set), (c) calls
+// from threads racing the one-time init. It is a dumb mmap'd bump
+// allocator with a size header per block; frees are no-ops, so it must
+// stay small — once the allocator is up, only (b) lands here.
+
+constexpr size_t kBootstrapBytes = size_t{256} << 20;  // 256 MiB of VA
+constexpr size_t kBootstrapHeader = 16;                // keeps 16-alignment
+
+std::atomic<uintptr_t> g_boot_base{0};
+std::atomic<uintptr_t> g_boot_next{0};
+
+uintptr_t BootstrapBase() {
+  uintptr_t base = g_boot_base.load(std::memory_order_acquire);
+  if (base != 0) return base;
+  void* mem = mmap(nullptr, kBootstrapBytes, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+  if (mem == MAP_FAILED) return 0;
+  uintptr_t fresh = reinterpret_cast<uintptr_t>(mem);
+  uintptr_t expected = 0;
+  if (g_boot_base.compare_exchange_strong(expected, fresh,
+                                          std::memory_order_acq_rel)) {
+    g_boot_next.store(fresh, std::memory_order_release);
+    return fresh;
+  }
+  munmap(mem, kBootstrapBytes);  // lost the race; use the winner's
+  return expected;
+}
+
+void* BootstrapAlloc(size_t size, size_t align) {
+  uintptr_t base = BootstrapBase();
+  if (base == 0) return nullptr;
+  if (align < kBootstrapHeader) align = kBootstrapHeader;
+  size_t need = (size + kBootstrapHeader - 1) & ~(kBootstrapHeader - 1);
+  uintptr_t next = g_boot_next.load(std::memory_order_relaxed);
+  uintptr_t block;
+  do {
+    block = (next + kBootstrapHeader + (align - 1)) & ~(align - 1);
+    if (block + need > base + kBootstrapBytes) return nullptr;
+  } while (!g_boot_next.compare_exchange_weak(next, block + need,
+                                              std::memory_order_relaxed));
+  reinterpret_cast<size_t*>(block)[-1] = size;
+  return reinterpret_cast<void*>(block);
+}
+
+bool IsBootstrap(const void* ptr) {
+  uintptr_t base = g_boot_base.load(std::memory_order_acquire);
+  uintptr_t p = reinterpret_cast<uintptr_t>(ptr);
+  return base != 0 && p >= base && p < base + kBootstrapBytes;
+}
+
+size_t BootstrapUsable(const void* ptr) {
+  return reinterpret_cast<const size_t*>(ptr)[-1];
+}
+
+// ---- One-time initialization ----------------------------------------
+
+enum : int { kUninit = 0, kConstructing = 1, kReady = 2 };
+
+std::atomic<int> g_state{kUninit};
+alignas(RealThreadsAllocator) unsigned char
+    g_alloc_storage[sizeof(RealThreadsAllocator)];
+RealThreadsAllocator* g_alloc = nullptr;
+
+// Per-thread state. initial-exec TLS: resolved at load time, no
+// __tls_get_addr (which would malloc) on access.
+__attribute__((tls_model("initial-exec"))) thread_local RealThreadCache*
+    t_cache = nullptr;
+// Set while this thread is inside the allocator (or its construction):
+// nested malloc calls are allocator bookkeeping and must come from the
+// bootstrap arena, not recurse.
+__attribute__((tls_model("initial-exec"))) thread_local bool t_busy = false;
+
+struct BusyScope {
+  BusyScope() { t_busy = true; }
+  ~BusyScope() { t_busy = false; }
+};
+
+size_t EnvBytesMb(const char* name, size_t fallback) {
+  const char* v = getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  unsigned long long mb = strtoull(v, &end, 10);
+  if (end == v) return fallback;
+  return static_cast<size_t>(mb) << 20;
+}
+
+void ForkPrepare() {
+  if (g_state.load(std::memory_order_acquire) == kReady) {
+    g_alloc->ForkPrepare();
+  }
+}
+
+void ForkRelease() {
+  if (g_state.load(std::memory_order_acquire) == kReady) {
+    g_alloc->ForkRelease();
+  }
+}
+
+RealThreadsAllocator* GetAllocator() {
+  int state = g_state.load(std::memory_order_acquire);
+  if (state == kReady) return g_alloc;
+  int expected = kUninit;
+  if (!g_state.compare_exchange_strong(expected, kConstructing,
+                                       std::memory_order_acq_rel)) {
+    // Someone else is constructing (or just finished).
+    return g_state.load(std::memory_order_acquire) == kReady ? g_alloc
+                                                             : nullptr;
+  }
+  // We construct. Everything the constructor allocates lands in the
+  // bootstrap arena via t_busy.
+  BusyScope busy;
+  size_t reserve = EnvBytesMb("WSC_SHIM_RESERVE_MB", 0);
+  long nproc = sysconf(_SC_NPROCESSORS_ONLN);
+  int expected_threads = nproc > 0 ? static_cast<int>(nproc) : 4;
+  auto builder = tcmalloc::AllocatorConfig::Builder()
+                     .WithRealMemory()
+                     .WithRealMemoryReserve(reserve);
+  auto built = builder.TryBuild();
+  if (!built.has_value()) {
+    // Cannot happen with the knobs above, but never abort inside malloc.
+    g_state.store(kUninit, std::memory_order_release);
+    return nullptr;
+  }
+  g_alloc = new (g_alloc_storage)
+      RealThreadsAllocator(*built, expected_threads);
+  size_t release_mb = EnvBytesMb("WSC_SHIM_RELEASE_MB", size_t{256} << 20);
+  g_alloc->SetLargeReleaseThreshold(release_mb);
+  pthread_atfork(&ForkPrepare, &ForkRelease, &ForkRelease);
+  g_state.store(kReady, std::memory_order_release);
+  return g_alloc;
+}
+
+RealThreadCache* GetCache(RealThreadsAllocator* alloc) {
+  RealThreadCache* tc = t_cache;
+  if (tc != nullptr) return tc;
+  BusyScope busy;  // RegisterThread grows vectors
+  tc = alloc->RegisterThread();
+  t_cache = tc;
+  return tc;
+}
+
+void* FinishAlloc(uintptr_t addr) {
+  if (addr == 0) {
+    errno = ENOMEM;
+    return nullptr;
+  }
+  return reinterpret_cast<void*>(addr);
+}
+
+}  // namespace
+
+void* ShimMalloc(size_t size) {
+  if (size == 0) size = 1;
+  if (t_busy) {
+    void* p = BootstrapAlloc(size, kBootstrapHeader);
+    if (p == nullptr) errno = ENOMEM;
+    return p;
+  }
+  RealThreadsAllocator* alloc = GetAllocator();
+  if (alloc == nullptr) {
+    void* p = BootstrapAlloc(size, kBootstrapHeader);
+    if (p == nullptr) errno = ENOMEM;
+    return p;
+  }
+  RealThreadCache* tc = GetCache(alloc);
+  BusyScope busy;
+  return FinishAlloc(alloc->Allocate(tc, size));
+}
+
+void ShimFree(void* ptr) {
+  if (ptr == nullptr || IsBootstrap(ptr)) return;
+  RealThreadsAllocator* alloc = GetAllocator();
+  if (alloc == nullptr || !alloc->Owns(reinterpret_cast<uintptr_t>(ptr))) {
+    // Foreign pointer (allocated past the shim, e.g. by libc internals
+    // that bypass malloc): leaking it is safe, freeing it is not.
+    return;
+  }
+  RealThreadCache* tc = GetCache(alloc);
+  BusyScope busy;
+  alloc->FreeAddr(tc, reinterpret_cast<uintptr_t>(ptr));
+}
+
+void* ShimCalloc(size_t n, size_t size) {
+  size_t bytes;
+  if (__builtin_mul_overflow(n, size, &bytes)) {
+    errno = ENOMEM;
+    return nullptr;
+  }
+  void* p = ShimMalloc(bytes == 0 ? 1 : bytes);
+  if (p != nullptr) memset(p, 0, bytes);
+  return p;
+}
+
+void* ShimRealloc(void* ptr, size_t size) {
+  if (ptr == nullptr) return ShimMalloc(size);
+  if (size == 0) {
+    ShimFree(ptr);
+    return nullptr;
+  }
+  size_t old_usable = ShimUsableSize(ptr);
+  // In place when it still fits and is not a pathological shrink (keep at
+  // most 2x slack, mirroring size-class granularity).
+  if (size <= old_usable && size >= old_usable / 2) return ptr;
+  void* fresh = ShimMalloc(size);
+  if (fresh == nullptr) return nullptr;  // old block stays valid
+  memcpy(fresh, ptr, old_usable < size ? old_usable : size);
+  ShimFree(ptr);
+  return fresh;
+}
+
+void* ShimReallocArray(void* ptr, size_t n, size_t size) {
+  size_t bytes;
+  if (__builtin_mul_overflow(n, size, &bytes)) {
+    errno = ENOMEM;
+    return nullptr;
+  }
+  return ShimRealloc(ptr, bytes);
+}
+
+int ShimPosixMemalign(void** out, size_t align, size_t size) {
+  if (out == nullptr || align < sizeof(void*) ||
+      (align & (align - 1)) != 0) {
+    return EINVAL;
+  }
+  if (size == 0) size = 1;
+  if (t_busy) {
+    void* p = BootstrapAlloc(size, align);
+    if (p == nullptr) return ENOMEM;
+    *out = p;
+    return 0;
+  }
+  RealThreadsAllocator* alloc = GetAllocator();
+  if (alloc == nullptr) {
+    void* p = BootstrapAlloc(size, align);
+    if (p == nullptr) return ENOMEM;
+    *out = p;
+    return 0;
+  }
+  RealThreadCache* tc = GetCache(alloc);
+  BusyScope busy;
+  uintptr_t addr = alloc->AllocateAligned(tc, size, align);
+  if (addr == 0) return ENOMEM;
+  *out = reinterpret_cast<void*>(addr);
+  return 0;
+}
+
+void* ShimAlignedAlloc(size_t align, size_t size) {
+  if (align == 0 || (align & (align - 1)) != 0) {
+    errno = EINVAL;
+    return nullptr;
+  }
+  void* out = nullptr;
+  int err = ShimPosixMemalign(&out, align < sizeof(void*) ? sizeof(void*)
+                                                          : align,
+                              size);
+  if (err != 0) {
+    errno = err;
+    return nullptr;
+  }
+  return out;
+}
+
+void* ShimMemalign(size_t align, size_t size) {
+  return ShimAlignedAlloc(align == 0 ? sizeof(void*) : align, size);
+}
+
+void* ShimValloc(size_t size) {
+  long page = sysconf(_SC_PAGESIZE);
+  return ShimAlignedAlloc(page > 0 ? static_cast<size_t>(page) : 4096,
+                          size);
+}
+
+void* ShimPvalloc(size_t size) {
+  long page_l = sysconf(_SC_PAGESIZE);
+  size_t page = page_l > 0 ? static_cast<size_t>(page_l) : 4096;
+  size_t rounded = (size + page - 1) & ~(page - 1);
+  return ShimAlignedAlloc(page, rounded == 0 ? page : rounded);
+}
+
+size_t ShimUsableSize(void* ptr) {
+  if (ptr == nullptr) return 0;
+  if (IsBootstrap(ptr)) return BootstrapUsable(ptr);
+  if (g_state.load(std::memory_order_acquire) != kReady) return 0;
+  return g_alloc->UsableSize(reinterpret_cast<uintptr_t>(ptr));
+}
+
+bool ShimIsActive() {
+  return g_state.load(std::memory_order_acquire) == kReady;
+}
+
+const char* ShimBackendName() {
+  if (!ShimIsActive()) return "bootstrap";
+  return tcmalloc::BackendKindName(g_alloc->backend_kind());
+}
+
+size_t ShimReleaseMemory(size_t bytes) {
+  if (!ShimIsActive()) return 0;
+  BusyScope busy;
+  return g_alloc->ReleaseMemoryToSystem(bytes);
+}
+
+size_t ShimStatsJson(char* buf, size_t cap) {
+  if (buf == nullptr || cap == 0) return 0;
+  if (!ShimIsActive()) {
+    int n = snprintf(buf, cap, "{\"active\":false,\"bootstrap_bytes\":%zu}",
+                     static_cast<size_t>(
+                         g_boot_next.load(std::memory_order_relaxed) -
+                         g_boot_base.load(std::memory_order_relaxed)));
+    return n < 0 ? 0 : (static_cast<size_t>(n) < cap
+                            ? static_cast<size_t>(n)
+                            : cap - 1);
+  }
+  BusyScope busy;  // the snapshot's own vectors come from bootstrap
+  wsc::telemetry::Snapshot snap = g_alloc->TelemetrySnapshot();
+  auto metric = [&snap](const char* component, const char* name) -> double {
+    const wsc::telemetry::MetricSample* s = snap.Find(component, name);
+    return s != nullptr ? s->ScalarValue() : 0.0;
+  };
+  uintptr_t boot_base = g_boot_base.load(std::memory_order_relaxed);
+  size_t boot_bytes =
+      boot_base == 0
+          ? 0
+          : g_boot_next.load(std::memory_order_relaxed) - boot_base;
+  int n = snprintf(
+      buf, cap,
+      "{\"active\":true,\"backend\":\"%s\","
+      "\"allocations\":%.0f,\"frees\":%.0f,"
+      "\"live_bytes\":%.0f,\"footprint_bytes\":%zu,"
+      "\"released_bytes\":%.0f,\"recommitted_bytes\":%.0f,"
+      "\"reserved_bytes\":%.0f,\"large_pending_bytes\":%.0f,"
+      "\"threads\":%d,\"bootstrap_bytes\":%zu}",
+      ShimBackendName(), metric("allocator", "allocations"),
+      metric("allocator", "frees"), metric("allocator", "live_bytes"),
+      g_alloc->FootprintBytes(), metric("system", "released_bytes"),
+      metric("system", "recommitted_bytes"),
+      metric("system", "reserved_bytes"),
+      metric("allocator", "large_pending_bytes"),
+      g_alloc->registered_threads(), boot_bytes);
+  return n < 0 ? 0
+               : (static_cast<size_t>(n) < cap ? static_cast<size_t>(n)
+                                               : cap - 1);
+}
+
+}  // namespace wsc::shim

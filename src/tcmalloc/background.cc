@@ -135,7 +135,11 @@ bool BackgroundReclaimer::EmergencyReclaimForGrowth() {
 
 size_t BackgroundReclaimer::ReclaimTiers(size_t target_bytes) {
   reclaim_runs_->Add();
-  const size_t released_start = TotalReleasedBytes();
+  // Accumulate what each backend release call actually confirmed, rather
+  // than diffing the released-pages gauge: the gauge also moves when frees
+  // land on subreleased hugepages (over-report) or released memory is
+  // reused mid-cascade (underflow), so it is not a measure of this run.
+  size_t released = 0;
   const std::vector<uint64_t> spans_before = SnapshotReturnedSpans();
   auto to_cfl = [this](int cls, const uintptr_t* objs, int n) {
     allocator_->ReturnToCfl(cls, objs, n);
@@ -158,7 +162,7 @@ size_t BackgroundReclaimer::ReclaimTiers(size_t target_bytes) {
       trace_->Emit(trace::EventType::kPressureStep, -1, -1, -1, 0, flushed,
                    footprint);
     }
-    ReleaseBackend(footprint - target_bytes);
+    released += ReleaseBackend(footprint - target_bytes);
     footprint = allocator_->FootprintBytes();
   }
 
@@ -176,7 +180,7 @@ size_t BackgroundReclaimer::ReclaimTiers(size_t target_bytes) {
       trace_->Emit(trace::EventType::kPressureStep, -1, -1, -1, 1, drained,
                    footprint);
     }
-    ReleaseBackend(footprint - target_bytes);
+    released += ReleaseBackend(footprint - target_bytes);
     footprint = allocator_->FootprintBytes();
   }
 
@@ -193,10 +197,9 @@ size_t BackgroundReclaimer::ReclaimTiers(size_t target_bytes) {
   // Tier 4: whatever deficit remains comes straight out of the back end —
   // aggressive subrelease of sparse hugepages, no demand guard.
   if (footprint > target_bytes) {
-    ReleaseBackend(footprint - target_bytes);
+    released += ReleaseBackend(footprint - target_bytes);
   }
 
-  size_t released = TotalReleasedBytes() - released_start;
   tier_page_heap_hist_->Record(static_cast<double>(released));
   if (trace_) {
     trace_->Emit(trace::EventType::kPressureStep, -1, -1, -1, 3, released,

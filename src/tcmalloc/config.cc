@@ -104,7 +104,9 @@ AllocatorConfig::Builder::Builder(const AllocatorConfig& base)
       explicit_llc_domains_(base.num_llc_domains !=
                             AllocatorConfig::kTopologyDerived),
       explicit_numa_nodes_(base.num_numa_nodes !=
-                           AllocatorConfig::kTopologyDerived) {}
+                           AllocatorConfig::kTopologyDerived),
+      explicit_arena_(base.arena_base != AllocatorConfig{}.arena_base ||
+                      base.arena_bytes != AllocatorConfig{}.arena_bytes) {}
 
 AllocatorConfig::Builder& AllocatorConfig::Builder::WithVcpus(int n) {
   config_.num_vcpus = n;
@@ -248,6 +250,18 @@ AllocatorConfig::Builder& AllocatorConfig::Builder::WithArena(uintptr_t base,
                                                               size_t bytes) {
   config_.arena_base = base;
   config_.arena_bytes = bytes;
+  explicit_arena_ = true;
+  return *this;
+}
+
+AllocatorConfig::Builder& AllocatorConfig::Builder::WithRealMemory(bool on) {
+  config_.real_memory = on;
+  return *this;
+}
+
+AllocatorConfig::Builder& AllocatorConfig::Builder::WithRealMemoryReserve(
+    size_t bytes) {
+  config_.real_memory_reserve_bytes = bytes;
   return *this;
 }
 
@@ -311,6 +325,34 @@ std::optional<AllocatorConfig> AllocatorConfig::Builder::TryBuild(
         "NUMA mode duplicates the middle/back end per node; pass "
         "WithNumaNodes(n >= 2), or use WithNumaAware() to derive the count "
         "from the machine topology"));
+  }
+  // Real-memory mode combination checks: TryBuild reports, never aborts.
+  if (config_.real_memory && config_.numa_aware) {
+    return fail(BadKnob(
+        "real_memory is incompatible with numa_aware",
+        "real-memory mode manages one contiguous kernel reservation, while "
+        "NUMA mode slices the arena per node; drop WithNumaAware()/"
+        "WithNumaNodes() or run the virtual arena"));
+  }
+  if (config_.real_memory && config_.guarded_sampling) {
+    return fail(BadKnob(
+        "real_memory is incompatible with guarded_sampling",
+        "guarded sampling leaves tombstones on never-reused virtual "
+        "addresses; real memory reuses and madvises them, so drop "
+        "WithGuardedSampling() or run the virtual arena"));
+  }
+  if (!config_.real_memory && config_.real_memory_reserve_bytes != 0) {
+    return fail(BadKnob(
+        "real_memory_reserve_bytes requires real_memory",
+        "WithRealMemoryReserve() only sizes the real-memory reservation; "
+        "add WithRealMemory() or drop the reserve"));
+  }
+  if (config_.real_memory && explicit_arena_) {
+    return fail(BadKnob(
+        "real_memory ignores an explicit WithArena()",
+        "the kernel chooses the reservation base in real-memory mode; drop "
+        "WithArena() (the reservation is sized to min(arena_bytes default, "
+        "64 GiB)) or run the virtual arena"));
   }
 
   AllocatorConfig config = config_;

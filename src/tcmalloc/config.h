@@ -128,6 +128,21 @@ struct AllocatorConfig {
   uintptr_t arena_base = uintptr_t{1} << 44;
   size_t arena_bytes = size_t{4} << 40;  // 4 TiB of virtual space
 
+  // ---- Memory backing ----
+  // Real-memory mode: the allocator maps one contiguous anonymous
+  // reservation (mmap + MADV_HUGEPAGE) and the arena becomes real,
+  // dereferenceable memory — releases madvise, freelists may thread
+  // through object storage. The arena base/size above are replaced by the
+  // kernel-chosen reservation at construction. Opt in exclusively through
+  // Builder::WithRealMemory(); defaults to the deterministic virtual
+  // arena.
+  bool real_memory = false;
+  // Size of the real-memory reservation; 0 derives it from arena_bytes
+  // (capped by the backend). The malloc shim sets this from
+  // WSC_SHIM_RESERVE_MB so OOM behavior is testable without exhausting
+  // terabytes of address space.
+  size_t real_memory_reserve_bytes = 0;
+
   CostModel costs;
 
   // Returns the paper's optimized configuration: all four redesigns on
@@ -210,6 +225,16 @@ class AllocatorConfig::Builder {
   Builder& WithArena(uintptr_t base, size_t bytes);
   Builder& WithCostModel(const CostModel& costs);
 
+  // ---- Memory backing ----
+  // Back the allocator with real memory (mmap/madvise) instead of the
+  // deterministic virtual arena. The sole opt-in path for real-memory
+  // mode; incompatible with NUMA mode, guarded sampling, and an explicit
+  // WithArena() base (TryBuild explains each).
+  Builder& WithRealMemory(bool on = true);
+  // Bounds the real-memory reservation (implies nothing by itself:
+  // TryBuild rejects it without WithRealMemory()).
+  Builder& WithRealMemoryReserve(size_t bytes);
+
   // ---- Memory limits ----
   Builder& WithSoftMemoryLimit(size_t bytes);
   Builder& WithHardMemoryLimit(size_t bytes);
@@ -230,6 +255,7 @@ class AllocatorConfig::Builder {
   AllocatorConfig config_;
   bool explicit_llc_domains_ = false;
   bool explicit_numa_nodes_ = false;
+  bool explicit_arena_ = false;
 };
 
 }  // namespace wsc::tcmalloc

@@ -33,6 +33,9 @@ HugePageId HugeCache::Allocate(int n) {
       if (it != released_.end()) {
         released_.erase(it);
         --stats_.released_hugepages;
+        // Tell the backing this hugepage is in use again (real memory
+        // refaults on touch; the virtual arena clears its released mark).
+        system_->Commit(HugePageId{i}.Addr(), kHugePageSize);
       } else {
         --stats_.cached_hugepages;
       }
@@ -115,6 +118,8 @@ size_t HugeCache::MarkReleased(size_t count) {
         ++released;
         --stats_.cached_hugepages;
         ++stats_.released_hugepages;
+        // madvise-equivalent: the backing returns the pages to the OS.
+        system_->Release(HugePageId{start + i}.Addr(), kHugePageSize);
       }
     }
     if (released >= count) break;

@@ -206,6 +206,7 @@ PageId HugePageFiller::Allocate(Length n, int span_capacity) {
   if (was_released) {
     // Pages on a broken hugepage get recommitted on use; they stop counting
     // as released. (The hugepage itself stays broken until fully free.)
+    backing_->CommitPageRange(t->hugepage(), offset, n);
   }
   return PageId{t->hugepage().first_page().index +
                 static_cast<uintptr_t>(offset)};
@@ -219,6 +220,11 @@ void HugePageFiller::Free(PageId page, Length n) {
   int offset = static_cast<int>(page.index - hp.first_page().index);
   ListRemove(t);
   t->Free(offset, n);
+  if (t->released()) {
+    // Pages freed onto a broken hugepage go straight back to the OS; by
+    // the time the tracker empties, its whole 2 MiB is already released.
+    backing_->ReleasePageRange(hp, offset, n);
+  }
   if (t->empty()) {
     ReleaseEmpty(t);
     return;
@@ -250,6 +256,9 @@ void HugePageFiller::FreeDonatedHead(HugePageId hp, Length head_pages) {
   WSC_CHECK(t != nullptr);
   ListRemove(t);
   t->Free(0, head_pages);
+  if (t->released()) {
+    backing_->ReleasePageRange(hp, 0, head_pages);
+  }
   if (t->empty()) {
     ReleaseEmpty(t);
     return;
@@ -326,12 +335,21 @@ Length HugePageFiller::ReleaseSparsest(Length need) {
               return a->hugepage().index > b->hugepage().index;
             });
   Length released = 0;
+  size_t confirmed_bytes = 0;
   for (PageTracker* t : intact) {
     if (released >= need) break;
     t->set_released(true);
     ++stats_.released_hugepages;
     ++stats_.subrelease_events;
     released += t->free_pages();
+    // Hand the exact free ranges to the backing (madvise in real-memory
+    // mode). Victims are intact trackers, whose free pages are always
+    // committed, so in virtual mode confirmed == marked and the return
+    // value is unchanged by this plumbing.
+    t->ForEachFreeRun([&](int offset, Length len) {
+      confirmed_bytes += backing_->ReleasePageRange(t->hugepage(), offset,
+                                                    len);
+    });
     if (trace_) {
       trace_->Emit(trace::EventType::kFillerSubrelease, -1, -1, -1,
                    static_cast<int16_t>(t->lifetime_set()),
@@ -339,7 +357,9 @@ Length HugePageFiller::ReleaseSparsest(Length need) {
                    static_cast<uint64_t>(t->free_pages()));
     }
   }
-  return released;
+  // Report what the backing confirmed, not what was marked: this is the
+  // figure ReleaseMemoryToSystem surfaces to callers.
+  return static_cast<Length>(confirmed_bytes >> kPageShift);
 }
 
 bool HugePageFiller::IsIntactHugepage(uintptr_t addr) const {

@@ -66,6 +66,27 @@ class PageTracker {
   int lifetime_set() const { return lifetime_set_; }
   void set_lifetime_set(int s) { lifetime_set_ = s; }
 
+  // Invokes fn(offset, len) for every maximal run of contiguous free
+  // pages. Used by subrelease to hand the exact free ranges to the memory
+  // backing (madvise in real-memory mode).
+  template <typename Fn>
+  void ForEachFreeRun(Fn&& fn) const {
+    int run_start = -1;
+    for (int i = 0; i < static_cast<int>(kPagesPerHugePage); ++i) {
+      const bool used = (bitmap_[i / 64] >> (i % 64)) & 1;
+      if (!used && run_start < 0) run_start = i;
+      if (used && run_start >= 0) {
+        fn(run_start, static_cast<Length>(i - run_start));
+        run_start = -1;
+      }
+    }
+    if (run_start >= 0) {
+      fn(run_start,
+         static_cast<Length>(static_cast<int>(kPagesPerHugePage) -
+                             run_start));
+    }
+  }
+
   // Intrusive list hooks managed by HugePageFiller.
   PageTracker* prev = nullptr;
   PageTracker* next = nullptr;
@@ -118,6 +139,23 @@ class HugePageBacking {
   // Accepts a fully-empty hugepage leaving the filler; `intact` tells
   // whether it left THP-intact.
   virtual void PutHugePage(HugePageId hp, bool intact) = 0;
+
+  // Returns pages [offset, offset+n) of `hp` to the OS (madvise in
+  // real-memory mode). Returns the bytes the backing confirmed as *newly*
+  // released; the default (test harnesses) confirms everything.
+  virtual size_t ReleasePageRange(HugePageId hp, int offset, Length n) {
+    (void)hp;
+    (void)offset;
+    return LengthToBytes(n);
+  }
+
+  // Declares pages [offset, offset+n) of `hp` in use again after a
+  // ReleasePageRange (refault semantics; bookkeeping-only by default).
+  virtual void CommitPageRange(HugePageId hp, int offset, Length n) {
+    (void)hp;
+    (void)offset;
+    (void)n;
+  }
 };
 
 // Packs sub-hugepage allocations into hugepages.

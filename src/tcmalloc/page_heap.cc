@@ -32,6 +32,15 @@ PageHeap::PageHeap(const SizeClasses* size_classes,
 
 HugePageId PageHeap::GetHugePage() { return cache_.Allocate(1); }
 
+size_t PageHeap::ReleasePageRange(HugePageId hp, int offset, Length n) {
+  return system_->Release(hp.Addr() + LengthToBytes(offset),
+                          LengthToBytes(n));
+}
+
+void PageHeap::CommitPageRange(HugePageId hp, int offset, Length n) {
+  system_->Commit(hp.Addr() + LengthToBytes(offset), LengthToBytes(n));
+}
+
 bool PageHeap::LastHugePageBacked() const {
   return cache_.last_allocation_backed();
 }

@@ -136,6 +136,8 @@ class PageHeap : public SpanSource, private HugePageBacking {
   HugePageId GetHugePage() override;
   bool LastHugePageBacked() const override;
   void PutHugePage(HugePageId hp, bool intact) override;
+  size_t ReleasePageRange(HugePageId hp, int offset, Length n) override;
+  void CommitPageRange(HugePageId hp, int offset, Length n) override;
 
   // Erases up to `n` hugepages starting at `hp` from the unbacked set;
   // returns true if the run was unbacked (scarcity runs are uniform, so

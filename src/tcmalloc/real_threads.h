@@ -31,10 +31,22 @@
 //    (duplicated in tools/check_alignment.cc, compiled by CI) pin the
 //    layout.
 //
-// Memory is virtual exactly like the simulator's arena: the allocator
-// hands out addresses from a private range and never dereferences them,
-// so a 4 TiB heap costs nothing and ASan/TSan see only the allocator's
-// own bookkeeping — which is precisely what the tests need to race-check.
+// Memory: two backings behind one seam (tcmalloc/memory_backing.h).
+//
+//  * Virtual (default): addresses come from a private range and are never
+//    dereferenced, so a 4 TiB heap costs nothing and ASan/TSan see only
+//    the allocator's own bookkeeping — which is precisely what the tests
+//    need to race-check. Freelists are side-table vectors.
+//
+//  * Real (AllocatorConfig::Builder::WithRealMemory()): one contiguous
+//    MAP_NORESERVE reservation, hinted MADV_HUGEPAGE. Freelists thread
+//    through the objects themselves (the link is the object's first
+//    word), a per-page atomic directory recovers size classes for the
+//    malloc shim's unsized free/usable_size, freed large ranges keep
+//    their bookkeeping in their own first page, and
+//    ReleaseMemoryToSystem() madvises pending large ranges back to the
+//    OS. Exhaustion returns 0 (the shim turns that into ENOMEM) instead
+//    of the virtual mode's CHECK.
 //
 // Telemetry: TelemetrySnapshot() exports "allocator", "thread_cache", and
 // "contention" components (per-shard lock acquisitions, contended
@@ -56,6 +68,7 @@
 #include "common/logging.h"
 #include "profiler/self_profiler.h"
 #include "tcmalloc/config.h"
+#include "tcmalloc/memory_backing.h"
 #include "tcmalloc/pages.h"
 #include "tcmalloc/size_classes.h"
 #include "telemetry/registry.h"
@@ -119,7 +132,11 @@ class ContendedLock {
 struct alignas(kCacheLineSize) TransferShard {
   ContendedLock lock;
   uint32_t capacity = 0;  // max cached objects; set at construction
-  std::vector<uintptr_t> objects;
+  std::vector<uintptr_t> objects;  // virtual mode
+  // Real mode: intrusive freelist threaded through object storage (the
+  // link is the object's first word). `objects` stays empty.
+  uintptr_t head = 0;
+  uint32_t count = 0;
 
   uint64_t inserts = 0;
   uint64_t inserted_objects = 0;
@@ -136,7 +153,10 @@ struct alignas(kCacheLineSize) TransferShard {
 // locks are held).
 struct alignas(kCacheLineSize) CflShard {
   ContendedLock lock;
-  std::vector<uintptr_t> free_objects;
+  std::vector<uintptr_t> free_objects;  // virtual mode
+  // Real mode: intrusive freelist (see TransferShard).
+  uintptr_t head = 0;
+  uint32_t count = 0;
 
   uint64_t refills = 0;         // batch requests served
   uint64_t refill_stalls = 0;   // home shard could not cover the batch
@@ -154,7 +174,10 @@ struct alignas(kCacheLineSize) CflShard {
 class alignas(kCacheLineSize) RealThreadCache {
  public:
   struct ClassList {
-    std::vector<uintptr_t> slots;
+    std::vector<uintptr_t> slots;  // virtual mode
+    // Real mode: intrusive freelist threaded through the cached objects.
+    uintptr_t head = 0;
+    uint32_t count = 0;
     uint32_t cap = 0;  // per-class object cap (size_classes max_per_cpu)
   };
 
@@ -178,7 +201,9 @@ class alignas(kCacheLineSize) RealThreadCache {
 
   size_t CachedObjects() const {
     size_t n = 0;
-    for (const ClassList& list : lists) n += list.slots.size();
+    // Exactly one of slots / count is populated per mode, so summing both
+    // is correct in either.
+    for (const ClassList& list : lists) n += list.slots.size() + list.count;
     return n;
   }
 };
@@ -209,6 +234,8 @@ class RealThreadsAllocator {
       const SizeClasses* size_classes = &SizeClasses::Default(),
       int num_shards = 0);
 
+  ~RealThreadsAllocator();
+
   RealThreadsAllocator(const RealThreadsAllocator&) = delete;
   RealThreadsAllocator& operator=(const RealThreadsAllocator&) = delete;
 
@@ -223,25 +250,49 @@ class RealThreadsAllocator {
   void FlushThreadCache(RealThreadCache* tc);
 
   // Lock-free on the fast path: per-thread list hit costs a LUT load and
-  // a pop_back. `size` must be > 0.
+  // a pop (pop_back in virtual mode, one pointer chase in real mode).
+  // `size` must be > 0. Real mode returns 0 on arena exhaustion; the
+  // virtual arena CHECKs instead, so virtual callers never see 0.
   uintptr_t Allocate(RealThreadCache* tc, size_t size) {
     WSC_PROF_SCOPE("rt/Allocate");
     WSC_DCHECK_GT(size, size_t{0});
     int cls = size_classes_->ClassFor(size);
-    if (cls >= 0) {
-      ++tc->allocations;
-      tc->live_bytes += static_cast<int64_t>(size_classes_->class_size(cls));
-      RealThreadCache::ClassList& list = tc->lists[cls];
-      if (!list.slots.empty()) {
+    if (cls >= 0) return AllocateClass(tc, cls);
+    return AllocateLarge(tc, size);
+  }
+
+  // Allocates one object of exactly size class `cls` (the Allocate fast
+  // path with the class lookup already done). The aligned-allocation path
+  // uses this to request a class whose size is a multiple of the
+  // alignment.
+  uintptr_t AllocateClass(RealThreadCache* tc, int cls) {
+    ++tc->allocations;
+    tc->live_bytes += static_cast<int64_t>(size_classes_->class_size(cls));
+    RealThreadCache::ClassList& list = tc->lists[cls];
+    if (real_) {
+      if (list.head != 0) {
         ++tc->fast_alloc_hits;
-        uintptr_t obj = list.slots.back();
-        list.slots.pop_back();
+        uintptr_t obj = list.head;
+        list.head = *reinterpret_cast<uintptr_t*>(obj);
+        --list.count;
         return obj;
       }
-      ++tc->underflows;
-      return SlowAllocate(tc, cls);
+    } else if (!list.slots.empty()) {
+      ++tc->fast_alloc_hits;
+      uintptr_t obj = list.slots.back();
+      list.slots.pop_back();
+      return obj;
     }
-    return AllocateLarge(tc, size);
+    ++tc->underflows;
+    uintptr_t obj = SlowAllocate(tc, cls);
+    if (obj == 0) {
+      // Real-memory exhaustion: undo the optimistic accounting so the
+      // caller can fail the allocation cleanly (ENOMEM in the shim).
+      --tc->allocations;
+      --tc->underflows;
+      tc->live_bytes -= static_cast<int64_t>(size_classes_->class_size(cls));
+    }
+    return obj;
   }
 
   // Sized free; `size` must match the Allocate request. Cross-thread
@@ -252,20 +303,89 @@ class RealThreadsAllocator {
     WSC_PROF_SCOPE("rt/Free");
     int cls = size_classes_->ClassFor(size);
     if (cls >= 0) {
-      ++tc->frees;
-      tc->live_bytes -= static_cast<int64_t>(size_classes_->class_size(cls));
-      RealThreadCache::ClassList& list = tc->lists[cls];
-      if (list.slots.size() < list.cap) {
-        ++tc->fast_free_hits;
-        list.slots.push_back(addr);
-        return;
-      }
-      ++tc->overflows;
-      SlowFree(tc, cls, addr);
+      FreeClass(tc, cls, addr);
       return;
     }
     FreeLarge(tc, addr, size);
   }
+
+  // The small-object free fast path with the class already known.
+  void FreeClass(RealThreadCache* tc, int cls, uintptr_t addr) {
+    ++tc->frees;
+    tc->live_bytes -= static_cast<int64_t>(size_classes_->class_size(cls));
+    RealThreadCache::ClassList& list = tc->lists[cls];
+    if (real_) {
+      if (list.count < list.cap) {
+        ++tc->fast_free_hits;
+        *reinterpret_cast<uintptr_t*>(addr) = list.head;
+        list.head = addr;
+        ++list.count;
+        return;
+      }
+    } else if (list.slots.size() < list.cap) {
+      ++tc->fast_free_hits;
+      list.slots.push_back(addr);
+      return;
+    }
+    ++tc->overflows;
+    SlowFree(tc, cls, addr);
+  }
+
+  // ---- Real-memory mode API (the malloc shim's contract) ----
+
+  // Unsized free: the page directory recovers the size class (or large
+  // range length) from the address alone. Unknown addresses inside the
+  // reservation are ignored (defensive: a double free of a large range
+  // whose directory entry was already cleared must not corrupt the
+  // allocator). Real mode only.
+  void FreeAddr(RealThreadCache* tc, uintptr_t addr);
+
+  // malloc_usable_size: the full capacity of the block `addr` points at,
+  // or 0 when the address is not a live allocation of this allocator.
+  size_t UsableSize(uintptr_t addr) const;
+
+  // Whether `addr` falls inside this allocator's reservation (real mode;
+  // always false in virtual mode). An Owns() address may still be unknown
+  // to the directory — pair with UsableSize() for liveness.
+  bool Owns(uintptr_t addr) const {
+    return real_ && addr >= arena_base_ && addr < arena_end_;
+  }
+
+  // Aligned allocation (posix_memalign / aligned_alloc). `align` must be
+  // a power of two. Small requests are served from the smallest size
+  // class whose size is a multiple of `align` (spans are page-aligned, so
+  // every object of such a class is aligned for align <= page size);
+  // everything else takes an aligned large carve. Returns 0 on
+  // exhaustion. Real mode only.
+  uintptr_t AllocateAligned(RealThreadCache* tc, size_t size, size_t align);
+
+  // madvises up to `bytes` of pending (freed, not yet released) large
+  // ranges back to the OS; returns the bytes newly released as confirmed
+  // by the backing. Virtual mode returns 0.
+  size_t ReleaseMemoryToSystem(size_t bytes);
+
+  BackendKind backend_kind() const {
+    return real_ ? BackendKind::kRealMemory : BackendKind::kVirtualArena;
+  }
+  // The real backing (null in virtual mode); exposes reservation bounds
+  // and release/commit stats.
+  const MemoryBacking* backing() const { return backing_.get(); }
+
+  // Pending large bytes above this watermark trigger an eager release on
+  // the free path; 0 disables eager release. Set before worker threads
+  // start (plain write).
+  void SetLargeReleaseThreshold(size_t bytes) {
+    large_release_threshold_bytes_ = bytes;
+  }
+
+  // fork() support for the malloc shim: ForkPrepare() (in
+  // pthread_atfork's prepare hook) acquires every lock in a fixed order
+  // so the child inherits them all in a known, consistent state;
+  // ForkRelease() (parent and child hooks) drops them again. Without
+  // this, a fork racing another thread's refill leaves a shard lock held
+  // forever in the child.
+  void ForkPrepare();
+  void ForkRelease();
 
   int num_shards() const { return num_shards_; }
   int registered_threads() const;
@@ -297,10 +417,21 @@ class RealThreadsAllocator {
   uintptr_t AllocateLarge(RealThreadCache* tc, size_t size);
   void FreeLarge(RealThreadCache* tc, uintptr_t addr, size_t size);
 
+  // Real-mode large path: first-fit over the pending (freed) range list,
+  // else an aligned bump carve. `align` >= kPageSize, power of two.
+  // Returns 0 on exhaustion.
+  uintptr_t AllocateLargeReal(RealThreadCache* tc, size_t size,
+                              size_t align);
+  void FreeLargeReal(RealThreadCache* tc, uintptr_t addr, size_t pages);
+  // Releases tails of pending large ranges until `want_bytes` confirmed
+  // or the list is dry. Caller holds large_mu_.
+  size_t ReleasePendingLocked(size_t want_bytes);
+
   // Fills out[0..want) from the CFL layer: home shard first, then
   // work-stealing probes of the siblings, then fresh carves. Returns the
-  // number filled (always == want; the virtual arena cannot run dry
-  // before the CHECK in CarveSpan fires).
+  // number filled (always == want in virtual mode — the virtual arena
+  // cannot run dry before the CHECK in CarveSpan fires; real mode can
+  // return short, including 0, on exhaustion).
   int RefillFromCfl(int cls, int shard, uintptr_t* out, int want);
 
   // Returns objects to a CFL shard's free store (transfer overflow or
@@ -309,8 +440,15 @@ class RealThreadsAllocator {
 
   // Carves one span of `cls` from the arena bump pointer and pushes its
   // objects onto `shard`'s free store. Caller holds shard.lock; the bump
-  // itself is a lock-free fetch_add.
-  void CarveSpan(int cls, CflShard& shard);
+  // itself is lock-free. Returns false when the real-memory reservation
+  // is exhausted (the virtual arena CHECKs instead).
+  bool CarveSpan(int cls, CflShard& shard);
+
+  // Real mode: the per-page directory entry for `addr`'s page.
+  std::atomic<uint32_t>& dir_entry(uintptr_t addr) const {
+    WSC_DCHECK(addr >= arena_base_ && addr < arena_end_);
+    return dir_[(addr - arena_base_) >> kPageShift];
+  }
 
   const SizeClasses* size_classes_;
   int num_classes_;
@@ -328,14 +466,46 @@ class RealThreadsAllocator {
   std::unique_ptr<TransferShard[]> transfer_;
   std::unique_ptr<CflShard[]> cfl_;
 
-  // Virtual address space. fetch_add is the only cross-shard hot-path
-  // synchronization in the whole refill chain.
+  // Address space. fetch_add / CAS on arena_next_ is the only cross-shard
+  // hot-path synchronization in the whole refill chain. In virtual mode
+  // the range is the config's arena; in real mode it is the backing's
+  // mmap reservation.
   uintptr_t arena_base_ = 0;
   uintptr_t arena_end_ = 0;
   std::atomic<uintptr_t> arena_next_{0};
   std::atomic<uint64_t> small_carved_bytes_{0};
   std::atomic<int64_t> large_live_bytes_{0};
   std::atomic<uint64_t> large_carves_{0};
+
+  // ---- Real-memory mode state ----
+  // Page directory entry encoding: 0 = unknown; cls+1 = small page of
+  // size class cls; kDirLargeFlag|pages = first page of a live large
+  // range of `pages` pages. Interior large pages stay 0, which is safe:
+  // starts never become interior (pending ranges are reused from the
+  // front and never coalesced), so a stale entry cannot alias a live one.
+  static constexpr uint32_t kDirLargeFlag = 0x80000000u;
+
+  const bool real_;
+  std::unique_ptr<RealMemoryBacking> backing_;  // null in virtual mode
+  std::atomic<uint32_t>* dir_ = nullptr;  // one entry per reservation page
+  size_t dir_entries_ = 0;
+
+  // Freed large ranges, singly linked through their own first page (a
+  // LargeRange header lives in the freed memory). Guarded by large_mu_;
+  // the page counters are atomic only so FootprintBytes/telemetry can
+  // read them without the mutex.
+  struct LargeRange {
+    uintptr_t next;
+    size_t pages;
+    bool released;  // tail (everything past the header page) madvised
+  };
+  std::mutex large_mu_;
+  uintptr_t large_free_head_ = 0;
+  std::atomic<size_t> large_free_pages_{0};
+  std::atomic<size_t> large_unreleased_pages_{0};
+  // Pending large bytes above this watermark trigger an eager release on
+  // the free path (0 disables). ReleaseMemoryToSystem works regardless.
+  size_t large_release_threshold_bytes_ = size_t{256} << 20;
 
   // Thread registry (cold path only).
   mutable std::mutex threads_mu_;

@@ -6,34 +6,46 @@ namespace wsc::tcmalloc {
 
 SystemAllocator::SystemAllocator(uintptr_t base, size_t arena_bytes,
                                  double mmap_latency_ns)
-    : base_(base),
-      arena_bytes_(arena_bytes),
-      next_(base),
-      mmap_latency_ns_(mmap_latency_ns) {
-  WSC_CHECK_EQ(base % kHugePageSize, 0u);
-  WSC_CHECK_EQ(arena_bytes % kHugePageSize, 0u);
-  WSC_CHECK_GT(arena_bytes, 0u);
+    : owned_(std::make_unique<VirtualArenaBacking>(base, arena_bytes)),
+      backing_(owned_.get()),
+      mmap_latency_ns_(mmap_latency_ns) {}
+
+SystemAllocator::SystemAllocator(MemoryBacking* backing,
+                                 double mmap_latency_ns)
+    : backing_(backing), mmap_latency_ns_(mmap_latency_ns) {
+  WSC_CHECK(backing != nullptr);
 }
 
 HugePageId SystemAllocator::AllocateHugePages(int n) {
   WSC_CHECK_GT(n, 0);
   size_t bytes = static_cast<size_t>(n) * kHugePageSize;
-  // A planned mmap fault or arena exhaustion (simulated OOM) is a counted
+  // A planned mmap fault or reservation exhaustion (OOM) is a counted
   // failure, never fatal: the tiers above fall back or surface nullptr.
   if (injector_ != nullptr && injector_->ShouldFailMmap()) {
     ++stats_.mmap_failures;
     return kInvalidHugePage;
   }
-  if (next_ + bytes > base_ + arena_bytes_) {
+  uintptr_t addr = backing_->MapHugePages(n);
+  if (addr == 0) {
     ++stats_.mmap_failures;
     return kInvalidHugePage;
   }
-  uintptr_t addr = next_;
-  next_ += bytes;
   ++stats_.mmap_calls;
   stats_.mapped_bytes += bytes;
   stats_.mmap_ns += mmap_latency_ns_;
   return HugePageContainingAddr(addr);
+}
+
+size_t SystemAllocator::Release(uintptr_t addr, size_t bytes) {
+  const size_t fresh = backing_->Release(addr, bytes);
+  stats_.released_bytes += fresh;
+  return fresh;
+}
+
+void SystemAllocator::Commit(uintptr_t addr, size_t bytes) {
+  const size_t before = backing_->stats().recommitted_bytes;
+  backing_->Commit(addr, bytes);
+  stats_.recommitted_bytes += backing_->stats().recommitted_bytes - before;
 }
 
 void SystemAllocator::ContributeTelemetry(
@@ -42,6 +54,10 @@ void SystemAllocator::ContributeTelemetry(
   registry.ExportCounter("system", "mapped_bytes", stats_.mapped_bytes);
   registry.ExportGauge("system", "mmap_ns", stats_.mmap_ns);
   registry.ExportCounter("system", "mmap_failures", stats_.mmap_failures);
+  registry.ExportCounter("system", "backing_released_bytes",
+                         stats_.released_bytes);
+  registry.ExportCounter("system", "backing_recommitted_bytes",
+                         stats_.recommitted_bytes);
 }
 
 }  // namespace wsc::tcmalloc

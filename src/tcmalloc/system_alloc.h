@@ -1,67 +1,90 @@
-// Virtual-arena system allocator.
+// System allocator over a pluggable memory backing.
 //
 // The real TCMalloc obtains zero-initialized, hugepage-aligned 2 MiB blocks
 // from the kernel with mmap (Section 3, Fig. 4: the mmap path is orders of
-// magnitude slower than any cache tier). Here the arena is virtual: we hand
-// out hugepage-aligned *address ranges* by bumping a pointer inside a
-// reserved numeric address space, and charge the simulated mmap latency.
-// Nothing is ever dereferenced; all object state lives in allocator
-// metadata (see span.h). Address space is never reused, exactly like
-// TCMalloc, which also never unmaps — "releasing" memory is an madvise that
-// keeps the mapping (modeled in the page heap).
+// magnitude slower than any cache tier). Here the OS interface is a
+// MemoryBacking: by default the deterministic virtual arena (hugepage-
+// aligned *address ranges* bump-allocated inside a reserved numeric address
+// space, nothing ever dereferenced, simulated mmap latency charged), and
+// optionally RealMemoryBacking where the same indices are real memory.
+// Address space is never unmapped in either mode, exactly like TCMalloc —
+// "releasing" memory is an madvise that keeps the mapping, routed through
+// Release()/Commit() below so the page heap reports bytes the backing
+// actually confirmed.
 
 #ifndef WSC_TCMALLOC_SYSTEM_ALLOC_H_
 #define WSC_TCMALLOC_SYSTEM_ALLOC_H_
 
 #include <cstdint>
+#include <memory>
 
 #include "tcmalloc/fault_injection.h"
+#include "tcmalloc/memory_backing.h"
 #include "tcmalloc/pages.h"
 #include "telemetry/registry.h"
 
 namespace wsc::tcmalloc {
 
-// Statistics of the simulated OS interface.
+// Statistics of the (simulated or real) OS interface.
 struct SystemStats {
   uint64_t mmap_calls = 0;
   uint64_t mapped_bytes = 0;
   double mmap_ns = 0.0;  // cumulative simulated syscall latency
   uint64_t mmap_failures = 0;  // denied by fault injection or exhaustion
+  uint64_t released_bytes = 0;  // confirmed returned by the backing
+  uint64_t recommitted_bytes = 0;  // released bytes brought back into use
 };
 
-// Bump allocator over a reserved virtual arena.
+// OS interface of one allocator node, delegating address-space decisions
+// to a MemoryBacking.
 class SystemAllocator {
  public:
-  // Arena of `arena_bytes` starting at hugepage-aligned `base`.
+  // Deterministic virtual arena of `arena_bytes` starting at
+  // hugepage-aligned `base` (the historical constructor; behavior and
+  // stats are bit-identical to the pre-backing implementation).
   SystemAllocator(uintptr_t base, size_t arena_bytes,
                   double mmap_latency_ns = 8000.0);
 
+  // Runs on top of a caller-owned backing (e.g. RealMemoryBacking carved
+  // per NUMA node by the Allocator). Borrowed; must outlive this.
+  SystemAllocator(MemoryBacking* backing, double mmap_latency_ns = 8000.0);
+
   // Returns `n` contiguous hugepages (hugepage-aligned), or
-  // kInvalidHugePage when the simulated mmap fails — a planned fault from
-  // the installed injector, or arena exhaustion (simulated OOM). Callers
-  // must check IsValid() and degrade; nothing in this path is fatal.
+  // kInvalidHugePage when the (simulated) mmap fails — a planned fault from
+  // the installed injector, or reservation exhaustion (OOM). Callers must
+  // check IsValid() and degrade; nothing in this path is fatal.
   HugePageId AllocateHugePages(int n);
+
+  // Returns [addr, addr+bytes) to the OS via the backing. Returns the
+  // bytes the backing *newly* released (0 for re-release), which is the
+  // honest figure ReleaseMemoryToSystem reports.
+  size_t Release(uintptr_t addr, size_t bytes);
+
+  // Declares a previously released range in use again.
+  void Commit(uintptr_t addr, size_t bytes);
 
   // Installs (or clears, with nullptr) the fault injector consulted before
   // every simulated mmap. Borrowed, not owned.
   void SetFaultInjector(FaultInjector* injector) { injector_ = injector; }
   FaultInjector* fault_injector() const { return injector_; }
 
-  uintptr_t base() const { return base_; }
-  size_t arena_bytes() const { return arena_bytes_; }
-  PageId base_page() const { return PageIdContaining(base_); }
-  Length arena_pages() const { return arena_bytes_ >> kPageShift; }
+  BackendKind kind() const { return backing_->kind(); }
+  const MemoryBacking& backing() const { return *backing_; }
+
+  uintptr_t base() const { return backing_->base(); }
+  size_t arena_bytes() const { return backing_->reserved_bytes(); }
+  PageId base_page() const { return PageIdContaining(base()); }
+  Length arena_pages() const { return arena_bytes() >> kPageShift; }
 
   const SystemStats& stats() const { return stats_; }
 
-  // Publishes the simulated OS interface metrics (component "system") into
+  // Publishes the OS interface metrics (component "system") into
   // `registry`.
   void ContributeTelemetry(telemetry::MetricRegistry& registry) const;
 
  private:
-  uintptr_t base_;
-  size_t arena_bytes_;
-  uintptr_t next_;
+  std::unique_ptr<MemoryBacking> owned_;  // set for the virtual-arena ctor
+  MemoryBacking* backing_;                // always valid
   double mmap_latency_ns_;
   SystemStats stats_;
   FaultInjector* injector_ = nullptr;  // null: no faults

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# LD_PRELOAD interposition smoke test.
+#
+#   interposition_smoke.sh <libwscmalloc.so> <forkexec_stress-binary>
+#
+# Proves the shim survives contact with binaries it was never built
+# against: /bin/ls (glibc program with locale/stdio heap traffic before
+# main), a fork/exec storm from a multi-threaded allocator-hammering
+# process, and a shell pipeline (multiple exec'd images, each re-running
+# the shim bootstrap). A hung child is the classic fork-deadlock failure
+# mode, so everything runs under `timeout`.
+
+set -u
+
+SHIM="${1:?usage: interposition_smoke.sh <libwscmalloc.so> <stress-bin>}"
+STRESS="${2:?usage: interposition_smoke.sh <libwscmalloc.so> <stress-bin>}"
+
+if [ ! -f "$SHIM" ]; then
+  echo "interposition_smoke: missing shim $SHIM" >&2
+  exit 1
+fi
+
+failures=0
+
+run() {
+  local name="$1"; shift
+  if timeout 120 env LD_PRELOAD="$SHIM" "$@" >/dev/null 2>&1; then
+    echo "interposition_smoke: $name OK"
+  else
+    echo "interposition_smoke: $name FAILED: LD_PRELOAD=$SHIM $*" >&2
+    failures=$((failures + 1))
+  fi
+}
+
+# A stock glibc binary must run unmodified under the shim.
+run "ls" /bin/ls -l /
+# Interposition must actually be in effect, not silently skipped.
+run "require-shim" "$STRESS" --require-shim --children=1
+# fork/exec from a multi-threaded process, children malloc then exec.
+run "forkexec" "$STRESS" --require-shim --children=16
+# Pipelines: several short-lived images, each bootstrapping the shim.
+run "pipeline" /bin/sh -c 'ls / | sort | head -3 > /dev/null'
+
+# The stress binary must also pass WITHOUT the shim (same code path on
+# glibc), or the comparison proves nothing.
+if timeout 120 "$STRESS" --children=4 >/dev/null 2>&1; then
+  echo "interposition_smoke: bare OK"
+else
+  echo "interposition_smoke: bare run FAILED" >&2
+  failures=$((failures + 1))
+fi
+
+if [ "$failures" -ne 0 ]; then
+  echo "interposition_smoke: FAILED ($failures)"
+  exit 1
+fi
+echo "interposition_smoke: OK"

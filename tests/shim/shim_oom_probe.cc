@@ -1,0 +1,74 @@
+// OOM-behaviour probe, run by ctest as:
+//
+//   WSC_SHIM_RESERVE_MB=1024 ./shim_oom_probe
+//
+// The env var caps the shim's virtual reservation (floored at
+// RealMemoryBacking::kMinReserveBytes = 1 GiB), so exhausting it needs
+// ~1 GiB of *untouched* allocations — no physical memory, the pages are
+// never faulted. The probe asserts malloc starts returning nullptr with
+// errno == ENOMEM instead of crashing, and that free/realloc on the
+// already-granted blocks still work afterwards.
+//
+// Deliberately not a gtest: gtest's own heap traffic would sit between
+// the exhaustion loop and the assertions. Exit 0 = pass.
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+extern "C" int wscmalloc_is_active();
+
+int main() {
+  if (wscmalloc_is_active() != 1) {
+    std::fprintf(stderr, "shim_oom_probe: shim not active\n");
+    return 1;
+  }
+
+  constexpr size_t kBlock = 8 << 20;  // 8 MiB, large-path allocations
+  constexpr int kMaxBlocks = 4096;    // 32 GiB worth — far past any cap
+  static void* blocks[kMaxBlocks];
+  int granted = 0;
+  errno = 0;
+  for (; granted < kMaxBlocks; ++granted) {
+    void* p = malloc(kBlock);
+    if (p == nullptr) break;
+    blocks[granted] = p;
+  }
+  if (granted == kMaxBlocks) {
+    std::fprintf(stderr,
+                 "shim_oom_probe: reservation never exhausted (is "
+                 "WSC_SHIM_RESERVE_MB set?)\n");
+    return 1;
+  }
+  if (errno != ENOMEM) {
+    std::fprintf(stderr, "shim_oom_probe: errno == %d after OOM, want %d\n",
+                 errno, ENOMEM);
+    return 1;
+  }
+  // ~1 GiB reservation / 8 MiB blocks: expect on the order of 128 grants.
+  if (granted < 64 || granted > 1024) {
+    std::fprintf(stderr,
+                 "shim_oom_probe: %d blocks granted before OOM, expected "
+                 "roughly 128 for a 1 GiB reservation\n",
+                 granted);
+    return 1;
+  }
+
+  // Granted memory must stay usable after the OOM refusal...
+  std::memset(blocks[0], 0xAA, kBlock);
+  // ...and freeing must return capacity that malloc can hand out again.
+  for (int i = 0; i < granted; ++i) free(blocks[i]);
+  void* again = malloc(kBlock);
+  if (again == nullptr) {
+    std::fprintf(stderr,
+                 "shim_oom_probe: malloc still failing after frees\n");
+    return 1;
+  }
+  std::memset(again, 0xBB, kBlock);
+  free(again);
+
+  std::printf("shim_oom_probe: OK (%d x 8 MiB granted, then ENOMEM)\n",
+              granted);
+  return 0;
+}

@@ -1,0 +1,302 @@
+// White-box tests for the real-memory backing and the real-threads
+// allocator's real mode: here the addresses are dereferenceable, so the
+// tests write through every object they get, the freelists thread through
+// the object storage they exercise, and ReleaseMemoryToSystem performs a
+// real madvise. The virtual mode's bit-identity is guarded elsewhere
+// (tests/shim/check_bit_identity.py); this file proves the other half of
+// the seam actually works as memory.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "tcmalloc/config.h"
+#include "tcmalloc/memory_backing.h"
+#include "tcmalloc/pages.h"
+#include "tcmalloc/real_threads.h"
+#include "tcmalloc/size_classes.h"
+#include "telemetry/registry.h"
+
+namespace wsc::tcmalloc {
+namespace {
+
+AllocatorConfig RealConfig() {
+  return AllocatorConfig::Builder()
+      .WithVcpus(4)
+      .WithRealMemory()
+      .Build();
+}
+
+double Metric(const telemetry::Snapshot& snap, const char* component,
+              const char* name) {
+  const telemetry::MetricSample* sample = snap.Find(component, name);
+  return sample != nullptr ? sample->ScalarValue() : -1.0;
+}
+
+// ---- ReleasedRangeSet: the dedupe that keeps release accounting honest.
+
+TEST(ReleasedRangeSetTest, AddDedupesOverlaps) {
+  ReleasedRangeSet set;
+  EXPECT_EQ(set.Add(0x1000, 0x1000), 0x1000u);
+  // Re-releasing the same range is not new.
+  EXPECT_EQ(set.Add(0x1000, 0x1000), 0u);
+  // Partial overlap counts only the fresh part.
+  EXPECT_EQ(set.Add(0x1800, 0x1000), 0x800u);
+  EXPECT_EQ(set.total_bytes(), 0x1800u);
+}
+
+TEST(ReleasedRangeSetTest, RemoveSplitsRuns) {
+  ReleasedRangeSet set;
+  set.Add(0x1000, 0x3000);
+  // Carve the middle out: the run splits in two.
+  EXPECT_EQ(set.Remove(0x2000, 0x1000), 0x1000u);
+  EXPECT_EQ(set.total_bytes(), 0x2000u);
+  // Removing an uncovered range is a no-op.
+  EXPECT_EQ(set.Remove(0x2000, 0x1000), 0u);
+  // The two halves are still marked.
+  EXPECT_EQ(set.Add(0x1000, 0x1000), 0u);
+  EXPECT_EQ(set.Add(0x3000, 0x1000), 0u);
+}
+
+// ---- RealMemoryBacking: a real mmap reservation.
+
+TEST(RealMemoryBackingTest, ReservesWritableHugepageAlignedMemory) {
+  RealMemoryBacking backing(RealMemoryBacking::kMinReserveBytes);
+  ASSERT_TRUE(backing.ok());
+  EXPECT_EQ(backing.base() % kHugePageSize, 0u);
+  EXPECT_GE(backing.reserved_bytes(), RealMemoryBacking::kMinReserveBytes);
+  EXPECT_EQ(backing.kind(), BackendKind::kRealMemory);
+
+  uintptr_t hp = backing.MapHugePages(2);
+  ASSERT_NE(hp, 0u);
+  EXPECT_EQ(hp % kHugePageSize, 0u);
+  // The point of the real backing: this memory is real.
+  std::memset(reinterpret_cast<void*>(hp), 0xAB, 2 * kHugePageSize);
+  EXPECT_EQ(reinterpret_cast<unsigned char*>(hp)[kHugePageSize], 0xAB);
+}
+
+TEST(RealMemoryBackingTest, ReleaseZeroesAndDedupes) {
+  RealMemoryBacking backing(RealMemoryBacking::kMinReserveBytes);
+  ASSERT_TRUE(backing.ok());
+  uintptr_t hp = backing.MapHugePages(1);
+  ASSERT_NE(hp, 0u);
+  unsigned char* mem = reinterpret_cast<unsigned char*>(hp);
+  std::memset(mem, 0xCD, kHugePageSize);
+
+  EXPECT_EQ(backing.Release(hp, kHugePageSize), kHugePageSize);
+  // Releasing again confirms nothing new.
+  EXPECT_EQ(backing.Release(hp, kHugePageSize), 0u);
+  // MADV_DONTNEED refaults as zero.
+  EXPECT_EQ(mem[0], 0);
+  EXPECT_EQ(mem[kHugePageSize - 1], 0);
+
+  backing.Commit(hp, kHugePageSize);
+  EXPECT_EQ(backing.stats().recommitted_bytes, kHugePageSize);
+  // Post-commit the full range releases fresh again.
+  EXPECT_EQ(backing.Release(hp, kHugePageSize), kHugePageSize);
+}
+
+// ---- Real-threads allocator in real mode.
+
+TEST(RealMemoryModeTest, BackendKindAndSmallRoundTrip) {
+  RealThreadsAllocator alloc(RealConfig(), 1);
+  EXPECT_EQ(alloc.backend_kind(), BackendKind::kRealMemory);
+  ASSERT_NE(alloc.backing(), nullptr);
+  RealThreadCache* tc = alloc.RegisterThread();
+
+  uintptr_t p = alloc.Allocate(tc, 48);
+  ASSERT_NE(p, 0u);
+  EXPECT_TRUE(alloc.Owns(p));
+  // Writable, and UsableSize reports the full class capacity.
+  std::memset(reinterpret_cast<void*>(p), 0x5A, 48);
+  size_t usable = alloc.UsableSize(p);
+  EXPECT_GE(usable, 48u);
+  EXPECT_EQ(usable, SizeClasses::Default().class_size(
+                        SizeClasses::Default().ClassFor(48)));
+  alloc.Free(tc, p, 48);
+  // The freed object comes straight back off the intrusive list.
+  EXPECT_EQ(alloc.Allocate(tc, 48), p);
+  alloc.Free(tc, p, 48);
+}
+
+TEST(RealMemoryModeTest, FreeAddrRecoversSizeFromDirectory) {
+  RealThreadsAllocator alloc(RealConfig(), 1);
+  RealThreadCache* tc = alloc.RegisterThread();
+
+  // Small: unsized free must route to the same class list as a sized one.
+  uintptr_t small = alloc.Allocate(tc, 128);
+  ASSERT_NE(small, 0u);
+  alloc.FreeAddr(tc, small);
+  EXPECT_EQ(alloc.Allocate(tc, 128), small);
+
+  // Large: the directory holds the page count.
+  constexpr size_t kLargeBytes = 1 << 20;
+  uintptr_t large = alloc.Allocate(tc, kLargeBytes);
+  ASSERT_NE(large, 0u);
+  EXPECT_EQ(alloc.UsableSize(large), kLargeBytes);
+  std::memset(reinterpret_cast<void*>(large), 0x77, kLargeBytes);
+  alloc.FreeAddr(tc, large);
+  EXPECT_EQ(alloc.UsableSize(large), 0u);
+  // Unknown/middle-of-range addresses are ignored, not fatal.
+  alloc.FreeAddr(tc, large + 3 * kPageSize);
+
+  alloc.Free(tc, small, 128);
+  telemetry::Snapshot snap = alloc.TelemetrySnapshot();
+  EXPECT_EQ(Metric(snap, "allocator", "allocations"),
+            Metric(snap, "allocator", "frees"));
+}
+
+TEST(RealMemoryModeTest, LargeRangesAreReused) {
+  RealThreadsAllocator alloc(RealConfig(), 1);
+  RealThreadCache* tc = alloc.RegisterThread();
+  constexpr size_t kBytes = 4 << 20;
+
+  uintptr_t a = alloc.Allocate(tc, kBytes);
+  ASSERT_NE(a, 0u);
+  alloc.Free(tc, a, kBytes);
+  // Same size comes back from the pending list, not a fresh carve.
+  EXPECT_EQ(alloc.Allocate(tc, kBytes), a);
+  alloc.Free(tc, a, kBytes);
+  // A smaller request splits the range from the front.
+  uintptr_t b = alloc.Allocate(tc, kBytes / 2);
+  EXPECT_EQ(b, a);
+  uintptr_t c = alloc.Allocate(tc, kBytes / 2);
+  EXPECT_EQ(c, a + kBytes / 2);
+  alloc.Free(tc, b, kBytes / 2);
+  alloc.Free(tc, c, kBytes / 2);
+}
+
+TEST(RealMemoryModeTest, AlignedAllocationSweep) {
+  RealThreadsAllocator alloc(RealConfig(), 1);
+  RealThreadCache* tc = alloc.RegisterThread();
+  std::vector<std::pair<uintptr_t, size_t>> live;
+  for (size_t align = 8; align <= (size_t{4} << 20); align <<= 1) {
+    for (size_t size : {size_t{1}, size_t{64}, size_t{4096},
+                        size_t{300000}}) {
+      uintptr_t p = alloc.AllocateAligned(tc, size, align);
+      ASSERT_NE(p, 0u) << "align=" << align << " size=" << size;
+      EXPECT_EQ(p % align, 0u) << "align=" << align << " size=" << size;
+      EXPECT_GE(alloc.UsableSize(p), size);
+      std::memset(reinterpret_cast<void*>(p), 0x11, size);
+      live.push_back({p, size});
+    }
+  }
+  for (auto [p, size] : live) alloc.FreeAddr(tc, p);
+  telemetry::Snapshot snap = alloc.TelemetrySnapshot();
+  EXPECT_EQ(Metric(snap, "allocator", "allocations"),
+            Metric(snap, "allocator", "frees"));
+}
+
+TEST(RealMemoryModeTest, ReleaseMemoryToSystemMadvisesPendingRanges) {
+  RealThreadsAllocator alloc(RealConfig(), 1);
+  RealThreadCache* tc = alloc.RegisterThread();
+  constexpr size_t kBytes = 8 << 20;
+
+  uintptr_t p = alloc.Allocate(tc, kBytes);
+  ASSERT_NE(p, 0u);
+  unsigned char* mem = reinterpret_cast<unsigned char*>(p);
+  std::memset(mem, 0xEE, kBytes);
+  alloc.Free(tc, p, kBytes);
+
+  size_t released = alloc.ReleaseMemoryToSystem(kBytes);
+  EXPECT_GT(released, 0u);
+  // All but the header page (which carries the pending-list node).
+  EXPECT_EQ(released, kBytes - kPageSize);
+  // Really gone: refaults zero.
+  EXPECT_EQ(mem[kPageSize], 0);
+  EXPECT_EQ(mem[kBytes - 1], 0);
+  // Releasing again finds nothing new.
+  EXPECT_EQ(alloc.ReleaseMemoryToSystem(kBytes), 0u);
+
+  // The released range is still reusable.
+  uintptr_t q = alloc.Allocate(tc, kBytes);
+  EXPECT_EQ(q, p);
+  std::memset(mem, 0xEF, kBytes);
+  alloc.Free(tc, q, kBytes);
+}
+
+TEST(RealMemoryModeTest, VirtualModeReleaseIsZero) {
+  AllocatorConfig config = AllocatorConfig::Builder().WithVcpus(2).Build();
+  RealThreadsAllocator alloc(config, 1);
+  EXPECT_EQ(alloc.backend_kind(), BackendKind::kVirtualArena);
+  EXPECT_EQ(alloc.backing(), nullptr);
+  EXPECT_EQ(alloc.ReleaseMemoryToSystem(~size_t{0}), 0u);
+  EXPECT_FALSE(alloc.Owns(config.arena_base));
+}
+
+// A producer/consumer storm over real memory: every object is written
+// through, conservation must hold, and the intrusive lists must survive
+// cross-thread frees. This is the real-mode twin of the virtual storm in
+// real_threads_test.cc.
+TEST(RealMemoryModeTest, CrossThreadStormConservesObjects) {
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 20000;
+  RealThreadsAllocator alloc(RealConfig(), kThreads);
+
+  std::vector<std::thread> workers;
+  std::vector<std::vector<std::pair<uintptr_t, size_t>>> handoff(kThreads);
+  std::mutex handoff_mu;
+  std::atomic<uint64_t> write_check{0};
+
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      RealThreadCache* tc = alloc.RegisterThread();
+      uint64_t seed = 0x9E3779B97F4A7C15ull * (t + 1);
+      std::vector<std::pair<uintptr_t, size_t>> mine;
+      for (int op = 0; op < kOpsPerThread; ++op) {
+        seed = seed * 6364136223846793005ull + 1442695040888963407ull;
+        size_t size = 8 + (seed >> 33) % 1024;
+        uintptr_t p = alloc.Allocate(tc, size);
+        ASSERT_NE(p, 0u);
+        *reinterpret_cast<uint64_t*>(p) = seed;
+        write_check.fetch_add(seed, std::memory_order_relaxed);
+        if ((seed & 3) == 0) {
+          // Hand off to a sibling's pile: freed by another thread.
+          std::lock_guard<std::mutex> guard(handoff_mu);
+          handoff[(t + 1) % kThreads].push_back({p, size});
+        } else {
+          mine.push_back({p, size});
+        }
+        if (mine.size() > 64 || (op % 512) == 511) {
+          for (auto [addr, sz] : mine) alloc.Free(tc, addr, sz);
+          mine.clear();
+          std::lock_guard<std::mutex> guard(handoff_mu);
+          for (auto [addr, sz] : handoff[t]) alloc.Free(tc, addr, sz);
+          handoff[t].clear();
+        }
+      }
+      for (auto [addr, sz] : mine) alloc.Free(tc, addr, sz);
+      std::lock_guard<std::mutex> guard(handoff_mu);
+      for (auto [addr, sz] : handoff[t]) alloc.Free(tc, addr, sz);
+      handoff[t].clear();
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  // A worker can exit while a slower sibling is still pushing into its
+  // handoff pile; drain the stragglers here (cross-thread frees from the
+  // main thread are just as legal).
+  RealThreadCache* main_tc = alloc.RegisterThread();
+  for (auto& pile : handoff) {
+    for (auto [addr, sz] : pile) alloc.Free(main_tc, addr, sz);
+    pile.clear();
+  }
+
+  telemetry::Snapshot snap = alloc.TelemetrySnapshot();
+  EXPECT_EQ(Metric(snap, "allocator", "allocations"),
+            static_cast<double>(kThreads) * kOpsPerThread);
+  EXPECT_EQ(Metric(snap, "allocator", "allocations"),
+            Metric(snap, "allocator", "frees"));
+  EXPECT_EQ(Metric(snap, "allocator", "live_bytes"), 0.0);
+  EXPECT_EQ(Metric(snap, "system", "reserved_bytes"),
+            static_cast<double>(alloc.backing()->reserved_bytes()));
+}
+
+}  // namespace
+}  // namespace wsc::tcmalloc

@@ -24,7 +24,7 @@ FIELDS+='|span_prioritization|cfl_num_lists|lifetime_aware_filler'
 FIELDS+='|filler_capacity_threshold|subrelease_free_fraction|release_interval'
 FIELDS+='|numa_aware|num_numa_nodes|sample_interval_bytes|soft_limit_bytes'
 FIELDS+='|hard_limit_bytes|pressure_cache_floor_fraction|arena_base'
-FIELDS+='|arena_bytes|guarded_sampling'
+FIELDS+='|arena_bytes|guarded_sampling|real_memory|real_memory_reserve_bytes'
 
 # Match `<expr>.<field> =` but not `==` (comparisons stay legal).
 offenders="$(grep -rEn "\.(${FIELDS})[[:space:]]*=([^=]|$)" \
@@ -34,6 +34,24 @@ if [ -n "$offenders" ]; then
   echo "check_config_api: direct AllocatorConfig field assignment found;" >&2
   echo "use AllocatorConfig::Builder instead:" >&2
   echo "$offenders" >&2
+  exit 1
+fi
+
+# The backend seam is part of the same contract: benches and tests get a
+# backing by building a config (WithRealMemory()) and letting the
+# allocator construct it — never by instantiating SystemAllocator or a
+# MemoryBacking directly. tests/tcmalloc/ is exempt: the allocator's own
+# unit tests exercise the backing classes in isolation.
+ctors="$(grep -rEn \
+  '\b(SystemAllocator|RealMemoryBacking|VirtualArenaBacking)[[:space:]]*\(' \
+  "$ROOT/bench" "$ROOT/tests" --include='*.cc' --include='*.h' 2>/dev/null |
+  grep -v "^$ROOT/tests/tcmalloc/")"
+
+if [ -n "$ctors" ]; then
+  echo "check_config_api: direct backend construction found; use" >&2
+  echo "AllocatorConfig::Builder::WithRealMemory() and let the allocator" >&2
+  echo "own its backing (tests/tcmalloc/ is the only exemption):" >&2
+  echo "$ctors" >&2
   exit 1
 fi
 echo "check_config_api: OK (bench/ and tests/ construct AllocatorConfig via Builder)"

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Asserts allocation/free conservation from a preload-bench stats sidecar.
+
+bench/preload/bench_mt with --out-dir writes DIR/mt.stats.json: one
+{"phase": "pre"|"post", "stats": {...}} line per snapshot, taken around
+the measured region via wscmalloc_stats_json(). Every object allocated
+between the snapshots is freed before the "post" snapshot (the bench
+scopes its harness containers accordingly), so the deltas must balance
+exactly: a shortfall means the shim lost frees (leak), an excess means it
+double-counted.
+
+Usage: check_preload_conservation.py <stats.json> [min_ops]
+
+Self-test: check_preload_conservation.py --self-test
+"""
+
+import json
+import sys
+
+
+def parse(path):
+    pre = post = None
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            if rec["phase"] == "pre" and pre is None:
+                pre = rec["stats"]
+            elif rec["phase"] == "post":
+                post = rec["stats"]
+    if pre is None or post is None:
+        sys.exit(f"FAIL: {path} lacks pre/post snapshots")
+    return pre, post
+
+
+def check(pre, post, min_ops):
+    d_alloc = post["allocations"] - pre["allocations"]
+    d_free = post["frees"] - pre["frees"]
+    if d_alloc != d_free:
+        sys.exit(f"FAIL: allocations delta {d_alloc} != frees delta {d_free} "
+                 f"(leaked {d_alloc - d_free})")
+    if d_alloc < min_ops:
+        sys.exit(f"FAIL: only {d_alloc} allocations between snapshots, "
+                 f"expected >= {min_ops} — did the workload run?")
+    if post["live_bytes"] != pre["live_bytes"]:
+        sys.exit(f"FAIL: live_bytes moved {pre['live_bytes']} -> "
+                 f"{post['live_bytes']} across a balanced run")
+    return d_alloc
+
+
+def self_test():
+    ok_pre = {"allocations": 10, "frees": 7, "live_bytes": 100}
+    ok_post = {"allocations": 1010, "frees": 1007, "live_bytes": 100}
+    assert check(ok_pre, ok_post, 1000) == 1000
+    for bad_post, why in [
+        ({"allocations": 1010, "frees": 1006, "live_bytes": 100}, "leak"),
+        ({"allocations": 11, "frees": 8, "live_bytes": 100}, "too few ops"),
+        ({"allocations": 1010, "frees": 1007, "live_bytes": 200},
+         "live_bytes drift"),
+    ]:
+        try:
+            check(ok_pre, bad_post, 1000)
+        except SystemExit:
+            continue
+        raise AssertionError(f"self-test: {why} not caught")
+    print("check_preload_conservation: self-test OK")
+
+
+def main():
+    if len(sys.argv) >= 2 and sys.argv[1] == "--self-test":
+        self_test()
+        return
+    if len(sys.argv) < 2:
+        sys.exit(__doc__)
+    min_ops = int(sys.argv[2]) if len(sys.argv) > 2 else 1
+    pre, post = parse(sys.argv[1])
+    ops = check(pre, post, min_ops)
+    print(f"check_preload_conservation: OK ({ops} allocations == frees, "
+          f"live_bytes stable at {post['live_bytes']})")
+
+
+if __name__ == "__main__":
+    main()

@@ -40,10 +40,20 @@
 //                     stdout. Feed the output to tools/flamegraph.py /
 //                     tools/flamediff.py. Simulated-mode profiles are
 //                     bit-identical for any --threads value.
+//   --timeseries=PATH capture an interval time series from every
+//                     simulated process (telemetry/timeseries.h: counter
+//                     and histogram deltas plus gauge samples at 500 ms
+//                     logical boundaries) and write the merged fleet
+//                     series as NDJSON — one kind="timeseries" object per
+//                     interval plus one kind="sketch" object per quantile
+//                     sketch. Captures ride the logical clock, so the file
+//                     is byte-identical for any --threads value
+//                     (tools/check_determinism.sh proves it).
 //   --out-dir=DIR     one flag for all sidecars: creates DIR and defaults
 //                     --statsz=DIR/statsz.json, --trace=DIR/trace.json,
-//                     --profile=DIR/heap_profile.json, and
-//                     --selfprof=DIR/selfprof.folded. The fine-grained
+//                     --profile=DIR/heap_profile.json,
+//                     --selfprof=DIR/selfprof.folded, and
+//                     --timeseries=DIR/timeseries.ndjson. The fine-grained
 //                     flags above stay as overrides: an explicit path
 //                     wins over the --out-dir default. The preload
 //                     harness (bench/preload) and the CI sidecar uploads
@@ -67,9 +77,12 @@
 #include <string>
 #include <vector>
 
+#include <map>
+
 #include "common/table.h"
 #include "fleet/experiment.h"
 #include "fleet/parallel.h"
+#include "telemetry/timeseries.h"
 #include "profiler/self_profiler.h"
 #include "telemetry/statsz.h"
 #include "trace/chrome_trace.h"
@@ -123,6 +136,16 @@ inline trace::HeapProfile g_profile_accum;
 // rewritten after each report (same contract as --statsz).
 inline std::string g_selfprof_path;
 inline prof::FoldedProfile g_selfprof_accum;
+// --timeseries destination ("" = disabled) and its bench-wide aggregate,
+// one merged series per arm label ("" = single-arm) so A/B benches keep
+// their arms' series distinct in the NDJSON file. Rewritten after each
+// report (same contract as --statsz).
+inline std::string g_timeseries_path;
+inline std::map<std::string, telemetry::IntervalSeries> g_timeseries_accum;
+// Time-series capture cadence on the logical clock when --timeseries is
+// on: matches the machine footprint-sampling period, so every footprint
+// sample lands in exactly one interval.
+inline constexpr SimTime kBenchTimeseriesInterval = Milliseconds(500);
 // Self-profiler cadence: one sample per this many scope entries. Prime,
 // so the sampler never phase-locks onto loops whose scope count per
 // iteration divides the interval (the classic stratified-sampling bias).
@@ -153,6 +176,7 @@ inline constexpr BenchFlag kBenchFlags[] = {
     {"--trace=", [](const char* v) { g_trace_path = v; }},
     {"--profile=", [](const char* v) { g_profile_path = v; }},
     {"--selfprof=", [](const char* v) { g_selfprof_path = v; }},
+    {"--timeseries=", [](const char* v) { g_timeseries_path = v; }},
     {"--out-dir=", [](const char* v) { g_out_dir = v; }},
 };
 
@@ -175,6 +199,7 @@ inline void ApplyOutDirDefaults() {
   fill(g_trace_path, "trace.json");
   fill(g_profile_path, "heap_profile.json");
   fill(g_selfprof_path, "selfprof.folded");
+  fill(g_timeseries_path, "timeseries.ndjson");
 }
 
 // The flag row matching `arg`, or nullptr if it is not a wsc bench flag.
@@ -237,6 +262,9 @@ inline void ApplyBenchOverrides(fleet::FleetConfig& config) {
   }
   if (!g_selfprof_path.empty()) {
     config.selfprof_interval = kBenchSelfProfInterval;
+  }
+  if (!g_timeseries_path.empty()) {
+    config.timeseries_interval = kBenchTimeseriesInterval;
   }
 }
 
@@ -327,6 +355,24 @@ inline void ReportSelfProfile(const prof::FoldedProfile& profile) {
   WriteBenchFile(g_selfprof_path,
                  json ? prof::RenderFoldedJson(g_selfprof_accum)
                       : prof::RenderFolded(g_selfprof_accum));
+}
+
+// Folds a merged interval series into the bench-wide aggregate for its
+// arm ("" = single-arm) and rewrites the --timeseries NDJSON file: arms in
+// map order, each as interval lines followed by sketch lines. Everything
+// in the file derives from the logical clock and sorted maps, so it is
+// byte-identical for any --threads value.
+inline void ReportTimeSeries(const std::string& bench,
+                             const telemetry::IntervalSeries& series,
+                             const char* arm = nullptr) {
+  if (g_timeseries_path.empty() || series.empty()) return;
+  std::string label = arm != nullptr ? arm : "";
+  g_timeseries_accum[label].MergeFrom(series);
+  std::string body;
+  for (const auto& [name, merged] : g_timeseries_accum) {
+    body += merged.RenderNdjson(bench, name);
+  }
+  WriteBenchFile(g_timeseries_path, body);
 }
 
 // Trace/profile of a set of fleet observations.
@@ -446,6 +492,7 @@ inline void ReportTelemetry(
     const std::vector<fleet::FleetObservation>& observations,
     const char* arm = nullptr) {
   ReportTelemetry(bench, fleet::MergedTelemetry(observations), arm);
+  ReportTimeSeries(bench, fleet::MergedTimeSeries(observations), arm);
   ReportTraceAndProfile(observations);
 }
 
@@ -454,10 +501,13 @@ inline void ReportTelemetry(const std::string& bench,
                             const std::vector<fleet::ProcessResult>& results,
                             const char* arm = nullptr) {
   telemetry::Snapshot merged;
+  telemetry::IntervalSeries series;
   for (const fleet::ProcessResult& r : results) {
     merged.MergeFrom(r.telemetry);
+    series.MergeFrom(r.timeseries);
   }
   ReportTelemetry(bench, merged, arm);
+  ReportTimeSeries(bench, series, arm);
   ReportTraceAndProfile(results);
 }
 
@@ -466,6 +516,8 @@ inline void ReportTelemetry(const std::string& bench,
                             const fleet::AbDelta& delta) {
   ReportTelemetry(bench, delta.control_telemetry, "control");
   ReportTelemetry(bench, delta.experiment_telemetry, "experiment");
+  ReportTimeSeries(bench, delta.control_timeseries, "control");
+  ReportTimeSeries(bench, delta.experiment_timeseries, "experiment");
   // Both arms fold into one --selfprof file: the A/B pair ran the same
   // workload plan, so the merged profile is the bench's hot-path shape.
   ReportSelfProfile(delta.control_self_profile);

@@ -1,0 +1,138 @@
+#!/usr/bin/env bash
+# Head-to-head allocator comparison across LD_PRELOAD arms.
+#
+#   bench/preload/compare_allocators.sh [bench-binary] [bench flags...]
+#
+# Runs the SAME preload bench binary (default: build/bench/preload/
+# bench_realistic) once per allocator arm:
+#
+#   system     bare glibc malloc (always runs)
+#   wscmalloc  build/src/shim/libwscmalloc.so (always runs once built)
+#   jemalloc   libjemalloc.so        — auto-detected, skipped if absent
+#   tcmalloc   libtcmalloc.so        — auto-detected, skipped if absent
+#   mimalloc   libmimalloc.so        — auto-detected, skipped if absent
+#
+# Third-party allocators are never a build dependency: the script probes
+# ldconfig and common library directories at run time, and a missing .so
+# produces a machine-readable skip marker instead of a failure:
+#
+#   BENCH_JSON {"schema_version":2,"bench":"preload_compare",
+#               "kind":"skipped","arm":"jemalloc","reason":"..."}
+#
+# so downstream tooling (tools/check_bench_json.py) sees every arm
+# accounted for — run or skipped — on every host. Present arms re-emit
+# the bench's one-line JSON report tagged with the arm:
+#
+#   BENCH_JSON {"schema_version":2,"bench":"preload_compare",
+#               "kind":"preload","arm":"tcmalloc","bench_binary":"...",
+#               <the bench's own report fields>}
+#
+# See EXPERIMENTS.md ("Cross-allocator comparison") for the recipe.
+
+set -u
+
+BUILD="${BUILD:-build}"
+BENCH="${1:-$BUILD/bench/preload/bench_realistic}"
+shift 2>/dev/null || true
+
+if [ ! -x "$BENCH" ]; then
+  echo "compare_allocators: missing bench binary $BENCH (build first)" >&2
+  exit 1
+fi
+BENCH_NAME="$(basename "$BENCH")"
+
+# Locates one shared library by trying ldconfig's cache first, then the
+# usual multiarch directories. Prints the path, or nothing.
+find_lib() {
+  local stem
+  for stem in "$@"; do
+    if command -v ldconfig >/dev/null 2>&1; then
+      local hit
+      hit="$(ldconfig -p 2>/dev/null | awk -v s="$stem" \
+        '$1 ~ "^"s { print $NF; exit }')"
+      if [ -n "${hit:-}" ] && [ -e "$hit" ]; then
+        echo "$hit"
+        return 0
+      fi
+    fi
+    local dir
+    for dir in /usr/lib/x86_64-linux-gnu /usr/lib/aarch64-linux-gnu \
+               /usr/lib64 /usr/lib /usr/local/lib; do
+      local f
+      for f in "$dir/$stem" "$dir/$stem".*; do
+        if [ -e "$f" ]; then
+          echo "$f"
+          return 0
+        fi
+      done
+    done
+  done
+  return 1
+}
+
+emit_skip() {
+  local arm="$1" reason="$2"
+  printf 'BENCH_JSON {"schema_version":2,"bench":"preload_compare","kind":"skipped","arm":"%s","reason":"%s"}\n' \
+    "$arm" "$reason"
+}
+
+# Runs one arm ($1=arm name, $2=preload path or "" for bare) and re-tags
+# the bench's report line as a preload_compare BENCH_JSON line.
+run_arm() {
+  local arm="$1" preload="$2" out rc line
+  shift 2
+  if [ -n "$preload" ]; then
+    out="$(LD_PRELOAD="$preload" "$BENCH" "$@" 2>/dev/null)"
+  else
+    out="$("$BENCH" "$@" 2>/dev/null)"
+  fi
+  rc=$?
+  if [ $rc -ne 0 ]; then
+    emit_skip "$arm" "bench exited $rc under this allocator"
+    return 1
+  fi
+  # The preload benches print exactly one {"bench":...} report line; its
+  # own "bench" key is dropped (bench_binary carries it) so the merged
+  # line has no duplicate keys.
+  line="$(printf '%s\n' "$out" | grep -m1 '^{')"
+  if [ -z "$line" ]; then
+    emit_skip "$arm" "no report line from bench"
+    return 1
+  fi
+  inner="$(printf '%s' "${line#\{}" | sed 's/^"bench":"[^"]*",//')"
+  printf 'BENCH_JSON {"schema_version":2,"bench":"preload_compare","kind":"preload","arm":"%s","bench_binary":"%s",%s\n' \
+    "$arm" "$BENCH_NAME" "$inner"
+}
+
+shift_args=("$@")
+
+# "system" failing means the bench itself is broken — hard failure.
+# Preloaded arms failing degrade to skip markers (run_arm emits them).
+if ! run_arm system "" "${shift_args[@]}"; then
+  echo "compare_allocators: bench failed on glibc — broken bench" >&2
+  exit 1
+fi
+
+WSC_SHIM="$BUILD/src/shim/libwscmalloc.so"
+if [ -f "$WSC_SHIM" ]; then
+  run_arm wscmalloc "$WSC_SHIM" "${shift_args[@]}" || true
+else
+  emit_skip wscmalloc "libwscmalloc.so not built"
+fi
+
+# Third-party arms: best-effort, never required. libtcmalloc_minimal is
+# accepted for the tcmalloc arm — the malloc path is the same.
+for arm in jemalloc tcmalloc mimalloc; do
+  case "$arm" in
+    jemalloc) lib="$(find_lib libjemalloc.so libjemalloc.so.2)" ;;
+    tcmalloc) lib="$(find_lib libtcmalloc.so libtcmalloc_minimal.so)" ;;
+    mimalloc) lib="$(find_lib libmimalloc.so libmimalloc.so.2)" ;;
+  esac
+  if [ -z "${lib:-}" ]; then
+    emit_skip "$arm" "library not found on this host"
+    continue
+  fi
+  run_arm "$arm" "$lib" "${shift_args[@]}" || true
+done
+
+exit 0

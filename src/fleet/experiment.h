@@ -73,6 +73,11 @@ struct AbDelta {
   prof::FoldedProfile control_self_profile;
   prof::FoldedProfile experiment_self_profile;
 
+  // Merged interval series of each arm (empty unless the fleet config set
+  // a timeseries_interval). Same fill rules as the telemetry snapshots.
+  telemetry::IntervalSeries control_timeseries;
+  telemetry::IntervalSeries experiment_timeseries;
+
   double ThroughputChangePct() const;
   double MemoryChangePct() const;
   double CpiChangePct() const;

@@ -22,6 +22,8 @@
 
 namespace wsc::fleet {
 
+class StreamCollector;
+
 // Fleet-wide memory-pressure injection (ISSUE: diurnal trough + random
 // spikes). Events are planned per machine in PlanMachines — sampled
 // seed-ordered after the machine seed fork, so enabling pressure never
@@ -124,6 +126,13 @@ struct FleetConfig {
   // cadence is logical (never wall clock), so profiles of a deterministic
   // run are bit-identical for any --threads value.
   uint64_t selfprof_interval = 0;
+
+  // Telemetry time-series capture cadence on the logical clock (0 = off).
+  // When set, every process captures counter/histogram deltas and gauge
+  // samples at each boundary into ProcessResult::timeseries; series merge
+  // via MergedTimeSeries / StreamCollector, aligned by interval index, so
+  // the fleet series is bit-identical for any --threads value.
+  SimTime timeseries_interval = 0;
 };
 
 // One process observation, tagged with provenance.
@@ -156,6 +165,12 @@ trace::HeapProfile MergedHeapProfile(
 // observation order. Folded counts are commutative, so the merge is
 // bit-identical for any worker-thread count.
 prof::FoldedProfile MergedSelfProfile(
+    const std::vector<FleetObservation>& observations);
+
+// Fleet-wide time series: every observation's interval series merged in
+// observation order, aligned by interval index (exact bucketwise sums —
+// bit-identical for any worker-thread count).
+telemetry::IntervalSeries MergedTimeSeries(
     const std::vector<FleetObservation>& observations);
 
 // A runnable fleet. Machine composition (platforms, binary placement,
@@ -199,6 +214,19 @@ class Fleet {
   // thread budget.
   void Run();
   void Run(int num_threads);
+
+  // Streaming variant for warehouse scale: machines still execute
+  // concurrently, but observations are folded into `collector` in strict
+  // machine-index order as machines complete and then discarded — memory
+  // stays O(metrics × intervals) instead of O(machines). Workers that run
+  // more than `window` machines ahead of the fold cursor wait (window = 2×
+  // worker count when 0), which bounds the reorder buffer without ever
+  // blocking the machine the fold is waiting on. The fold order equals the
+  // buffered Run()'s merge order, so every aggregate is bit-identical to
+  // Run() + Merged* for any thread count. observations() is left empty.
+  void RunStreaming(StreamCollector& collector);
+  void RunStreaming(StreamCollector& collector, int num_threads,
+                    int window = 0);
 
   const std::vector<FleetObservation>& observations() const {
     return observations_;

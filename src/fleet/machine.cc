@@ -35,11 +35,12 @@ Machine::Machine(const hw::PlatformSpec& platform,
                  const tcmalloc::AllocatorConfig& base_config, uint64_t seed,
                  std::vector<PressureEvent> pressure_events,
                  size_t trace_events_per_process, MachineFaults faults,
-                 uint64_t selfprof_interval)
+                 uint64_t selfprof_interval, SimTime timeseries_interval)
     : topology_(platform),
       base_config_(base_config),
       trace_capacity_(trace_events_per_process),
       selfprof_interval_(selfprof_interval),
+      timeseries_interval_(timeseries_interval),
       faults_(std::move(faults)),
       pressure_events_(std::move(pressure_events)) {
   WSC_CHECK(!workloads.empty());
@@ -108,6 +109,10 @@ std::unique_ptr<Machine::Process> Machine::MakeProcess(
     process->injector =
         std::make_unique<tcmalloc::FaultInjector>(faults_.fault_plans[wi]);
     process->allocator->SetFaultInjector(process->injector.get());
+  }
+  if (timeseries_interval_ > 0) {
+    process->series = std::make_unique<telemetry::IntervalSeries>();
+    process->next_capture = timeseries_interval_;
   }
   process->tlb = std::make_unique<hw::TlbSimulator>();
   process->llc =
@@ -196,6 +201,21 @@ void Machine::Run(SimTime duration, uint64_t max_requests) {
       SampleFootprint(*lowest);
       next_sample[lowest_idx] = lowest->driver->now() + kSamplePeriod;
     }
+    if (lowest->series != nullptr &&
+        lowest->driver->now() >= lowest->next_capture) {
+      // The interval index is the boundary number on the logical clock, so
+      // co-located processes (and every machine in the fleet) produce
+      // alignable indices. A step that jumps several boundaries captures
+      // once and leaves a gap.
+      uint64_t index = static_cast<uint64_t>(lowest->driver->now() /
+                                             timeseries_interval_);
+      double t = static_cast<double>(index) *
+                 static_cast<double>(timeseries_interval_) / 1e9;
+      CaptureTimeseries(*lowest, index, t,
+                        lowest->allocator->TelemetrySnapshot());
+      lowest->next_capture =
+          static_cast<SimTime>(index + 1) * timeseries_interval_;
+    }
     if (lowest->driver->now() >= duration ||
         lowest->driver->metrics().requests >= max_requests) {
       SampleFootprint(*lowest);
@@ -222,6 +242,29 @@ void Machine::Run(SimTime duration, uint64_t max_requests) {
   killed_results_.clear();
 }
 
+void Machine::CaptureTimeseries(Process& p, uint64_t index, double t_seconds,
+                                const telemetry::Snapshot& snapshot) const {
+  p.series->Capture(index, t_seconds, snapshot);
+  // Footprint distribution: one point per interval, the fleet CDF input
+  // (Fig. 3-style percentiles without retaining per-machine data).
+  const telemetry::MetricSample* heap =
+      snapshot.Find("allocator", "heap_bytes");
+  if (heap != nullptr) {
+    p.series->Sketch("footprint_bytes").Record(heap->gauge);
+  }
+  // Per-interval mean allocation latency, weighted by the interval's
+  // allocation count — the alloc-latency class distribution.
+  const workload::DriverMetrics& m = p.driver->metrics();
+  uint64_t allocs = m.allocations - p.captured_allocations;
+  if (allocs > 0) {
+    double ns = (m.malloc_ns - p.captured_malloc_ns) /
+                static_cast<double>(allocs);
+    p.series->Sketch("alloc_latency_ns").Record(ns, allocs);
+  }
+  p.captured_malloc_ns = m.malloc_ns;
+  p.captured_allocations = m.allocations;
+}
+
 ProcessResult Machine::FinalizeResult(Process& p) const {
   ProcessResult r;
   r.workload_name = p.spec.name;
@@ -241,6 +284,20 @@ ProcessResult Machine::FinalizeResult(Process& p) const {
   r.malloc_cycles = p.allocator->cycle_breakdown();
   r.tier_hits = p.allocator->alloc_tier_hits();
   r.telemetry = p.allocator->TelemetrySnapshot();
+  if (p.series != nullptr) {
+    // Drain interval: whatever accumulated since the last boundary, at an
+    // index strictly past every captured one so restarts and stragglers
+    // merge cleanly.
+    uint64_t boundary =
+        static_cast<uint64_t>(p.driver->now() / timeseries_interval_) + 1;
+    if (!p.series->intervals().empty()) {
+      boundary = std::max(boundary, p.series->intervals().back().index + 1);
+    }
+    CaptureTimeseries(p, boundary,
+                      static_cast<double>(p.driver->now()) / 1e9, r.telemetry);
+    r.timeseries = std::move(*p.series);
+    *p.series = telemetry::IntervalSeries();
+  }
   if (p.recorder != nullptr) r.trace = p.recorder->Drain();
   if (p.profiler != nullptr) r.self_profile = p.profiler->Folded();
   r.heap_profile = p.allocator->CollectHeapProfile();

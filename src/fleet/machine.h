@@ -23,6 +23,7 @@
 #include "tcmalloc/allocator.h"
 #include "tcmalloc/fault_injection.h"
 #include "telemetry/registry.h"
+#include "telemetry/timeseries.h"
 #include "trace/flight_recorder.h"
 #include "trace/heap_profile.h"
 #include "workload/driver.h"
@@ -99,6 +100,13 @@ struct ProcessResult {
   // machine ran with selfprof_interval > 0). Counts merge commutatively,
   // so MergedSelfProfile is bit-identical for any worker-thread count.
   prof::FoldedProfile self_profile;
+  // Interval time series of this process's telemetry (empty unless the
+  // machine ran with timeseries_interval > 0): counter/histogram deltas
+  // and gauge samples at logical interval boundaries, plus footprint and
+  // alloc-latency sketches. Interval indices are boundary numbers on the
+  // shared logical clock, so series from co-located processes (and the
+  // whole fleet) align by index and merge exactly.
+  telemetry::IntervalSeries timeseries;
   double ghz = 2.4;
 
   double LlcMpki() const {
@@ -118,12 +126,14 @@ class Machine {
   // ProcessResult::trace. `selfprof_interval` > 0 attaches a sampling
   // self-profiler to every process (one sample per that many scope
   // entries); the folded result lands in ProcessResult::self_profile.
+  // `timeseries_interval` > 0 captures every process's telemetry deltas at
+  // that logical-clock cadence into ProcessResult::timeseries.
   Machine(const hw::PlatformSpec& platform,
           std::vector<workload::WorkloadSpec> workloads,
           const tcmalloc::AllocatorConfig& base_config, uint64_t seed,
           std::vector<PressureEvent> pressure_events = {},
           size_t trace_events_per_process = 0, MachineFaults faults = {},
-          uint64_t selfprof_interval = 0);
+          uint64_t selfprof_interval = 0, SimTime timeseries_interval = 0);
 
   // Runs every process until its local clock reaches `duration` or it has
   // executed `max_requests` requests, whichever comes first, then drains.
@@ -160,6 +170,13 @@ class Machine {
     std::unique_ptr<hw::TlbSimulator> tlb;
     std::unique_ptr<hw::LlcModel> llc;
     std::unique_ptr<workload::Driver> driver;
+    // Interval time series (null: timeseries off). Restarted processes get
+    // a fresh series starting at interval 0, like a fresh exec.
+    std::unique_ptr<telemetry::IntervalSeries> series;
+    SimTime next_capture = 0;  // next timeseries boundary
+    // Driver totals at the last capture, for per-interval alloc latency.
+    double captured_malloc_ns = 0;
+    uint64_t captured_allocations = 0;
     // Time-weighted footprint accumulators.
     double heap_byte_seconds = 0;
     double live_byte_seconds = 0;
@@ -186,8 +203,14 @@ class Machine {
                                        uint64_t llc_seed, uint64_t driver_seed,
                                        int arena_index);
 
+  // Captures one timeseries interval for `p`: telemetry deltas plus the
+  // footprint and per-interval alloc-latency sketches.
+  void CaptureTimeseries(Process& p, uint64_t index, double t_seconds,
+                         const telemetry::Snapshot& snapshot) const;
+
   // Captures the final metrics of one process (used at the end of Run and
-  // at OOM-kill time for the dying instance).
+  // at OOM-kill time for the dying instance), including the series' final
+  // drain interval.
   ProcessResult FinalizeResult(Process& p) const;
 
   // Kills the biggest-footprint live process (draining it and recording
@@ -198,6 +221,7 @@ class Machine {
   tcmalloc::AllocatorConfig base_config_;
   size_t trace_capacity_ = 0;
   uint64_t selfprof_interval_ = 0;
+  SimTime timeseries_interval_ = 0;
   MachineFaults faults_;
   bool oom_fired_ = false;
   int oom_kills_ = 0;

@@ -77,3 +77,7 @@ WSC_SHIM_EXPORT size_t wscmalloc_release_memory(size_t bytes) {
 WSC_SHIM_EXPORT size_t wscmalloc_stats_json(char* buf, size_t cap) {
   return wsc::shim::ShimStatsJson(buf, cap);
 }
+
+WSC_SHIM_EXPORT size_t wscmalloc_stats_timeseries(char* buf, size_t cap) {
+  return wsc::shim::ShimStatsTimeseries(buf, cap);
+}

@@ -1,9 +1,12 @@
 #include "shim/shim_core.h"
 
 #include <errno.h>
+#include <fcntl.h>
 #include <pthread.h>
+#include <signal.h>
 #include <string.h>
 #include <sys/mman.h>
+#include <time.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -116,7 +119,196 @@ size_t EnvBytesMb(const char* name, size_t fallback) {
   return static_cast<size_t>(mb) << 20;
 }
 
+long EnvLong(const char* name, long fallback) {
+  const char* v = getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  long n = strtol(v, &end, 10);
+  if (end == v) return fallback;
+  return n;
+}
+
+// ---- Live statsz ------------------------------------------------------
+//
+// A background thread that makes any preloaded process observable while
+// it runs, not just at exit: every WSC_SHIM_STATSZ_INTERVAL_MS (default
+// 1000, floor 10) it takes a counter sample into a fixed ring and — when
+// WSC_SHIM_STATSZ_PATH is set — appends the sample as one pid-tagged
+// NDJSON line (O_APPEND open/write/close per dump, so many preloaded
+// processes can share one file). SIGUSR2 forces an immediate
+// out-of-schedule dump. The ring is exported via
+// wscmalloc_stats_timeseries for in-process scrapers.
+//
+// Reentrancy: the thread is a normal malloc client (its snapshot vectors
+// allocate and free through the shim itself — no bootstrap leak), but
+// file output uses raw fd syscalls and a stack buffer so a dump never
+// allocates. Fork: ForkPrepare takes g_statsz_mu *before* quiescing the
+// allocator, so no sample is mid-flight at fork time and the child
+// inherits an unlocked mutex + a consistent ring; the atfork child
+// handler restarts the thread (fork drops all threads but ours must
+// survive conceptually) with the child's own pid tag.
+
+struct StatszSample {
+  long pid;            // taker's pid (inherited ring entries keep the
+                       // parent's pid after fork)
+  uint64_t seq;        // monotonically increasing per process image
+  uint64_t uptime_ms;  // since the stats thread started
+  bool signal;         // true when SIGUSR2 forced this dump
+  double allocations;
+  double frees;
+  double live_bytes;
+  size_t footprint_bytes;
+  double released_bytes;
+  int threads;
+};
+
+constexpr int kStatszRing = 64;
+constexpr int kStatszDefaultIntervalMs = 1000;
+constexpr int kStatszPollMs = 10;  // SIGUSR2 latency / shutdown poll
+
+pthread_mutex_t g_statsz_mu = PTHREAD_MUTEX_INITIALIZER;
+StatszSample g_statsz_ring[kStatszRing];   // guarded by g_statsz_mu
+uint64_t g_statsz_count = 0;               // guarded by g_statsz_mu
+char g_statsz_path[512];                   // fixed at thread start
+int g_statsz_interval_ms = kStatszDefaultIntervalMs;
+std::atomic<bool> g_statsz_enabled{false};
+volatile sig_atomic_t g_statsz_sigusr2 = 0;
+uint64_t g_statsz_epoch_ms = 0;
+
+uint64_t MonotonicMs() {
+  struct timespec ts;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) != 0) return 0;
+  return static_cast<uint64_t>(ts.tv_sec) * 1000 +
+         static_cast<uint64_t>(ts.tv_nsec) / 1000000;
+}
+
+void StatszSignalHandler(int) { g_statsz_sigusr2 = 1; }
+
+int FormatStatszLine(const StatszSample& s, char* buf, size_t cap) {
+  return snprintf(
+      buf, cap,
+      "{\"pid\":%ld,\"seq\":%llu,\"uptime_ms\":%llu,"
+      "\"trigger\":\"%s\",\"allocations\":%.0f,\"frees\":%.0f,"
+      "\"live_bytes\":%.0f,\"footprint_bytes\":%zu,"
+      "\"released_bytes\":%.0f,\"threads\":%d}\n",
+      s.pid, static_cast<unsigned long long>(s.seq),
+      static_cast<unsigned long long>(s.uptime_ms),
+      s.signal ? "signal" : "interval", s.allocations, s.frees,
+      s.live_bytes, s.footprint_bytes, s.released_bytes, s.threads);
+}
+
+// Takes one sample into the ring and appends it to the statsz file.
+// Called only from the stats thread, after the allocator is kReady.
+void StatszTakeSample(bool signal_dump) {
+  StatszSample s;
+  s.pid = static_cast<long>(getpid());
+  s.signal = signal_dump;
+  s.uptime_ms = MonotonicMs() - g_statsz_epoch_ms;
+  {
+    // Snapshot outside the ring lock: it mallocs (through the shim) and
+    // must never do so while ForkPrepare could be waiting on g_statsz_mu.
+    wsc::telemetry::Snapshot snap = g_alloc->TelemetrySnapshot();
+    auto metric = [&snap](const char* c, const char* n) -> double {
+      const wsc::telemetry::MetricSample* m = snap.Find(c, n);
+      return m != nullptr ? m->ScalarValue() : 0.0;
+    };
+    s.allocations = metric("allocator", "allocations");
+    s.frees = metric("allocator", "frees");
+    s.live_bytes = metric("allocator", "live_bytes");
+    s.footprint_bytes = g_alloc->FootprintBytes();
+    s.released_bytes = metric("system", "released_bytes");
+    s.threads = g_alloc->registered_threads();
+  }
+  char line[512];
+  int n;
+  pthread_mutex_lock(&g_statsz_mu);
+  s.seq = g_statsz_count;
+  g_statsz_ring[g_statsz_count % kStatszRing] = s;
+  ++g_statsz_count;
+  n = FormatStatszLine(s, line, sizeof(line));
+  pthread_mutex_unlock(&g_statsz_mu);
+  if (n <= 0 || g_statsz_path[0] == '\0') return;
+  int fd = open(g_statsz_path, O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return;
+  size_t len = static_cast<size_t>(n) < sizeof(line)
+                   ? static_cast<size_t>(n)
+                   : sizeof(line) - 1;
+  ssize_t ignored = write(fd, line, len);
+  (void)ignored;
+  close(fd);
+}
+
+void* StatszThreadMain(void*) {
+  // Block nothing: SIGUSR2 is delivered process-wide; any thread's
+  // handler just sets the flag this loop polls.
+  uint64_t next_due = MonotonicMs() + static_cast<uint64_t>(g_statsz_interval_ms);
+  for (;;) {
+    struct timespec ts = {0, kStatszPollMs * 1000000};
+    nanosleep(&ts, nullptr);
+    bool signal_dump = g_statsz_sigusr2 != 0;
+    uint64_t now = MonotonicMs();
+    if (!signal_dump && now < next_due) continue;
+    if (signal_dump) {
+      g_statsz_sigusr2 = 0;
+    } else {
+      // Schedule from "now", not "due": a late wakeup must not cause a
+      // burst of catch-up dumps.
+      next_due = now + static_cast<uint64_t>(g_statsz_interval_ms);
+    }
+    StatszTakeSample(signal_dump);
+  }
+  return nullptr;
+}
+
+// Spawns the detached stats thread (it dies with the process / exec).
+// Called at allocator construction and again in the atfork child.
+void StatszStartThread() {
+  g_statsz_epoch_ms = MonotonicMs();
+  pthread_t tid;
+  pthread_attr_t attr;
+  if (pthread_attr_init(&attr) != 0) return;
+  pthread_attr_setdetachstate(&attr, PTHREAD_CREATE_DETACHED);
+  if (pthread_create(&tid, &attr, &StatszThreadMain, nullptr) != 0) {
+    g_statsz_enabled.store(false, std::memory_order_release);
+  }
+  pthread_attr_destroy(&attr);
+}
+
+// One-time statsz setup, run inside allocator construction (under
+// BusyScope, so the handful of bytes pthread_create mallocs land in the
+// bootstrap arena). Enabled by either env knob so ring-only operation
+// (scrape via wscmalloc_stats_timeseries, no file) works too.
+void StatszInit() {
+  const char* path = getenv("WSC_SHIM_STATSZ_PATH");
+  const char* interval = getenv("WSC_SHIM_STATSZ_INTERVAL_MS");
+  if ((path == nullptr || *path == '\0') &&
+      (interval == nullptr || *interval == '\0')) {
+    return;
+  }
+  if (path != nullptr) {
+    strncpy(g_statsz_path, path, sizeof(g_statsz_path) - 1);
+    g_statsz_path[sizeof(g_statsz_path) - 1] = '\0';
+  }
+  long ms = EnvLong("WSC_SHIM_STATSZ_INTERVAL_MS", kStatszDefaultIntervalMs);
+  g_statsz_interval_ms =
+      ms < kStatszPollMs ? kStatszPollMs
+                         : static_cast<int>(ms > 3600000 ? 3600000 : ms);
+  struct sigaction sa;
+  memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = &StatszSignalHandler;
+  sa.sa_flags = SA_RESTART;
+  sigemptyset(&sa.sa_mask);
+  sigaction(SIGUSR2, &sa, nullptr);
+  g_statsz_enabled.store(true, std::memory_order_release);
+  StatszStartThread();
+}
+
 void ForkPrepare() {
+  // Statsz first: once we hold g_statsz_mu no dump is mid-write, and the
+  // sampler cannot be inside the allocator either (samples malloc only
+  // outside the lock), so the allocator quiesce below cannot deadlock
+  // against the stats thread.
+  pthread_mutex_lock(&g_statsz_mu);
   if (g_state.load(std::memory_order_acquire) == kReady) {
     g_alloc->ForkPrepare();
   }
@@ -125,6 +317,16 @@ void ForkPrepare() {
 void ForkRelease() {
   if (g_state.load(std::memory_order_acquire) == kReady) {
     g_alloc->ForkRelease();
+  }
+  pthread_mutex_unlock(&g_statsz_mu);
+}
+
+void ForkChild() {
+  ForkRelease();
+  // fork() dropped every thread but the forker; give the child image its
+  // own stats thread so longitudinal observation survives process trees.
+  if (g_statsz_enabled.load(std::memory_order_acquire)) {
+    StatszStartThread();
   }
 }
 
@@ -157,8 +359,9 @@ RealThreadsAllocator* GetAllocator() {
       RealThreadsAllocator(*built, expected_threads);
   size_t release_mb = EnvBytesMb("WSC_SHIM_RELEASE_MB", size_t{256} << 20);
   g_alloc->SetLargeReleaseThreshold(release_mb);
-  pthread_atfork(&ForkPrepare, &ForkRelease, &ForkRelease);
+  pthread_atfork(&ForkPrepare, &ForkRelease, &ForkChild);
   g_state.store(kReady, std::memory_order_release);
+  StatszInit();  // after kReady: the thread samples the live allocator
   return g_alloc;
 }
 
@@ -371,6 +574,30 @@ size_t ShimStatsJson(char* buf, size_t cap) {
   return n < 0 ? 0
                : (static_cast<size_t>(n) < cap ? static_cast<size_t>(n)
                                                : cap - 1);
+}
+
+size_t ShimStatsTimeseries(char* buf, size_t cap) {
+  if (buf == nullptr || cap == 0) return 0;
+  buf[0] = '\0';
+  size_t written = 0;
+  pthread_mutex_lock(&g_statsz_mu);
+  uint64_t count = g_statsz_count;
+  uint64_t first = count > kStatszRing ? count - kStatszRing : 0;
+  for (uint64_t i = first; i < count; ++i) {
+    char line[512];
+    int n = FormatStatszLine(g_statsz_ring[i % kStatszRing], line,
+                             sizeof(line));
+    if (n <= 0) continue;
+    size_t len = static_cast<size_t>(n) < sizeof(line)
+                     ? static_cast<size_t>(n)
+                     : sizeof(line) - 1;
+    if (written + len >= cap) break;  // whole lines only
+    memcpy(buf + written, line, len);
+    written += len;
+  }
+  pthread_mutex_unlock(&g_statsz_mu);
+  buf[written] = '\0';
+  return written;
 }
 
 }  // namespace wsc::shim

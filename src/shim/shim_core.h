@@ -47,6 +47,15 @@ size_t ShimReleaseMemory(size_t bytes);
 // Counters are gathered from racy relaxed reads — intended for
 // end-of-run sidecars, not invariants while threads are hot.
 size_t ShimStatsJson(char* buf, size_t cap);
+// Writes the live statsz sample ring (most recent ~64 samples, oldest
+// first) as pid-tagged NDJSON lines into buf; returns bytes written
+// (excluding NUL), truncating at whole-line granularity. The ring is
+// populated by the background stats thread, which starts with the
+// allocator when WSC_SHIM_STATSZ_PATH or WSC_SHIM_STATSZ_INTERVAL_MS is
+// set in the environment (see shim_core.cc "Live statsz" for the
+// contract: periodic dumps, SIGUSR2-triggered dumps, fork restart).
+// Returns 0 when the stats thread never ran.
+size_t ShimStatsTimeseries(char* buf, size_t cap);
 
 }  // namespace wsc::shim
 

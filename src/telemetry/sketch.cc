@@ -1,0 +1,117 @@
+#include "telemetry/sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "telemetry/statsz.h"
+
+namespace wsc::telemetry {
+
+QuantileSketch::QuantileSketch() : buckets_(kNumBuckets, 0) {}
+
+size_t QuantileSketch::BucketIndex(double v) {
+  if (!(v >= 1.0) || !std::isfinite(v)) return 0;  // <=0, <1, NaN
+  int exp = 0;
+  double m = std::frexp(v, &exp);  // v = m * 2^exp, m in [0.5, 1)
+  --exp;                           // mantissa in [1, 2)
+  if (exp > kMaxExponent) {
+    return kNumBuckets - 1;
+  }
+  int sub = static_cast<int>((m * 2.0 - 1.0) * kSubBuckets);
+  sub = std::min(sub, kSubBuckets - 1);
+  return 1 + static_cast<size_t>(exp) * kSubBuckets + static_cast<size_t>(sub);
+}
+
+double QuantileSketch::BucketValue(size_t index) {
+  if (index == 0) return 0.0;
+  size_t i = index - 1;
+  int exp = static_cast<int>(i / kSubBuckets);
+  int sub = static_cast<int>(i % kSubBuckets);
+  // Midpoint of [2^exp * (1 + sub/k), 2^exp * (1 + (sub+1)/k)).
+  double mantissa = 1.0 + (static_cast<double>(sub) + 0.5) / kSubBuckets;
+  return std::ldexp(mantissa, exp);
+}
+
+void QuantileSketch::Record(double v, uint64_t weight) {
+  if (weight == 0) return;
+  buckets_[BucketIndex(v)] += weight;
+  if (count_ == 0) {
+    min_ = v;
+    max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  count_ += weight;
+  sum_ += v * static_cast<double>(weight);
+}
+
+void QuantileSketch::MergeFrom(const QuantileSketch& other) {
+  if (other.count_ == 0) return;
+  WSC_CHECK_EQ(buckets_.size(), other.buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double QuantileSketch::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t rank =
+      static_cast<uint64_t>(q * static_cast<double>(count_ - 1));
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    cumulative += buckets_[i];
+    if (cumulative > rank) {
+      return std::clamp(BucketValue(i), min_, max_);
+    }
+  }
+  return max_;
+}
+
+std::vector<std::pair<double, uint64_t>> QuantileSketch::Points() const {
+  std::vector<std::pair<double, uint64_t>> points;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] != 0) points.emplace_back(BucketValue(i), buckets_[i]);
+  }
+  return points;
+}
+
+void QuantileSketch::AppendJson(std::string& out) const {
+  out += "{\"count\":" + std::to_string(count_);
+  out += ",\"sum\":" + FormatJsonNumber(sum_);
+  out += ",\"min\":" + FormatJsonNumber(min());
+  out += ",\"max\":" + FormatJsonNumber(max());
+  out += ",\"quantiles\":{";
+  constexpr struct {
+    const char* name;
+    double q;
+  } kQuantiles[] = {
+      {"p50", 0.50}, {"p90", 0.90}, {"p95", 0.95}, {"p99", 0.99}};
+  bool first = true;
+  for (const auto& [name, q] : kQuantiles) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    out += name;
+    out += "\":" + FormatJsonNumber(Quantile(q));
+  }
+  out += "},\"points\":[";
+  first = true;
+  for (const auto& [value, cnt] : Points()) {
+    if (!first) out += ",";
+    first = false;
+    out += "[" + FormatJsonNumber(value) + "," + std::to_string(cnt) + "]";
+  }
+  out += "]}";
+}
+
+}  // namespace wsc::telemetry

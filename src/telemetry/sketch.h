@@ -1,0 +1,88 @@
+// Mergeable log-bucket quantile sketch for fleet-wide distributions.
+//
+// The paper's fleet CDFs (Fig. 3) aggregate per-machine distributions
+// across thousands of machines without retaining per-machine data: each
+// machine keeps a tiny mergeable summary, and the GWP pipeline folds
+// summaries together. This sketch is that summary, DDSketch-style: values
+// land in logarithmic buckets (each power of two split into kSubBuckets
+// linear sub-buckets, ~3% relative error), merges are exact bucketwise
+// sums, and quantiles come from a cumulative walk over the fixed bucket
+// layout — so the fold is associative and bit-identical in any order on
+// any machine.
+//
+// Everything here is integer/bit-exact double arithmetic (frexp/ldexp);
+// no platform-dependent transcendentals, which is what keeps fleet runs
+// byte-identical for any --threads value.
+
+#ifndef WSC_TELEMETRY_SKETCH_H_
+#define WSC_TELEMETRY_SKETCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wsc::telemetry {
+
+class QuantileSketch {
+ public:
+  // Linear sub-buckets per power of two. 16 gives a worst-case relative
+  // error of 1/32 (~3.1%) on the bucket representative.
+  static constexpr int kSubBuckets = 16;
+  // Bucket 0 holds everything <= 0 and every value < 1 (sub-unit values
+  // are below the resolution any byte/ns metric here cares about);
+  // buckets 1.. cover exponents 0..kMaxExponent.
+  static constexpr int kMaxExponent = 63;
+  static constexpr size_t kNumBuckets =
+      1 + static_cast<size_t>(kMaxExponent + 1) * kSubBuckets;
+
+  QuantileSketch();
+
+  // Adds `weight` observations of value `v`.
+  void Record(double v, uint64_t weight = 1);
+
+  // Bucketwise sum; exact and associative.
+  void MergeFrom(const QuantileSketch& other);
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double Mean() const {
+    return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+
+  // Value at quantile q in [0,1]: the representative (bucket midpoint) of
+  // the bucket holding the rank-floor(q*(count-1)) observation, clamped to
+  // the exact observed [min, max]. Returns 0 on an empty sketch.
+  double Quantile(double q) const;
+
+  // Bucket index for a value (exposed for tests of the layout).
+  static size_t BucketIndex(double v);
+  // Representative value (midpoint) of a bucket.
+  static double BucketValue(size_t index);
+
+  // Non-zero buckets as (representative value, count) pairs in increasing
+  // value order — the self-describing "points" array consumers rebuild
+  // CDFs from without knowing the bucket layout.
+  std::vector<std::pair<double, uint64_t>> Points() const;
+
+  // Appends the sketch as a JSON object:
+  // {"count":N,"sum":X,"min":X,"max":X,
+  //  "quantiles":{"p50":..,"p90":..,"p95":..,"p99":..},
+  //  "points":[[value,count],...]}
+  void AppendJson(std::string& out) const;
+
+  bool operator==(const QuantileSketch&) const = default;
+
+ private:
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+}  // namespace wsc::telemetry
+
+#endif  // WSC_TELEMETRY_SKETCH_H_

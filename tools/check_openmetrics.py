@@ -1,0 +1,224 @@
+#!/usr/bin/env python3
+"""Lint an OpenMetrics text exposition (telemetry::RenderOpenMetrics).
+
+CI writes a `--statsz=FILE.om` dump from a bench run and pipes it through
+this linter, so a drift in the exporter (bad metric name, missing # EOF,
+non-cumulative histogram buckets) fails the build instead of silently
+breaking every Prometheus scrape downstream.
+
+Checks (the subset of the OpenMetrics spec the exporter uses):
+  * every line is a `# TYPE`/`# HELP` comment, a sample, or `# EOF`;
+  * the exposition ends with exactly one `# EOF` line;
+  * metric names match [a-zA-Z_:][a-zA-Z0-9_:]* ;
+  * every sample is preceded by a `# TYPE` for its metric family;
+  * counter samples use the `_total` suffix and are non-negative;
+  * histogram families expose `_bucket{le="..."}` series with
+    non-decreasing cumulative counts ending in le="+Inf", plus `_sum`
+    and `_count`, with the +Inf bucket equal to `_count`;
+  * all sample values parse as floats.
+
+Usage:
+  tools/check_openmetrics.py FILE.om
+  some_producer | tools/check_openmetrics.py -
+  tools/check_openmetrics.py --self-test
+"""
+
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)$")
+LABEL_RE = re.compile(r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<val>[^"]*)"$')
+
+SUFFIXES = ("_total", "_bucket", "_sum", "_count")
+
+
+def family_of(sample_name):
+    """Strips the typed suffix to recover the # TYPE family name."""
+    for suffix in SUFFIXES:
+        if sample_name.endswith(suffix):
+            return sample_name[: -len(suffix)]
+    return sample_name
+
+
+def lint(text):
+    """Returns a list of error strings (empty = clean)."""
+    errors = []
+    types = {}           # family -> declared type
+    histograms = {}      # family -> {"buckets": [(le, v)], "sum": x, "count": n}
+    saw_eof = False
+
+    for line_no, line in enumerate(text.split("\n"), start=1):
+        if line == "" :
+            continue
+        if saw_eof:
+            errors.append(f"line {line_no}: content after # EOF")
+            break
+        if line.startswith("#"):
+            parts = line.split(" ")
+            if line == "# EOF":
+                saw_eof = True
+            elif len(parts) >= 4 and parts[1] == "TYPE":
+                name, mtype = parts[2], parts[3]
+                if not NAME_RE.match(name):
+                    errors.append(f"line {line_no}: bad metric name {name!r}")
+                if mtype not in ("counter", "gauge", "histogram", "summary",
+                                 "info", "unknown"):
+                    errors.append(f"line {line_no}: bad type {mtype!r}")
+                if name in types:
+                    errors.append(f"line {line_no}: duplicate # TYPE {name}")
+                types[name] = mtype
+            elif len(parts) >= 3 and parts[1] == "HELP":
+                pass
+            else:
+                errors.append(f"line {line_no}: malformed comment {line!r}")
+            continue
+
+        match = SAMPLE_RE.match(line)
+        if not match:
+            errors.append(f"line {line_no}: malformed sample {line!r}")
+            continue
+        name = match.group("name")
+        try:
+            value = float(match.group("value"))
+        except ValueError:
+            errors.append(f"line {line_no}: non-numeric value "
+                          f"{match.group('value')!r}")
+            continue
+        labels = {}
+        if match.group("labels"):
+            for item in match.group("labels").split(","):
+                lmatch = LABEL_RE.match(item)
+                if not lmatch:
+                    errors.append(f"line {line_no}: malformed label {item!r}")
+                    continue
+                labels[lmatch.group("key")] = lmatch.group("val")
+
+        family = family_of(name)
+        declared = types.get(family) or types.get(name)
+        if declared is None:
+            errors.append(f"line {line_no}: sample {name!r} has no # TYPE")
+            continue
+        if declared == "counter":
+            if not name.endswith("_total"):
+                errors.append(f"line {line_no}: counter sample {name!r} "
+                              "lacks _total suffix")
+            if value < 0:
+                errors.append(f"line {line_no}: negative counter {name!r}")
+        elif declared == "histogram":
+            hist = histograms.setdefault(family,
+                                         {"buckets": [], "sum": None,
+                                          "count": None})
+            if name.endswith("_bucket"):
+                if "le" not in labels:
+                    errors.append(f"line {line_no}: histogram bucket "
+                                  f"{name!r} missing le label")
+                else:
+                    hist["buckets"].append((line_no, labels["le"], value))
+            elif name.endswith("_sum"):
+                hist["sum"] = value
+            elif name.endswith("_count"):
+                hist["count"] = value
+
+    if not saw_eof:
+        errors.append("missing # EOF terminator")
+
+    for family, hist in histograms.items():
+        buckets = hist["buckets"]
+        if not buckets:
+            errors.append(f"histogram {family}: no _bucket samples")
+            continue
+        values = [v for (_, _, v) in buckets]
+        if any(b > a for b, a in zip(values, values[1:])):
+            errors.append(f"histogram {family}: bucket counts not cumulative")
+        if buckets[-1][1] != "+Inf":
+            errors.append(f"histogram {family}: last bucket le="
+                          f"{buckets[-1][1]!r}, expected +Inf")
+        if hist["count"] is None:
+            errors.append(f"histogram {family}: missing _count")
+        elif values[-1] != hist["count"]:
+            errors.append(f"histogram {family}: +Inf bucket {values[-1]} != "
+                          f"_count {hist['count']}")
+        if hist["sum"] is None:
+            errors.append(f"histogram {family}: missing _sum")
+
+    return errors
+
+
+def self_test():
+    good = (
+        "# TYPE wsc_allocator_allocations counter\n"
+        "wsc_allocator_allocations_total 42\n"
+        "# TYPE wsc_allocator_heap_bytes gauge\n"
+        "wsc_allocator_heap_bytes 1048576\n"
+        "# TYPE wsc_sampler_sizes histogram\n"
+        'wsc_sampler_sizes_bucket{le="64"} 3\n'
+        'wsc_sampler_sizes_bucket{le="4096"} 7\n'
+        'wsc_sampler_sizes_bucket{le="+Inf"} 9\n'
+        "wsc_sampler_sizes_sum 12345\n"
+        "wsc_sampler_sizes_count 9\n"
+        "# EOF\n")
+    cases = [
+        ("valid exposition", good, 0),
+        ("missing EOF", good.replace("# EOF\n", ""), 1),
+        ("counter without _total",
+         good.replace("allocations_total", "allocations"), 1),
+        ("non-cumulative buckets",
+         good.replace('le="4096"} 7', 'le="4096"} 2'), 1),
+        ("last bucket not +Inf",
+         good.replace('wsc_sampler_sizes_bucket{le="+Inf"} 9\n', "")
+             .replace("wsc_sampler_sizes_count 9", "wsc_sampler_sizes_count 7"),
+         1),
+        ("+Inf != count",
+         good.replace("wsc_sampler_sizes_count 9",
+                      "wsc_sampler_sizes_count 8"), 1),
+        ("sample without TYPE",
+         good + "mystery_metric 1\n# EOF\n", 1),  # also trips content-after-EOF
+        ("garbage line", good.replace(
+            "wsc_allocator_heap_bytes 1048576", "!!! not a metric"), 1),
+    ]
+    failures = 0
+    for label, text, want_errors in cases:
+        errors = lint(text)
+        ok = (len(errors) == 0) == (want_errors == 0)
+        if not ok:
+            failures += 1
+            print(f"self-test FAIL: {label}: errors={errors}",
+                  file=sys.stderr)
+    if failures:
+        return 1
+    print(f"check_openmetrics: self-test OK ({len(cases)} cases)")
+    return 0
+
+
+def main():
+    if len(sys.argv) == 2 and sys.argv[1] == "--self-test":
+        return self_test()
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    if sys.argv[1] == "-":
+        text = sys.stdin.read()
+    else:
+        try:
+            with open(sys.argv[1], encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as exc:
+            print(f"check_openmetrics: {exc}", file=sys.stderr)
+            return 1
+    errors = lint(text)
+    if errors:
+        for error in errors:
+            print(f"check_openmetrics: {error}", file=sys.stderr)
+        return 1
+    samples = sum(1 for line in text.split("\n")
+                  if line and not line.startswith("#"))
+    print(f"check_openmetrics: OK ({samples} samples)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,7 +19,7 @@ fi
 REQUIRED='malloc free calloc realloc reallocarray posix_memalign
 aligned_alloc memalign valloc pvalloc malloc_usable_size
 wscmalloc_is_active wscmalloc_backend wscmalloc_release_memory
-wscmalloc_stats_json'
+wscmalloc_stats_json wscmalloc_stats_timeseries'
 
 # Defined (non-undefined) exported dynamic symbols.
 exported="$(nm -D --defined-only "$SHIM" | awk '{print $3}')"

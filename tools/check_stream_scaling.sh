@@ -1,0 +1,103 @@
+#!/usr/bin/env bash
+# Stream-collector scaling smoke: collector memory must not scale with
+# the fleet.
+#
+# The whole point of Fleet::RunStreaming + StreamCollector is warehouse
+# scale: per-machine observations are folded and discarded, so process
+# peak RSS is set by the few concurrently-executing machines and the
+# O(metrics x intervals) aggregate — never by --machines. This script
+# runs the flagship time-series bench at two fleet sizes (default 250 and
+# 1000 machines) and asserts, from the bench's own "stream" BENCH_JSON
+# bookkeeping, that
+#
+#   1. peak RSS at the big fleet stays within RSS_BUDGET_PCT (default
+#      140%) of the small fleet — 4x the machines, ~same memory;
+#   2. the reorder buffer (completed machines waiting for the fold
+#      cursor) never exceeded the streaming window, at either scale.
+#
+#   cmake -B build -S . && cmake --build build -j
+#   tools/check_stream_scaling.sh build
+#
+# Wall clock scales with machine count (~0.4s of simulated-machine work
+# each), so CI runs this as its own job; MACHINES_A/MACHINES_B override
+# the fleet sizes for quick local runs.
+
+set -u
+
+BUILD_DIR="${1:-build}"
+BENCH="$BUILD_DIR/bench/fig_fleet_timeseries"
+MACHINES_A="${MACHINES_A:-250}"
+MACHINES_B="${MACHINES_B:-1000}"
+THREADS="${THREADS:-4}"
+RSS_BUDGET_PCT="${RSS_BUDGET_PCT:-140}"
+# Tiny per-machine run: the fixed warmup cost dominates anyway, and the
+# smoke measures memory shape, not throughput.
+FLAGS="--threads=$THREADS --duration=0.6 --max-requests=50"
+TMPDIR_SCALE="$(mktemp -d)"
+trap 'rm -rf "$TMPDIR_SCALE"' EXIT
+
+if [ ! -x "$BENCH" ]; then
+  echo "check_stream_scaling: missing bench binary $BENCH" >&2
+  exit 2
+fi
+
+for n in "$MACHINES_A" "$MACHINES_B"; do
+  echo "=== fig_fleet_timeseries --machines=$n"
+  if ! "$BENCH" $FLAGS --machines="$n" >"$TMPDIR_SCALE/m$n.out" 2>&1; then
+    echo "check_stream_scaling: --machines=$n run failed" >&2
+    tail -5 "$TMPDIR_SCALE/m$n.out" >&2
+    exit 1
+  fi
+  grep '"kind":"stream"' "$TMPDIR_SCALE/m$n.out" | head -1 \
+    >"$TMPDIR_SCALE/m$n.stream"
+done
+
+python3 - "$TMPDIR_SCALE/m$MACHINES_A.stream" \
+          "$TMPDIR_SCALE/m$MACHINES_B.stream" \
+          "$THREADS" "$RSS_BUDGET_PCT" <<'EOF'
+import json
+import sys
+
+small_path, big_path, threads, budget_pct = sys.argv[1:5]
+threads, budget_pct = int(threads), int(budget_pct)
+window = max(2 * threads, 2)
+
+def load(path):
+    with open(path, encoding="utf-8") as handle:
+        line = handle.read().strip()
+    if not line:
+        sys.exit(f"check_stream_scaling: no stream line in {path}")
+    return json.loads(line.removeprefix("BENCH_JSON "))
+
+small, big = load(small_path), load(big_path)
+failures = []
+
+ratio = 100.0 * big["peak_rss_kb"] / small["peak_rss_kb"]
+print(f"check_stream_scaling: peak RSS {small['peak_rss_kb']} KiB "
+      f"@ {small['machines']} machines -> {big['peak_rss_kb']} KiB "
+      f"@ {big['machines']} machines ({ratio:.0f}%, budget {budget_pct}%)")
+if ratio > budget_pct:
+    failures.append(
+        f"peak RSS grew {ratio:.0f}% > {budget_pct}% budget: collector "
+        "memory is scaling with the fleet")
+
+for run in (small, big):
+    pending = run["collector_peak_pending"]
+    print(f"check_stream_scaling: peak reorder buffer {pending} "
+          f"@ {run['machines']} machines (window {window})")
+    if pending > window:
+        failures.append(
+            f"reorder buffer {pending} exceeded window {window} at "
+            f"{run['machines']} machines")
+    if run["peak_rss_kb"] <= 0:
+        failures.append(
+            f"no RSS reading at {run['machines']} machines "
+            "(/proc/self/status unavailable?)")
+
+for msg in failures:
+    print(f"check_stream_scaling: FAIL: {msg}")
+if failures:
+    sys.exit(1)
+print("check_stream_scaling: OK (collector memory independent of "
+      "machine count)")
+EOF

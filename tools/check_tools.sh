@@ -28,7 +28,8 @@ done
 # Standalone self-tests (tools whose --self-test needs no input files;
 # check_bench_regression.py's self-test needs bench output and runs in
 # the perf-gate job instead).
-for tool in flamegraph.py flamediff.py check_preload_conservation.py; do
+for tool in flamegraph.py flamediff.py check_preload_conservation.py \
+            check_openmetrics.py; do
   if python3 "$ROOT/tools/$tool" --self-test; then
     echo "check_tools: self-test OK: tools/$tool"
   else

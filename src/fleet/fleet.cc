@@ -136,6 +136,30 @@ std::vector<Fleet::MachinePlan> Fleet::PlanMachines() const {
         plan.restart_seed = rng.Fork();
       }
     }
+
+    // The traffic scenario plans last, under the same discipline: strictly
+    // after the machine-seed fork, drawing only when enabled — so the
+    // scenario-free composition (and the pressure/fault streams above) are
+    // identical whether or not a scenario is on.
+    if (config_.scenario.enabled) {
+      MachineScenario scenario = PlanMachineScenario(
+          config_.scenario, m, config_.num_machines, config_.duration, rng);
+      if (!scenario.load_phases.empty()) {
+        for (workload::WorkloadSpec& w : plan.workloads) {
+          w.load_phases = scenario.load_phases;
+        }
+      }
+      plan.deploy_restarts = scenario.deploy_restarts;
+      plan.deploy_restart_seed = scenario.deploy_restart_seed;
+      if (scenario.antagonist) {
+        // Appended after every victim: the machine partitions CPUs, forks
+        // seeds, and assigns arena slots for primaries first, so victim
+        // results are bit-identical with or without the antagonist.
+        plan.workloads.push_back(AntagonistWorkload(scenario.antagonist_load,
+                                                    config_.duration));
+        plan.ranks.push_back(kAntagonistRank);
+      }
+    }
     plans.push_back(std::move(plan));
   }
   return plans;
@@ -147,10 +171,14 @@ std::vector<FleetObservation> Fleet::RunMachine(
   faults.fault_plans = plan.fault_plans;
   faults.oom_kill_time = plan.oom_kill_time;
   faults.restart_seed = plan.restart_seed;
+  DeploySchedule deploys;
+  deploys.restart_times = plan.deploy_restarts;
+  deploys.restart_seed = plan.deploy_restart_seed;
   Machine machine(plan.platform, plan.workloads, allocator_config_,
                   plan.machine_seed, plan.pressure_events,
                   config_.trace_events_per_process, std::move(faults),
-                  config_.selfprof_interval, config_.timeseries_interval);
+                  config_.selfprof_interval, config_.timeseries_interval,
+                  std::move(deploys));
   machine.Run(config_.duration, config_.max_requests_per_process);
   std::vector<FleetObservation> observations;
   observations.reserve(machine.results().size());

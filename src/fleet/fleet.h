@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "fleet/machine.h"
+#include "fleet/scenario.h"
 #include "hw/topology.h"
 #include "tcmalloc/config.h"
 #include "tcmalloc/fault_injection.h"
@@ -114,6 +115,12 @@ struct FleetConfig {
   // Deterministic fault injection (off by default).
   FaultConfig faults;
 
+  // Traffic scenario (off by default): diurnal curves, flash crowds,
+  // deploy waves, antagonist co-location (fleet::ScenarioConfig). Planned
+  // per machine after the machine-seed fork, exactly like pressure and
+  // faults, so enabling a scenario never perturbs machine composition.
+  ScenarioConfig scenario;
+
   // Flight-recorder ring capacity per process (0 = tracing off). When set,
   // every process's drained ring lands in its ProcessResult::trace and the
   // fleet trace is exported via MergedTrace.
@@ -134,6 +141,10 @@ struct FleetConfig {
   // the fleet series is bit-identical for any --threads value.
   SimTime timeseries_interval = 0;
 };
+
+// Binary rank assigned to scenario antagonists: they are fleet furniture,
+// not sampled binaries, and per-rank reports should skip them.
+inline constexpr int kAntagonistRank = -1;
 
 // One process observation, tagged with provenance.
 struct FleetObservation {
@@ -201,6 +212,13 @@ class Fleet {
     std::vector<tcmalloc::FaultPlan> fault_plans;
     SimTime oom_kill_time = 0;  // 0 = no kill planned
     uint64_t restart_seed = 0;
+    // Scenario slice (empty/zero unless config.scenario is enabled),
+    // planned last, after pressure and faults. Load phases are stamped
+    // directly onto `workloads`; an antagonist, when present, is appended
+    // to `workloads` with rank kAntagonistRank so victims keep their CPU
+    // masks, seeds, and arena slots.
+    std::vector<SimTime> deploy_restarts;
+    uint64_t deploy_restart_seed = 0;
   };
 
   // The deterministic composition of every machine (exposed for tests).

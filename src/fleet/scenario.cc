@@ -1,0 +1,167 @@
+#include "fleet/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "workload/profiles.h"
+
+namespace wsc::fleet {
+
+namespace {
+
+// Flash-crowd multiplier at time `t` for a machine in `region` (1.0 when
+// the crowd does not apply).
+double FlashMultiplierAt(const FlashCrowdSpec& flash, int region,
+                         SimTime duration, SimTime t) {
+  if (!flash.enabled || region != flash.region) return 1.0;
+  double dur = static_cast<double>(duration);
+  SimTime start = static_cast<SimTime>(dur * flash.start_frac);
+  SimTime end = static_cast<SimTime>(
+      dur * (flash.start_frac + flash.duration_frac));
+  return (t >= start && t < end) ? flash.multiplier : 1.0;
+}
+
+// Diurnal multiplier at time `t` for a machine in `region`: a sinusoid
+// between trough and peak, phase-led by region/regions of a cycle.
+double DiurnalMultiplierAt(const DiurnalSpec& diurnal, int region,
+                           int regions, SimTime duration, SimTime t) {
+  double frac = static_cast<double>(t) /
+                static_cast<double>(std::max<SimTime>(duration, 1));
+  double phase = 2.0 * M_PI * static_cast<double>(region) /
+                 static_cast<double>(std::max(1, regions));
+  double wave =
+      0.5 + 0.5 * std::sin(2.0 * M_PI * diurnal.cycles * frac + phase);
+  return diurnal.trough + (diurnal.peak - diurnal.trough) * wave;
+}
+
+}  // namespace
+
+MachineScenario PlanMachineScenario(const ScenarioConfig& config,
+                                    int machine_index, int num_machines,
+                                    SimTime duration, Rng& rng) {
+  MachineScenario scenario;
+  int regions = std::max(1, config.regions);
+  scenario.region = machine_index % regions;
+
+  // Load phases: the diurnal curve (piecewise-sampled at diurnal.step) and
+  // the flash crowd compose multiplicatively into one non-overlapping step
+  // function. Pure arithmetic — no RNG draws.
+  if (config.diurnal.enabled) {
+    SimTime step = std::max<SimTime>(config.diurnal.step, Milliseconds(1));
+    for (SimTime t = 0; t < duration; t += step) {
+      SimTime end = std::min<SimTime>(t + step, duration);
+      SimTime mid = t + (end - t) / 2;
+      double mult =
+          DiurnalMultiplierAt(config.diurnal, scenario.region, regions,
+                              duration, mid) *
+          FlashMultiplierAt(config.flash, scenario.region, duration, mid);
+      if (!scenario.load_phases.empty() &&
+          scenario.load_phases.back().end == t &&
+          scenario.load_phases.back().multiplier == mult) {
+        scenario.load_phases.back().end = end;  // merge equal neighbors
+      } else {
+        scenario.load_phases.push_back(workload::LoadPhase{t, end, mult});
+      }
+    }
+  } else if (config.flash.enabled && scenario.region == config.flash.region) {
+    double dur = static_cast<double>(duration);
+    SimTime start = static_cast<SimTime>(dur * config.flash.start_frac);
+    SimTime end = static_cast<SimTime>(
+        dur * (config.flash.start_frac + config.flash.duration_frac));
+    if (end > start) {
+      scenario.load_phases.push_back(
+          workload::LoadPhase{start, end, config.flash.multiplier});
+    }
+  }
+
+  // Deploy wave: `fraction` of machines, spread evenly by index (machine m
+  // is selected when floor((m+1)f) > floor(mf) — Bresenham's line). Wave k
+  // rolls across the selected machines in index order inside the window.
+  if (config.deploy.enabled && num_machines > 0) {
+    const DeployWaveSpec& dw = config.deploy;
+    double f = std::clamp(dw.fraction, 0.0, 1.0);
+    auto selected_before = [f](int m) {
+      return static_cast<int>(std::floor(static_cast<double>(m) * f + 1e-9));
+    };
+    bool selected = selected_before(machine_index + 1) >
+                    selected_before(machine_index);
+    if (selected && dw.restarts_per_machine > 0) {
+      int rank = selected_before(machine_index);
+      int total = std::max(1, selected_before(num_machines));
+      double dur = static_cast<double>(duration);
+      double window_start = dur * dw.start_frac;
+      double window_span = dur * std::max(0.0, dw.end_frac - dw.start_frac);
+      int slots = total * dw.restarts_per_machine;
+      for (int k = 0; k < dw.restarts_per_machine; ++k) {
+        int slot = k * total + rank;
+        SimTime t = static_cast<SimTime>(
+            window_start +
+            window_span * (static_cast<double>(slot) + 0.5) /
+                static_cast<double>(slots));
+        scenario.deploy_restarts.push_back(std::max<SimTime>(t, 1));
+      }
+      // The only RNG draw the wave makes, and only on selected machines.
+      scenario.deploy_restart_seed = rng.Fork();
+    }
+  }
+
+  // Antagonist co-location: one coin flip, only when enabled.
+  if (config.antagonist.enabled &&
+      rng.UniformDouble() < config.antagonist.probability) {
+    scenario.antagonist = true;
+    scenario.antagonist_load = config.antagonist.load;
+  }
+  return scenario;
+}
+
+const std::vector<std::string>& ScenarioNames() {
+  static const std::vector<std::string> names = {
+      "diurnal", "flash-crowd", "deploy-wave", "antagonist"};
+  return names;
+}
+
+ScenarioConfig ScenarioByName(const std::string& name) {
+  ScenarioConfig config;
+  config.enabled = true;
+  if (name == "diurnal") {
+    // Follow-the-sun load: three regions a third of a cycle apart, two
+    // full cycles over the run.
+    config.regions = 3;
+    config.diurnal.enabled = true;
+    config.diurnal.trough = 0.35;
+    config.diurnal.peak = 1.8;
+    config.diurnal.cycles = 2.0;
+  } else if (name == "flash-crowd") {
+    // A 3.5x surge on region 0 for the middle quarter of the run.
+    config.regions = 3;
+    config.flash.enabled = true;
+    config.flash.region = 0;
+    config.flash.multiplier = 3.5;
+    config.flash.start_frac = 0.4;
+    config.flash.duration_frac = 0.25;
+  } else if (name == "deploy-wave") {
+    // A release rolling one restart across half the fleet mid-run.
+    config.deploy.enabled = true;
+    config.deploy.fraction = 0.5;
+    config.deploy.start_frac = 0.25;
+    config.deploy.end_frac = 0.75;
+    config.deploy.restarts_per_machine = 1;
+  } else if (name == "antagonist") {
+    // Half the machines catch a noisy neighbor at 1.5x base load.
+    config.antagonist.enabled = true;
+    config.antagonist.probability = 0.5;
+    config.antagonist.load = 1.5;
+  } else {
+    WSC_CHECK(false && "unknown scenario name");
+  }
+  return config;
+}
+
+workload::WorkloadSpec AntagonistWorkload(double load, SimTime duration) {
+  workload::WorkloadSpec spec = workload::AntagonistProfile();
+  spec.load_phases.push_back(workload::LoadPhase{0, duration, load});
+  return spec;
+}
+
+}  // namespace wsc::fleet

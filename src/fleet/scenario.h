@@ -1,0 +1,125 @@
+// Traffic-scenario layer: planet-scale load shapes on the logical clock.
+//
+// The paper's fleet characterization averages over traffic that is anything
+// but stationary: load follows the sun, releases roll across the fleet in
+// waves, and co-located neighbors steal caches. This layer composes those
+// shapes deterministically on top of the existing pressure/fault planners:
+//
+//   - diurnal curves with regional phase shifts (machines assigned to K
+//     regions; each region's sinusoid is phase-shifted by its longitude),
+//   - flash crowds (a sudden multi-x load on one region for a window),
+//   - deploy waves (a rolling mass restart of a fraction of machines,
+//     exercising Machine's arena slot recycling), and
+//   - antagonist co-location (a noisy-neighbor workload dropped onto a
+//     machine, composed after the victims so their results are untouched).
+//
+// Planning follows the same discipline as pressure and faults
+// (fleet::PlanMachines): everything is sampled per machine strictly after
+// the machine-seed fork and draws the RNG only when enabled, so enabling a
+// scenario never perturbs machine composition and every result stays
+// bit-identical for any --threads value.
+
+#ifndef WSC_FLEET_SCENARIO_H_
+#define WSC_FLEET_SCENARIO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/sim_clock.h"
+#include "workload/workload.h"
+
+namespace wsc::fleet {
+
+// Diurnal load: every machine's request rate follows a sinusoid between
+// `trough` and `peak`, phase-shifted by the machine's region so the fleet
+// never breathes in unison (region r leads by r/regions of a cycle).
+struct DiurnalSpec {
+  bool enabled = false;
+  double trough = 0.4;  // multiplier at the bottom of the curve
+  double peak = 1.6;    // multiplier at the top
+  double cycles = 1.0;  // full day-night cycles over the run
+  // Piecewise sampling step for the multiplier curve (the driver applies
+  // piecewise-constant phases; see workload::LoadPhase).
+  SimTime step = Milliseconds(500);
+};
+
+// Flash crowd: the targeted region's load jumps `multiplier`-fold for the
+// window [start_frac, start_frac + duration_frac) of the run, multiplying
+// whatever the diurnal curve says.
+struct FlashCrowdSpec {
+  bool enabled = false;
+  int region = 0;
+  double multiplier = 3.0;
+  double start_frac = 0.45;
+  double duration_frac = 0.2;
+};
+
+// Deploy wave: `fraction` of machines (spread evenly across the fleet by
+// index) each restart all their processes `restarts_per_machine` times,
+// at instants rolled across the window [start_frac, end_frac) of the run
+// in machine order — the fleet's rolling-release shape.
+struct DeployWaveSpec {
+  bool enabled = false;
+  double fraction = 0.5;
+  double start_frac = 0.3;
+  double end_frac = 0.8;
+  int restarts_per_machine = 1;
+};
+
+// Antagonist co-location: with `probability`, a machine gets a noisy
+// neighbor (workload::AntagonistProfile) running at `load` times its base
+// request rate (0 idles it: the co-location exists but does nothing —
+// the control test for victim isolation).
+struct AntagonistSpec {
+  bool enabled = false;
+  double probability = 0.5;
+  double load = 1.0;
+};
+
+// A composable traffic scenario. Sub-specs combine freely; `regions`
+// partitions machines round-robin by index (machine m is in region
+// m % regions) without consuming randomness.
+struct ScenarioConfig {
+  bool enabled = false;
+  int regions = 3;
+  DiurnalSpec diurnal;
+  FlashCrowdSpec flash;
+  DeployWaveSpec deploy;
+  AntagonistSpec antagonist;
+};
+
+// One machine's planned scenario: the composed load-multiplier step
+// function for its processes, its deploy-restart schedule, and whether it
+// hosts an antagonist.
+struct MachineScenario {
+  int region = 0;
+  std::vector<workload::LoadPhase> load_phases;
+  std::vector<SimTime> deploy_restarts;  // sorted ascending
+  uint64_t deploy_restart_seed = 0;
+  bool antagonist = false;
+  double antagonist_load = 1.0;
+};
+
+// Plans machine `machine_index`'s slice of the scenario over a run of
+// `duration`. Must be called strictly after the machine-seed fork; draws
+// from `rng` only for enabled sub-specs (the antagonist coin flip and the
+// deploy restart seed), so disabled scenarios consume no randomness.
+MachineScenario PlanMachineScenario(const ScenarioConfig& config,
+                                    int machine_index, int num_machines,
+                                    SimTime duration, Rng& rng);
+
+// The four named presets the CI scenario matrix sweeps.
+const std::vector<std::string>& ScenarioNames();
+
+// Preset by name ("diurnal", "flash-crowd", "deploy-wave", "antagonist");
+// check-fails on an unknown name.
+ScenarioConfig ScenarioByName(const std::string& name);
+
+// The antagonist workload for a machine: AntagonistProfile with a single
+// whole-run load phase at `load`.
+workload::WorkloadSpec AntagonistWorkload(double load, SimTime duration);
+
+}  // namespace wsc::fleet
+
+#endif  // WSC_FLEET_SCENARIO_H_

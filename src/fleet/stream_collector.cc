@@ -16,6 +16,8 @@ void StreamCollector::Collect(
     self_profile_.MergeFrom(r.self_profile);
     ++processes_;
     if (r.oom_killed) ++oom_kills_;
+    if (r.deploy_restarted) ++deploy_restarts_;
+    if (obs.binary_rank == kAntagonistRank) ++antagonists_;
     total_requests_ += r.driver.requests;
     total_failed_allocations_ += r.driver.failed_allocations;
     total_avg_heap_bytes_ += r.avg_heap_bytes;

@@ -50,6 +50,10 @@ class StreamCollector {
   int machines() const { return machines_; }
   int processes() const { return processes_; }
   int oom_kills() const { return oom_kills_; }
+  // Process instances retired by deploy-wave restarts across the fleet.
+  int deploy_restarts() const { return deploy_restarts_; }
+  // Co-located scenario antagonist processes observed across the fleet.
+  int antagonists() const { return antagonists_; }
   uint64_t total_requests() const { return total_requests_; }
   uint64_t total_failed_allocations() const {
     return total_failed_allocations_;
@@ -69,6 +73,8 @@ class StreamCollector {
   int machines_ = 0;
   int processes_ = 0;
   int oom_kills_ = 0;
+  int deploy_restarts_ = 0;
+  int antagonists_ = 0;
   uint64_t total_requests_ = 0;
   uint64_t total_failed_allocations_ = 0;
   double total_avg_heap_bytes_ = 0;

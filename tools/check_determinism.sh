@@ -34,7 +34,11 @@ normalize() {
 
 failures=0
 checked=0
-for name in fig03_fleet_cdf fig_pressure_reclaim fig_fleet_timeseries; do
+# fig_scenarios runs all four traffic presets per invocation (diurnal,
+# flash-crowd, deploy-wave, antagonist), so the byte-compare covers the
+# deploy-wave restart path and antagonist co-location too.
+for name in fig03_fleet_cdf fig_pressure_reclaim fig_fleet_timeseries \
+            fig_scenarios; do
   bench="$BENCH_DIR/$name"
   if [ ! -x "$bench" ]; then
     echo "check_determinism: missing bench binary $bench" >&2
